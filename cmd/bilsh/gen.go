@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+
+	"bilsh/internal/dataset"
+	"bilsh/internal/xrand"
+)
+
+// cmdGen generates a synthetic clustered-manifold dataset in fvecs format,
+// optionally splitting off a disjoint query file (the paper's protocol).
+func cmdGen(args []string) error {
+	fs := newFlagSet("gen")
+	n := fs.Int("n", 10000, "number of data vectors")
+	d := fs.Int("d", 64, "vector dimension")
+	clusters := fs.Int("clusters", 32, "latent cluster count")
+	intrinsic := fs.Int("intrinsic", 8, "intrinsic dimension of each cluster")
+	aspect := fs.Float64("aspect", 6, "cluster aspect ratio (>=1)")
+	out := fs.String("out", "data.fvecs", "output fvecs path")
+	queries := fs.String("queries", "", "optional query fvecs path")
+	nq := fs.Int("nq", 0, "number of query vectors (with -queries)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	total := *n + *nq
+	spec := dataset.DefaultClusteredSpec(total, *d)
+	spec.Clusters = *clusters
+	spec.IntrinsicDim = *intrinsic
+	spec.Aspect = *aspect
+	rng := xrand.New(*seed)
+	data, _, err := dataset.Clustered(spec, rng.Split(1))
+	if err != nil {
+		return err
+	}
+	if *queries != "" && *nq > 0 {
+		train, qs := dataset.Split(data, *nq, rng.Split(2))
+		if err := dataset.SaveFvecsFile(*out, train); err != nil {
+			return err
+		}
+		if err := dataset.SaveFvecsFile(*queries, qs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d train vectors to %s and %d queries to %s (dim %d)\n",
+			train.N, *out, qs.N, *queries, *d)
+		return nil
+	}
+	if err := dataset.SaveFvecsFile(*out, data); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d vectors to %s (dim %d)\n", data.N, *out, *d)
+	return nil
+}

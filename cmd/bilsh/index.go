@@ -1,0 +1,297 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bilsh/internal/core"
+	"bilsh/internal/dataset"
+	"bilsh/internal/knn"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// parseMethodFlags is shared by the build and search commands.
+type methodFlags struct {
+	bilevel *bool
+	lattice *string
+	probe   *string
+	groups  *int
+	m, l    *int
+	w       *float64
+	seed    *int64
+}
+
+func (mf methodFlags) options() (core.Options, error) {
+	opts := core.Options{
+		Partitioner: core.PartitionNone,
+		AutoTuneW:   true,
+		Groups:      *mf.groups,
+		Params:      lshfunc.Params{M: *mf.m, L: *mf.l, W: *mf.w},
+	}
+	if *mf.bilevel {
+		opts.Partitioner = core.PartitionRPTree
+	}
+	switch strings.ToUpper(*mf.lattice) {
+	case "ZM":
+		opts.Lattice = core.LatticeZM
+	case "E8":
+		opts.Lattice = core.LatticeE8
+	case "DN":
+		opts.Lattice = core.LatticeDn
+	default:
+		return opts, fmt.Errorf("unknown lattice %q (want ZM, Dn or E8)", *mf.lattice)
+	}
+	switch strings.ToLower(*mf.probe) {
+	case "single":
+		opts.ProbeMode = core.ProbeSingle
+	case "multi":
+		opts.ProbeMode = core.ProbeMulti
+	case "hierarchy":
+		opts.ProbeMode = core.ProbeHierarchy
+	default:
+		return opts, fmt.Errorf("unknown probe mode %q (want single, multi or hierarchy)", *mf.probe)
+	}
+	return opts, nil
+}
+
+// cmdBuild constructs an index from an fvecs file and persists it.
+func cmdBuild(args []string) error {
+	fs := newFlagSet("build")
+	dataPath := fs.String("data", "", "fvecs file with the vectors to index (required)")
+	out := fs.String("out", "index.bilsh", "output index path")
+	disk := fs.Bool("disk", false, "write the disk-backed (out-of-core) layout")
+	stream := fs.Bool("stream", false, "streaming build: never materialize the dataset (implies -disk)")
+	sample := fs.Int("sample", 4096, "streaming build: reservoir sample size")
+	maxN := fs.Int("maxn", 0, "cap on vectors read (0 = all; ignored with -stream)")
+	mf := methodFlags{
+		bilevel: fs.Bool("bilevel", true, "use the bi-level scheme"),
+		lattice: fs.String("lattice", "ZM", "lattice: ZM, Dn or E8"),
+		probe:   fs.String("probe", "single", "probe mode: single, multi, hierarchy"),
+		groups:  fs.Int("groups", 16, "level-1 partitions"),
+		m:       fs.Int("m", 8, "hash code length M"),
+		l:       fs.Int("l", 10, "hash tables L"),
+		w:       fs.Float64("w", 1.0, "bucket width multiplier"),
+		seed:    fs.Int64("seed", 1, "random seed"),
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" {
+		return fmt.Errorf("build: -data is required")
+	}
+	opts, err := mf.options()
+	if err != nil {
+		return err
+	}
+	if *stream {
+		start := time.Now()
+		n, err := core.BuildDisk(*dataPath, *out, opts,
+			core.OutOfCoreConfig{SampleSize: *sample}, xrand.New(*mf.seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stream-indexed %d vectors in %v; wrote disk-backed %s\n",
+			n, time.Since(start).Round(time.Millisecond), *out)
+		return nil
+	}
+	data, err := dataset.LoadFvecsFile(*dataPath, *maxN)
+	if err != nil {
+		return fmt.Errorf("loading data: %w", err)
+	}
+	start := time.Now()
+	ix, err := core.Build(data, opts, xrand.New(*mf.seed))
+	if err != nil {
+		return err
+	}
+	buildDur := time.Since(start)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	var n int64
+	if *disk {
+		n, err = ix.WriteDiskTo(f)
+	} else {
+		n, err = ix.WriteTo(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	kind := "self-contained"
+	if *disk {
+		kind = "disk-backed"
+	}
+	fmt.Printf("indexed %d vectors (dim %d) in %v; wrote %s %s (%.1f MiB)\n",
+		ix.N(), ix.Dim(), buildDur.Round(time.Millisecond), kind, *out, float64(n)/(1<<20))
+	return nil
+}
+
+// cmdQuery loads a persisted index and answers queries from an fvecs file.
+func cmdQuery(args []string) error {
+	fs := newFlagSet("query")
+	indexPath := fs.String("index", "", "index file from 'bilsh build' (required)")
+	queryPath := fs.String("queries", "", "fvecs file with query vectors (required)")
+	k := fs.Int("k", 10, "neighbors per query")
+	maxQ := fs.Int("maxq", 1000, "cap on queries evaluated")
+	workers := fs.Int("workers", 0, "parallel query workers (0 = GOMAXPROCS)")
+	truthCheck := fs.Bool("truth", false, "also compute exact ground truth and report recall")
+	verbose := fs.Bool("v", false, "print each query's neighbors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *indexPath == "" || *queryPath == "" {
+		return fmt.Errorf("query: -index and -queries are required")
+	}
+	ix, closeIx, err := openAnyIndex(*indexPath)
+	if err != nil {
+		return fmt.Errorf("loading index: %w", err)
+	}
+	defer closeIx()
+	queries, err := dataset.LoadFvecsFile(*queryPath, *maxQ)
+	if err != nil {
+		return fmt.Errorf("loading queries: %w", err)
+	}
+	if queries.D != ix.Dim() {
+		return fmt.Errorf("dimension mismatch: index %d vs queries %d", ix.Dim(), queries.D)
+	}
+	start := time.Now()
+	results, stats := ix.QueryBatchParallel(queries, *k, *workers)
+	dur := time.Since(start)
+
+	var sel float64
+	for qi := range results {
+		sel += knn.Selectivity(stats[qi].Candidates, ix.N())
+		if *verbose {
+			fmt.Printf("query %d: %v\n", qi, results[qi].IDs)
+		}
+	}
+	fmt.Printf("index: %d vectors, %d groups, lattice %v, probe %v\n",
+		ix.N(), ix.NumGroups(), ix.Options().Lattice, ix.Options().ProbeMode)
+	fmt.Printf("%d queries in %v (%.1f q/s), mean selectivity %.4f\n",
+		queries.N, dur.Round(time.Millisecond),
+		float64(queries.N)/dur.Seconds(), sel/float64(queries.N))
+	if *truthCheck {
+		// Ground truth needs the raw vectors, which the index carries.
+		var recall float64
+		for qi := 0; qi < queries.N; qi++ {
+			exact := ix.ExactKNN(queries.Row(qi), *k)
+			recall += knn.Recall(exact.IDs, results[qi].IDs)
+		}
+		fmt.Printf("recall vs exact: %.4f\n", recall/float64(queries.N))
+	}
+	return nil
+}
+
+// cmdGroundTruth computes exact k-NN id lists for a query file and writes
+// them in ivecs format (the TexMex ground-truth convention).
+func cmdGroundTruth(args []string) error {
+	fs := newFlagSet("groundtruth")
+	dataPath := fs.String("data", "", "fvecs file with the indexed vectors (required)")
+	queryPath := fs.String("queries", "", "fvecs file with query vectors (required)")
+	out := fs.String("out", "groundtruth.ivecs", "output ivecs path")
+	k := fs.Int("k", 100, "neighbors per query")
+	maxN := fs.Int("maxn", 0, "cap on data vectors (0 = all)")
+	maxQ := fs.Int("maxq", 0, "cap on queries (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" || *queryPath == "" {
+		return fmt.Errorf("groundtruth: -data and -queries are required")
+	}
+	data, err := dataset.LoadFvecsFile(*dataPath, *maxN)
+	if err != nil {
+		return fmt.Errorf("loading data: %w", err)
+	}
+	queries, err := dataset.LoadFvecsFile(*queryPath, *maxQ)
+	if err != nil {
+		return fmt.Errorf("loading queries: %w", err)
+	}
+	start := time.Now()
+	truth := knn.ExactAll(data, queries, *k)
+	rows := make([][]int32, len(truth))
+	for i, t := range truth {
+		rows[i] = make([]int32, len(t.IDs))
+		for j, id := range t.IDs {
+			rows[i][j] = int32(id)
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := dataset.WriteIvecs(f, rows); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote exact %d-NN of %d queries over %d vectors to %s in %v\n",
+		*k, queries.N, data.N, *out, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// openAnyIndex loads either index layout, sniffing the disk-backed magic.
+func openAnyIndex(path string) (indexReader, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var head [16]byte
+	if _, err := f.Read(head[:]); err == nil && string(head[:12]) == "bilsh.Disk/1" {
+		f.Close()
+		di, err := core.OpenDisk(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return di, func() { di.Close() }, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	ix, err := core.ReadIndex(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return ix, func() {}, nil
+}
+
+// indexReader is the read-side API shared by both index layouts.
+type indexReader interface {
+	N() int
+	Dim() int
+	NumGroups() int
+	Options() core.Options
+	QueryBatchParallel(queries *vec.Matrix, k, workers int) ([]knn.Result, []core.QueryStats)
+	ExactKNN(q []float32, k int) knn.Result
+	Describe() core.Description
+}
+
+// cmdInfo describes a persisted index.
+func cmdInfo(args []string) error {
+	fs := newFlagSet("info")
+	indexPath := fs.String("index", "", "index file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *indexPath == "" {
+		return fmt.Errorf("info: -index is required")
+	}
+	ix, closeIx, err := openAnyIndex(*indexPath)
+	if err != nil {
+		return err
+	}
+	defer closeIx()
+	return ix.Describe().WriteReport(os.Stdout)
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bilsh/internal/core"
+	"bilsh/internal/dataset"
+	"bilsh/internal/knn"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/xrand"
+)
+
+// cmdSearch builds an index over an fvecs file, answers queries from a
+// second file, and reports quality against exact ground truth.
+func cmdSearch(args []string) error {
+	fs := newFlagSet("search")
+	dataPath := fs.String("data", "", "fvecs file with the indexed vectors (required)")
+	queryPath := fs.String("queries", "", "fvecs file with query vectors (required)")
+	k := fs.Int("k", 10, "neighbors per query")
+	bilevel := fs.Bool("bilevel", true, "use the bi-level scheme (false = standard LSH)")
+	latName := fs.String("lattice", "ZM", "lattice: ZM or E8")
+	probeName := fs.String("probe", "single", "probe mode: single, multi, hierarchy")
+	groups := fs.Int("groups", 16, "level-1 partitions")
+	m := fs.Int("m", 8, "hash code length M")
+	l := fs.Int("l", 10, "hash tables L")
+	w := fs.Float64("w", 1.0, "bucket width multiplier over the tuned base")
+	maxN := fs.Int("maxn", 0, "cap on vectors read (0 = all)")
+	maxQ := fs.Int("maxq", 1000, "cap on queries evaluated")
+	seed := fs.Int64("seed", 1, "random seed")
+	verbose := fs.Bool("v", false, "print each query's neighbors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" || *queryPath == "" {
+		return fmt.Errorf("search: -data and -queries are required")
+	}
+
+	data, err := dataset.LoadFvecsFile(*dataPath, *maxN)
+	if err != nil {
+		return fmt.Errorf("loading data: %w", err)
+	}
+	queries, err := dataset.LoadFvecsFile(*queryPath, *maxQ)
+	if err != nil {
+		return fmt.Errorf("loading queries: %w", err)
+	}
+	if queries.D != data.D {
+		return fmt.Errorf("dimension mismatch: data %d vs queries %d", data.D, queries.D)
+	}
+
+	opts := core.Options{
+		Partitioner: core.PartitionNone,
+		AutoTuneW:   true,
+		Groups:      *groups,
+		Params:      lshfunc.Params{M: *m, L: *l, W: *w},
+	}
+	if *bilevel {
+		opts.Partitioner = core.PartitionRPTree
+	}
+	switch strings.ToUpper(*latName) {
+	case "ZM":
+		opts.Lattice = core.LatticeZM
+	case "E8":
+		opts.Lattice = core.LatticeE8
+	default:
+		return fmt.Errorf("unknown lattice %q", *latName)
+	}
+	switch strings.ToLower(*probeName) {
+	case "single":
+		opts.ProbeMode = core.ProbeSingle
+	case "multi":
+		opts.ProbeMode = core.ProbeMulti
+	case "hierarchy":
+		opts.ProbeMode = core.ProbeHierarchy
+	default:
+		return fmt.Errorf("unknown probe mode %q", *probeName)
+	}
+
+	start := time.Now()
+	ix, err := core.Build(data, opts, xrand.New(*seed))
+	if err != nil {
+		return err
+	}
+	buildDur := time.Since(start)
+
+	start = time.Now()
+	results, stats := ix.QueryBatch(queries, *k)
+	queryDur := time.Since(start)
+
+	truth := knn.ExactAll(data, queries, *k)
+	var recall, errRatio, sel float64
+	for qi := range results {
+		recall += knn.Recall(truth[qi].IDs, results[qi].IDs)
+		errRatio += knn.ErrorRatio(truth[qi].Dists, results[qi].Dists)
+		sel += knn.Selectivity(stats[qi].Scanned, data.N)
+		if *verbose {
+			fmt.Printf("query %d: %v\n", qi, results[qi].IDs)
+		}
+	}
+	nq := float64(queries.N)
+	fmt.Printf("indexed %d vectors (dim %d) in %v; %d queries in %v (%.1f q/s)\n",
+		data.N, data.D, buildDur.Round(time.Millisecond), queries.N,
+		queryDur.Round(time.Millisecond), nq/queryDur.Seconds())
+	fmt.Printf("method: bilevel=%v lattice=%v probe=%v groups=%d M=%d L=%d Wx=%g\n",
+		*bilevel, opts.Lattice, opts.ProbeMode, ix.NumGroups(), *m, *l, *w)
+	fmt.Printf("recall=%.4f  error-ratio=%.4f  selectivity=%.4f\n",
+		recall/nq, errRatio/nq, sel/nq)
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"bilsh/internal/core"
+	"bilsh/internal/server"
+)
+
+// cmdServe exposes a persisted index over the HTTP JSON API.
+func cmdServe(args []string) error {
+	fs := newFlagSet("serve")
+	indexPath := fs.String("index", "", "index file from 'bilsh build' (required)")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	mutable := fs.Bool("mutable", false, "enable insert/delete/compact endpoints")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *indexPath == "" {
+		return fmt.Errorf("serve: -index is required")
+	}
+
+	// The server needs the concrete *core.Index for mutation; load either
+	// layout and unwrap.
+	var ix *core.Index
+	f, err := os.Open(*indexPath)
+	if err != nil {
+		return err
+	}
+	var head [16]byte
+	if _, err := f.Read(head[:]); err == nil && string(head[:12]) == "bilsh.Disk/1" {
+		f.Close()
+		di, err := core.OpenDisk(*indexPath)
+		if err != nil {
+			return err
+		}
+		defer di.Close()
+		ix = di.Index
+	} else {
+		if _, err := f.Seek(0, 0); err != nil {
+			f.Close()
+			return err
+		}
+		ix, err = core.ReadIndex(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(ix, *mutable).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("serving %d vectors (dim %d, %d groups) on http://%s (mutable=%v)\n",
+		ix.N(), ix.Dim(), ix.NumGroups(), *addr, *mutable)
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,29 @@
+// Package bilsh is a from-scratch Go reproduction of "Bi-level Locality
+// Sensitive Hashing for k-Nearest Neighbor Computation" (Jia Pan and
+// Dinesh Manocha, ICDE 2012).
+//
+// The root package holds the repository-level benchmark harness
+// (bench_test.go), with one benchmark per figure of the paper's
+// evaluation. The implementation lives under internal/:
+//
+//	internal/core        Bi-level LSH index (the paper's contribution)
+//	internal/rptree      level 1: random projection trees (max/mean rules)
+//	internal/kmeans      level 1 baseline: K-means (Fig. 13c)
+//	internal/lshfunc     p-stable hash function families (Eq. 2)
+//	internal/lattice     Z^M and E8 quantizers, ancestors (Eqs. 7-10)
+//	internal/morton      Morton curves for the Z^M bucket hierarchy
+//	internal/hierarchy   hierarchical LSH tables (Morton + E8 tree)
+//	internal/multiprobe  Lv et al. probing (Z^M) and 240-neighbor (E8)
+//	internal/lshtable    bucket store (sorted linear array + cuckoo index)
+//	internal/cuckoo      cuckoo hash table (GPU-layout index)
+//	internal/tuner       per-cluster bucket-width estimation
+//	internal/shortlist   short-list search engines (serial/parallel/queue)
+//	internal/parsim      GPU cost model (the Figure 4 substitution)
+//	internal/knn         exact ground truth + recall/error/selectivity
+//	internal/diameter    approximate set diameter (Egecioglu-Kalantari)
+//	internal/dataset     synthetic GIST-stand-in workloads + fvecs I/O
+//	internal/experiments figure-by-figure harnesses
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+package bilsh

@@ -1,0 +1,62 @@
+// Quickstart: build a Bi-level LSH index over a synthetic dataset, answer
+// a few k-NN queries, and compare against brute force.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bilsh/internal/core"
+	"bilsh/internal/dataset"
+	"bilsh/internal/knn"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/xrand"
+)
+
+func main() {
+	rng := xrand.New(42)
+
+	// 1. A dataset: 5000 GIST-like vectors in 64 dimensions, plus 5 held
+	//    out queries (the paper's protocol: query with items from the same
+	//    collection that were not indexed).
+	spec := dataset.DefaultClusteredSpec(5005, 64)
+	data, _, err := dataset.Clustered(spec, rng.Split(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, queries := dataset.Split(data, 5, rng.Split(2))
+
+	// 2. Build the index: RP-tree first level with 16 groups, then 10
+	//    hash tables of 8 p-stable functions per group, with the bucket
+	//    width tuned per group.
+	ix, err := core.Build(train, core.Options{
+		Partitioner: core.PartitionRPTree,
+		Groups:      16,
+		Lattice:     core.LatticeZM,
+		AutoTuneW:   true,
+		Params:      lshfunc.Params{M: 8, L: 10, W: 1},
+	}, rng.Split(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d vectors (dim %d) in %d groups\n\n", ix.N(), ix.Dim(), ix.NumGroups())
+
+	// 3. Query and compare with exact brute force.
+	const k = 10
+	for qi := 0; qi < queries.N; qi++ {
+		q := queries.Row(qi)
+		approx, st := ix.Query(q, k)
+		exact := knn.Exact(train, q, k)
+		fmt.Printf("query %d: recall=%.2f error-ratio=%.3f selectivity=%.4f (group %d, %d candidates)\n",
+			qi,
+			knn.Recall(exact.IDs, approx.IDs),
+			knn.ErrorRatio(exact.Dists, approx.Dists),
+			knn.Selectivity(st.Candidates, train.N),
+			st.Group, st.Candidates)
+		fmt.Printf("  approx ids: %v\n  exact ids:  %v\n", approx.IDs, exact.IDs)
+	}
+}

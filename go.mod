@@ -1,0 +1,3 @@
+module bilsh
+
+go 1.22

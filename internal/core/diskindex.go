@@ -1,0 +1,190 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"bilsh/internal/vec"
+	"bilsh/internal/wire"
+)
+
+// Disk-backed index — the out-of-core mode the paper names as future work
+// ("we also need to design efficient out-of-core algorithms to handle very
+// large datasets"). The index metadata (partitioner, hash families, bucket
+// tables, hierarchies) loads into memory, but the vector rows stay on disk
+// in a fixed-stride section fetched with ReadAt only when the short-list
+// search needs them. Memory is therefore proportional to the bucket
+// structure (ids), not to the N×D vector payload — for GIST-512 descriptors
+// the payload is ~100x the id volume.
+//
+// File layout (offsets fixed so rows are directly addressable):
+//
+//	[ 0,16)  raw magic "bilsh.Disk/1" zero-padded
+//	[16,24)  uint64 dataOffset, little endian
+//	[24, dataOffset)  wire-encoded metadata:
+//	         options, N, D, partitioner, groups (same sections as WriteTo)
+//	[dataOffset, dataOffset+4·N·D)  float32 rows, little endian, stride 4·D
+const diskMagicLen = 16
+
+var diskMagic = [diskMagicLen]byte{'b', 'i', 'l', 's', 'h', '.', 'D', 'i', 's', 'k', '/', '1'}
+
+// WriteDiskTo serializes the index in the disk-backed layout. The writer
+// must support seeking (an *os.File does): the data offset is back-patched
+// once the metadata size is known. It returns the total bytes written.
+func (ix *Index) WriteDiskTo(f io.WriteSeeker) (int64, error) {
+	if err := ix.requireClean(); err != nil {
+		return 0, err
+	}
+	if ix.fetch != nil {
+		return 0, fmt.Errorf("core: cannot re-serialize a disk-backed index; Compact materializes it first")
+	}
+	var header [diskMagicLen + 8]byte
+	copy(header[:], diskMagic[:])
+	if _, err := f.Write(header[:]); err != nil {
+		return 0, err
+	}
+
+	meta := wire.NewWriter(f)
+	ix.writeOptions(meta)
+	meta.Int(ix.data.N)
+	meta.Int(ix.data.D)
+	ix.writeStructure(meta)
+	if err := meta.Flush(); err != nil {
+		return 0, err
+	}
+	dataOffset, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, err
+	}
+
+	payload := make([]byte, 4*ix.data.D)
+	for i := 0; i < ix.data.N; i++ {
+		row := ix.data.Row(i)
+		for j, v := range row {
+			binary.LittleEndian.PutUint32(payload[4*j:], math.Float32bits(v))
+		}
+		if _, err := f.Write(payload); err != nil {
+			return 0, fmt.Errorf("core: writing row %d: %w", i, err)
+		}
+	}
+	end, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, err
+	}
+
+	binary.LittleEndian.PutUint64(header[diskMagicLen:], uint64(dataOffset))
+	if _, err := f.Seek(diskMagicLen, io.SeekStart); err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(header[diskMagicLen:]); err != nil {
+		return 0, err
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		return 0, err
+	}
+	return end, nil
+}
+
+// SaveDisk writes the disk-backed layout to path.
+func (ix *Index) SaveDisk(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ix.WriteDiskTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DiskIndex is a queryable index whose vector rows live on disk. It
+// supports the full reader API (Query, QueryBatch, QueryBatchParallel,
+// ExactKNN — the latter streams the whole row section); dynamic inserts
+// work (new rows live in memory) and Compact materializes the whole index
+// back into memory.
+type DiskIndex struct {
+	*Index
+	f *os.File
+}
+
+// OpenDisk loads the metadata of a disk-backed index and keeps the file
+// handle open for row fetches.
+func OpenDisk(path string) (*DiskIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	di, err := openDisk(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return di, nil
+}
+
+func openDisk(f *os.File) (*DiskIndex, error) {
+	var header [diskMagicLen + 8]byte
+	if _, err := io.ReadFull(f, header[:]); err != nil {
+		return nil, fmt.Errorf("core: reading disk index header: %w", err)
+	}
+	if !bytes.Equal(header[:diskMagicLen], diskMagic[:]) {
+		return nil, fmt.Errorf("core: not a bilsh disk index")
+	}
+	dataOffset := int64(binary.LittleEndian.Uint64(header[diskMagicLen:]))
+	if dataOffset < diskMagicLen+8 {
+		return nil, fmt.Errorf("core: disk index data offset %d implausible", dataOffset)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if dataOffset > st.Size() {
+		return nil, fmt.Errorf("core: disk index data offset %d beyond file size %d", dataOffset, st.Size())
+	}
+
+	meta := wire.NewReader(io.NewSectionReader(f, diskMagicLen+8, dataOffset-diskMagicLen-8))
+	o, err := readOptions(meta)
+	if err != nil {
+		return nil, err
+	}
+	n := meta.Int()
+	d := meta.Int()
+	if err := meta.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || d <= 0 {
+		return nil, fmt.Errorf("core: disk index shape %dx%d implausible", n, d)
+	}
+	if want := dataOffset + int64(n)*int64(d)*4; st.Size() < want {
+		return nil, fmt.Errorf("core: disk index truncated: %d bytes, want %d", st.Size(), want)
+	}
+
+	ix := &Index{opts: o, data: &vec.Matrix{N: n, D: d}}
+	if err := readStructure(meta, ix, n); err != nil {
+		return nil, err
+	}
+	stride := int64(4 * d)
+	ix.fetch = func(id int) []float32 {
+		buf := make([]byte, stride)
+		if _, err := f.ReadAt(buf, dataOffset+int64(id)*stride); err != nil {
+			// A read failure below the size check above means the file
+			// changed underneath us; surface loudly rather than return
+			// garbage distances.
+			panic(fmt.Sprintf("core: disk index row %d: %v", id, err))
+		}
+		row := make([]float32, d)
+		for j := range row {
+			row[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		return row
+	}
+	return &DiskIndex{Index: ix, f: f}, nil
+}
+
+// Close releases the file handle. The index must not be queried after.
+func (di *DiskIndex) Close() error { return di.f.Close() }

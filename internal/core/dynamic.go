@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"bilsh/internal/hierarchy"
+	"bilsh/internal/lattice"
+	"bilsh/internal/lshtable"
+	"bilsh/internal/vec"
+)
+
+// Dynamic updates. The paper's evaluation is static, but a usable library
+// needs inserts and deletes, so the index supports both as an overlay:
+//
+//   - Insert routes the new vector through level 1, appends it to an
+//     overlay row store, and adds its id to per-table overlay buckets that
+//     every probe consults alongside the immutable base tables.
+//   - Delete tombstones an id; gathering and ranking skip tombstoned ids.
+//
+// The bucket hierarchies (ProbeHierarchy) are built over the base tables
+// only; inserted points are still found through their exact bucket code,
+// but they do not participate in coarser hierarchy levels until
+// RebuildHierarchies is called. Compact folds the overlay and tombstones
+// into fresh base tables.
+//
+// Dynamic state is intentionally not serialized: call Compact before
+// WriteTo to persist a dynamic index (WriteTo refuses otherwise).
+
+// overlayTable is one table's inserted-id buckets.
+type overlayTable map[string][]int
+
+// dynamicState holds all mutable overlay structures.
+type dynamicState struct {
+	extra    []vecRow               // inserted vectors, id = baseN + position
+	deleted  map[int]struct{}       // tombstoned ids (base or inserted)
+	overlays map[int][]overlayTable // group -> per-table overlay buckets
+	stale    bool                   // hierarchies out of date
+}
+
+type vecRow []float32
+
+// dyn lazily allocates the dynamic state.
+func (ix *Index) dyn() *dynamicState {
+	if ix.dynamic == nil {
+		ix.dynamic = &dynamicState{
+			deleted:  make(map[int]struct{}),
+			overlays: make(map[int][]overlayTable),
+		}
+	}
+	return ix.dynamic
+}
+
+// row returns the vector for any live id (base or inserted).
+func (ix *Index) row(id int) []float32 {
+	if id < ix.data.N {
+		if ix.fetch != nil {
+			return ix.fetch(id)
+		}
+		return ix.data.Row(id)
+	}
+	return ix.dynamic.extra[id-ix.data.N]
+}
+
+// Len returns the number of live (non-deleted) items.
+func (ix *Index) Len() int {
+	n := ix.data.N
+	if ix.dynamic != nil {
+		n += len(ix.dynamic.extra)
+		n -= len(ix.dynamic.deleted)
+	}
+	return n
+}
+
+// isDeleted reports whether id is tombstoned.
+func (ix *Index) isDeleted(id int) bool {
+	if ix.dynamic == nil {
+		return false
+	}
+	_, ok := ix.dynamic.deleted[id]
+	return ok
+}
+
+// Insert adds v to the index and returns its id. The id is stable until
+// the next Compact.
+func (ix *Index) Insert(v []float32) (int, error) {
+	if len(v) != ix.data.D {
+		return 0, fmt.Errorf("core: Insert got dim %d, want %d", len(v), ix.data.D)
+	}
+	d := ix.dyn()
+	id := ix.data.N + len(d.extra)
+	d.extra = append(d.extra, vecRow(vec.Clone(v)))
+
+	gi := ix.GroupOf(v)
+	g := ix.groups[gi]
+	g.members = append(g.members, id)
+
+	tables, ok := d.overlays[gi]
+	if !ok {
+		tables = make([]overlayTable, ix.opts.Params.L)
+		for t := range tables {
+			tables[t] = make(overlayTable)
+		}
+		d.overlays[gi] = tables
+	}
+	proj := make([]float64, ix.opts.Params.M)
+	for t := 0; t < ix.opts.Params.L; t++ {
+		g.fam.Project(t, v, proj)
+		key := lattice.Key(g.lat.Decode(proj))
+		tables[t][key] = append(tables[t][key], id)
+	}
+	if ix.opts.ProbeMode == ProbeHierarchy {
+		d.stale = true
+	}
+	return id, nil
+}
+
+// Delete tombstones an id. It reports whether the id was live.
+func (ix *Index) Delete(id int) bool {
+	total := ix.data.N
+	if ix.dynamic != nil {
+		total += len(ix.dynamic.extra)
+	}
+	if id < 0 || id >= total || ix.isDeleted(id) {
+		return false
+	}
+	ix.dyn().deleted[id] = struct{}{}
+	return true
+}
+
+// HierarchyStale reports whether inserted points are missing from the
+// bucket hierarchies (only meaningful for ProbeHierarchy).
+func (ix *Index) HierarchyStale() bool {
+	return ix.dynamic != nil && ix.dynamic.stale
+}
+
+// overlayBucket returns the inserted ids sharing a bucket key, or nil.
+func (ix *Index) overlayBucket(gi, table int, key string) []int {
+	if ix.dynamic == nil {
+		return nil
+	}
+	tables, ok := ix.dynamic.overlays[gi]
+	if !ok {
+		return nil
+	}
+	return tables[table][key]
+}
+
+// Compact folds inserts and deletes into fresh base structures: a new data
+// matrix, re-grouped members, rebuilt tables and hierarchies. Ids are
+// remapped densely in the order (surviving base rows, surviving inserts);
+// the returned slice maps old ids to new ids (-1 for deleted).
+func (ix *Index) Compact() ([]int, error) {
+	if ix.dynamic == nil {
+		// Nothing to fold; identity mapping.
+		m := make([]int, ix.data.N)
+		for i := range m {
+			m[i] = i
+		}
+		return m, nil
+	}
+	d := ix.dynamic
+	total := ix.data.N + len(d.extra)
+	mapping := make([]int, total)
+	live := 0
+	for id := 0; id < total; id++ {
+		if _, dead := d.deleted[id]; dead {
+			mapping[id] = -1
+			continue
+		}
+		mapping[id] = live
+		live++
+	}
+	if live == 0 {
+		return nil, fmt.Errorf("core: Compact would empty the index")
+	}
+
+	fresh := vec.NewMatrix(live, ix.data.D)
+	for id := 0; id < total; id++ {
+		if mapping[id] < 0 {
+			continue
+		}
+		copy(fresh.Row(mapping[id]), ix.row(id))
+	}
+
+	// Re-group: membership is recomputed by routing, which also covers
+	// inserted points, and per-group tables are rebuilt from scratch with
+	// the existing hash families (projections are preserved, so queries
+	// keep behaving identically for surviving points).
+	members := make([][]int, len(ix.groups))
+	for id := 0; id < live; id++ {
+		gi := ix.GroupOf(fresh.Row(id))
+		members[gi] = append(members[gi], id)
+	}
+	proj := make([]float64, ix.opts.Params.M)
+	for gi, g := range ix.groups {
+		g.members = members[gi]
+		for t := range g.tables {
+			codes := make([]string, len(g.members))
+			ids := make([]int, len(g.members))
+			for i, id := range g.members {
+				g.fam.Project(t, fresh.Row(id), proj)
+				codes[i] = lattice.Key(g.lat.Decode(proj))
+				ids[i] = id
+			}
+			tab, err := lshtable.Build(codes, ids)
+			if err != nil {
+				return nil, fmt.Errorf("core: Compact group %d table %d: %w", gi, t, err)
+			}
+			g.tables[t] = tab
+		}
+	}
+	ix.data = fresh
+	ix.fetch = nil // a compacted index is fully in memory
+	ix.dynamic = nil
+	if ix.opts.ProbeMode == ProbeHierarchy {
+		if err := ix.RebuildHierarchies(); err != nil {
+			return nil, err
+		}
+	}
+	return mapping, nil
+}
+
+// RebuildHierarchies reconstructs the bucket hierarchies over the current
+// base tables. It is called by Compact; calling it directly is only useful
+// after external table surgery, and it cannot fold overlay inserts (those
+// require Compact), so the stale flag persists while inserts are pending.
+func (ix *Index) RebuildHierarchies() error {
+	if ix.opts.ProbeMode != ProbeHierarchy {
+		return nil
+	}
+	for gi, g := range ix.groups {
+		switch lat := g.lat.(type) {
+		case *lattice.ZM:
+			for t, tab := range g.tables {
+				h, err := hierarchy.NewMorton(tab, ix.opts.Params.M, ix.opts.MortonBits)
+				if err != nil {
+					return fmt.Errorf("core: group %d morton hierarchy: %w", gi, err)
+				}
+				g.mortonH[t] = h
+			}
+		default:
+			for t, tab := range g.tables {
+				h, err := hierarchy.NewE8Tree(tab, lat)
+				if err != nil {
+					return fmt.Errorf("core: group %d lattice hierarchy: %w", gi, err)
+				}
+				g.e8H[t] = h
+			}
+		}
+	}
+	if ix.dynamic != nil {
+		ix.dynamic.stale = len(ix.dynamic.extra) > 0
+	}
+	return nil
+}

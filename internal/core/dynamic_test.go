@@ -1,0 +1,295 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"bilsh/internal/knn"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+func dynamicIndex(t *testing.T, opts Options) (*Index, *vec.Matrix) {
+	t.Helper()
+	data := testData(t, 400, 12, 51)
+	ix, err := Build(data, opts, xrand.New(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, data
+}
+
+func TestInsertFindable(t *testing.T) {
+	for _, opts := range []Options{
+		{Partitioner: PartitionRPTree, Groups: 4, Params: lshfunc.Params{M: 4, L: 4, W: 4}},
+		{Partitioner: PartitionRPTree, Groups: 4, Lattice: LatticeE8, Params: lshfunc.Params{M: 8, L: 4, W: 4}},
+		{Partitioner: PartitionNone, ProbeMode: ProbeMulti, Probes: 10, Params: lshfunc.Params{M: 4, L: 3, W: 4}},
+		{Partitioner: PartitionRPTree, Groups: 4, ProbeMode: ProbeHierarchy, Params: lshfunc.Params{M: 4, L: 3, W: 4}},
+	} {
+		ix, data := dynamicIndex(t, opts)
+		// Insert a copy of an existing row shifted slightly: it must become
+		// its own nearest neighbor.
+		v := vec.Clone(data.Row(7))
+		v[0] += 0.001
+		id, err := ix.Insert(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != data.N {
+			t.Fatalf("first insert id = %d, want %d", id, data.N)
+		}
+		res, _ := ix.Query(v, 1)
+		if len(res.IDs) == 0 || res.IDs[0] != id {
+			t.Fatalf("opts %+v: inserted point not found: %v", opts.ProbeMode, res.IDs)
+		}
+		if ix.Len() != data.N+1 {
+			t.Fatalf("Len = %d", ix.Len())
+		}
+	}
+}
+
+func TestInsertDimensionChecked(t *testing.T) {
+	ix, _ := dynamicIndex(t, Options{Partitioner: PartitionNone, Params: lshfunc.Params{M: 4, L: 2, W: 2}})
+	if _, err := ix.Insert(make([]float32, 5)); err == nil {
+		t.Fatal("wrong-dimension insert must fail")
+	}
+}
+
+func TestDeleteHidesPoint(t *testing.T) {
+	ix, data := dynamicIndex(t, Options{Partitioner: PartitionNone, Params: lshfunc.Params{M: 4, L: 4, W: 8}})
+	q := data.Row(3)
+	res, _ := ix.Query(q, 1)
+	if res.IDs[0] != 3 {
+		t.Fatalf("precondition: row 3 should be its own NN, got %d", res.IDs[0])
+	}
+	if !ix.Delete(3) {
+		t.Fatal("Delete reported failure")
+	}
+	if ix.Delete(3) {
+		t.Fatal("double Delete must report false")
+	}
+	res, st := ix.Query(q, 5)
+	for _, id := range res.IDs {
+		if id == 3 {
+			t.Fatal("deleted id still returned")
+		}
+	}
+	if st.Candidates >= data.N {
+		t.Fatal("deleted id still counted as candidate")
+	}
+	if ix.Len() != data.N-1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestDeleteBoundsChecked(t *testing.T) {
+	ix, data := dynamicIndex(t, Options{Partitioner: PartitionNone, Params: lshfunc.Params{M: 4, L: 2, W: 2}})
+	if ix.Delete(-1) || ix.Delete(data.N+100) {
+		t.Fatal("out-of-range Delete must report false")
+	}
+}
+
+func TestInsertThenDeleteInsertedPoint(t *testing.T) {
+	ix, data := dynamicIndex(t, Options{Partitioner: PartitionRPTree, Groups: 4, Params: lshfunc.Params{M: 4, L: 3, W: 6}})
+	v := vec.Clone(data.Row(0))
+	v[1] += 0.001
+	id, err := ix.Insert(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Delete(id) {
+		t.Fatal("deleting inserted id failed")
+	}
+	res, _ := ix.Query(v, 3)
+	for _, got := range res.IDs {
+		if got == id {
+			t.Fatal("deleted insert still returned")
+		}
+	}
+}
+
+func TestWriteToRefusesDirtyIndex(t *testing.T) {
+	ix, data := dynamicIndex(t, Options{Partitioner: PartitionNone, Params: lshfunc.Params{M: 4, L: 2, W: 2}})
+	if _, err := ix.Insert(vec.Clone(data.Row(0))); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err == nil {
+		t.Fatal("WriteTo must refuse an index with pending updates")
+	}
+}
+
+func TestCompactFoldsUpdates(t *testing.T) {
+	for _, opts := range []Options{
+		{Partitioner: PartitionRPTree, Groups: 4, Params: lshfunc.Params{M: 4, L: 3, W: 4}},
+		{Partitioner: PartitionRPTree, Groups: 4, ProbeMode: ProbeHierarchy, Params: lshfunc.Params{M: 4, L: 3, W: 4}},
+	} {
+		ix, data := dynamicIndex(t, opts)
+		// Insert 20 near-copies, delete 10 originals.
+		inserted := make([]int, 0, 20)
+		for i := 0; i < 20; i++ {
+			v := vec.Clone(data.Row(i))
+			v[0] += 0.01
+			id, err := ix.Insert(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inserted = append(inserted, id)
+		}
+		for i := 100; i < 110; i++ {
+			if !ix.Delete(i) {
+				t.Fatalf("delete %d failed", i)
+			}
+		}
+		wantLive := data.N + 20 - 10
+		mapping, err := ix.Compact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Len() != wantLive || ix.N() != wantLive {
+			t.Fatalf("after Compact Len=%d N=%d want %d", ix.Len(), ix.N(), wantLive)
+		}
+		for i := 100; i < 110; i++ {
+			if mapping[i] != -1 {
+				t.Fatalf("deleted row %d not mapped to -1", i)
+			}
+		}
+		// Inserted points keep being findable under their new ids.
+		for _, oldID := range inserted {
+			newID := mapping[oldID]
+			if newID < 0 {
+				t.Fatal("live insert mapped to -1")
+			}
+			res, _ := ix.Query(ix.row(newID), 1)
+			if len(res.IDs) == 0 || res.IDs[0] != newID {
+				t.Fatalf("compacted insert %d->%d not its own NN: %v", oldID, newID, res.IDs)
+			}
+		}
+		if ix.HierarchyStale() {
+			t.Fatal("Compact must clear staleness")
+		}
+		// A compacted index serializes cleanly.
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadIndex(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCompactNoOpIsIdentity(t *testing.T) {
+	ix, data := dynamicIndex(t, Options{Partitioner: PartitionNone, Params: lshfunc.Params{M: 4, L: 2, W: 4}})
+	mapping, err := ix.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mapping) != data.N {
+		t.Fatalf("identity mapping len %d", len(mapping))
+	}
+	for i, m := range mapping {
+		if m != i {
+			t.Fatal("no-op Compact must be identity")
+		}
+	}
+}
+
+func TestCompactRefusesEmptying(t *testing.T) {
+	data := testData(t, 20, 8, 53)
+	ix, err := Build(data, Options{Partitioner: PartitionNone, Params: lshfunc.Params{M: 4, L: 2, W: 2}}, xrand.New(54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < data.N; i++ {
+		ix.Delete(i)
+	}
+	if _, err := ix.Compact(); err == nil {
+		t.Fatal("emptying Compact must fail")
+	}
+}
+
+func TestHierarchyStaleFlag(t *testing.T) {
+	ix, data := dynamicIndex(t, Options{Partitioner: PartitionNone, ProbeMode: ProbeHierarchy,
+		Params: lshfunc.Params{M: 4, L: 2, W: 4}})
+	if ix.HierarchyStale() {
+		t.Fatal("fresh index must not be stale")
+	}
+	if _, err := ix.Insert(vec.Clone(data.Row(1))); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.HierarchyStale() {
+		t.Fatal("insert under hierarchy must mark staleness")
+	}
+}
+
+func TestQualityAfterHeavyChurn(t *testing.T) {
+	// After many inserts and deletes, recall vs fresh ground truth must
+	// stay reasonable (the overlay must not silently lose points).
+	ix, data := dynamicIndex(t, Options{Partitioner: PartitionRPTree, Groups: 4,
+		Params: lshfunc.Params{M: 4, L: 6, W: 6}})
+	rng := xrand.New(55)
+	for i := 0; i < 100; i++ {
+		v := rng.GaussianVec(12)
+		vec.Scale(v, 6)
+		if _, err := ix.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		ix.Delete(rng.Intn(data.N))
+	}
+	// Fresh ground truth over the live set via linear scan through the
+	// index's own row accessor.
+	live := make([]int, 0, ix.data.N+100)
+	for id := 0; id < ix.data.N+100; id++ {
+		if !ix.isDeleted(id) {
+			live = append(live, id)
+		}
+	}
+	var recall float64
+	const k = 10
+	queries := 30
+	for qi := 0; qi < queries; qi++ {
+		q := ix.row(live[qi*7%len(live)])
+		res, _ := ix.Query(q, k)
+		// Exact among live ids.
+		exact := exactAmong(ix, live, q, k)
+		recall += knn.Recall(exact, res.IDs)
+	}
+	recall /= float64(queries)
+	if recall < 0.5 {
+		t.Fatalf("post-churn recall = %.2f; overlay lost points", recall)
+	}
+}
+
+func exactAmong(ix *Index, ids []int, q []float32, k int) []int {
+	type pair struct {
+		id int
+		d  float64
+	}
+	best := make([]pair, 0, k+1)
+	for _, id := range ids {
+		d := vec.SqDist(ix.row(id), q)
+		inserted := false
+		for i, p := range best {
+			if d < p.d || (d == p.d && id < p.id) {
+				best = append(best[:i], append([]pair{{id, d}}, best[i:]...)...)
+				inserted = true
+				break
+			}
+		}
+		if !inserted && len(best) < k {
+			best = append(best, pair{id, d})
+		}
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	out := make([]int, len(best))
+	for i, p := range best {
+		out[i] = p.id
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// FuzzReadIndex asserts the index deserializer is panic-free on arbitrary
+// bytes and accepts only inputs it can re-serialize consistently.
+func FuzzReadIndex(f *testing.F) {
+	data := fuzzTestData()
+	ix, err := Build(data, Options{Partitioner: PartitionRPTree, Groups: 2,
+		Params: lshfunc.Params{M: 4, L: 1, W: 2}}, xrand.New(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if _, err := ix.WriteTo(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("bilsh.Index/1 but not really"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		got, err := ReadIndex(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent enough to
+		// describe and re-serialize.
+		_ = got.Describe()
+		var buf bytes.Buffer
+		if _, err := got.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted index failed to re-serialize: %v", err)
+		}
+	})
+}
+
+func fuzzTestData() *vec.Matrix {
+	rng := xrand.New(3)
+	rows := make([][]float32, 40)
+	for i := range rows {
+		rows[i] = rng.GaussianVec(6)
+	}
+	return vec.FromRows(rows)
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"bilsh/internal/hierarchy"
+	"bilsh/internal/kmeans"
+	"bilsh/internal/lattice"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/lshtable"
+	"bilsh/internal/rptree"
+	"bilsh/internal/tuner"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// Index is a built Bi-level LSH index (or a standard LSH index when
+// Options.Partitioner is PartitionNone).
+type Index struct {
+	data *vec.Matrix
+	opts Options
+
+	tree *rptree.Tree
+	km   *kmeans.Model
+
+	groups []*group
+
+	// dynamic holds the insert/delete overlay; nil for static indexes.
+	dynamic *dynamicState
+
+	// fetch, when non-nil, retrieves base rows instead of data.Row —
+	// the disk-backed mode (diskindex.go). data still carries N and D.
+	fetch func(id int) []float32
+}
+
+// group is one level-1 partition with its level-2 machinery.
+type group struct {
+	members []int // global row ids
+	fam     *lshfunc.Family
+	lat     lattice.Lattice
+	w       float64 // the group's effective bucket width
+	tables  []*lshtable.Table
+	// Hierarchies (one per table), present when ProbeMode==ProbeHierarchy.
+	mortonH []*hierarchy.Morton
+	e8H     []*hierarchy.E8Tree
+}
+
+// Build constructs the index over data. The rng drives every random choice
+// (partition directions, hash draws), so the same seed reproduces the same
+// index — the mechanism the experiments use to sample the projection
+// variance r1.
+func Build(data *vec.Matrix, opts Options, rng *xrand.RNG) (*Index, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if data.N == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	ix := &Index{data: data, opts: opts}
+
+	// Level 1: partition.
+	var members [][]int
+	switch opts.Partitioner {
+	case PartitionNone:
+		all := make([]int, data.N)
+		for i := range all {
+			all[i] = i
+		}
+		members = [][]int{all}
+	case PartitionRPTree:
+		tree, asg := rptree.Build(data, rptree.Options{
+			Rule:        opts.RPRule,
+			Leaves:      opts.Groups,
+			MinLeafSize: opts.MinGroupSize,
+		}, rng.Split(1))
+		ix.tree = tree
+		members = asg.Members
+	case PartitionKMeans:
+		km, asg := kmeans.Build(data, kmeans.Options{K: opts.Groups}, rng.Split(1))
+		ix.km = km
+		members = asg.Members
+	default:
+		return nil, fmt.Errorf("core: unknown partitioner %v", opts.Partitioner)
+	}
+
+	// Level 2: per-group LSH tables.
+	grng := rng.Split(2)
+	ix.groups = make([]*group, len(members))
+	for gi, m := range members {
+		g, err := buildGroup(data, m, opts, grng.Split(int64(gi)))
+		if err != nil {
+			return nil, fmt.Errorf("core: group %d: %w", gi, err)
+		}
+		ix.groups[gi] = g
+	}
+	return ix, nil
+}
+
+func buildGroup(data *vec.Matrix, members []int, opts Options, rng *xrand.RNG) (*group, error) {
+	g := &group{members: members}
+
+	// Per-group bucket width: either the global W, or tuned from the
+	// group's own distance distribution and scaled by W (Section IV-A3:
+	// "we may choose different LSH parameters ... that are optimal for
+	// each cell").
+	w := opts.Params.W
+	if opts.AutoTuneW && len(members) >= 2 {
+		// TuneTargetRecall is the combined recall over all L tables; a
+		// k-th neighbor must collide in at least one table, so the
+		// per-table collision target is q = 1 − (1−R)^(1/L).
+		perTable := 1 - math.Pow(1-opts.TuneTargetRecall, 1/float64(opts.Params.L))
+		if perTable <= 0 {
+			perTable = 1e-6
+		}
+		if perTable >= 1 {
+			perTable = 1 - 1e-6
+		}
+		est, err := tuner.EstimateW(data, members, opts.TuneK, opts.Params.M,
+			perTable, tuner.Config{}, rng.Split(100))
+		if err != nil {
+			return nil, err
+		}
+		if est.W > 0 && est.Samples > 0 {
+			w = est.W * opts.Params.W
+		}
+	}
+	g.w = w
+
+	params := opts.Params
+	params.W = w
+	fam, err := lshfunc.NewFamily(data.D, params, rng.Split(101))
+	if err != nil {
+		return nil, err
+	}
+	g.fam = fam
+
+	switch opts.Lattice {
+	case LatticeZM:
+		g.lat = lattice.NewZM(params.M)
+	case LatticeE8:
+		g.lat = lattice.NewE8(params.M)
+	case LatticeDn:
+		g.lat = lattice.NewDn(params.M)
+	default:
+		return nil, fmt.Errorf("unknown lattice %v", opts.Lattice)
+	}
+
+	proj := make([]float64, params.M)
+	g.tables = make([]*lshtable.Table, params.L)
+	for t := 0; t < params.L; t++ {
+		codes := make([]string, len(members))
+		ids := make([]int, len(members))
+		for i, id := range members {
+			fam.Project(t, data.Row(id), proj)
+			codes[i] = lattice.Key(g.lat.Decode(proj))
+			ids[i] = id
+		}
+		tab, err := lshtable.Build(codes, ids)
+		if err != nil {
+			return nil, err
+		}
+		g.tables[t] = tab
+	}
+
+	if opts.ProbeMode == ProbeHierarchy {
+		switch lat := g.lat.(type) {
+		case *lattice.ZM:
+			g.mortonH = make([]*hierarchy.Morton, params.L)
+			for t, tab := range g.tables {
+				h, err := hierarchy.NewMorton(tab, params.M, opts.MortonBits)
+				if err != nil {
+					return nil, err
+				}
+				g.mortonH[t] = h
+			}
+		default:
+			// E8 and D_n share the explicit lattice hierarchy.
+			g.e8H = make([]*hierarchy.E8Tree, params.L)
+			for t, tab := range g.tables {
+				h, err := hierarchy.NewE8Tree(tab, lat)
+				if err != nil {
+					return nil, err
+				}
+				g.e8H[t] = h
+			}
+		}
+	}
+	return g, nil
+}
+
+// N returns the number of indexed items.
+func (ix *Index) N() int { return ix.data.N }
+
+// Dim returns the vector dimensionality.
+func (ix *Index) Dim() int { return ix.data.D }
+
+// Options returns the (filled) build options.
+func (ix *Index) Options() Options { return ix.opts }
+
+// NumGroups returns the number of level-1 partitions.
+func (ix *Index) NumGroups() int { return len(ix.groups) }
+
+// GroupOf routes a vector through level 1.
+func (ix *Index) GroupOf(v []float32) int {
+	switch {
+	case ix.tree != nil:
+		return ix.tree.Leaf(v)
+	case ix.km != nil:
+		return ix.km.Assign(v)
+	default:
+		return 0
+	}
+}
+
+// GroupW returns group g's effective bucket width (for reports).
+func (ix *Index) GroupW(g int) float64 { return ix.groups[g].w }
+
+// GroupSize returns the number of items in group g.
+func (ix *Index) GroupSize(g int) int { return len(ix.groups[g].members) }
+
+// TableSummary aggregates bucket statistics across all groups and tables.
+func (ix *Index) TableSummary() lshtable.Stats {
+	var out lshtable.Stats
+	var mass, items float64
+	for _, g := range ix.groups {
+		for _, tab := range g.tables {
+			s := tab.Summary()
+			out.Buckets += s.Buckets
+			out.Items += s.Items
+			if s.MaxBucket > out.MaxBucket {
+				out.MaxBucket = s.MaxBucket
+			}
+			mass += s.CollisionMass * float64(s.Items)
+			items += float64(s.Items)
+		}
+	}
+	if out.Buckets > 0 {
+		out.MeanBucket = float64(out.Items) / float64(out.Buckets)
+	}
+	if items > 0 {
+		out.CollisionMass = mass / items
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+// Package core implements Bi-level LSH (Pan & Manocha, ICDE 2012): a
+// two-level approximate k-nearest-neighbor index.
+//
+// Level 1 partitions the dataset into groups with bounded aspect ratio
+// using a random projection tree (or, for the paper's Fig. 13c baseline,
+// K-means; or no partitioning at all, which makes the index a standard
+// p-stable LSH — the paper's main baseline). Level 2 builds, per group, L
+// locality-sensitive hash tables over a Z^M, D_n or E8 lattice quantizer,
+// with optional multi-probe querying and an optional bucket hierarchy
+// (Morton curve for Z^M, explicit tree for D_n/E8) that adapts bucket
+// size per query.
+//
+// The bi-level hash code of an item v is H~(v) = (RP-tree(v), H(v)): the
+// group index plus the in-group lattice code.
+//
+// Beyond Build/Query the package provides: persistence (WriteTo /
+// ReadIndex), a disk-backed layout whose vector rows stay on disk
+// (WriteDiskTo / OpenDisk), streaming out-of-core construction from fvecs
+// files (BuildDisk), dynamic updates (Insert / Delete / Compact), parallel
+// batch queries (QueryBatchParallel) and introspection (Describe). An
+// Index is safe for concurrent readers; the mutating methods require
+// external synchronization.
+package core
+
+import (
+	"fmt"
+
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/rptree"
+)
+
+// PartitionerKind selects the level-1 algorithm.
+type PartitionerKind int
+
+const (
+	// PartitionNone disables level 1 — the index degenerates to standard
+	// LSH (the paper's baseline).
+	PartitionNone PartitionerKind = iota
+	// PartitionRPTree uses a random projection tree (the paper's method).
+	PartitionRPTree
+	// PartitionKMeans uses K-means (the Fig. 13c baseline).
+	PartitionKMeans
+)
+
+// String implements fmt.Stringer.
+func (p PartitionerKind) String() string {
+	switch p {
+	case PartitionNone:
+		return "none"
+	case PartitionRPTree:
+		return "rptree"
+	case PartitionKMeans:
+		return "kmeans"
+	default:
+		return fmt.Sprintf("PartitionerKind(%d)", int(p))
+	}
+}
+
+// LatticeKind selects the level-2 space quantizer.
+type LatticeKind int
+
+const (
+	// LatticeZM is the integer lattice of Eq. 2.
+	LatticeZM LatticeKind = iota
+	// LatticeE8 is the E8 lattice of Section IV-B2b.
+	LatticeE8
+	// LatticeDn is the checkerboard lattice D_n — an extension ablation
+	// between Z^M and E8 on the density axis (see internal/lattice).
+	LatticeDn
+)
+
+// String implements fmt.Stringer.
+func (l LatticeKind) String() string {
+	switch l {
+	case LatticeZM:
+		return "ZM"
+	case LatticeE8:
+		return "E8"
+	case LatticeDn:
+		return "Dn"
+	default:
+		return fmt.Sprintf("LatticeKind(%d)", int(l))
+	}
+}
+
+// ProbeMode selects how buckets are gathered at query time.
+type ProbeMode int
+
+const (
+	// ProbeSingle looks up only the bucket containing the query.
+	ProbeSingle ProbeMode = iota
+	// ProbeMulti probes Options.Probes buckets per table (Lv et al. for
+	// Z^M; the 240-neighbor sequence for E8).
+	ProbeMulti
+	// ProbeHierarchy enlarges sparse queries' buckets via the hierarchical
+	// LSH table (Morton curve / E8 tree).
+	ProbeHierarchy
+)
+
+// String implements fmt.Stringer.
+func (p ProbeMode) String() string {
+	switch p {
+	case ProbeSingle:
+		return "single"
+	case ProbeMulti:
+		return "multiprobe"
+	case ProbeHierarchy:
+		return "hierarchy"
+	default:
+		return fmt.Sprintf("ProbeMode(%d)", int(p))
+	}
+}
+
+// Options configures an Index.
+type Options struct {
+	// Lattice selects the level-2 quantizer (default LatticeZM).
+	Lattice LatticeKind
+	// Partitioner selects level 1 (default PartitionNone = standard LSH).
+	Partitioner PartitionerKind
+	// Groups is the number of level-1 partitions g (default 16, the
+	// paper's standard setting; ignored for PartitionNone).
+	Groups int
+	// RPRule is the RP-tree split rule (default rptree.RuleMean).
+	RPRule rptree.Rule
+	// Params are the LSH hyperparameters M, L, W. W acts as the baseline
+	// width; per-group tuning rescales around it when AutoTuneW is set.
+	Params lshfunc.Params
+	// ProbeMode selects the query strategy (default ProbeSingle).
+	ProbeMode ProbeMode
+	// Probes is the number of buckets probed per table in ProbeMulti
+	// (default 240+1, the paper's setting: the home bucket plus 240).
+	Probes int
+	// AutoTuneW computes a per-group W from a data sample (Section IV-B:
+	// "we use an automatic parameter tuning approach ... for each cell"),
+	// then multiplies it by Params.W as the sweep knob.
+	AutoTuneW bool
+	// TuneK is the neighborhood size the tuner targets (default 50).
+	TuneK int
+	// TuneTargetRecall is the tuner's per-table collision target for a
+	// k-th neighbor (default 0.9).
+	TuneTargetRecall float64
+	// MortonBits is the per-dimension Morton key width for the Z^M
+	// hierarchy (default 16).
+	MortonBits int
+	// HierMinCandidates is the bucket-size floor used by single-query
+	// hierarchical search; QueryBatch replaces it with the paper's
+	// median-of-short-list-sizes rule. Default 2k at query time.
+	HierMinCandidates int
+	// MinGroupSize keeps level-1 partitions from becoming too small to
+	// tune (default 8).
+	MinGroupSize int
+}
+
+func (o *Options) fill() error {
+	if o.Groups <= 0 {
+		o.Groups = 16
+	}
+	if o.Partitioner == PartitionNone {
+		o.Groups = 1
+	}
+	if o.Params.M == 0 {
+		o.Params.M = 8
+	}
+	if o.Params.L == 0 {
+		o.Params.L = 10
+	}
+	if o.Params.W == 0 {
+		o.Params.W = 1
+	}
+	if err := o.Params.Validate(); err != nil {
+		return err
+	}
+	if o.Probes <= 0 {
+		o.Probes = 241
+	}
+	if o.TuneK <= 0 {
+		o.TuneK = 50
+	}
+	if o.TuneTargetRecall <= 0 || o.TuneTargetRecall >= 1 {
+		o.TuneTargetRecall = 0.9
+	}
+	if o.MortonBits <= 0 || o.MortonBits > 31 {
+		o.MortonBits = 16
+	}
+	if o.MinGroupSize <= 0 {
+		o.MinGroupSize = 8
+	}
+	return nil
+}

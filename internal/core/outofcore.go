@@ -1,0 +1,343 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"bilsh/internal/dataset"
+	"bilsh/internal/hierarchy"
+	"bilsh/internal/kmeans"
+	"bilsh/internal/lattice"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/lshtable"
+	"bilsh/internal/rptree"
+	"bilsh/internal/tuner"
+	"bilsh/internal/vec"
+	"bilsh/internal/wire"
+	"bilsh/internal/xrand"
+)
+
+// Out-of-core construction — the build-side half of the paper's future
+// work on very large datasets. BuildDisk streams an fvecs file in three
+// passes with memory bounded by max(sample, largest group, id arrays),
+// never materializing the full N×D matrix:
+//
+//	pass 1  reservoir-sample S rows; build the level-1 partitioner and
+//	        tune per-group widths on the sample;
+//	pass 2  stream rows: route each to its group, appending the vector to
+//	        a per-group spill file, and append the raw row to the payload
+//	        spill (already in final id order);
+//	pass 3  per group, load the spill (one group in memory at a time),
+//	        hash into L tables, and emit the disk-backed index file with
+//	        the payload section copied from the spill.
+//
+// The produced file is a standard disk index: OpenDisk serves it with
+// vectors on disk.
+
+// OutOfCoreConfig bounds the streaming build.
+type OutOfCoreConfig struct {
+	// SampleSize is the reservoir size used for the partitioner and the
+	// tuner (default 4096).
+	SampleSize int
+	// TempDir holds the spill files (default os.TempDir()).
+	TempDir string
+}
+
+func (c *OutOfCoreConfig) fill() {
+	if c.SampleSize <= 0 {
+		c.SampleSize = 4096
+	}
+	if c.TempDir == "" {
+		c.TempDir = os.TempDir()
+	}
+}
+
+// BuildDisk streams dataPath (fvecs) into a disk-backed index at outPath.
+// It returns the number of indexed rows.
+func BuildDisk(dataPath, outPath string, opts Options, cfg OutOfCoreConfig, rng *xrand.RNG) (int, error) {
+	if err := opts.fill(); err != nil {
+		return 0, err
+	}
+	cfg.fill()
+
+	// ---- Pass 1: reservoir sample.
+	srng := rng.Split(1)
+	var sampleRows [][]float32
+	n, dim, err := dataset.ScanFvecs(dataPath, func(i int, row []float32) error {
+		if len(sampleRows) < cfg.SampleSize {
+			sampleRows = append(sampleRows, vec.Clone(row))
+			return nil
+		}
+		if j := srng.Intn(i + 1); j < cfg.SampleSize {
+			copy(sampleRows[j], row)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: out-of-core pass 1: %w", err)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("core: out-of-core: %s is empty", dataPath)
+	}
+	sample := vec.FromRows(sampleRows)
+
+	ix := &Index{opts: opts, data: &vec.Matrix{N: n, D: dim}}
+
+	// Partitioner on the sample.
+	var sampleMembers [][]int
+	switch opts.Partitioner {
+	case PartitionNone:
+		all := make([]int, sample.N)
+		for i := range all {
+			all[i] = i
+		}
+		sampleMembers = [][]int{all}
+	case PartitionRPTree:
+		tree, asg := rptree.Build(sample, rptree.Options{
+			Rule: opts.RPRule, Leaves: opts.Groups, MinLeafSize: opts.MinGroupSize,
+		}, rng.Split(2))
+		ix.tree = tree
+		sampleMembers = asg.Members
+	case PartitionKMeans:
+		km, asg := kmeans.Build(sample, kmeans.Options{K: opts.Groups}, rng.Split(2))
+		ix.km = km
+		sampleMembers = asg.Members
+	default:
+		return 0, fmt.Errorf("core: unknown partitioner %v", opts.Partitioner)
+	}
+	nGroups := len(sampleMembers)
+
+	// Per-group widths and hash families from the sample.
+	grng := rng.Split(3)
+	ix.groups = make([]*group, nGroups)
+	for gi, members := range sampleMembers {
+		g := &group{}
+		gr := grng.Split(int64(gi))
+		w := opts.Params.W
+		if opts.AutoTuneW && len(members) >= 2 {
+			perTable := 1 - math.Pow(1-opts.TuneTargetRecall, 1/float64(opts.Params.L))
+			if perTable <= 0 {
+				perTable = 1e-6
+			}
+			if perTable >= 1 {
+				perTable = 1 - 1e-6
+			}
+			est, err := tuner.EstimateW(sample, members, opts.TuneK, opts.Params.M,
+				perTable, tuner.Config{}, gr.Split(100))
+			if err != nil {
+				return 0, err
+			}
+			if est.W > 0 && est.Samples > 0 {
+				w = est.W * opts.Params.W
+			}
+		}
+		g.w = w
+		params := opts.Params
+		params.W = w
+		fam, err := lshfunc.NewFamily(dim, params, gr.Split(101))
+		if err != nil {
+			return 0, err
+		}
+		g.fam = fam
+		switch opts.Lattice {
+		case LatticeZM:
+			g.lat = lattice.NewZM(params.M)
+		case LatticeE8:
+			g.lat = lattice.NewE8(params.M)
+		case LatticeDn:
+			g.lat = lattice.NewDn(params.M)
+		default:
+			return 0, fmt.Errorf("core: unknown lattice %v", opts.Lattice)
+		}
+		ix.groups[gi] = g
+	}
+
+	// ---- Pass 2: route rows to group spills and stream the payload.
+	tmp, err := os.MkdirTemp(cfg.TempDir, "bilsh-ooc-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(tmp)
+
+	payloadPath := filepath.Join(tmp, "payload")
+	payloadF, err := os.Create(payloadPath)
+	if err != nil {
+		return 0, err
+	}
+	payload := bufio.NewWriterSize(payloadF, 1<<20)
+
+	spillF := make([]*os.File, nGroups)
+	spillW := make([]*bufio.Writer, nGroups)
+	for gi := range spillF {
+		f, err := os.Create(filepath.Join(tmp, fmt.Sprintf("group-%d", gi)))
+		if err != nil {
+			payloadF.Close()
+			return 0, err
+		}
+		spillF[gi] = f
+		spillW[gi] = bufio.NewWriterSize(f, 1<<18)
+	}
+	closeSpills := func() {
+		for _, f := range spillF {
+			if f != nil {
+				f.Close()
+			}
+		}
+		payloadF.Close()
+	}
+
+	rowBuf := make([]byte, 4*dim)
+	var idBuf [8]byte
+	_, _, err = dataset.ScanFvecs(dataPath, func(i int, row []float32) error {
+		for j, v := range row {
+			binary.LittleEndian.PutUint32(rowBuf[4*j:], math.Float32bits(v))
+		}
+		if _, err := payload.Write(rowBuf); err != nil {
+			return err
+		}
+		gi := ix.GroupOf(row)
+		ix.groups[gi].members = append(ix.groups[gi].members, i)
+		binary.LittleEndian.PutUint64(idBuf[:], uint64(i))
+		if _, err := spillW[gi].Write(idBuf[:]); err != nil {
+			return err
+		}
+		_, err := spillW[gi].Write(rowBuf)
+		return err
+	})
+	if err != nil {
+		closeSpills()
+		return 0, fmt.Errorf("core: out-of-core pass 2: %w", err)
+	}
+	if err := payload.Flush(); err != nil {
+		closeSpills()
+		return 0, err
+	}
+	for gi := range spillW {
+		if err := spillW[gi].Flush(); err != nil {
+			closeSpills()
+			return 0, err
+		}
+	}
+
+	// ---- Pass 3: per-group hashing and table construction.
+	for gi, g := range ix.groups {
+		if err := buildGroupFromSpill(g, spillF[gi], dim, opts); err != nil {
+			closeSpills()
+			return 0, fmt.Errorf("core: out-of-core group %d: %w", gi, err)
+		}
+	}
+	closeSpills()
+
+	// Hierarchies.
+	if opts.ProbeMode == ProbeHierarchy {
+		for gi, g := range ix.groups {
+			switch lat := g.lat.(type) {
+			case *lattice.ZM:
+				g.mortonH = make([]*hierarchy.Morton, opts.Params.L)
+				for t, tab := range g.tables {
+					h, err := hierarchy.NewMorton(tab, opts.Params.M, opts.MortonBits)
+					if err != nil {
+						return 0, fmt.Errorf("core: out-of-core group %d hierarchy: %w", gi, err)
+					}
+					g.mortonH[t] = h
+				}
+			default:
+				g.e8H = make([]*hierarchy.E8Tree, opts.Params.L)
+				for t, tab := range g.tables {
+					h, err := hierarchy.NewE8Tree(tab, lat)
+					if err != nil {
+						return 0, fmt.Errorf("core: out-of-core group %d hierarchy: %w", gi, err)
+					}
+					g.e8H[t] = h
+				}
+			}
+		}
+	}
+
+	// ---- Emit the disk index: header + metadata + payload copy.
+	out, err := os.Create(outPath)
+	if err != nil {
+		return 0, err
+	}
+	defer out.Close()
+	var header [diskMagicLen + 8]byte
+	copy(header[:], diskMagic[:])
+	if _, err := out.Write(header[:]); err != nil {
+		return 0, err
+	}
+	meta := wire.NewWriter(out)
+	ix.writeOptions(meta)
+	meta.Int(n)
+	meta.Int(dim)
+	ix.writeStructure(meta)
+	if err := meta.Flush(); err != nil {
+		return 0, err
+	}
+	dataOffset, err := out.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, err
+	}
+	src, err := os.Open(payloadPath)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := io.Copy(out, src); err != nil {
+		src.Close()
+		return 0, err
+	}
+	src.Close()
+	binary.LittleEndian.PutUint64(header[diskMagicLen:], uint64(dataOffset))
+	if _, err := out.Seek(diskMagicLen, io.SeekStart); err != nil {
+		return 0, err
+	}
+	if _, err := out.Write(header[diskMagicLen:]); err != nil {
+		return 0, err
+	}
+	return n, out.Sync()
+}
+
+// buildGroupFromSpill loads one group's spilled (id, vector) records and
+// builds its L tables. Only this group's vectors are resident.
+func buildGroupFromSpill(g *group, spill *os.File, dim int, opts Options) error {
+	if _, err := spill.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(spill, 1<<18)
+	rec := make([]byte, 8+4*dim)
+	ids := make([]int, 0, len(g.members))
+	rows := make([]float32, 0, len(g.members)*dim)
+	for {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return err
+		}
+		ids = append(ids, int(binary.LittleEndian.Uint64(rec[:8])))
+		for j := 0; j < dim; j++ {
+			rows = append(rows, math.Float32frombits(binary.LittleEndian.Uint32(rec[8+4*j:])))
+		}
+	}
+	proj := make([]float64, opts.Params.M)
+	g.tables = make([]*lshtable.Table, opts.Params.L)
+	for t := 0; t < opts.Params.L; t++ {
+		codes := make([]string, len(ids))
+		tids := make([]int, len(ids))
+		for i := range ids {
+			g.fam.Project(t, rows[i*dim:(i+1)*dim], proj)
+			codes[i] = lattice.Key(g.lat.Decode(proj))
+			tids[i] = ids[i]
+		}
+		tab, err := lshtable.Build(codes, tids)
+		if err != nil {
+			return err
+		}
+		g.tables[t] = tab
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bilsh/internal/dataset"
+	"bilsh/internal/knn"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// writeTestFvecs generates a clustered dataset, writes it to disk, and
+// returns the path plus the in-memory copy for verification.
+func writeTestFvecs(t *testing.T, n, d int, seed int64) (string, *vec.Matrix) {
+	t.Helper()
+	spec := dataset.ClusteredSpec{N: n, D: d, Clusters: 6, IntrinsicDim: 4,
+		Aspect: 3, NoiseSigma: 0.05, Spread: 8, PowerLaw: 0.3, ScaleSpread: 2}
+	m, _, err := dataset.Clustered(spec, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.fvecs")
+	if err := dataset.SaveFvecsFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	return path, m
+}
+
+func TestBuildDiskStreaming(t *testing.T) {
+	for _, opts := range []Options{
+		{Partitioner: PartitionRPTree, Groups: 4, AutoTuneW: true,
+			Params: lshfunc.Params{M: 4, L: 4, W: 1}},
+		{Partitioner: PartitionNone, AutoTuneW: true,
+			Params: lshfunc.Params{M: 4, L: 4, W: 1}},
+		{Partitioner: PartitionKMeans, Groups: 4, AutoTuneW: true,
+			Params: lshfunc.Params{M: 4, L: 3, W: 1}},
+		{Partitioner: PartitionRPTree, Groups: 4, Lattice: LatticeE8,
+			ProbeMode: ProbeHierarchy, Params: lshfunc.Params{M: 8, L: 3, W: 2}},
+	} {
+		dataPath, m := writeTestFvecs(t, 500, 16, 91)
+		outPath := filepath.Join(t.TempDir(), "ooc.disk")
+		n, err := BuildDisk(dataPath, outPath, opts, OutOfCoreConfig{SampleSize: 200, TempDir: t.TempDir()}, xrand.New(92))
+		if err != nil {
+			t.Fatalf("opts %v/%v: %v", opts.Partitioner, opts.Lattice, err)
+		}
+		if n != 500 {
+			t.Fatalf("indexed %d rows, want 500", n)
+		}
+		di, err := OpenDisk(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if di.N() != 500 || di.Dim() != 16 {
+			t.Fatalf("disk index shape %dx%d", di.N(), di.Dim())
+		}
+		// Every group member set must cover all rows exactly once.
+		seen := make([]bool, 500)
+		for g := 0; g < di.NumGroups(); g++ {
+			for _, id := range di.Index.groups[g].members {
+				if seen[id] {
+					t.Fatalf("row %d in two groups", id)
+				}
+				seen[id] = true
+			}
+		}
+		for id, ok := range seen {
+			if !ok {
+				t.Fatalf("row %d unassigned", id)
+			}
+		}
+		// Stored rows must be their own nearest neighbors (the plumbing
+		// check; quality is asserted separately with generous widths).
+		for _, row := range []int{0, 123, 499} {
+			q := m.Row(row)
+			res, _ := di.Query(q, 5)
+			if len(res.IDs) == 0 || res.IDs[0] != row {
+				t.Fatalf("row %d not its own NN on streamed index: %v", row, res.IDs)
+			}
+		}
+		di.Close()
+	}
+}
+
+func TestBuildDiskMatchesPayload(t *testing.T) {
+	// The payload section must contain the rows bit-exactly in id order.
+	dataPath, m := writeTestFvecs(t, 200, 8, 93)
+	outPath := filepath.Join(t.TempDir(), "ooc.disk")
+	if _, err := BuildDisk(dataPath, outPath, Options{
+		Partitioner: PartitionRPTree, Groups: 3,
+		Params: lshfunc.Params{M: 4, L: 2, W: 3},
+	}, OutOfCoreConfig{SampleSize: 64}, xrand.New(94)); err != nil {
+		t.Fatal(err)
+	}
+	di, err := OpenDisk(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer di.Close()
+	for id := 0; id < m.N; id += 17 {
+		got := di.row(id)
+		want := m.Row(id)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("row %d differs at dim %d", id, j)
+			}
+		}
+	}
+}
+
+func TestBuildDiskEmptyInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.fvecs")
+	if err := writeEmptyFile(path); err != nil {
+		t.Fatal(err)
+	}
+	_, err := BuildDisk(path, filepath.Join(t.TempDir(), "out"), Options{
+		Params: lshfunc.Params{M: 4, L: 2, W: 1},
+	}, OutOfCoreConfig{}, xrand.New(1))
+	if err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+}
+
+func writeEmptyFile(path string) error {
+	return dataset.SaveFvecsFile(path, vec.NewMatrix(0, 1))
+}
+
+func TestBuildDiskDeterministic(t *testing.T) {
+	dataPath, _ := writeTestFvecs(t, 300, 8, 95)
+	opts := Options{Partitioner: PartitionRPTree, Groups: 4,
+		Params: lshfunc.Params{M: 4, L: 3, W: 3}}
+	out1 := filepath.Join(t.TempDir(), "a.disk")
+	out2 := filepath.Join(t.TempDir(), "b.disk")
+	if _, err := BuildDisk(dataPath, out1, opts, OutOfCoreConfig{SampleSize: 128}, xrand.New(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildDisk(dataPath, out2, opts, OutOfCoreConfig{SampleSize: 128}, xrand.New(7)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenDisk(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenDisk(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	q := xrand.New(8).GaussianVec(8)
+	ra, _ := a.Query(q, 5)
+	rb, _ := b.Query(q, 5)
+	for i := range ra.IDs {
+		if ra.IDs[i] != rb.IDs[i] {
+			t.Fatal("same seed must build identical streamed indexes")
+		}
+	}
+}
+
+func TestBuildDiskRecallWithWideBuckets(t *testing.T) {
+	dataPath, m := writeTestFvecs(t, 400, 12, 96)
+	outPath := filepath.Join(t.TempDir(), "wide.disk")
+	if _, err := BuildDisk(dataPath, outPath, Options{
+		Partitioner: PartitionRPTree, Groups: 4, AutoTuneW: true,
+		Params: lshfunc.Params{M: 4, L: 6, W: 3},
+	}, OutOfCoreConfig{SampleSize: 200}, xrand.New(97)); err != nil {
+		t.Fatal(err)
+	}
+	di, err := OpenDisk(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer di.Close()
+	var recall float64
+	const k, probes = 5, 20
+	for qi := 0; qi < probes; qi++ {
+		q := m.Row(qi * 19)
+		res, _ := di.Query(q, k)
+		exact := knn.Exact(m, q, k)
+		recall += knn.Recall(exact.IDs, res.IDs)
+	}
+	if recall/probes < 0.6 {
+		t.Fatalf("streamed index recall %.2f with wide buckets", recall/probes)
+	}
+}

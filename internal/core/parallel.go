@@ -1,0 +1,90 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"bilsh/internal/knn"
+	"bilsh/internal/vec"
+)
+
+// Concurrency: an Index is safe for any number of concurrent readers
+// (Query, QueryBatch, QueryBatchParallel, CandidateList); Insert, Delete,
+// Compact and RebuildHierarchies are writers and require external
+// synchronization with respect to readers and to each other.
+
+// QueryBatchParallel is QueryBatch fanned out over workers goroutines
+// (GOMAXPROCS when workers <= 0). Results are identical to QueryBatch: the
+// hierarchy median rule is applied batch-wide before the parallel phase.
+func (ix *Index) QueryBatchParallel(queries *vec.Matrix, k, workers int) ([]knn.Result, []QueryStats) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]knn.Result, queries.N)
+	stats := make([]QueryStats, queries.N)
+
+	minCounts := make([]int, queries.N)
+	switch ix.opts.ProbeMode {
+	case ProbeHierarchy:
+		sizes := make([]int, queries.N)
+		parallelFor(queries.N, workers, func(qi int) {
+			sizes[qi] = ix.plainShortListSize(queries.Row(qi))
+		})
+		median := medianInt(sizes)
+		if median < 1 {
+			median = 1
+		}
+		for qi := range minCounts {
+			if sizes[qi] < median {
+				minCounts[qi] = median
+			} else {
+				minCounts[qi] = 1
+			}
+		}
+	default:
+		floor := ix.opts.HierMinCandidates
+		if floor <= 0 {
+			floor = 2 * k
+		}
+		for qi := range minCounts {
+			minCounts[qi] = floor
+		}
+	}
+
+	parallelFor(queries.N, workers, func(qi int) {
+		q := queries.Row(qi)
+		cands, st := ix.gather(q, minCounts[qi])
+		results[qi] = ix.rank(q, cands, k)
+		stats[qi] = st
+	})
+	return results, stats
+}
+
+// parallelFor runs body(i) for i in [0,n) on up to workers goroutines.
+func parallelFor(n, workers int, body func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/xrand"
+)
+
+func TestQueryBatchParallelMatchesSerial(t *testing.T) {
+	data := testData(t, 500, 16, 61)
+	queries := testData(t, 40, 16, 62)
+	for _, opts := range []Options{
+		{Partitioner: PartitionRPTree, Groups: 4, Params: lshfunc.Params{M: 4, L: 3, W: 3}},
+		{Partitioner: PartitionRPTree, Groups: 4, ProbeMode: ProbeMulti, Probes: 10,
+			Params: lshfunc.Params{M: 4, L: 2, W: 2}},
+		{Partitioner: PartitionNone, ProbeMode: ProbeHierarchy,
+			Params: lshfunc.Params{M: 4, L: 2, W: 1.5}},
+	} {
+		ix, err := Build(data, opts, xrand.New(63))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialR, serialS := ix.QueryBatch(queries, 7)
+		for _, workers := range []int{1, 2, 5, 0} {
+			parR, parS := ix.QueryBatchParallel(queries, 7, workers)
+			if !reflect.DeepEqual(serialR, parR) {
+				t.Fatalf("probe=%v workers=%d: results differ from serial", opts.ProbeMode, workers)
+			}
+			if !reflect.DeepEqual(serialS, parS) {
+				t.Fatalf("probe=%v workers=%d: stats differ from serial", opts.ProbeMode, workers)
+			}
+		}
+	}
+}
+
+func TestQueryBatchParallelConcurrentReaders(t *testing.T) {
+	// Run with -race: many goroutines querying one index concurrently.
+	data := testData(t, 300, 12, 64)
+	ix, err := Build(data, Options{Partitioner: PartitionRPTree, Groups: 4,
+		Params: lshfunc.Params{M: 4, L: 3, W: 3}}, xrand.New(65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := testData(t, 64, 12, 66)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			ix.QueryBatchParallel(queries, 5, 3)
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}
+
+func TestQueryBatchParallelEmptyBatch(t *testing.T) {
+	data := testData(t, 100, 8, 67)
+	ix, err := Build(data, Options{Partitioner: PartitionNone,
+		Params: lshfunc.Params{M: 4, L: 2, W: 2}}, xrand.New(68))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := testData(t, 1, 8, 69).Subset(nil)
+	r, s := ix.QueryBatchParallel(empty, 5, 4)
+	if len(r) != 0 || len(s) != 0 {
+		t.Fatal("empty batch must produce empty outputs")
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"sort"
+
+	"bilsh/internal/knn"
+	"bilsh/internal/lattice"
+	"bilsh/internal/multiprobe"
+	"bilsh/internal/topk"
+	"bilsh/internal/vec"
+)
+
+// QueryStats reports the work done for one query.
+type QueryStats struct {
+	// Group is the level-1 partition the query routed to.
+	Group int
+	// Candidates is |A(v)|: the number of distinct short-list candidates,
+	// the numerator of the selectivity (Eq. 5).
+	Candidates int
+	// Scanned counts bucket entries before deduplication.
+	Scanned int
+	// Probes is the number of bucket lookups performed.
+	Probes int
+	// HierarchyLevel is the maximum hierarchy level visited (0 when the
+	// home bucket sufficed or hierarchy is off).
+	HierarchyLevel int
+}
+
+// Query returns the approximate k nearest neighbors of q. For
+// ProbeHierarchy the per-query bucket floor is Options.HierMinCandidates
+// (default 2k); use QueryBatch for the paper's median rule.
+func (ix *Index) Query(q []float32, k int) (knn.Result, QueryStats) {
+	minCount := ix.opts.HierMinCandidates
+	if minCount <= 0 {
+		minCount = 2 * k
+	}
+	cands, stats := ix.gather(q, minCount)
+	return ix.rank(q, cands, k), stats
+}
+
+// gather collects the candidate id set for q. For ProbeHierarchy,
+// hierMinCount is the bucket-size floor for sparse queries.
+func (ix *Index) gather(q []float32, hierMinCount int) (map[int]struct{}, QueryStats) {
+	gi := ix.GroupOf(q)
+	g := ix.groups[gi]
+	stats := QueryStats{Group: gi}
+	set := make(map[int]struct{})
+	proj := make([]float64, ix.opts.Params.M)
+
+	add := func(ids []int) {
+		for _, id := range ids {
+			if ix.isDeleted(id) {
+				continue
+			}
+			stats.Scanned++
+			set[id] = struct{}{}
+		}
+	}
+
+	for t := 0; t < ix.opts.Params.L; t++ {
+		g.fam.Project(t, q, proj)
+		switch ix.opts.ProbeMode {
+		case ProbeSingle:
+			code := g.lat.Decode(proj)
+			stats.Probes++
+			key := lattice.Key(code)
+			add(g.tables[t].Bucket(key))
+			add(ix.overlayBucket(gi, t, key))
+
+		case ProbeMulti:
+			var probes [][]int32
+			switch lat := g.lat.(type) {
+			case *lattice.ZM:
+				probes = multiprobe.ZMProbes(lat, proj, ix.opts.Probes)
+			case *lattice.E8:
+				probes = multiprobe.E8Probes(lat, proj, ix.opts.Probes)
+			case *lattice.Dn:
+				probes = multiprobe.DnProbes(lat, proj, ix.opts.Probes)
+			}
+			for _, code := range probes {
+				stats.Probes++
+				key := lattice.Key(code)
+				add(g.tables[t].Bucket(key))
+				add(ix.overlayBucket(gi, t, key))
+			}
+
+		case ProbeHierarchy:
+			code := g.lat.Decode(proj)
+			stats.Probes++
+			var ids []int
+			var level int
+			if g.mortonH != nil {
+				ids, level = g.mortonH[t].Candidates(code, hierMinCount)
+			} else {
+				ids, level = g.e8H[t].Candidates(code, hierMinCount)
+			}
+			if level > stats.HierarchyLevel {
+				stats.HierarchyLevel = level
+			}
+			add(ids)
+			// Overlay inserts are only reachable through their exact
+			// bucket code until Compact folds them into the hierarchy.
+			add(ix.overlayBucket(gi, t, lattice.Key(code)))
+		}
+	}
+	stats.Candidates = len(set)
+	return set, stats
+}
+
+// CandidateList returns the deduplicated, id-sorted candidate list for q
+// under the index's probe mode, for callers that run their own short-list
+// engine (e.g. the Figure 4 harness feeding the parallel engines).
+func (ix *Index) CandidateList(q []float32) ([]int, QueryStats) {
+	minCount := ix.opts.HierMinCandidates
+	if minCount <= 0 {
+		minCount = 2 * ix.opts.TuneK
+	}
+	set, st := ix.gather(q, minCount)
+	ids := make([]int, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, st
+}
+
+// plainShortListSize returns the candidate count the query would see with
+// single-bucket probing — the quantity whose batch median drives the
+// hierarchical rule of Section VI-B4c.
+func (ix *Index) plainShortListSize(q []float32) int {
+	gi := ix.GroupOf(q)
+	g := ix.groups[gi]
+	proj := make([]float64, ix.opts.Params.M)
+	set := make(map[int]struct{})
+	for t := 0; t < ix.opts.Params.L; t++ {
+		g.fam.Project(t, q, proj)
+		key := lattice.Key(g.lat.Decode(proj))
+		for _, id := range g.tables[t].Bucket(key) {
+			if !ix.isDeleted(id) {
+				set[id] = struct{}{}
+			}
+		}
+		for _, id := range ix.overlayBucket(gi, t, key) {
+			if !ix.isDeleted(id) {
+				set[id] = struct{}{}
+			}
+		}
+	}
+	return len(set)
+}
+
+// ExactKNN computes exact k nearest neighbors by linear scan over the
+// index's live rows — the self-contained ground-truth reference (the index
+// stores its vectors, so no external data file is needed).
+func (ix *Index) ExactKNN(q []float32, k int) knn.Result {
+	total := ix.data.N
+	if ix.dynamic != nil {
+		total += len(ix.dynamic.extra)
+	}
+	h := topk.New(k)
+	for id := 0; id < total; id++ {
+		if ix.isDeleted(id) {
+			continue
+		}
+		d := vec.SqDist(ix.row(id), q)
+		if h.Accepts(d) {
+			h.Push(id, d)
+		}
+	}
+	items := h.Sorted()
+	r := knn.Result{IDs: make([]int, len(items)), Dists: make([]float64, len(items))}
+	for i, it := range items {
+		r.IDs[i] = it.ID
+		r.Dists[i] = it.Dist
+	}
+	return r
+}
+
+// rank is the serial short-list search over a candidate set.
+func (ix *Index) rank(q []float32, cands map[int]struct{}, k int) knn.Result {
+	h := topk.New(k)
+	for id := range cands {
+		d := vec.SqDist(ix.row(id), q)
+		if h.Accepts(d) {
+			h.Push(id, d)
+		}
+	}
+	items := h.Sorted()
+	r := knn.Result{IDs: make([]int, len(items)), Dists: make([]float64, len(items))}
+	for i, it := range items {
+		r.IDs[i] = it.ID
+		r.Dists[i] = it.Dist
+	}
+	return r
+}
+
+// QueryBatch answers a whole query set. For ProbeHierarchy it implements
+// the paper's protocol: compute every query's plain short-list size, take
+// the batch median as the threshold, and climb the hierarchy only for
+// queries below it. Other probe modes map Query over the batch.
+func (ix *Index) QueryBatch(queries *vec.Matrix, k int) ([]knn.Result, []QueryStats) {
+	results := make([]knn.Result, queries.N)
+	stats := make([]QueryStats, queries.N)
+
+	if ix.opts.ProbeMode != ProbeHierarchy {
+		for qi := 0; qi < queries.N; qi++ {
+			results[qi], stats[qi] = ix.Query(queries.Row(qi), k)
+		}
+		return results, stats
+	}
+
+	sizes := make([]int, queries.N)
+	for qi := 0; qi < queries.N; qi++ {
+		sizes[qi] = ix.plainShortListSize(queries.Row(qi))
+	}
+	median := medianInt(sizes)
+	if median < 1 {
+		median = 1
+	}
+	for qi := 0; qi < queries.N; qi++ {
+		q := queries.Row(qi)
+		minCount := 1 // at least the home bucket group
+		if sizes[qi] < median {
+			// Sparse query: demand a group at least as populated as the
+			// batch median.
+			minCount = median
+		}
+		cands, st := ix.gather(q, minCount)
+		results[qi] = ix.rank(q, cands, k)
+		stats[qi] = st
+	}
+	return results, stats
+}
+
+func medianInt(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]int(nil), xs...)
+	sort.Ints(cp)
+	return cp[len(cp)/2]
+}

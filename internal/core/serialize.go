@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"bilsh/internal/hierarchy"
+	"bilsh/internal/kmeans"
+	"bilsh/internal/lattice"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/lshtable"
+	"bilsh/internal/rptree"
+	"bilsh/internal/vec"
+	"bilsh/internal/wire"
+)
+
+// Index file layout (all sections tagged, see internal/wire):
+//
+//	bilsh.Index/1
+//	  options
+//	  data matrix (the index is self-contained)
+//	  partitioner (none | rptree | kmeans)
+//	  groups: members, width, family, L tables
+//
+// Hierarchies are derived state and are rebuilt on load, which keeps the
+// file format independent of their in-memory representation. The
+// disk-backed variant (see diskindex.go) stores the same metadata but
+// keeps the vector rows in a separate fixed-stride section accessed with
+// ReadAt.
+const indexMagic = "bilsh.Index/1"
+
+// WriteTo serializes the index (including its data) to w. It returns the
+// number of bytes written.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	if err := ix.requireClean(); err != nil {
+		return 0, err
+	}
+	ww := wire.NewWriter(w)
+	ww.Magic(indexMagic)
+	ix.writeOptions(ww)
+	ix.data.Encode(ww)
+	ix.writeStructure(ww)
+	if err := ww.Flush(); err != nil {
+		return ww.BytesWritten(), fmt.Errorf("core: writing index: %w", err)
+	}
+	return ww.BytesWritten(), nil
+}
+
+// requireClean refuses serialization with pending dynamic state.
+func (ix *Index) requireClean() error {
+	if ix.dynamic != nil && (len(ix.dynamic.extra) > 0 || len(ix.dynamic.deleted) > 0) {
+		return fmt.Errorf("core: index has pending inserts/deletes; call Compact before writing")
+	}
+	return nil
+}
+
+// writeOptions emits the option block.
+func (ix *Index) writeOptions(ww *wire.Writer) {
+	o := ix.opts
+	ww.Int(int(o.Lattice))
+	ww.Int(int(o.Partitioner))
+	ww.Int(o.Groups)
+	ww.Int(int(o.RPRule))
+	ww.Int(o.Params.M)
+	ww.Int(o.Params.L)
+	ww.F64(o.Params.W)
+	ww.Int(int(o.ProbeMode))
+	ww.Int(o.Probes)
+	ww.Bool(o.AutoTuneW)
+	ww.Int(o.TuneK)
+	ww.F64(o.TuneTargetRecall)
+	ww.Int(o.MortonBits)
+	ww.Int(o.HierMinCandidates)
+	ww.Int(o.MinGroupSize)
+}
+
+// writeStructure emits the partitioner and the per-group machinery.
+func (ix *Index) writeStructure(ww *wire.Writer) {
+	switch {
+	case ix.tree != nil:
+		ww.String("rptree")
+		ix.tree.Encode(ww)
+	case ix.km != nil:
+		ww.String("kmeans")
+		ix.km.Encode(ww)
+	default:
+		ww.String("none")
+	}
+	ww.Int(len(ix.groups))
+	for _, g := range ix.groups {
+		ww.Ints(g.members)
+		ww.F64(g.w)
+		g.fam.Encode(ww)
+		ww.Int(len(g.tables))
+		for _, tab := range g.tables {
+			tab.Encode(ww)
+		}
+	}
+}
+
+// readOptions parses the option block.
+func readOptions(rr *wire.Reader) (Options, error) {
+	var o Options
+	o.Lattice = LatticeKind(rr.Int())
+	o.Partitioner = PartitionerKind(rr.Int())
+	o.Groups = rr.Int()
+	o.RPRule = rptree.Rule(rr.Int())
+	o.Params.M = rr.Int()
+	o.Params.L = rr.Int()
+	o.Params.W = rr.F64()
+	o.ProbeMode = ProbeMode(rr.Int())
+	o.Probes = rr.Int()
+	o.AutoTuneW = rr.Bool()
+	o.TuneK = rr.Int()
+	o.TuneTargetRecall = rr.F64()
+	o.MortonBits = rr.Int()
+	o.HierMinCandidates = rr.Int()
+	o.MinGroupSize = rr.Int()
+	if err := rr.Err(); err != nil {
+		return o, fmt.Errorf("core: reading options: %w", err)
+	}
+	if err := o.Params.Validate(); err != nil {
+		return o, fmt.Errorf("core: decoded options invalid: %w", err)
+	}
+	return o, nil
+}
+
+// readStructure parses the partitioner and groups into ix and rebuilds
+// derived state (cuckoo indexes, hierarchies). n is the row count used for
+// member validation.
+func readStructure(rr *wire.Reader, ix *Index, n int) error {
+	o := ix.opts
+	switch kind := rr.String(); kind {
+	case "rptree":
+		tree, err := rptree.DecodeTree(rr)
+		if err != nil {
+			return fmt.Errorf("core: reading rptree: %w", err)
+		}
+		ix.tree = tree
+	case "kmeans":
+		km, err := kmeans.DecodeModel(rr)
+		if err != nil {
+			return fmt.Errorf("core: reading kmeans: %w", err)
+		}
+		ix.km = km
+	case "none":
+	default:
+		if err := rr.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("core: unknown partitioner section %q", kind)
+	}
+
+	nGroups := rr.Int()
+	if err := rr.Err(); err != nil {
+		return err
+	}
+	if nGroups < 1 || nGroups > 1<<20 {
+		return fmt.Errorf("core: decoded group count %d implausible", nGroups)
+	}
+	ix.groups = make([]*group, nGroups)
+	for gi := range ix.groups {
+		g := &group{
+			members: rr.Ints(),
+			w:       rr.F64(),
+		}
+		fam, err := lshfunc.DecodeFamily(rr)
+		if err != nil {
+			return fmt.Errorf("core: group %d family: %w", gi, err)
+		}
+		g.fam = fam
+		switch o.Lattice {
+		case LatticeZM:
+			g.lat = lattice.NewZM(o.Params.M)
+		case LatticeE8:
+			g.lat = lattice.NewE8(o.Params.M)
+		case LatticeDn:
+			g.lat = lattice.NewDn(o.Params.M)
+		default:
+			return fmt.Errorf("core: decoded lattice kind %d unknown", int(o.Lattice))
+		}
+		nTables := rr.Int()
+		if err := rr.Err(); err != nil {
+			return err
+		}
+		if nTables != o.Params.L {
+			return fmt.Errorf("core: group %d has %d tables, options say %d", gi, nTables, o.Params.L)
+		}
+		g.tables = make([]*lshtable.Table, nTables)
+		for t := range g.tables {
+			tab, err := lshtable.DecodeTable(rr)
+			if err != nil {
+				return fmt.Errorf("core: group %d table %d: %w", gi, t, err)
+			}
+			g.tables[t] = tab
+		}
+		for _, id := range g.members {
+			if id < 0 || id >= n {
+				return fmt.Errorf("core: group %d references row %d of %d", gi, id, n)
+			}
+		}
+		ix.groups[gi] = g
+	}
+	if err := rr.Err(); err != nil {
+		return err
+	}
+
+	if o.ProbeMode == ProbeHierarchy {
+		for gi, g := range ix.groups {
+			switch lat := g.lat.(type) {
+			case *lattice.ZM:
+				g.mortonH = make([]*hierarchy.Morton, len(g.tables))
+				for t, tab := range g.tables {
+					h, err := hierarchy.NewMorton(tab, o.Params.M, o.MortonBits)
+					if err != nil {
+						return fmt.Errorf("core: group %d morton hierarchy: %w", gi, err)
+					}
+					g.mortonH[t] = h
+				}
+			default:
+				g.e8H = make([]*hierarchy.E8Tree, len(g.tables))
+				for t, tab := range g.tables {
+					h, err := hierarchy.NewE8Tree(tab, lat)
+					if err != nil {
+						return fmt.Errorf("core: group %d lattice hierarchy: %w", gi, err)
+					}
+					g.e8H[t] = h
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ReadIndex deserializes an index written by WriteTo, rebuilding all
+// derived structures (cuckoo bucket indexes, hierarchies).
+func ReadIndex(r io.Reader) (*Index, error) {
+	rr := wire.NewReader(r)
+	rr.ExpectMagic(indexMagic)
+	o, err := readOptions(rr)
+	if err != nil {
+		return nil, err
+	}
+	data, err := vec.DecodeMatrix(rr)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading data: %w", err)
+	}
+	ix := &Index{data: data, opts: o}
+	if err := readStructure(rr, ix, data.N); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}

@@ -1,0 +1,134 @@
+package cuckoo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bilsh/internal/xrand"
+)
+
+func TestPutGet(t *testing.T) {
+	c := New(4)
+	if err := c.Put(10, 100); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Get(10); !ok || v != 100 {
+		t.Fatalf("Get(10) = %d,%v", v, ok)
+	}
+	if _, ok := c.Get(11); ok {
+		t.Fatal("absent key reported present")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	c := New(4)
+	c.Put(1, 1)
+	c.Put(1, 2)
+	if v, _ := c.Get(1); v != 2 {
+		t.Fatalf("overwrite: got %d", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite", c.Len())
+	}
+}
+
+func TestReservedKeyRejected(t *testing.T) {
+	c := New(4)
+	if err := c.Put(^uint64(0), 1); err == nil {
+		t.Fatal("reserved key must be rejected")
+	}
+	if _, ok := c.Get(^uint64(0)); ok {
+		t.Fatal("reserved key must never be present")
+	}
+}
+
+func TestGrowthUnderLoad(t *testing.T) {
+	c := New(2) // deliberately undersized
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		if err := c.Put(i*2654435761+1, int(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != n {
+		t.Fatalf("Len = %d, want %d", c.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := c.Get(i*2654435761 + 1); !ok || v != int(i) {
+			t.Fatalf("key %d: got %d,%v", i, v, ok)
+		}
+	}
+}
+
+// Property: the table behaves exactly like a map under random workloads.
+func TestMapEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		c := New(8)
+		ref := make(map[uint64]int)
+		for op := 0; op < 500; op++ {
+			k := uint64(rng.Intn(200))
+			if k == ^uint64(0) {
+				continue
+			}
+			if rng.Float64() < 0.7 {
+				v := rng.Intn(1000)
+				if err := c.Put(k, v); err != nil {
+					return false
+				}
+				ref[k] = v
+			} else {
+				got, ok := c.Get(k)
+				want, wok := ref[k]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			}
+		}
+		if c.Len() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			if got, ok := c.Get(k); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversarialEqualHashes(t *testing.T) {
+	// Sequential keys stress eviction chains; the table must stay correct
+	// through rehashes.
+	c := New(16)
+	for i := uint64(0); i < 3000; i++ {
+		c.Put(i, int(i)*3)
+	}
+	for i := uint64(0); i < 3000; i++ {
+		if v, ok := c.Get(i); !ok || v != int(i)*3 {
+			t.Fatalf("key %d lost after rehashes (%d rebuilds)", i, c.Rehashes())
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	c := New(b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(uint64(i)*2654435761+7, i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	c := New(100000)
+	for i := 0; i < 100000; i++ {
+		c.Put(uint64(i)*2654435761+7, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(uint64(i%100000)*2654435761 + 7)
+	}
+}

@@ -1,0 +1,271 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+func TestClusteredShapeAndDeterminism(t *testing.T) {
+	spec := DefaultClusteredSpec(500, 32)
+	m1, l1, err := Clustered(spec, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.N != 500 || m1.D != 32 || len(l1) != 500 {
+		t.Fatalf("shape = %dx%d labels=%d", m1.N, m1.D, len(l1))
+	}
+	m2, l2, err := Clustered(spec, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Data {
+		if m1.Data[i] != m2.Data[i] {
+			t.Fatal("same seed must generate identical data")
+		}
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("same seed must generate identical labels")
+		}
+	}
+	m3, _, err := Clustered(spec, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range m1.Data {
+		if m1.Data[i] != m3.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestClusteredValidation(t *testing.T) {
+	bad := []ClusteredSpec{
+		{N: 0, D: 4, Clusters: 1, IntrinsicDim: 1, Aspect: 1},
+		{N: 10, D: 0, Clusters: 1, IntrinsicDim: 1, Aspect: 1},
+		{N: 10, D: 4, Clusters: 0, IntrinsicDim: 1, Aspect: 1},
+		{N: 10, D: 4, Clusters: 1, IntrinsicDim: 5, Aspect: 1},
+		{N: 10, D: 4, Clusters: 1, IntrinsicDim: 1, Aspect: 0.5},
+	}
+	for i, spec := range bad {
+		if _, _, err := Clustered(spec, xrand.New(1)); err == nil {
+			t.Errorf("spec %d: expected validation error", i)
+		}
+	}
+}
+
+func TestClusteredStructure(t *testing.T) {
+	// Points sharing a label must on average be far closer to each other
+	// than to points in other clusters.
+	spec := ClusteredSpec{N: 400, D: 48, Clusters: 4, IntrinsicDim: 4,
+		Aspect: 3, NoiseSigma: 0.01, Spread: 20, PowerLaw: 0}
+	m, labels, err := Clustered(spec, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < m.N; i += 7 {
+		for j := i + 1; j < m.N; j += 13 {
+			d := vec.Dist(m.Row(i), m.Row(j))
+			if labels[i] == labels[j] {
+				intra += d
+				nIntra++
+			} else {
+				inter += d
+				nInter++
+			}
+		}
+	}
+	if nIntra == 0 || nInter == 0 {
+		t.Fatal("sampling produced no intra or inter pairs")
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if intra*2 > inter {
+		t.Fatalf("clusters not separated: intra=%.2f inter=%.2f", intra, inter)
+	}
+}
+
+func TestClusterSizesPowerLawAndCoverage(t *testing.T) {
+	sizes := clusterSizes(1000, 10, 1.2, xrand.New(5))
+	total := 0
+	for _, s := range sizes {
+		if s <= 0 {
+			t.Fatalf("cluster with %d points; all must be non-empty", s)
+		}
+		total += s
+	}
+	if total != 1000 {
+		t.Fatalf("sizes sum to %d, want 1000", total)
+	}
+	// Strong skew: the largest cluster should dominate the smallest.
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max < 2*min {
+		t.Fatalf("power law not visible: min=%d max=%d", min, max)
+	}
+}
+
+func TestUniformAndGaussianRanges(t *testing.T) {
+	u := Uniform(200, 8, xrand.New(1))
+	for _, x := range u.Data {
+		if x < 0 || x >= 1 {
+			t.Fatalf("Uniform sample %v out of [0,1)", x)
+		}
+	}
+	g := Gaussian(5000, 4, 2.0, xrand.New(2))
+	var ss float64
+	for _, x := range g.Data {
+		ss += float64(x) * float64(x)
+	}
+	std := math.Sqrt(ss / float64(len(g.Data)))
+	if math.Abs(std-2) > 0.1 {
+		t.Fatalf("Gaussian std = %v, want ~2", std)
+	}
+}
+
+func TestSplitDisjointAndComplete(t *testing.T) {
+	m := Uniform(100, 3, xrand.New(4))
+	train, q := Split(m, 25, xrand.New(9))
+	if train.N != 75 || q.N != 25 {
+		t.Fatalf("split sizes %d/%d", train.N, q.N)
+	}
+	// Every original row appears exactly once across the two outputs.
+	seen := make(map[[3]float32]int)
+	key := func(r []float32) [3]float32 { return [3]float32{r[0], r[1], r[2]} }
+	for i := 0; i < m.N; i++ {
+		seen[key(m.Row(i))]++
+	}
+	for i := 0; i < train.N; i++ {
+		seen[key(train.Row(i))]--
+	}
+	for i := 0; i < q.N; i++ {
+		seen[key(q.Row(i))]--
+	}
+	for k, v := range seen {
+		if v != 0 {
+			t.Fatalf("row %v appears with residual count %d", k, v)
+		}
+	}
+}
+
+func TestFvecsRoundTrip(t *testing.T) {
+	m := Uniform(17, 5, xrand.New(11))
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != m.N || got.D != m.D {
+		t.Fatalf("round trip shape %dx%d", got.N, got.D)
+	}
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatal("fvecs round trip corrupted data")
+		}
+	}
+}
+
+func TestFvecsMaxN(t *testing.T) {
+	m := Uniform(10, 4, xrand.New(12))
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 3 {
+		t.Fatalf("maxN=3 read %d vectors", got.N)
+	}
+}
+
+func TestFvecsRejectsCorruptHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // dimension -1
+	if _, err := ReadFvecs(&buf, 0); err == nil {
+		t.Fatal("negative dimension must be rejected")
+	}
+	buf.Reset()
+	buf.Write([]byte{0x00, 0x00, 0x00, 0x7f}) // absurd dimension
+	if _, err := ReadFvecs(&buf, 0); err == nil {
+		t.Fatal("oversized dimension must be rejected")
+	}
+}
+
+func TestFvecsRejectsRaggedDims(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, Uniform(1, 3, xrand.New(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFvecs(&buf, Uniform(1, 4, xrand.New(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFvecs(&buf, 0); err == nil {
+		t.Fatal("mixed dimensions must be rejected")
+	}
+}
+
+func TestIvecsRoundTrip(t *testing.T) {
+	rows := [][]int32{{1, 2, 3}, {4, 5, 6}}
+	var buf bytes.Buffer
+	if err := WriteIvecs(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1][2] != 6 {
+		t.Fatalf("ivecs round trip = %v", got)
+	}
+}
+
+func TestBvecsRead(t *testing.T) {
+	var buf bytes.Buffer
+	// One vector: d=3, bytes 1,2,255.
+	buf.Write([]byte{3, 0, 0, 0, 1, 2, 255})
+	m, err := ReadBvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 1 || m.D != 3 || m.Row(0)[2] != 255 {
+		t.Fatalf("bvecs = %v", m.Row(0))
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	m := Uniform(9, 6, xrand.New(13))
+	path := t.TempDir() + "/t.fvecs"
+	if err := SaveFvecsFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFvecsFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 9 || got.D != 6 {
+		t.Fatalf("file round trip shape %dx%d", got.N, got.D)
+	}
+}

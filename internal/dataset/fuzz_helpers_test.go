@@ -1,0 +1,5 @@
+package dataset
+
+import "bilsh/internal/xrand"
+
+func rngFor(seed int64) *xrand.RNG { return xrand.New(seed) }

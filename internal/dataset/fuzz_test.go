@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFvecs asserts the reader never panics or over-allocates on
+// arbitrary input, and that whatever it accepts round-trips.
+func FuzzReadFvecs(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteFvecs(&seed, Uniform(3, 4, rngFor(1))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{4, 0, 0, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFvecs(bytes.NewReader(data), 100)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFvecs(&buf, m); err != nil {
+			t.Fatalf("accepted matrix failed to re-encode: %v", err)
+		}
+		m2, err := ReadFvecs(&buf, 0)
+		if err != nil {
+			t.Fatalf("re-encoded matrix failed to parse: %v", err)
+		}
+		if m2.N != m.N || m2.D != m.D {
+			t.Fatalf("round trip changed shape %dx%d -> %dx%d", m.N, m.D, m2.N, m2.D)
+		}
+	})
+}
+
+// FuzzReadIvecs asserts the ivecs reader is panic-free.
+func FuzzReadIvecs(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteIvecs(&seed, [][]int32{{1, 2}, {3}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows, err := ReadIvecs(bytes.NewReader(data), 100)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteIvecs(&buf, rows); err != nil {
+			t.Fatalf("accepted rows failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,203 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"bilsh/internal/vec"
+)
+
+// This file implements the .fvecs / .bvecs / .ivecs formats used by the
+// standard ANN benchmark collections (TexMex/GIST, SIFT1M, ...), so real
+// GIST descriptors — the paper's actual workload — can be dropped into any
+// experiment in place of the synthetic generator.
+//
+// Format: each vector is stored as a little-endian int32 dimension d
+// followed by d components (float32 for fvecs, uint8 for bvecs, int32 for
+// ivecs).
+
+// maxSaneDim bounds the per-vector dimension so a corrupt header cannot
+// drive a multi-gigabyte allocation.
+const maxSaneDim = 1 << 20
+
+// ReadFvecs parses an fvecs stream. maxN > 0 limits the number of vectors
+// read; maxN <= 0 reads to EOF.
+func ReadFvecs(r io.Reader, maxN int) (*vec.Matrix, error) {
+	br := bufio.NewReader(r)
+	var rows [][]float32
+	for maxN <= 0 || len(rows) < maxN {
+		var d int32
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("dataset: fvecs header: %w", err)
+		}
+		if d <= 0 || d > maxSaneDim {
+			return nil, fmt.Errorf("dataset: fvecs vector %d has bad dimension %d", len(rows), d)
+		}
+		if len(rows) > 0 && int(d) != len(rows[0]) {
+			return nil, fmt.Errorf("dataset: fvecs vector %d dimension %d != %d", len(rows), d, len(rows[0]))
+		}
+		row := make([]float32, d)
+		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
+			return nil, fmt.Errorf("dataset: fvecs vector %d body: %w", len(rows), err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: fvecs stream contained no vectors")
+	}
+	return vec.FromRows(rows), nil
+}
+
+// WriteFvecs serializes m in fvecs format.
+func WriteFvecs(w io.Writer, m *vec.Matrix) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m.N; i++ {
+		if err := binary.Write(bw, binary.LittleEndian, int32(m.D)); err != nil {
+			return fmt.Errorf("dataset: fvecs write header: %w", err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, m.Row(i)); err != nil {
+			return fmt.Errorf("dataset: fvecs write row %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBvecs parses a bvecs (uint8 components) stream into float32 vectors.
+func ReadBvecs(r io.Reader, maxN int) (*vec.Matrix, error) {
+	br := bufio.NewReader(r)
+	var rows [][]float32
+	for maxN <= 0 || len(rows) < maxN {
+		var d int32
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("dataset: bvecs header: %w", err)
+		}
+		if d <= 0 || d > maxSaneDim {
+			return nil, fmt.Errorf("dataset: bvecs vector %d has bad dimension %d", len(rows), d)
+		}
+		if len(rows) > 0 && int(d) != len(rows[0]) {
+			return nil, fmt.Errorf("dataset: bvecs vector %d dimension %d != %d", len(rows), d, len(rows[0]))
+		}
+		raw := make([]uint8, d)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("dataset: bvecs vector %d body: %w", len(rows), err)
+		}
+		row := make([]float32, d)
+		for j, b := range raw {
+			row[j] = float32(b)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: bvecs stream contained no vectors")
+	}
+	return vec.FromRows(rows), nil
+}
+
+// ReadIvecs parses an ivecs stream (e.g. ground-truth neighbor id lists).
+func ReadIvecs(r io.Reader, maxN int) ([][]int32, error) {
+	br := bufio.NewReader(r)
+	var rows [][]int32
+	for maxN <= 0 || len(rows) < maxN {
+		var d int32
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("dataset: ivecs header: %w", err)
+		}
+		if d <= 0 || d > maxSaneDim {
+			return nil, fmt.Errorf("dataset: ivecs vector %d has bad dimension %d", len(rows), d)
+		}
+		row := make([]int32, d)
+		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
+			return nil, fmt.Errorf("dataset: ivecs vector %d body: %w", len(rows), err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteIvecs serializes integer id lists in ivecs format.
+func WriteIvecs(w io.Writer, rows [][]int32) error {
+	bw := bufio.NewWriter(w)
+	for i, row := range rows {
+		if err := binary.Write(bw, binary.LittleEndian, int32(len(row))); err != nil {
+			return fmt.Errorf("dataset: ivecs write header: %w", err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, row); err != nil {
+			return fmt.Errorf("dataset: ivecs write row %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ScanFvecs streams an fvecs file row by row without materializing it:
+// fn is called with the row index and a reusable buffer (valid only for
+// the duration of the call). Scanning stops at EOF or the first error
+// returned by fn.
+func ScanFvecs(path string, fn func(i int, row []float32) error) (n, dim int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	var row []float32
+	for {
+		var d int32
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			if err == io.EOF {
+				return n, dim, nil
+			}
+			return n, dim, fmt.Errorf("dataset: fvecs header at row %d: %w", n, err)
+		}
+		if d <= 0 || d > maxSaneDim {
+			return n, dim, fmt.Errorf("dataset: fvecs row %d has bad dimension %d", n, d)
+		}
+		if dim == 0 {
+			dim = int(d)
+			row = make([]float32, dim)
+		} else if int(d) != dim {
+			return n, dim, fmt.Errorf("dataset: fvecs row %d dimension %d != %d", n, d, dim)
+		}
+		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
+			return n, dim, fmt.Errorf("dataset: fvecs row %d body: %w", n, err)
+		}
+		if err := fn(n, row); err != nil {
+			return n, dim, err
+		}
+		n++
+	}
+}
+
+// LoadFvecsFile reads an fvecs file from disk.
+func LoadFvecsFile(path string, maxN int) (*vec.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFvecs(f, maxN)
+}
+
+// SaveFvecsFile writes m to path in fvecs format.
+func SaveFvecsFile(path string, m *vec.Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFvecs(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

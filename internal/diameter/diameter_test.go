@@ -1,0 +1,103 @@
+package diameter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bilsh/internal/dataset"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+func TestApproxTinySets(t *testing.T) {
+	m := vec.FromRows([][]float32{{1, 1}})
+	if r := Approx(m, nil, 10); r.Lower != 0 || r.Upper != 0 {
+		t.Fatalf("single point diameter = %+v, want zeros", r)
+	}
+	two := vec.FromRows([][]float32{{0, 0}, {3, 4}})
+	r := Approx(two, nil, 10)
+	if math.Abs(r.Lower-5) > 1e-6 {
+		t.Fatalf("two-point Lower = %v, want 5", r.Lower)
+	}
+}
+
+func TestApproxExactOnColinear(t *testing.T) {
+	// Points on a segment: the diameter endpoints are found in one hop.
+	m := vec.FromRows([][]float32{{0}, {1}, {2}, {7}, {3}})
+	r := Approx(m, nil, 40)
+	if r.Lower != 7 {
+		t.Fatalf("colinear Lower = %v, want 7", r.Lower)
+	}
+}
+
+// Property: the certified bracket Lower <= exact <= Upper holds, and Lower
+// is realized by an actual point pair.
+func TestBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		n := 3 + rng.Intn(80)
+		d := 1 + rng.Intn(12)
+		data := dataset.Gaussian(n, d, 1+rng.Float64()*3, rng.Split(1))
+		r := Approx(data, nil, 40)
+		exact := Exact(data, nil)
+		if r.Lower > exact+1e-6 {
+			return false // lower bound violated
+		}
+		if r.Upper < exact-1e-6*exact {
+			return false // upper bound violated
+		}
+		realized := vec.Dist(data.Row(r.A), data.Row(r.B))
+		return math.Abs(realized-r.Lower) < 1e-6*(1+r.Lower)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxQuality(t *testing.T) {
+	// On realistic clustered data with m=40 the approximation should be
+	// within the theoretical factor and practically much closer.
+	rng := xrand.New(17)
+	data, _, err := dataset.Clustered(dataset.DefaultClusteredSpec(400, 24), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Approx(data, nil, 40)
+	exact := Exact(data, nil)
+	if r.Lower < 0.8*exact {
+		t.Fatalf("approximation too loose: %v vs exact %v", r.Lower, exact)
+	}
+}
+
+func TestApproxWithIndexSubset(t *testing.T) {
+	m := vec.FromRows([][]float32{{0}, {100}, {1}, {2}})
+	// Excluding row 1 the diameter is 2.
+	r := Approx(m, []int{0, 2, 3}, 10)
+	if r.Lower != 2 {
+		t.Fatalf("subset Lower = %v, want 2", r.Lower)
+	}
+	if e := Exact(m, []int{0, 2, 3}); e != 2 {
+		t.Fatalf("subset Exact = %v, want 2", e)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	// On a perfectly symmetric set the series converges immediately; the
+	// iteration count must reflect early termination rather than m.
+	m := vec.FromRows([][]float32{{-1, 0}, {1, 0}, {0, 0.5}})
+	r := Approx(m, nil, 1000)
+	if r.Iterations >= 1000 {
+		t.Fatalf("no early stop: %d iterations", r.Iterations)
+	}
+	if r.Lower != 2 {
+		t.Fatalf("Lower = %v, want 2", r.Lower)
+	}
+}
+
+func TestUpperFactorValue(t *testing.T) {
+	want := math.Sqrt(5 - 2*math.Sqrt(3))
+	if UpperFactor != want {
+		t.Fatalf("UpperFactor = %v, want %v", UpperFactor, want)
+	}
+}

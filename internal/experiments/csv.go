@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the figure's series as tidy CSV (one row per method ×
+// sweep point), ready for plotting:
+//
+//	figure,method,L,wscale,selectivity,sel_proj_std,sel_query_std,
+//	recall,recall_proj_std,recall_query_std,
+//	error_ratio,error_proj_std,error_query_std,runs
+func (r FigureResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"figure", "method", "L", "wscale",
+		"selectivity", "sel_proj_std", "sel_query_std",
+		"recall", "recall_proj_std", "recall_query_std",
+		"error_ratio", "error_proj_std", "error_query_std",
+		"runs",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', 8, 64) }
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			row := []string{
+				r.ID, s.Method, strconv.Itoa(s.L), f(p.WScale),
+				f(p.MeanSelectivity), f(p.ProjStdSelectivity), f(p.QueryStdSel),
+				f(p.MeanRecall), f(p.ProjStdRecall), f(p.QueryStdRecall),
+				f(p.MeanError), f(p.ProjStdError), f(p.QueryStdError),
+				strconv.Itoa(p.Runs),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("experiments: csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 4 sweep as tidy CSV, including both the
+// local-geometry and paper-geometry modeled times.
+func (r Figure4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"wscale", "candidates", "geometry",
+		"cpu_only", "gpu_hash_cpu_sl", "pure_gpu", "work_queue",
+		"x_hash", "x_gpu", "x_queue",
+		"serial_dist_ops", "queue_sorted_items", "queue_passes",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', 8, 64) }
+	for _, p := range r.Points {
+		for _, geo := range []struct {
+			name string
+			row  interface {
+				Speedups() (float64, float64, float64)
+			}
+			cpu, hash, gpu, queue float64
+		}{
+			{"local", p.Row, p.Row.CPUOnly, p.Row.GPUHashCPUSL, p.Row.PureGPU, p.Row.PureGPUQueued},
+			{"paper(d384,k500)", p.PaperRow, p.PaperRow.CPUOnly, p.PaperRow.GPUHashCPUSL, p.PaperRow.PureGPU, p.PaperRow.PureGPUQueued},
+		} {
+			h, g, q := geo.row.Speedups()
+			row := []string{
+				f(p.WScale), strconv.Itoa(p.Row.Candidates), geo.name,
+				f(geo.cpu), f(geo.hash), f(geo.gpu), f(geo.queue),
+				f(h), f(g), f(q),
+				strconv.Itoa(p.Serial.DistanceOps), strconv.Itoa(p.Queue.SortedItems), strconv.Itoa(p.Queue.Passes),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("experiments: csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bilsh/internal/core"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/parsim"
+	"bilsh/internal/shortlist"
+	"bilsh/internal/xrand"
+)
+
+// Figure4Point is one x-position of the short-list performance figure:
+// the candidate volume produced by one bucket width, with modeled times
+// and the measured engine statistics behind them.
+type Figure4Point struct {
+	WScale float64
+	Row    parsim.Figure4Row
+	// PaperRow re-models the same measured candidate sets at the paper's
+	// geometry (GIST dim 384, k=500), which is what the quoted 2x /
+	// 15-20x / ~40x layering is calibrated against; Row uses the local
+	// workload's dimension and k.
+	PaperRow parsim.Figure4Row
+	Serial   shortlist.OpStats
+	Queue    shortlist.OpStats
+}
+
+// Figure4Result is the full sweep.
+type Figure4Result struct {
+	Title  string
+	Points []Figure4Point
+}
+
+// Figure4 reproduces the short-list search comparison: it builds a
+// standard LSH index per width (the paper uses L=10, M=8, k=500 and
+// varies W to change the candidate volume), gathers every query's real
+// candidate set, runs the Serial and WorkQueue engines on it, and maps
+// the measured operation counts through the parsim CPU and GPU models.
+func Figure4(w *Workload) (Figure4Result, error) {
+	cfg := w.Cfg
+	res := Figure4Result{Title: "short-list search: CPU vs GPU-hash+CPU vs pure GPU (modeled)"}
+	const l = 10
+	for wi, scale := range cfg.WScales {
+		ix, err := core.Build(w.Train, core.Options{
+			Partitioner: core.PartitionNone,
+			AutoTuneW:   true,
+			Params:      lshfunc.Params{M: cfg.M, L: l, W: scale},
+		}, xrand.New(cfg.Seed*31+int64(wi)))
+		if err != nil {
+			return res, fmt.Errorf("experiments: figure4 W=%g: %w", scale, err)
+		}
+
+		reqs := make([]shortlist.Request, w.Queries.N)
+		wl := parsim.Workload{
+			Queries: w.Queries.N,
+			Dim:     w.Train.D,
+			K:       cfg.K,
+			Lookups: w.Queries.N * l,
+		}
+		for qi := 0; qi < w.Queries.N; qi++ {
+			q := w.Queries.Row(qi)
+			cands, _ := ix.CandidateList(q)
+			reqs[qi] = shortlist.Request{Query: q, Candidates: cands}
+			wl.PerQueryCandidates = append(wl.PerQueryCandidates, len(cands))
+		}
+
+		_, serialSt := shortlist.Serial{}.Search(w.Train, reqs, cfg.K)
+		_, queueSt := shortlist.WorkQueue{}.Search(w.Train, reqs, cfg.K)
+		row := parsim.ModelFigure4(parsim.CPU(), parsim.GTX480(), wl, serialSt, queueSt)
+		paperWL := wl
+		paperWL.Dim = 384
+		paperWL.K = 500
+		paperRow := parsim.ModelFigure4(parsim.CPU(), parsim.GTX480(), paperWL, serialSt, queueSt)
+		res.Points = append(res.Points, Figure4Point{
+			WScale: scale, Row: row, PaperRow: paperRow, Serial: serialSt, Queue: queueSt,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteTable renders a FigureResult as an aligned text report: one block
+// per series, one row per sweep point, with the three metrics and both
+// deviation decompositions (±proj is the r1 std across projections, ±qry
+// the mean per-query std).
+func (r FigureResult) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		if _, err := fmt.Fprintf(w, "-- %s (L=%d)\n", s.Method, s.L); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%8s  %24s  %24s  %24s\n",
+			"Wscale", "selectivity ±proj ±qry", "recall ±proj ±qry", "error ±proj ±qry"); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%8.2f  %8.4f %6.4f %6.4f   %8.4f %6.4f %6.4f   %8.4f %6.4f %6.4f\n",
+				p.WScale,
+				p.MeanSelectivity, p.ProjStdSelectivity, p.QueryStdSel,
+				p.MeanRecall, p.ProjStdRecall, p.QueryStdRecall,
+				p.MeanError, p.ProjStdError, p.QueryStdError); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTable renders the Figure 4 sweep: candidate volume, modeled times
+// and the derived speedups.
+func (r Figure4Result) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== fig4: %s ==\n", r.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s %12s %14s %14s %14s %14s %8s %8s %8s\n",
+		"Wscale", "candidates", "CPU-lshkit", "GPUhash+CPUsl", "GPU(perthread)", "GPU(workqueue)",
+		"x-hash", "x-gpu", "x-queue"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		h, g, q := p.Row.Speedups()
+		if _, err := fmt.Fprintf(w, "%8.2f %12d %14.3g %14.3g %14.3g %14.3g %8.1f %8.1f %8.1f\n",
+			p.WScale, p.Row.Candidates,
+			p.Row.CPUOnly, p.Row.GPUHashCPUSL, p.Row.PureGPU, p.Row.PureGPUQueued,
+			h, g, q); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "-- same candidate sets re-modeled at the paper's geometry (dim 384, k=500):"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		h, g, q := p.PaperRow.Speedups()
+		if _, err := fmt.Fprintf(w, "%8.2f %12d %14.3g %14.3g %14.3g %14.3g %8.1f %8.1f %8.1f\n",
+			p.WScale, p.PaperRow.Candidates,
+			p.PaperRow.CPUOnly, p.PaperRow.GPUHashCPUSL, p.PaperRow.PureGPU, p.PaperRow.PureGPUQueued,
+			h, g, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BestRecallAt returns the series' recall at the sweep point whose mean
+// selectivity is closest to (but not above 1.5x) the target — the "given
+// the same selectivity" comparison the paper's conclusions rest on. ok is
+// false when no point qualifies.
+func (s Series) BestRecallAt(targetSel float64) (recall float64, ok bool) {
+	bestGap := -1.0
+	for _, p := range s.Points {
+		if p.MeanSelectivity > 1.5*targetSel {
+			continue
+		}
+		gap := targetSel - p.MeanSelectivity
+		if gap < 0 {
+			gap = -gap
+		}
+		if bestGap < 0 || gap < bestGap {
+			bestGap = gap
+			recall = p.MeanRecall
+			ok = true
+		}
+	}
+	return recall, ok
+}
+
+// InterpolateRecallAt linearly interpolates a series' selectivity→recall
+// curve at the target selectivity; ok is false when the target lies
+// outside the measured selectivity range.
+func (s Series) InterpolateRecallAt(targetSel float64) (float64, bool) {
+	type pt struct{ sel, rec float64 }
+	pts := make([]pt, 0, len(s.Points))
+	for _, p := range s.Points {
+		pts = append(pts, pt{p.MeanSelectivity, p.MeanRecall})
+	}
+	for i := 1; i < len(pts); i++ {
+		lo, hi := pts[i-1], pts[i]
+		if lo.sel > hi.sel {
+			lo, hi = hi, lo
+		}
+		if targetSel >= lo.sel && targetSel <= hi.sel {
+			if hi.sel == lo.sel {
+				return (lo.rec + hi.rec) / 2, true
+			}
+			t := (targetSel - lo.sel) / (hi.sel - lo.sel)
+			return lo.rec + t*(hi.rec-lo.rec), true
+		}
+	}
+	return 0, false
+}
+
+// MeanProjStdRecall averages the projection-induced recall deviation over
+// the sweep — the summary number used to verify the variance-reduction
+// claims.
+func (s Series) MeanProjStdRecall() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.ProjStdRecall
+	}
+	return sum / float64(len(s.Points))
+}
+
+// MeanQueryStdRecall averages the query-induced recall deviation over the
+// sweep (Figs. 11-12's headline quantity).
+func (s Series) MeanQueryStdRecall() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.QueryStdRecall
+	}
+	return sum / float64(len(s.Points))
+}

@@ -1,0 +1,315 @@
+package hierarchy
+
+import (
+	"sort"
+	"testing"
+
+	"bilsh/internal/lattice"
+	"bilsh/internal/lshtable"
+	"bilsh/internal/xrand"
+)
+
+// buildZMTable hashes n random points to Z^M codes and returns the table
+// plus each id's code.
+func buildZMTable(t *testing.T, n, m int, scale float64, seed int64) (*lshtable.Table, [][]int32) {
+	t.Helper()
+	rng := xrand.New(seed)
+	z := lattice.NewZM(m)
+	codes := make([]string, n)
+	raw := make([][]int32, n)
+	ids := make([]int, n)
+	y := make([]float64, m)
+	for i := 0; i < n; i++ {
+		for j := range y {
+			y[j] = rng.NormFloat64() * scale
+		}
+		c := z.Decode(y)
+		raw[i] = c
+		codes[i] = lattice.Key(c)
+		ids[i] = i
+	}
+	tab, err := lshtable.Build(codes, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, raw
+}
+
+func TestMortonCandidatesGrowWithMinCount(t *testing.T) {
+	tab, raw := buildZMTable(t, 500, 4, 3, 1)
+	h, err := NewMorton(tab, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := raw[0]
+	small, lvlSmall := h.Candidates(q, 1)
+	big, lvlBig := h.Candidates(q, 200)
+	if len(small) < 1 {
+		t.Fatal("exact bucket must contain the query's own point")
+	}
+	if len(big) < 200 {
+		t.Fatalf("climbing produced only %d candidates, want >= 200", len(big))
+	}
+	if lvlBig < lvlSmall {
+		t.Fatalf("bigger demand used lower level (%d < %d)", lvlBig, lvlSmall)
+	}
+	// Nesting: the small set must be a subset of the big set.
+	set := make(map[int]bool, len(big))
+	for _, id := range big {
+		set[id] = true
+	}
+	for _, id := range small {
+		if !set[id] {
+			t.Fatal("hierarchy groups do not nest")
+		}
+	}
+}
+
+func TestMortonCandidatesExactBucketFirst(t *testing.T) {
+	tab, raw := buildZMTable(t, 300, 4, 2, 2)
+	h, err := NewMorton(tab, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For minCount=1 the returned ids must be exactly the home bucket.
+	q := raw[7]
+	got, lvl := h.Candidates(q, 1)
+	want := tab.Bucket(lattice.Key(q))
+	if lvl != 0 {
+		t.Fatalf("level = %d, want 0", lvl)
+	}
+	sort.Ints(got)
+	if len(got) != len(want) {
+		t.Fatalf("got %d ids, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("home bucket contents differ")
+		}
+	}
+}
+
+func TestMortonRootReturnsEverything(t *testing.T) {
+	tab, raw := buildZMTable(t, 200, 3, 2, 3)
+	h, err := NewMorton(tab, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _ := h.Candidates(raw[0], 1<<30)
+	if len(all) != 200 {
+		t.Fatalf("root group has %d ids, want all 200", len(all))
+	}
+}
+
+func TestMortonQueryInEmptyRegion(t *testing.T) {
+	tab, _ := buildZMTable(t, 200, 3, 1, 4)
+	h, err := NewMorton(tab, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A far-away code hits no bucket at level 0; climbing must still find
+	// candidates (this is the low-density-query scenario of Sec. IV-B2).
+	q := []int32{500, -500, 500}
+	got, _ := h.Candidates(q, 10)
+	if len(got) < 10 {
+		t.Fatalf("sparse query found only %d candidates", len(got))
+	}
+}
+
+func TestMortonWindow(t *testing.T) {
+	tab, raw := buildZMTable(t, 400, 4, 3, 5)
+	h, err := NewMorton(tab, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := h.Window(raw[3], 5)
+	if len(ids) == 0 {
+		t.Fatal("window produced no candidates")
+	}
+	// The home bucket must be part of a 5-bucket window around itself.
+	home := tab.Bucket(lattice.Key(raw[3]))
+	set := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	for _, id := range home {
+		if !set[id] {
+			t.Fatal("window misses the home bucket")
+		}
+	}
+}
+
+func TestMortonSharedMSB(t *testing.T) {
+	tab, raw := buildZMTable(t, 100, 3, 2, 6)
+	h, err := NewMorton(tab, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stored code shares all bits with itself.
+	if got := h.SharedMSB(raw[0]); got != 36 {
+		t.Fatalf("SharedMSB(stored) = %d, want 36", got)
+	}
+	// A far-away code shares few bits.
+	far := h.SharedMSB([]int32{2000, -2000, 2000})
+	if far >= 36 {
+		t.Fatalf("SharedMSB(far) = %d, want < 36", far)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E8 hierarchy
+
+func buildE8Table(t *testing.T, n int, scale float64, seed int64) (*lshtable.Table, *lattice.E8, [][]int32) {
+	t.Helper()
+	rng := xrand.New(seed)
+	e := lattice.NewE8(8)
+	codes := make([]string, n)
+	raw := make([][]int32, n)
+	ids := make([]int, n)
+	y := make([]float64, 8)
+	for i := 0; i < n; i++ {
+		for j := range y {
+			y[j] = rng.NormFloat64() * scale
+		}
+		c := e.Decode(y)
+		raw[i] = c
+		codes[i] = lattice.Key(c)
+		ids[i] = i
+	}
+	tab, err := lshtable.Build(codes, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, e, raw
+}
+
+func TestE8TreeCandidatesNestAndGrow(t *testing.T) {
+	tab, e, raw := buildE8Table(t, 600, 3, 7)
+	h, err := NewE8Tree(tab, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Levels() < 2 {
+		t.Fatalf("hierarchy has %d levels; expected several", h.Levels())
+	}
+	q := raw[11]
+	small, _ := h.Candidates(q, 1)
+	if len(small) == 0 {
+		t.Fatal("home bucket empty for stored code")
+	}
+	big, _ := h.Candidates(q, 300)
+	if len(big) < 300 && len(big) != 600 {
+		t.Fatalf("climb produced %d candidates", len(big))
+	}
+	set := make(map[int]bool, len(big))
+	for _, id := range big {
+		set[id] = true
+	}
+	for _, id := range small {
+		if !set[id] {
+			t.Fatal("E8 groups do not nest")
+		}
+	}
+}
+
+func TestE8TreeExactBucketLevel0(t *testing.T) {
+	tab, e, raw := buildE8Table(t, 300, 2, 8)
+	h, err := NewE8Tree(tab, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := raw[0]
+	got, lvl := h.Candidates(q, 1)
+	if lvl != 0 {
+		t.Fatalf("level = %d, want 0", lvl)
+	}
+	want := tab.Bucket(lattice.Key(q))
+	sort.Ints(got)
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestE8TreeVirtualRoot(t *testing.T) {
+	tab, e, raw := buildE8Table(t, 150, 2, 9)
+	h, err := NewE8Tree(tab, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _ := h.Candidates(raw[0], 1<<30)
+	if len(all) != 150 {
+		t.Fatalf("virtual root returned %d ids, want all 150", len(all))
+	}
+	// A code unrelated to any stored bucket must still get candidates.
+	q := make([]int32, 8)
+	for i := range q {
+		q[i] = 2000 // (1000)^8: sum even, valid E8 point far away
+	}
+	got, _ := h.Candidates(q, 5)
+	if len(got) < 5 {
+		t.Fatalf("alien query got %d candidates", len(got))
+	}
+}
+
+func TestE8TreeDescend(t *testing.T) {
+	tab, e, raw := buildE8Table(t, 400, 3, 10)
+	h, err := NewE8Tree(tab, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Descending with a stored code reaches level 0 (its own bucket).
+	got, lvl := h.Descend(raw[5])
+	if lvl != 0 {
+		t.Fatalf("Descend(stored) level = %d", lvl)
+	}
+	if len(got) == 0 {
+		t.Fatal("Descend returned no ids")
+	}
+}
+
+func TestE8TreeGroupsPartitionEveryLevel(t *testing.T) {
+	tab, e, _ := buildE8Table(t, 500, 3, 11)
+	h, err := NewE8Tree(tab, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At every level the group ranges must partition [0, buckets).
+	for k := 0; k < h.Levels(); k++ {
+		covered := make([]bool, tab.NumBuckets())
+		for _, g := range h.levels[k] {
+			for i := g.lo; i < g.hi; i++ {
+				if covered[i] {
+					t.Fatalf("level %d: position %d in two groups", k, i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, ok := range covered {
+			if !ok {
+				t.Fatalf("level %d: position %d uncovered", k, i)
+			}
+		}
+	}
+}
+
+func TestE8TreeEmptyTable(t *testing.T) {
+	tab, err := lshtable.Build(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewE8Tree(tab, lattice.NewE8(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h.Candidates(make([]int32, 8), 1)
+	if len(got) != 0 {
+		t.Fatal("empty hierarchy must return nothing")
+	}
+}
+
+func TestMortonDimensionMismatch(t *testing.T) {
+	tab, _ := buildZMTable(t, 50, 4, 2, 12)
+	if _, err := NewMorton(tab, 6, 16); err == nil {
+		t.Fatal("dimension mismatch must be rejected")
+	}
+}

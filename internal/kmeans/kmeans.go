@@ -1,0 +1,197 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding.
+//
+// It is the baseline level-1 partitioner the paper compares RP-trees
+// against (Figure 13(c)): the paper argues K-means is sensitive to
+// initialization and converges slowly on high-dimensional data, and the
+// Fig. 13c experiment shows RP-tree partitions give better quality and
+// lower deviation. This package exists so that comparison can be
+// reproduced.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// Options configures a run.
+type Options struct {
+	// K is the number of clusters (>= 1).
+	K int
+	// MaxIters caps Lloyd iterations (default 50).
+	MaxIters int
+	// Tol stops early when the relative decrease of the objective falls
+	// below it (default 1e-4).
+	Tol float64
+}
+
+func (o *Options) fill() {
+	if o.K < 1 {
+		o.K = 1
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 50
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-4
+	}
+}
+
+// Model is a fitted clustering.
+type Model struct {
+	Centroids *vec.Matrix
+	// Inertia is the final sum of squared distances to assigned centroids.
+	Inertia float64
+	// Iters is the number of Lloyd iterations performed.
+	Iters int
+}
+
+// Assignment mirrors rptree.Assignment for the level-1 consumer.
+type Assignment struct {
+	LeafOf  []int
+	Members [][]int
+}
+
+// Build fits K-means to data and returns the model and point assignment.
+// Empty clusters are re-seeded from the point currently farthest from its
+// centroid, so every returned cluster is non-empty when data.N >= K.
+func Build(data *vec.Matrix, opts Options, rng *xrand.RNG) (*Model, *Assignment) {
+	opts.fill()
+	k := opts.K
+	if k > data.N {
+		k = data.N
+	}
+	cents := seedPlusPlus(data, k, rng)
+	assign := make([]int, data.N)
+	prevObj := math.Inf(1)
+	m := &Model{}
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		m.Iters = iter + 1
+		obj := assignAll(data, cents, assign)
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, data.D)
+		}
+		for p := 0; p < data.N; p++ {
+			c := assign[p]
+			counts[c]++
+			row := data.Row(p)
+			for d, v := range row {
+				sums[c][d] += float64(v)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed from the worst-served point.
+				worst, worstD := 0, -1.0
+				for p := 0; p < data.N; p++ {
+					if d := vec.SqDist(data.Row(p), cents.Row(assign[p])); d > worstD {
+						worstD = d
+						worst = p
+					}
+				}
+				copy(cents.Row(c), data.Row(worst))
+				continue
+			}
+			row := cents.Row(c)
+			for d := range row {
+				row[d] = float32(sums[c][d] / float64(counts[c]))
+			}
+		}
+		if prevObj-obj <= opts.Tol*math.Abs(prevObj) {
+			m.Inertia = obj
+			break
+		}
+		prevObj = obj
+		m.Inertia = obj
+	}
+	// Final assignment against the final centroids.
+	m.Inertia = assignAll(data, cents, assign)
+	m.Centroids = cents
+
+	asg := &Assignment{LeafOf: assign, Members: make([][]int, k)}
+	for p, c := range assign {
+		asg.Members[c] = append(asg.Members[c], p)
+	}
+	return m, asg
+}
+
+// assignAll writes the nearest-centroid index of every point into assign
+// and returns the total squared-distance objective.
+func assignAll(data, cents *vec.Matrix, assign []int) float64 {
+	var obj float64
+	for p := 0; p < data.N; p++ {
+		row := data.Row(p)
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < cents.N; c++ {
+			if d := vec.SqDist(row, cents.Row(c)); d < bestD {
+				bestD = d
+				best = c
+			}
+		}
+		assign[p] = best
+		obj += bestD
+	}
+	return obj
+}
+
+// Assign routes a query vector to its nearest centroid.
+func (m *Model) Assign(v []float32) int {
+	if len(v) != m.Centroids.D {
+		panic(fmt.Sprintf("kmeans: Assign got dim %d, want %d", len(v), m.Centroids.D))
+	}
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c < m.Centroids.N; c++ {
+		if d := vec.SqDist(v, m.Centroids.Row(c)); d < bestD {
+			bestD = d
+			best = c
+		}
+	}
+	return best
+}
+
+// K returns the number of clusters.
+func (m *Model) K() int { return m.Centroids.N }
+
+// seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(data *vec.Matrix, k int, rng *xrand.RNG) *vec.Matrix {
+	cents := vec.NewMatrix(k, data.D)
+	first := rng.Intn(data.N)
+	copy(cents.Row(0), data.Row(first))
+	d2 := make([]float64, data.N)
+	for p := 0; p < data.N; p++ {
+		d2[p] = vec.SqDist(data.Row(p), cents.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(data.N) // all points coincide with a centroid
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = data.N - 1
+			for p, d := range d2 {
+				acc += d
+				if acc >= target {
+					pick = p
+					break
+				}
+			}
+		}
+		copy(cents.Row(c), data.Row(pick))
+		for p := 0; p < data.N; p++ {
+			if d := vec.SqDist(data.Row(p), cents.Row(c)); d < d2[p] {
+				d2[p] = d
+			}
+		}
+	}
+	return cents
+}

@@ -1,0 +1,125 @@
+package kmeans
+
+import (
+	"testing"
+
+	"bilsh/internal/dataset"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+func TestRecoverSeparatedClusters(t *testing.T) {
+	spec := dataset.ClusteredSpec{N: 400, D: 16, Clusters: 4, IntrinsicDim: 2,
+		Aspect: 1.5, NoiseSigma: 0.01, Spread: 40, PowerLaw: 0}
+	data, labels, err := dataset.Clustered(spec, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, asg := Build(data, Options{K: 4}, xrand.New(2))
+	// Compute purity: each fitted cluster should be dominated by one label.
+	var pure int
+	for _, members := range asg.Members {
+		counts := map[int]int{}
+		for _, p := range members {
+			counts[labels[p]]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		pure += best
+	}
+	if purity := float64(pure) / float64(data.N); purity < 0.95 {
+		t.Fatalf("purity = %.2f on trivially separable data", purity)
+	}
+}
+
+func TestAssignmentComplete(t *testing.T) {
+	data := dataset.Gaussian(200, 8, 1, xrand.New(3))
+	m, asg := Build(data, Options{K: 5}, xrand.New(4))
+	if m.K() != 5 {
+		t.Fatalf("K = %d", m.K())
+	}
+	seen := make([]bool, data.N)
+	for c, members := range asg.Members {
+		if len(members) == 0 {
+			t.Fatalf("cluster %d empty", c)
+		}
+		for _, p := range members {
+			if seen[p] {
+				t.Fatalf("point %d assigned twice", p)
+			}
+			seen[p] = true
+			if asg.LeafOf[p] != c {
+				t.Fatal("LeafOf inconsistent with Members")
+			}
+		}
+	}
+	for p, ok := range seen {
+		if !ok {
+			t.Fatalf("point %d unassigned", p)
+		}
+	}
+}
+
+func TestAssignMatchesTraining(t *testing.T) {
+	data := dataset.Gaussian(150, 6, 1, xrand.New(5))
+	m, asg := Build(data, Options{K: 3}, xrand.New(6))
+	for p := 0; p < data.N; p++ {
+		if got := m.Assign(data.Row(p)); got != asg.LeafOf[p] {
+			t.Fatalf("point %d routed to %d, assigned %d", p, got, asg.LeafOf[p])
+		}
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	data := dataset.Gaussian(300, 8, 1, xrand.New(7))
+	m1, _ := Build(data, Options{K: 1}, xrand.New(8))
+	m8, _ := Build(data, Options{K: 8}, xrand.New(8))
+	if m8.Inertia >= m1.Inertia {
+		t.Fatalf("inertia did not decrease: K1=%.1f K8=%.1f", m1.Inertia, m8.Inertia)
+	}
+}
+
+func TestKLargerThanN(t *testing.T) {
+	data := dataset.Gaussian(3, 4, 1, xrand.New(9))
+	m, asg := Build(data, Options{K: 10}, xrand.New(10))
+	if m.K() != 3 {
+		t.Fatalf("K clamped to %d, want 3", m.K())
+	}
+	if len(asg.Members) != 3 {
+		t.Fatalf("members has %d clusters", len(asg.Members))
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	rows := make([][]float32, 20)
+	for i := range rows {
+		rows[i] = []float32{7, 7}
+	}
+	data := vec.FromRows(rows)
+	m, asg := Build(data, Options{K: 3}, xrand.New(11))
+	total := 0
+	for _, members := range asg.Members {
+		total += len(members)
+	}
+	if total != 20 {
+		t.Fatalf("points lost: %d", total)
+	}
+	if m.Inertia != 0 {
+		t.Fatalf("inertia = %v on identical points", m.Inertia)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	data := dataset.Gaussian(120, 5, 1, xrand.New(12))
+	_, a1 := Build(data, Options{K: 4}, xrand.New(13))
+	_, a2 := Build(data, Options{K: 4}, xrand.New(13))
+	for p := range a1.LeafOf {
+		if a1.LeafOf[p] != a2.LeafOf[p] {
+			t.Fatal("same seed must reproduce the same clustering")
+		}
+	}
+}

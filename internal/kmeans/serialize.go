@@ -1,0 +1,35 @@
+package kmeans
+
+import (
+	"fmt"
+
+	"bilsh/internal/vec"
+	"bilsh/internal/wire"
+)
+
+const modelMagic = "kmeans.Model/1"
+
+// Encode writes the fitted model to w.
+func (m *Model) Encode(w *wire.Writer) {
+	w.Magic(modelMagic)
+	m.Centroids.Encode(w)
+	w.F64(m.Inertia)
+	w.Int(m.Iters)
+}
+
+// DecodeModel reads a model written by Encode.
+func DecodeModel(r *wire.Reader) (*Model, error) {
+	r.ExpectMagic(modelMagic)
+	cents, err := vec.DecodeMatrix(r)
+	if err != nil {
+		return nil, fmt.Errorf("kmeans: centroids: %w", err)
+	}
+	m := &Model{Centroids: cents, Inertia: r.F64(), Iters: r.Int()}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if m.Centroids.N < 1 {
+		return nil, fmt.Errorf("kmeans: decoded model has no centroids")
+	}
+	return m, nil
+}

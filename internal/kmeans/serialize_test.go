@@ -1,0 +1,39 @@
+package kmeans
+
+import (
+	"bytes"
+	"testing"
+
+	"bilsh/internal/dataset"
+	"bilsh/internal/wire"
+	"bilsh/internal/xrand"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	data := dataset.Gaussian(200, 8, 1, xrand.New(1))
+	orig, _ := Build(data, Options{K: 5}, xrand.New(2))
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	orig.Encode(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeModel(wire.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != orig.K() || got.Inertia != orig.Inertia || got.Iters != orig.Iters {
+		t.Fatal("model metadata changed")
+	}
+	for i := 0; i < data.N; i += 13 {
+		if got.Assign(data.Row(i)) != orig.Assign(data.Row(i)) {
+			t.Fatalf("assignment differs for row %d", i)
+		}
+	}
+}
+
+func TestDecodeModelRejectsGarbage(t *testing.T) {
+	if _, err := DecodeModel(wire.NewReader(bytes.NewReader([]byte("junk")))); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}

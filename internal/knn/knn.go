@@ -1,0 +1,87 @@
+// Package knn provides the exact brute-force k-nearest-neighbor reference
+// (the paper's ground truth N(v)) and the three quality metrics of
+// Section II-A: recall ratio (Eq. 3), error ratio (Eq. 4) and selectivity
+// (Eq. 5), plus the r1/r2 variance aggregation of Section VI-B2.
+package knn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bilsh/internal/topk"
+	"bilsh/internal/vec"
+)
+
+// Result is one query's neighbor list, closest first.
+type Result struct {
+	IDs   []int
+	Dists []float64
+}
+
+// Exact computes the exact k nearest neighbors of query within data by
+// linear scan — the O(n) reference the approximate algorithms are judged
+// against.
+func Exact(data *vec.Matrix, query []float32, k int) Result {
+	h := topk.New(k)
+	for i := 0; i < data.N; i++ {
+		d := vec.SqDist(data.Row(i), query)
+		if h.Accepts(d) {
+			h.Push(i, d)
+		}
+	}
+	return fromHeap(h)
+}
+
+// ExactAll computes ground truth for every row of queries, fanning out
+// across GOMAXPROCS goroutines (the queries are independent).
+func ExactAll(data, queries *vec.Matrix, k int) []Result {
+	if data.D != queries.D {
+		panic(fmt.Sprintf("knn: dimension mismatch data=%d queries=%d", data.D, queries.D))
+	}
+	out := make([]Result, queries.N)
+	parallelFor(queries.N, func(q int) {
+		out[q] = Exact(data, queries.Row(q), k)
+	})
+	return out
+}
+
+func fromHeap(h *topk.Heap) Result {
+	items := h.Sorted()
+	r := Result{IDs: make([]int, len(items)), Dists: make([]float64, len(items))}
+	for i, it := range items {
+		r.IDs[i] = it.ID
+		r.Dists[i] = it.Dist // squared distance; metrics take sqrt where needed
+	}
+	return r
+}
+
+// parallelFor runs body(i) for i in [0,n) on up to GOMAXPROCS workers.
+func parallelFor(n int, body func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,149 @@
+package knn
+
+import (
+	"math"
+
+	"bilsh/internal/vec"
+)
+
+// Recall implements Eq. 3: |N(v) ∩ I(v)| / |N(v)|, where truth is the exact
+// neighbor id set N(v) and got the approximate result I(v).
+func Recall(truth, got []int) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	set := make(map[int]struct{}, len(got))
+	for _, id := range got {
+		set[id] = struct{}{}
+	}
+	hit := 0
+	for _, id := range truth {
+		if _, ok := set[id]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// ErrorRatio implements Eq. 4: (1/k) Σ ||v−N(v)_i|| / ||v−I(v)_i||, taking
+// plain (not squared) distances. Positions where the approximate result is
+// missing contribute 0 (the harshest consistent convention: an absent
+// neighbor is infinitely far). A ratio of 1 means exact. Zero-distance
+// pairs (query duplicated in the dataset) contribute 1.
+func ErrorRatio(truthDists, gotDists []float64) float64 {
+	if len(truthDists) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, td := range truthDists {
+		if i >= len(gotDists) {
+			break // missing results contribute 0
+		}
+		t := math.Sqrt(td)
+		g := math.Sqrt(gotDists[i])
+		switch {
+		case g == 0 && t == 0:
+			sum++
+		case g == 0:
+			// Approximate closer than exact is impossible for a correct
+			// ground truth; guard anyway.
+			sum++
+		default:
+			sum += t / g
+		}
+	}
+	return sum / float64(len(truthDists))
+}
+
+// Selectivity implements Eq. 5: |A(v)| / |S|, with candidates the number of
+// short-list candidates scanned and n the dataset size.
+func Selectivity(candidates, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(candidates) / float64(n)
+}
+
+// QueryMeasure bundles the three per-query measurements.
+type QueryMeasure struct {
+	Recall      float64
+	ErrorRatio  float64
+	Selectivity float64
+}
+
+// Measure evaluates one approximate result against ground truth.
+func Measure(truth Result, got Result, candidates, n int) QueryMeasure {
+	return QueryMeasure{
+		Recall:      Recall(truth.IDs, got.IDs),
+		ErrorRatio:  ErrorRatio(truth.Dists, got.Dists),
+		Selectivity: Selectivity(candidates, n),
+	}
+}
+
+// RunMeasure aggregates one algorithm execution (one random projection
+// draw, i.e. one r1 sample) over its whole query set (the r2 samples):
+// E_r2 for each metric plus the per-query standard deviations.
+type RunMeasure struct {
+	Recall, ErrorRatio, Selectivity             vec.Stats
+	QueryRecalls, QueryErrors, QuerySelectivity []float64
+}
+
+// AggregateQueries folds per-query measures into a RunMeasure.
+func AggregateQueries(ms []QueryMeasure) RunMeasure {
+	r := RunMeasure{
+		QueryRecalls:     make([]float64, len(ms)),
+		QueryErrors:      make([]float64, len(ms)),
+		QuerySelectivity: make([]float64, len(ms)),
+	}
+	for i, m := range ms {
+		r.QueryRecalls[i] = m.Recall
+		r.QueryErrors[i] = m.ErrorRatio
+		r.QuerySelectivity[i] = m.Selectivity
+	}
+	r.Recall = vec.Summarize(r.QueryRecalls)
+	r.ErrorRatio = vec.Summarize(r.QueryErrors)
+	r.Selectivity = vec.Summarize(r.QuerySelectivity)
+	return r
+}
+
+// VarianceSummary is the paper's Section VI-B2 decomposition for one
+// parameter setting (one W): means over all runs and queries, the std of
+// per-run means across projections (Std_r1 E_r2), and the mean of per-run
+// query stds (E_r1 Std_r2 — the query-induced deviation of Figs. 11–12).
+type VarianceSummary struct {
+	MeanRecall, MeanError, MeanSelectivity          float64
+	ProjStdRecall, ProjStdError, ProjStdSelectivity float64
+	QueryStdRecall, QueryStdError, QueryStdSel      float64
+	Runs                                            int
+}
+
+// AggregateRuns combines the per-projection RunMeasures of repeated
+// executions with independent hash draws.
+func AggregateRuns(runs []RunMeasure) VarianceSummary {
+	n := len(runs)
+	if n == 0 {
+		return VarianceSummary{}
+	}
+	recallMeans := make([]float64, n)
+	errMeans := make([]float64, n)
+	selMeans := make([]float64, n)
+	var qsr, qse, qss float64
+	for i, r := range runs {
+		recallMeans[i] = r.Recall.Mean
+		errMeans[i] = r.ErrorRatio.Mean
+		selMeans[i] = r.Selectivity.Mean
+		qsr += r.Recall.Std
+		qse += r.ErrorRatio.Std
+		qss += r.Selectivity.Std
+	}
+	sr := vec.Summarize(recallMeans)
+	se := vec.Summarize(errMeans)
+	ss := vec.Summarize(selMeans)
+	return VarianceSummary{
+		MeanRecall: sr.Mean, MeanError: se.Mean, MeanSelectivity: ss.Mean,
+		ProjStdRecall: sr.Std, ProjStdError: se.Std, ProjStdSelectivity: ss.Std,
+		QueryStdRecall: qsr / float64(n), QueryStdError: qse / float64(n),
+		QueryStdSel: qss / float64(n),
+		Runs:        n,
+	}
+}

@@ -1,0 +1,165 @@
+package lattice
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dn is the checkerboard lattice D_n = {x ∈ Z^n : Σx even} for arbitrary
+// dimension n, a quantizer sitting between Z^M and E8 in density (D8 is
+// E8's integer coset; E8 = D8 ∪ (D8+½)). The paper motivates E8 with the
+// density argument of Section II-B; Dn exists here as the natural ablation
+// between the two choices: decoding costs one parity repair over plain
+// rounding, and density improves by a factor of 2 over Z^n.
+//
+// Codes are doubled integers like E8 codes, so the two lattices share the
+// Key/Ancestor conventions (all Dn doubled entries are even).
+type Dn struct {
+	m      int
+	blocks int
+	bdim   int // block dimension (min(m, 8) by default 8-dim blocks)
+}
+
+// NewDn returns a D_n quantizer over m projected dimensions, processed in
+// blocks of up to 8 dimensions (mirroring the E8 block layout so the two
+// are directly comparable).
+func NewDn(m int) *Dn {
+	if m <= 0 {
+		panic(fmt.Sprintf("lattice: NewDn(%d): m must be positive", m))
+	}
+	bdim := 8
+	if m < bdim {
+		bdim = m
+	}
+	return &Dn{m: m, blocks: (m + bdim - 1) / bdim, bdim: bdim}
+}
+
+// Name implements Lattice.
+func (d *Dn) Name() string { return "Dn" }
+
+// M implements Lattice.
+func (d *Dn) M() int { return d.m }
+
+// CodeLen implements Lattice.
+func (d *Dn) CodeLen() int { return d.blocks * d.bdim }
+
+// BlockDim returns the per-block dimension (8, or m when m < 8).
+func (d *Dn) BlockDim() int { return d.bdim }
+
+// Decode maps each block to its nearest D_n point (doubled integers).
+func (d *Dn) Decode(y []float64) []int32 {
+	if len(y) != d.m {
+		panic(fmt.Sprintf("lattice: Dn.Decode got %d dims, want %d", len(y), d.m))
+	}
+	out := make([]int32, d.CodeLen())
+	block := make([]float64, d.bdim)
+	for b := 0; b < d.blocks; b++ {
+		for j := 0; j < d.bdim; j++ {
+			if i := b*d.bdim + j; i < d.m {
+				block[j] = y[i]
+			} else {
+				block[j] = 0
+			}
+		}
+		p := decodeDn(block)
+		copy(out[b*d.bdim:], p)
+	}
+	return out
+}
+
+// decodeDn returns the nearest D_n point to y in doubled-integer form:
+// round every coordinate, then repair odd parity at the coordinate with
+// the largest rounding error (the Conway–Sloane D_n decoder).
+func decodeDn(y []float64) []int32 {
+	out := make([]int32, len(y))
+	var sum int32
+	worst, worstAbs := 0, -1.0
+	errs := make([]float64, len(y))
+	for i, v := range y {
+		r := int32(math.Floor(v + 0.5))
+		out[i] = r
+		errs[i] = v - float64(r)
+		sum += r
+		if a := math.Abs(errs[i]); a > worstAbs {
+			worstAbs = a
+			worst = i
+		}
+	}
+	if sum&1 != 0 {
+		if errs[worst] > 0 {
+			out[worst]++
+		} else {
+			out[worst]--
+		}
+	}
+	for i := range out {
+		out[i] *= 2 // doubled representation, shared with E8
+	}
+	return out
+}
+
+// Ancestor applies the halve-and-decode recursion of Eq. 10 with the D_n
+// decoder (D_n also has the scaling property: 2·D_n ⊂ D_n).
+func (d *Dn) Ancestor(c []int32, k int) []int32 {
+	out := make([]int32, len(c))
+	copy(out, c)
+	if k > 30 {
+		k = 30
+	}
+	y := make([]float64, d.bdim)
+	for step := 0; step < k; step++ {
+		for b := 0; b+d.bdim <= len(out); b += d.bdim {
+			for j := 0; j < d.bdim; j++ {
+				y[j] = float64(out[b+j]) / 4
+			}
+			copy(out[b:b+d.bdim], decodeDn(y))
+		}
+	}
+	if k > 0 {
+		for i := range out {
+			out[i] <<= uint(k)
+		}
+	}
+	return out
+}
+
+// Center converts a doubled code to projected-space coordinates.
+func (d *Dn) Center(c []int32) []float64 {
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = float64(v) / 2
+	}
+	return out
+}
+
+// DnMinVectors returns the minimal vectors of D_n in doubled form: all
+// (±1, ±1, 0^(n-2)) permutations — 2n(n-1) vectors of squared norm 2 —
+// used as the multi-probe neighbor set.
+func DnMinVectors(n int) [][]int32 {
+	out := make([][]int32, 0, 2*n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for _, si := range []int32{2, -2} {
+				for _, sj := range []int32{2, -2} {
+					v := make([]int32, n)
+					v[i], v[j] = si, sj
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IsDn reports whether a doubled point is in D_n: all entries even
+// (integer coordinates) with the coordinate sum even.
+func IsDn(p []int32) bool {
+	var sum int32
+	for _, v := range p {
+		if v&1 != 0 {
+			return false
+		}
+		sum += v / 2
+	}
+	return sum&1 == 0
+}

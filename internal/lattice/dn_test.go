@@ -1,0 +1,214 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bilsh/internal/xrand"
+)
+
+func TestDnDecodeMembership(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		m := 2 + rng.Intn(14)
+		d := NewDn(m)
+		y := make([]float64, m)
+		for i := range y {
+			y[i] = rng.NormFloat64() * 3
+		}
+		code := d.Decode(y)
+		for b := 0; b+d.bdim <= len(code); b += d.bdim {
+			if !IsDn(code[b : b+d.bdim]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDnDecodeIdempotent(t *testing.T) {
+	d := NewDn(8)
+	rng := xrand.New(2)
+	mins := DnMinVectors(8)
+	for trial := 0; trial < 200; trial++ {
+		// Random D8 point: sum of minimal vectors.
+		p := make([]int32, 8)
+		for s := 0; s < 1+rng.Intn(5); s++ {
+			v := mins[rng.Intn(len(mins))]
+			for i := range p {
+				p[i] += v[i]
+			}
+		}
+		y := make([]float64, 8)
+		for i := range y {
+			y[i] = float64(p[i]) / 2
+		}
+		got := d.Decode(y)
+		for i := range p {
+			if got[i] != p[i] {
+				t.Fatalf("Decode(lattice point %v) = %v", p, got)
+			}
+		}
+	}
+}
+
+// Property: the D_n decode is at least as close as every neighbor by a
+// minimal vector (local optimality).
+func TestDnLocalOptimality(t *testing.T) {
+	d := NewDn(6)
+	mins := DnMinVectors(6)
+	sq := func(y []float64, p []int32) float64 {
+		var s float64
+		for i := range y {
+			diff := y[i] - float64(p[i])/2
+			s += diff * diff
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		y := make([]float64, 6)
+		for i := range y {
+			y[i] = rng.NormFloat64() * 2
+		}
+		p := d.Decode(y)
+		dist := sq(y, p)
+		for _, v := range mins {
+			q := make([]int32, 6)
+			for i := range q {
+				q[i] = p[i] + v[i]
+			}
+			if sq(y, q) < dist-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDnMinVectors(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		vs := DnMinVectors(n)
+		want := 2 * n * (n - 1)
+		if len(vs) != want {
+			t.Fatalf("D_%d has %d minimal vectors, want %d", n, len(vs), want)
+		}
+		seen := map[string]bool{}
+		for _, v := range vs {
+			if !IsDn(v) {
+				t.Fatalf("minimal vector %v not in D_%d", v, n)
+			}
+			var norm int32
+			for _, x := range v {
+				norm += x * x
+			}
+			if norm != 8 { // doubled norm^2 = 4*2
+				t.Fatalf("minimal vector %v has doubled norm %d", v, norm)
+			}
+			k := Key(v)
+			if seen[k] {
+				t.Fatal("duplicate minimal vector")
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestDnAncestorScaling(t *testing.T) {
+	d := NewDn(8)
+	rng := xrand.New(5)
+	for trial := 0; trial < 50; trial++ {
+		y := make([]float64, 8)
+		for i := range y {
+			y[i] = rng.NormFloat64() * 6
+		}
+		c := d.Decode(y)
+		for k := 1; k <= 6; k++ {
+			a := d.Ancestor(c, k)
+			for i := range a {
+				if a[i]%(1<<uint(k)) != 0 {
+					t.Fatalf("level-%d ancestor %v not on scaled lattice", k, a)
+				}
+			}
+			scaled := make([]int32, len(a))
+			for i := range a {
+				scaled[i] = a[i] / (1 << uint(k))
+			}
+			if !IsDn(scaled) {
+				t.Fatalf("level-%d ancestor/2^k = %v not in D_n", k, scaled)
+			}
+		}
+		// Level 0 is a copy.
+		a0 := d.Ancestor(c, 0)
+		a0[0]++
+		if c[0] == a0[0] {
+			t.Fatal("Ancestor(c,0) aliases input")
+		}
+	}
+}
+
+func TestDnBlocksAndPadding(t *testing.T) {
+	d := NewDn(12) // blocks of 8: code len 16
+	if d.CodeLen() != 16 {
+		t.Fatalf("CodeLen = %d", d.CodeLen())
+	}
+	small := NewDn(4) // single 4-dim block
+	if small.CodeLen() != 4 {
+		t.Fatalf("small CodeLen = %d", small.CodeLen())
+	}
+	y := []float64{0.6, -0.7, 1.2, 0.4}
+	code := small.Decode(y)
+	if !IsDn(code) {
+		t.Fatalf("code %v not in D_4", code)
+	}
+}
+
+func TestDnInterfaceCompliance(t *testing.T) {
+	var _ Lattice = NewDn(8)
+	d := NewDn(10)
+	if d.Name() != "Dn" || d.M() != 10 {
+		t.Fatal("metadata wrong")
+	}
+	ctr := d.Center([]int32{4, -2})
+	if ctr[0] != 2 || ctr[1] != -1 {
+		t.Fatalf("Center = %v", ctr)
+	}
+}
+
+// D8 ⊂ E8: every D8 decode result must also be an E8 point, and the E8
+// decode of the same input can only be closer or equal.
+func TestD8SubsetOfE8(t *testing.T) {
+	d := NewDn(8)
+	rng := xrand.New(9)
+	for trial := 0; trial < 200; trial++ {
+		y8 := make([]float64, 8)
+		var arr [8]float64
+		for i := range y8 {
+			y8[i] = rng.NormFloat64() * 2
+			arr[i] = y8[i]
+		}
+		dp := d.Decode(y8)
+		var dpArr [8]int32
+		copy(dpArr[:], dp)
+		if !IsE8(dpArr) {
+			t.Fatalf("D8 point %v not in E8", dp)
+		}
+		ep := DecodeE8(arr)
+		var dDist, eDist float64
+		for i := 0; i < 8; i++ {
+			dd := y8[i] - float64(dp[i])/2
+			ee := y8[i] - float64(ep[i])/2
+			dDist += dd * dd
+			eDist += ee * ee
+		}
+		if eDist > dDist+1e-9 {
+			t.Fatalf("E8 decode farther than D8 decode (%.4f > %.4f)", eDist, dDist)
+		}
+	}
+}

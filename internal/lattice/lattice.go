@@ -1,0 +1,334 @@
+// Package lattice implements the two space quantizers of the paper's
+// second level: the integer lattice Z^M (Eq. 2) and the E8 lattice
+// (Section IV-B2b), together with the ancestor operations (Eqs. 7–10) that
+// the hierarchical LSH tables are built from.
+//
+// A code is a []int32. For Z^M the entries are the floor-quantized
+// projections. For E8 the entries are *doubled* coordinates of the lattice
+// point (E8 contains half-integer points, so doubling makes every
+// coordinate an exact integer: D8 points have even entries, D8+½ points
+// odd entries). Codes are turned into compact map/hash keys with Key.
+package lattice
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Lattice is a space quantizer mapping M-dimensional projected values to
+// integer codes, with the scaling-based ancestor operation the hierarchy
+// needs.
+type Lattice interface {
+	// Name identifies the quantizer ("ZM" or "E8") in reports.
+	Name() string
+	// M returns the projected dimension consumed by Decode.
+	M() int
+	// CodeLen returns the length of codes produced by Decode.
+	CodeLen() int
+	// Decode quantizes the projected vector y (len == M()) to a code.
+	Decode(y []float64) []int32
+	// Ancestor returns the level-k ancestor of a level-0 code, in the
+	// (unscaled for Z^M, doubled for E8) representation produced by
+	// Decode. Ancestor(c, 0) is a copy of c.
+	Ancestor(c []int32, k int) []int32
+	// Center returns the real-space point (in projected coordinates, i.e.
+	// pre-quantization units) represented by a code, used to order probes
+	// by distance.
+	Center(c []int32) []float64
+}
+
+// Key packs a code into a string usable as a map key. The encoding is the
+// little-endian byte image of the entries, so it is injective.
+func Key(code []int32) string {
+	b := make([]byte, 4*len(code))
+	for i, c := range code {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(c))
+	}
+	return string(b)
+}
+
+// Unkey inverts Key.
+func Unkey(key string) []int32 {
+	if len(key)%4 != 0 {
+		panic(fmt.Sprintf("lattice: Unkey on %d bytes, not a code key", len(key)))
+	}
+	code := make([]int32, len(key)/4)
+	for i := range code {
+		code[i] = int32(binary.LittleEndian.Uint32([]byte(key[4*i : 4*i+4])))
+	}
+	return code
+}
+
+// ---------------------------------------------------------------------------
+// Z^M lattice
+
+// ZM is the classic floor-quantizer lattice of Eq. 2.
+type ZM struct{ m int }
+
+// NewZM returns the Z^M quantizer for m projected dimensions.
+func NewZM(m int) *ZM {
+	if m <= 0 {
+		panic(fmt.Sprintf("lattice: NewZM(%d): m must be positive", m))
+	}
+	return &ZM{m: m}
+}
+
+func (z *ZM) Name() string { return "ZM" }
+func (z *ZM) M() int       { return z.m }
+func (z *ZM) CodeLen() int { return z.m }
+
+// Decode floors every projected coordinate, i.e. h_i = ⌊y_i⌋.
+func (z *ZM) Decode(y []float64) []int32 {
+	if len(y) != z.m {
+		panic(fmt.Sprintf("lattice: ZM.Decode got %d dims, want %d", len(y), z.m))
+	}
+	c := make([]int32, z.m)
+	for i, v := range y {
+		c[i] = int32(math.Floor(v))
+	}
+	return c
+}
+
+// Ancestor implements Eq. 8: H^k(c) = 2^k·⌊c/2^k⌋. The returned code is in
+// original-lattice units (scaled back up), so codes of distinct ancestors
+// never collide across levels of the same run.
+func (z *ZM) Ancestor(c []int32, k int) []int32 {
+	out := make([]int32, len(c))
+	copy(out, c)
+	if k <= 0 {
+		return out
+	}
+	if k > 30 {
+		k = 30
+	}
+	for i, v := range out {
+		out[i] = floorDivPow2(v, uint(k)) << uint(k)
+	}
+	return out
+}
+
+// Center returns the cell midpoint c + 0.5 in projected units.
+func (z *ZM) Center(c []int32) []float64 {
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = float64(v) + 0.5
+	}
+	return out
+}
+
+// floorDivPow2 computes ⌊v / 2^k⌋ for signed v; Go's >> on signed ints is
+// an arithmetic shift, which is exactly floor division by a power of two.
+func floorDivPow2(v int32, k uint) int32 { return v >> k }
+
+// ---------------------------------------------------------------------------
+// E8 lattice
+
+// E8 quantizes with the Conway–Sloane decoder on ⌈M/8⌉ concatenated E8
+// blocks (Section IV-B2b: "If the dimension of the dataset is M > 8, we use
+// the combination of ⌈M/8⌉ E8 lattices"). Input dimensions beyond the last
+// full block are zero-padded.
+type E8 struct {
+	m      int // projected dims consumed
+	blocks int
+}
+
+// NewE8 returns the E8 quantizer for m projected dimensions.
+func NewE8(m int) *E8 {
+	if m <= 0 {
+		panic(fmt.Sprintf("lattice: NewE8(%d): m must be positive", m))
+	}
+	return &E8{m: m, blocks: (m + 7) / 8}
+}
+
+func (e *E8) Name() string { return "E8" }
+func (e *E8) M() int       { return e.m }
+func (e *E8) CodeLen() int { return 8 * e.blocks }
+
+// Decode maps each 8-dim block to its nearest E8 lattice point and returns
+// the doubled-integer representation.
+func (e *E8) Decode(y []float64) []int32 {
+	if len(y) != e.m {
+		panic(fmt.Sprintf("lattice: E8.Decode got %d dims, want %d", len(y), e.m))
+	}
+	out := make([]int32, e.CodeLen())
+	var block [8]float64
+	for b := 0; b < e.blocks; b++ {
+		for j := 0; j < 8; j++ {
+			if i := b*8 + j; i < e.m {
+				block[j] = y[i]
+			} else {
+				block[j] = 0
+			}
+		}
+		p := DecodeE8(block)
+		copy(out[b*8:], p[:])
+	}
+	return out
+}
+
+// Ancestor implements Eq. 10: the level-k ancestor is
+// 2^k·DECODE(½·DECODE(½·…DECODE(½·c)…)) applied blockwise — k nested
+// halve-and-decode steps, with the 2^k scale applied once at the end.
+// Unlike the floor function, DECODE does not telescope (Eq. 9 fails for
+// it), so the steps cannot be collapsed into a single division.
+func (e *E8) Ancestor(c []int32, k int) []int32 {
+	out := make([]int32, len(c))
+	copy(out, c)
+	if k > 30 {
+		k = 30
+	}
+	for step := 0; step < k; step++ {
+		for b := 0; b+8 <= len(out); b += 8 {
+			var y [8]float64
+			for j := 0; j < 8; j++ {
+				// out holds doubled coords of b_j; the real point is out/2
+				// and DECODE consumes its half, i.e. out/4.
+				y[j] = float64(out[b+j]) / 4
+			}
+			p := DecodeE8(y)
+			copy(out[b:b+8], p[:]) // doubled coords of b_{j+1}
+		}
+	}
+	if k > 0 {
+		for i := range out {
+			out[i] <<= uint(k)
+		}
+	}
+	return out
+}
+
+// Center converts a doubled code back to projected-space coordinates.
+func (e *E8) Center(c []int32) []float64 {
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = float64(v) / 2
+	}
+	return out
+}
+
+// DecodeE8 returns the E8 lattice point nearest to y, as doubled integers.
+// This is the classic two-coset decoder the paper cites (Jégou et al.):
+// decode y to the nearest point of D8 and of D8+½ and keep the closer —
+// about a hundred arithmetic operations.
+func DecodeE8(y [8]float64) [8]int32 {
+	intPt, intDist := nearestD8(y, 0)
+	halfPt, halfDist := nearestD8(y, 0.5)
+	if intDist <= halfDist {
+		return intPt
+	}
+	return halfPt
+}
+
+// nearestD8 finds the closest point of D8+offset·1 to y (offset 0 or 0.5)
+// and returns it in doubled-integer form with the squared distance.
+//
+// Method: round every shifted coordinate to the nearest integer; if the
+// coordinate sum is odd (violating the D8 parity constraint) re-round the
+// coordinate whose rounding error is largest to its second-nearest integer,
+// which is the cheapest parity repair.
+func nearestD8(y [8]float64, offset float64) ([8]int32, float64) {
+	var r [8]int32      // rounded integer part (before adding offset back)
+	var errs [8]float64 // y - (r+offset)
+	sum := int32(0)
+	for i, v := range y {
+		s := v - offset
+		ri := int32(math.Floor(s + 0.5)) // round half up, deterministic
+		r[i] = ri
+		errs[i] = s - float64(ri)
+		sum += ri
+	}
+	if sum&1 != 0 {
+		// Flip the coordinate with the largest |error| toward its second
+		// nearest integer: extra cost 1-2|err| is minimized there.
+		worst := 0
+		worstAbs := -1.0
+		for i, e := range errs {
+			if a := math.Abs(e); a > worstAbs {
+				worstAbs = a
+				worst = i
+			}
+		}
+		if errs[worst] > 0 {
+			r[worst]++
+			errs[worst]--
+		} else {
+			r[worst]--
+			errs[worst]++
+		}
+	}
+	var dist float64
+	var out [8]int32
+	for i := range r {
+		dist += errs[i] * errs[i]
+		// doubled coordinate of r[i]+offset: 2r+2·offset (offset is 0 or ½).
+		out[i] = 2*r[i] + int32(2*offset)
+	}
+	return out, dist
+}
+
+// MinVectors returns the 240 minimal vectors of E8 (squared norm 2) in
+// doubled-integer form: the 112 permutations of (±1,±1,0^6) and the 128
+// points (±½)^8 with an even number of minus signs. These are the
+// equidistant neighbors used by the E8 multi-probe sequence.
+func MinVectors() [][8]int32 {
+	out := make([][8]int32, 0, 240)
+	// Type 1: ±1 at two positions (doubled: ±2).
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			for _, si := range []int32{2, -2} {
+				for _, sj := range []int32{2, -2} {
+					var v [8]int32
+					v[i], v[j] = si, sj
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	// Type 2: all ±½ (doubled: ±1) with an even number of minus signs.
+	for mask := 0; mask < 256; mask++ {
+		if popcount8(mask)&1 != 0 {
+			continue
+		}
+		var v [8]int32
+		for i := 0; i < 8; i++ {
+			if mask&(1<<i) != 0 {
+				v[i] = -1
+			} else {
+				v[i] = 1
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func popcount8(x int) int {
+	n := 0
+	for x != 0 {
+		n += x & 1
+		x >>= 1
+	}
+	return n
+}
+
+// IsE8 reports whether a doubled-integer point belongs to E8: either all
+// entries even with sum/2 even (D8), or all entries odd with (sum-8·1)/2
+// even, i.e. the halved point is in D8+½ with integer-part sum even.
+func IsE8(p [8]int32) bool {
+	allEven, allOdd := true, true
+	var sum int32
+	for _, v := range p {
+		if v&1 == 0 {
+			allOdd = false
+		} else {
+			allEven = false
+		}
+		sum += v
+	}
+	if !allEven && !allOdd {
+		return false
+	}
+	// Real-coordinate sum is sum/2; E8 requires it to be an even integer.
+	return sum%4 == 0
+}

@@ -1,0 +1,128 @@
+// Package lshfunc implements the p-stable (Gaussian, l2) locality
+// sensitive hash functions of Datar et al. used by the paper (Eq. 2):
+//
+//	h_i(v) = ⌊(a_i·v + b_i) / W⌋
+//
+// A Family holds the functions for L independent tables of M functions
+// each. The family produces *unquantized* projected values
+// (a_i·v + b_i)/W; quantization (floor for Z^M, DECODE for E8) is the
+// lattice's job, which is what lets the same projections feed both
+// quantizers, exactly as the paper compares them.
+//
+// The offsets b_i are stored as fractions of W so the bucket width can be
+// swept (the experiments' x-axis) without redrawing the projections —
+// matching the paper's protocol where W grows gradually for fixed random
+// directions within one run.
+package lshfunc
+
+import (
+	"fmt"
+
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// Params are the LSH hyperparameters of the paper: code length M, table
+// count L, bucket width W.
+type Params struct {
+	M int
+	L int
+	W float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.M <= 0:
+		return fmt.Errorf("lshfunc: M = %d, must be positive", p.M)
+	case p.L <= 0:
+		return fmt.Errorf("lshfunc: L = %d, must be positive", p.L)
+	case p.W <= 0:
+		return fmt.Errorf("lshfunc: W = %g, must be positive", p.W)
+	}
+	return nil
+}
+
+// Family is a set of L×M p-stable hash functions over dimension D vectors.
+type Family struct {
+	d     int
+	m     int
+	l     int
+	w     float64
+	a     []*vec.Matrix // per table: M×D Gaussian directions
+	bFrac [][]float64   // per table: M offsets as fractions of W
+}
+
+// NewFamily draws a fresh family for d-dimensional data.
+func NewFamily(d int, p Params, rng *xrand.RNG) (*Family, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if d <= 0 {
+		return nil, fmt.Errorf("lshfunc: d = %d, must be positive", d)
+	}
+	f := &Family{d: d, m: p.M, l: p.L, w: p.W,
+		a: make([]*vec.Matrix, p.L), bFrac: make([][]float64, p.L)}
+	for t := 0; t < p.L; t++ {
+		g := rng.Split(int64(t))
+		at := vec.NewMatrix(p.M, d)
+		for i := 0; i < p.M; i++ {
+			copy(at.Row(i), g.GaussianVec(d))
+		}
+		f.a[t] = at
+		bt := make([]float64, p.M)
+		for i := range bt {
+			bt[i] = g.Float64()
+		}
+		f.bFrac[t] = bt
+	}
+	return f, nil
+}
+
+// D returns the data dimensionality.
+func (f *Family) D() int { return f.d }
+
+// M returns the per-table code length.
+func (f *Family) M() int { return f.m }
+
+// L returns the number of tables.
+func (f *Family) L() int { return f.l }
+
+// W returns the current bucket width.
+func (f *Family) W() float64 { return f.w }
+
+// SetW rescales the bucket width, keeping the projection directions fixed.
+func (f *Family) SetW(w float64) error {
+	if w <= 0 {
+		return fmt.Errorf("lshfunc: SetW(%g): width must be positive", w)
+	}
+	f.w = w
+	return nil
+}
+
+// Project writes the unquantized hash values of v under table t into out
+// (len out == M): out[i] = (a_i·v + b_i)/W with b_i = bFrac_i·W, i.e.
+// out[i] = (a_i·v)/W + bFrac_i.
+func (f *Family) Project(t int, v []float32, out []float64) {
+	if t < 0 || t >= f.l {
+		panic(fmt.Sprintf("lshfunc: Project table %d of %d", t, f.l))
+	}
+	if len(v) != f.d {
+		panic(fmt.Sprintf("lshfunc: Project got dim %d, want %d", len(v), f.d))
+	}
+	if len(out) != f.m {
+		panic(fmt.Sprintf("lshfunc: Project out len %d, want %d", len(out), f.m))
+	}
+	at := f.a[t]
+	bt := f.bFrac[t]
+	for i := 0; i < f.m; i++ {
+		out[i] = vec.Dot(at.Row(i), v)/f.w + bt[i]
+	}
+}
+
+// Projected returns a fresh slice with the projection of v under table t.
+func (f *Family) Projected(t int, v []float32) []float64 {
+	out := make([]float64, f.m)
+	f.Project(t, v, out)
+	return out
+}

@@ -1,0 +1,184 @@
+package lshfunc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bilsh/internal/xrand"
+)
+
+func TestValidate(t *testing.T) {
+	good := Params{M: 8, L: 10, W: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Params{{M: 0, L: 1, W: 1}, {M: 1, L: 0, W: 1}, {M: 1, L: 1, W: 0}} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("params %+v must be invalid", bad)
+		}
+	}
+	if _, err := NewFamily(0, good, xrand.New(1)); err == nil {
+		t.Fatal("d=0 must be rejected")
+	}
+}
+
+func TestProjectShapeAndDeterminism(t *testing.T) {
+	p := Params{M: 8, L: 3, W: 2}
+	f1, err := NewFamily(16, p, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NewFamily(16, p, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := xrand.New(7).GaussianVec(16)
+	for tab := 0; tab < 3; tab++ {
+		a := f1.Projected(tab, v)
+		b := f2.Projected(tab, v)
+		if len(a) != 8 {
+			t.Fatalf("projection len = %d", len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("same seed must give identical projections")
+			}
+		}
+	}
+}
+
+func TestTablesIndependent(t *testing.T) {
+	f, err := NewFamily(8, Params{M: 4, L: 2, W: 1}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := xrand.New(4).GaussianVec(8)
+	a := f.Projected(0, v)
+	b := f.Projected(1, v)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different tables produced identical projections")
+	}
+}
+
+// Property: locality sensitivity — scaled W shrinks projected distances
+// proportionally: proj_W(u)-proj_W(v) = (a·(u-v))/W.
+func TestProjectionLinearInW(t *testing.T) {
+	f, err := NewFamily(6, Params{M: 4, L: 1, W: 1}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := func(seed int64) bool {
+		rng := xrand.New(seed)
+		u := rng.GaussianVec(6)
+		v := rng.GaussianVec(6)
+		if err := f.SetW(1); err != nil {
+			return false
+		}
+		d1 := diff(f.Projected(0, u), f.Projected(0, v))
+		if err := f.SetW(4); err != nil {
+			return false
+		}
+		d4 := diff(f.Projected(0, u), f.Projected(0, v))
+		for i := range d1 {
+			if math.Abs(d1[i]-4*d4[i]) > 1e-9*(1+math.Abs(d1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func diff(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Property: close points collide more than far points under floor
+// quantization — the defining LSH property, checked statistically.
+func TestLocalitySensitivity(t *testing.T) {
+	rng := xrand.New(10)
+	f, err := NewFamily(12, Params{M: 1, L: 1, W: 4}, rng.Split(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	collide := func(u, v []float32) bool {
+		return math.Floor(f.Projected(0, u)[0]) == math.Floor(f.Projected(0, v)[0])
+	}
+	var closeHits, farHits int
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		base := rng.GaussianVec(12)
+		near := make([]float32, 12)
+		far := make([]float32, 12)
+		for j := range base {
+			near[j] = base[j] + float32(rng.NormFloat64()*0.05)
+			far[j] = base[j] + float32(rng.NormFloat64()*3)
+		}
+		if collide(base, near) {
+			closeHits++
+		}
+		if collide(base, far) {
+			farHits++
+		}
+	}
+	if closeHits <= farHits {
+		t.Fatalf("no locality: close=%d far=%d collisions", closeHits, farHits)
+	}
+	if float64(closeHits)/trials < 0.8 {
+		t.Fatalf("close collision rate %.2f too low for W=4", float64(closeHits)/trials)
+	}
+}
+
+func TestSetWValidation(t *testing.T) {
+	f, err := NewFamily(4, Params{M: 2, L: 1, W: 1}, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetW(-1); err == nil {
+		t.Fatal("negative W must be rejected")
+	}
+	if err := f.SetW(2.5); err != nil || f.W() != 2.5 {
+		t.Fatal("valid SetW failed")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	f, err := NewFamily(9, Params{M: 3, L: 5, W: 1.5}, xrand.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.D() != 9 || f.M() != 3 || f.L() != 5 || f.W() != 1.5 {
+		t.Fatalf("accessors: %d %d %d %v", f.D(), f.M(), f.L(), f.W())
+	}
+}
+
+func TestProjectPanicsOnMisuse(t *testing.T) {
+	f, _ := NewFamily(4, Params{M: 2, L: 1, W: 1}, xrand.New(13))
+	for _, fn := range []func(){
+		func() { f.Project(5, make([]float32, 4), make([]float64, 2)) },
+		func() { f.Project(0, make([]float32, 3), make([]float64, 2)) },
+		func() { f.Project(0, make([]float32, 4), make([]float64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

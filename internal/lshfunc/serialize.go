@@ -1,0 +1,60 @@
+package lshfunc
+
+import (
+	"fmt"
+
+	"bilsh/internal/vec"
+	"bilsh/internal/wire"
+)
+
+const familyMagic = "lshfunc.Family/1"
+
+// Encode writes the family (directions, offsets, current width) to w.
+func (f *Family) Encode(w *wire.Writer) {
+	w.Magic(familyMagic)
+	w.Int(f.d)
+	w.Int(f.m)
+	w.Int(f.l)
+	w.F64(f.w)
+	for t := 0; t < f.l; t++ {
+		f.a[t].Encode(w)
+		w.F64s(f.bFrac[t])
+	}
+}
+
+// DecodeFamily reads a family written by Encode.
+func DecodeFamily(r *wire.Reader) (*Family, error) {
+	r.ExpectMagic(familyMagic)
+	f := &Family{
+		d: r.Int(),
+		m: r.Int(),
+		l: r.Int(),
+		w: r.F64(),
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if f.d <= 0 || f.m <= 0 || f.l <= 0 || f.w <= 0 || f.l > 1<<20 {
+		return nil, fmt.Errorf("lshfunc: decoded family shape d=%d m=%d l=%d w=%g implausible", f.d, f.m, f.l, f.w)
+	}
+	f.a = make([]*vec.Matrix, f.l)
+	f.bFrac = make([][]float64, f.l)
+	for t := 0; t < f.l; t++ {
+		a, err := vec.DecodeMatrix(r)
+		if err != nil {
+			return nil, fmt.Errorf("lshfunc: table %d directions: %w", t, err)
+		}
+		if a.N != f.m || a.D != f.d {
+			return nil, fmt.Errorf("lshfunc: table %d directions shaped %dx%d, want %dx%d", t, a.N, a.D, f.m, f.d)
+		}
+		f.a[t] = a
+		f.bFrac[t] = r.F64s()
+		if len(f.bFrac[t]) != f.m {
+			return nil, fmt.Errorf("lshfunc: table %d has %d offsets, want %d", t, len(f.bFrac[t]), f.m)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,93 @@
+package lshfunc
+
+import (
+	"bytes"
+	"testing"
+
+	"bilsh/internal/wire"
+	"bilsh/internal/xrand"
+)
+
+func TestFamilyRoundTrip(t *testing.T) {
+	orig, err := NewFamily(12, Params{M: 6, L: 4, W: 2.5}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.SetW(3.75); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	orig.Encode(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFamily(wire.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.D() != 12 || got.M() != 6 || got.L() != 4 || got.W() != 3.75 {
+		t.Fatalf("metadata: d=%d m=%d l=%d w=%v", got.D(), got.M(), got.L(), got.W())
+	}
+	v := xrand.New(2).GaussianVec(12)
+	for tab := 0; tab < 4; tab++ {
+		a := orig.Projected(tab, v)
+		b := got.Projected(tab, v)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("table %d projection differs after round trip", tab)
+			}
+		}
+	}
+}
+
+func TestDecodeFamilyRejectsCorruptShape(t *testing.T) {
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	w.Magic("lshfunc.Family/1")
+	w.Int(0) // d = 0: invalid
+	w.Int(4)
+	w.Int(2)
+	w.F64(1)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFamily(wire.NewReader(&buf)); err == nil {
+		t.Fatal("d=0 must be rejected")
+	}
+}
+
+func TestDecodeFamilyRejectsWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	w.Magic("something.else/9")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFamily(wire.NewReader(&buf)); err == nil {
+		t.Fatal("wrong magic must be rejected")
+	}
+}
+
+func TestDecodeFamilyRejectsShapeMismatch(t *testing.T) {
+	// Family claiming M=6 but carrying a 4-row direction matrix.
+	orig, err := NewFamily(8, Params{M: 4, L: 1, W: 1}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	w.Magic("lshfunc.Family/1")
+	w.Int(8)
+	w.Int(6) // lie about M
+	w.Int(1)
+	w.F64(1)
+	orig.a[0].Encode(w)
+	w.F64s(orig.bFrac[0])
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFamily(wire.NewReader(&buf)); err == nil {
+		t.Fatal("direction shape mismatch must be rejected")
+	}
+}

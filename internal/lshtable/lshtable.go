@@ -1,0 +1,165 @@
+// Package lshtable stores one LSH hash table in the layout of the paper's
+// Section V-A: a single sorted linear array of item ids, grouped so that
+// all items with the same LSH code are contiguous (a bucket), plus an
+// index from code key to the bucket's [start, end) interval. The interval
+// index is a cuckoo hash table over compressed 64-bit keys, as on the GPU,
+// with an exactness fallback for the (astronomically rare) 64-bit key
+// collision.
+package lshtable
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"bilsh/internal/cuckoo"
+)
+
+// Table is one immutable LSH hash table.
+type Table struct {
+	keys   []string // unique bucket keys, in sorted bucket order
+	starts []int    // len == len(keys)+1; bucket b is ids[starts[b]:starts[b+1]]
+	ids    []int    // all item ids grouped by bucket
+
+	index    *cuckoo.Table  // compressed key -> bucket ordinal
+	overflow map[string]int // buckets whose compressed key collided
+}
+
+// Build groups ids by their code keys. codes[i] is the key of ids[i].
+func Build(codes []string, ids []int) (*Table, error) {
+	if len(codes) != len(ids) {
+		return nil, fmt.Errorf("lshtable: %d codes but %d ids", len(codes), len(ids))
+	}
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if codes[order[a]] != codes[order[b]] {
+			return codes[order[a]] < codes[order[b]]
+		}
+		return ids[order[a]] < ids[order[b]]
+	})
+
+	t := &Table{ids: make([]int, len(ids))}
+	for out, in := range order {
+		t.ids[out] = ids[in]
+		key := codes[in]
+		if len(t.keys) == 0 || t.keys[len(t.keys)-1] != key {
+			t.keys = append(t.keys, key)
+			t.starts = append(t.starts, out)
+		}
+	}
+	t.starts = append(t.starts, len(t.ids))
+
+	t.index = cuckoo.New(len(t.keys))
+	for b, key := range t.keys {
+		ck := compress(key)
+		if prev, ok := t.index.Get(ck); ok {
+			// 64-bit collision between distinct keys: route both through
+			// the exact overflow map.
+			if t.overflow == nil {
+				t.overflow = make(map[string]int)
+			}
+			t.overflow[t.keys[prev]] = prev
+			t.overflow[key] = b
+			continue
+		}
+		if err := t.index.Put(ck, b); err != nil {
+			return nil, fmt.Errorf("lshtable: indexing bucket %d: %w", b, err)
+		}
+	}
+	return t, nil
+}
+
+// compress folds a code key to the 64-bit cuckoo key (the "dim-1 key by
+// using another hash function" of Section V-A).
+func compress(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	v := h.Sum64()
+	if v == ^uint64(0) {
+		v-- // avoid the cuckoo sentinel
+	}
+	return v
+}
+
+// NumBuckets returns the number of distinct codes.
+func (t *Table) NumBuckets() int { return len(t.keys) }
+
+// NumItems returns the number of stored ids.
+func (t *Table) NumItems() int { return len(t.ids) }
+
+// Bucket returns the item ids whose code key equals key. The returned
+// slice aliases the table's storage; callers must not modify it.
+func (t *Table) Bucket(key string) []int {
+	b, ok := t.bucketOrdinal(key)
+	if !ok {
+		return nil
+	}
+	return t.ids[t.starts[b]:t.starts[b+1]]
+}
+
+// bucketOrdinal resolves a key to its bucket index.
+func (t *Table) bucketOrdinal(key string) (int, bool) {
+	if t.overflow != nil {
+		if b, ok := t.overflow[key]; ok {
+			return b, true
+		}
+	}
+	b, ok := t.index.Get(compress(key))
+	if !ok || t.keys[b] != key {
+		return 0, false
+	}
+	return b, true
+}
+
+// BucketByOrdinal returns bucket b's key and ids in sorted-key order,
+// which is what the hierarchy builders iterate.
+func (t *Table) BucketByOrdinal(b int) (string, []int) {
+	return t.keys[b], t.ids[t.starts[b]:t.starts[b+1]]
+}
+
+// BucketSize returns the population of the bucket holding key (0 when the
+// bucket does not exist).
+func (t *Table) BucketSize(key string) int {
+	b, ok := t.bucketOrdinal(key)
+	if !ok {
+		return 0
+	}
+	return t.starts[b+1] - t.starts[b]
+}
+
+// Keys returns the sorted unique bucket keys (shared storage; read-only).
+func (t *Table) Keys() []string { return t.keys }
+
+// Stats summarizes bucket occupancy for parameter-tuning and reports.
+type Stats struct {
+	Buckets   int
+	Items     int
+	MaxBucket int
+	// MeanBucket is Items/Buckets.
+	MeanBucket float64
+	// CollisionMass is Σ size² / Items — the expected bucket size seen by
+	// a random stored item, a direct selectivity predictor.
+	CollisionMass float64
+}
+
+// Summary computes occupancy statistics.
+func (t *Table) Summary() Stats {
+	s := Stats{Buckets: len(t.keys), Items: len(t.ids)}
+	if s.Buckets == 0 {
+		return s
+	}
+	var sq float64
+	for b := 0; b < len(t.keys); b++ {
+		size := t.starts[b+1] - t.starts[b]
+		if size > s.MaxBucket {
+			s.MaxBucket = size
+		}
+		sq += float64(size) * float64(size)
+	}
+	s.MeanBucket = float64(s.Items) / float64(s.Buckets)
+	s.CollisionMass = sq / float64(s.Items)
+	return s
+}

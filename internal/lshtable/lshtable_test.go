@@ -1,0 +1,160 @@
+package lshtable
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bilsh/internal/lattice"
+	"bilsh/internal/xrand"
+)
+
+func TestBuildAndLookup(t *testing.T) {
+	codes := []string{"b", "a", "b", "c", "a"}
+	ids := []int{0, 1, 2, 3, 4}
+	tab, err := Build(codes, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumBuckets() != 3 || tab.NumItems() != 5 {
+		t.Fatalf("buckets=%d items=%d", tab.NumBuckets(), tab.NumItems())
+	}
+	if got := tab.Bucket("a"); !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Fatalf("Bucket(a) = %v", got)
+	}
+	if got := tab.Bucket("b"); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Bucket(b) = %v", got)
+	}
+	if got := tab.Bucket("zzz"); got != nil {
+		t.Fatalf("absent bucket = %v", got)
+	}
+	if tab.BucketSize("c") != 1 || tab.BucketSize("nope") != 0 {
+		t.Fatal("BucketSize wrong")
+	}
+}
+
+func TestLengthMismatchRejected(t *testing.T) {
+	if _, err := Build([]string{"a"}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestBucketsContiguousAndSorted(t *testing.T) {
+	codes := []string{"x", "y", "x", "z", "y", "x"}
+	ids := []int{5, 4, 3, 2, 1, 0}
+	tab, err := Build(codes, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := tab.Keys()
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("bucket keys not sorted")
+	}
+	total := 0
+	for b := 0; b < tab.NumBuckets(); b++ {
+		key, members := tab.BucketByOrdinal(b)
+		if key != keys[b] {
+			t.Fatal("BucketByOrdinal key mismatch")
+		}
+		total += len(members)
+	}
+	if total != 6 {
+		t.Fatalf("buckets cover %d items", total)
+	}
+}
+
+// Property: Build agrees with a reference map[string][]int grouping for
+// random inputs, including lattice-generated keys.
+func TestMapEquivalence(t *testing.T) {
+	z := lattice.NewZM(3)
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		n := rng.Intn(300)
+		codes := make([]string, n)
+		ids := make([]int, n)
+		ref := make(map[string][]int)
+		for i := 0; i < n; i++ {
+			code := z.Decode([]float64{
+				float64(rng.Intn(10)) - 5,
+				float64(rng.Intn(10)) - 5,
+				float64(rng.Intn(4)) - 2,
+			})
+			key := lattice.Key(code)
+			codes[i] = key
+			ids[i] = i
+			ref[key] = append(ref[key], i)
+		}
+		tab, err := Build(codes, ids)
+		if err != nil {
+			return false
+		}
+		if tab.NumBuckets() != len(ref) {
+			return false
+		}
+		for key, want := range ref {
+			if !reflect.DeepEqual(tab.Bucket(key), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tab, err := Build([]string{"a", "a", "a", "b"}, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.Summary()
+	if s.Buckets != 2 || s.Items != 4 || s.MaxBucket != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.MeanBucket != 2 {
+		t.Fatalf("MeanBucket = %v", s.MeanBucket)
+	}
+	// (9+1)/4
+	if s.CollisionMass != 2.5 {
+		t.Fatalf("CollisionMass = %v", s.CollisionMass)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab, err := Build(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumBuckets() != 0 || tab.Bucket("a") != nil {
+		t.Fatal("empty table misbehaves")
+	}
+	if s := tab.Summary(); s.Buckets != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func BenchmarkBucketLookup(b *testing.B) {
+	rng := xrand.New(1)
+	n := 50000
+	codes := make([]string, n)
+	ids := make([]int, n)
+	z := lattice.NewZM(8)
+	y := make([]float64, 8)
+	for i := 0; i < n; i++ {
+		for j := range y {
+			y[j] = rng.NormFloat64() * 5
+		}
+		codes[i] = lattice.Key(z.Decode(y))
+		ids[i] = i
+	}
+	tab, err := Build(codes, ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Bucket(codes[i%n])
+	}
+}

@@ -1,0 +1,73 @@
+package lshtable
+
+import (
+	"fmt"
+
+	"bilsh/internal/wire"
+)
+
+const tableMagic = "lshtable.Table/1"
+
+// Encode writes the bucket store to w. The cuckoo index is derived state
+// and rebuilt on load.
+func (t *Table) Encode(w *wire.Writer) {
+	w.Magic(tableMagic)
+	w.Strings(t.keys)
+	w.Ints(t.starts)
+	w.Ints(t.ids)
+}
+
+// DecodeTable reads a table written by Encode and rebuilds its index.
+func DecodeTable(r *wire.Reader) (*Table, error) {
+	r.ExpectMagic(tableMagic)
+	t := &Table{
+		keys:   r.Strings(),
+		starts: r.Ints(),
+		ids:    r.Ints(),
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.starts) != len(t.keys)+1 {
+		return nil, fmt.Errorf("lshtable: decoded %d starts for %d keys", len(t.starts), len(t.keys))
+	}
+	if len(t.starts) > 0 {
+		if t.starts[0] != 0 || t.starts[len(t.starts)-1] != len(t.ids) {
+			return nil, fmt.Errorf("lshtable: decoded bucket intervals do not cover the id array")
+		}
+		for b := 1; b < len(t.starts); b++ {
+			if t.starts[b] < t.starts[b-1] {
+				return nil, fmt.Errorf("lshtable: decoded bucket %d has negative size", b-1)
+			}
+			if b < len(t.keys) && t.keys[b] <= t.keys[b-1] {
+				return nil, fmt.Errorf("lshtable: decoded keys not strictly sorted at %d", b)
+			}
+		}
+	}
+	// Empty tables round-trip with nil slices; normalize the sentinel.
+	if len(t.keys) == 0 {
+		t.starts = append(t.starts[:0], 0)
+	}
+	// Rebuild the cuckoo index.
+	rebuilt, err := Build(flattenCodes(t), flattenIDs(t))
+	if err != nil {
+		return nil, fmt.Errorf("lshtable: rebuilding index: %w", err)
+	}
+	return rebuilt, nil
+}
+
+func flattenCodes(t *Table) []string {
+	out := make([]string, 0, len(t.ids))
+	for b := 0; b < len(t.keys); b++ {
+		for i := t.starts[b]; i < t.starts[b+1]; i++ {
+			out = append(out, t.keys[b])
+		}
+	}
+	return out
+}
+
+func flattenIDs(t *Table) []int {
+	out := make([]int, 0, len(t.ids))
+	out = append(out, t.ids...)
+	return out
+}

@@ -1,0 +1,280 @@
+// Package morton implements the space-filling Z-order (Lebesgue/Morton)
+// curve the paper uses to organize Z^M LSH buckets hierarchically
+// (Section IV-B2a).
+//
+// LSH codes are signed; the encoder biases them into unsigned range and
+// interleaves the binary representations MSB-first, so the byte-string
+// keys compare in exactly Morton order and the level-k lattice ancestors
+// (Eq. 8) correspond to key prefixes of (bits−k)·M bits. That prefix
+// property is what turns "use a larger bucket, implemented as buckets with
+// the same MSB bits" into a contiguous range of the sorted curve.
+package morton
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Encoder interleaves M-dimensional signed codes into Morton keys.
+type Encoder struct {
+	m    int
+	bits int
+	bias int32
+}
+
+// NewEncoder returns an encoder for m-dimensional codes using the given
+// number of bits per dimension (1..31). Codes must fit in
+// [-2^(bits-1), 2^(bits-1)); out-of-range values are clamped, which keeps
+// far-away outliers ordered at the curve's ends instead of corrupting keys.
+func NewEncoder(m, bits int) *Encoder {
+	if m <= 0 {
+		panic(fmt.Sprintf("morton: NewEncoder m=%d", m))
+	}
+	if bits <= 0 || bits > 31 {
+		panic(fmt.Sprintf("morton: NewEncoder bits=%d, want 1..31", bits))
+	}
+	return &Encoder{m: m, bits: bits, bias: int32(1) << uint(bits-1)}
+}
+
+// M returns the code dimensionality.
+func (e *Encoder) M() int { return e.m }
+
+// Bits returns bits per dimension.
+func (e *Encoder) Bits() int { return e.bits }
+
+// KeyBits returns the total number of bits in a key.
+func (e *Encoder) KeyBits() int { return e.m * e.bits }
+
+// Encode produces the Morton key of a signed code as a byte string whose
+// lexicographic order is the Morton order. len(code) must equal M.
+func (e *Encoder) Encode(code []int32) string {
+	if len(code) != e.m {
+		panic(fmt.Sprintf("morton: Encode got %d dims, want %d", len(code), e.m))
+	}
+	biased := make([]uint32, e.m)
+	limit := (int64(1) << uint(e.bits)) - 1
+	for i, c := range code {
+		v := int64(c) + int64(e.bias)
+		if v < 0 {
+			v = 0
+		}
+		if v > limit {
+			v = limit
+		}
+		biased[i] = uint32(v)
+	}
+	total := e.KeyBits()
+	out := make([]byte, (total+7)/8)
+	pos := 0 // bit cursor, MSB-first
+	for level := e.bits - 1; level >= 0; level-- {
+		for i := 0; i < e.m; i++ {
+			if biased[i]&(1<<uint(level)) != 0 {
+				out[pos/8] |= 1 << uint(7-pos%8)
+			}
+			pos++
+		}
+	}
+	return string(out)
+}
+
+// Decode inverts Encode (for keys produced by this encoder).
+func (e *Encoder) Decode(key string) []int32 {
+	if len(key) != (e.KeyBits()+7)/8 {
+		panic(fmt.Sprintf("morton: Decode key of %d bytes, want %d", len(key), (e.KeyBits()+7)/8))
+	}
+	biased := make([]uint32, e.m)
+	pos := 0
+	for level := e.bits - 1; level >= 0; level-- {
+		for i := 0; i < e.m; i++ {
+			if key[pos/8]&(1<<uint(7-pos%8)) != 0 {
+				biased[i] |= 1 << uint(level)
+			}
+			pos++
+		}
+	}
+	code := make([]int32, e.m)
+	for i, b := range biased {
+		code[i] = int32(int64(b) - int64(e.bias))
+	}
+	return code
+}
+
+// SharedPrefixBits returns the number of leading bits a and b share,
+// considering only the first KeyBits bits. This is the paper's "number of
+// most significant bits shared by query Morton code and its curve
+// neighbors": small values mean the query sits between distant clusters
+// and should climb to a higher hierarchy level.
+func (e *Encoder) SharedPrefixBits(a, b string) int {
+	max := e.KeyBits()
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	bits := 0
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			bits += 8
+			continue
+		}
+		x := a[i] ^ b[i]
+		for mask := byte(0x80); mask != 0 && x&mask == 0; mask >>= 1 {
+			bits++
+		}
+		break
+	}
+	if bits > max {
+		bits = max
+	}
+	return bits
+}
+
+// AncestorLevelToPrefixBits converts a lattice hierarchy level k to the key
+// prefix length that identifies the level-k ancestor group: dropping the k
+// least significant bits of every dimension removes the last k·M key bits.
+func (e *Encoder) AncestorLevelToPrefixBits(k int) int {
+	if k < 0 {
+		k = 0
+	}
+	if k > e.bits {
+		k = e.bits
+	}
+	return (e.bits - k) * e.m
+}
+
+// FlipBit returns key with the given bit (0 = most significant) inverted —
+// the bit perturbation of Liao et al. the paper applies to query codes.
+func FlipBit(key string, bit int) string {
+	if bit < 0 || bit >= 8*len(key) {
+		panic(fmt.Sprintf("morton: FlipBit bit %d out of range for %d-byte key", bit, len(key)))
+	}
+	b := []byte(key)
+	b[bit/8] ^= 1 << uint(7-bit%8)
+	return string(b)
+}
+
+// Curve is a sorted Morton curve over a set of bucket keys. Values attached
+// to keys are opaque ints (bucket indices in the caller's table).
+type Curve struct {
+	enc    *Encoder
+	keys   []string
+	values []int
+}
+
+// BuildCurve sorts (key, value) pairs into a curve. Keys must be distinct
+// (they identify unique LSH buckets).
+func BuildCurve(enc *Encoder, keys []string, values []int) (*Curve, error) {
+	if len(keys) != len(values) {
+		return nil, fmt.Errorf("morton: BuildCurve got %d keys but %d values", len(keys), len(values))
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	c := &Curve{enc: enc, keys: make([]string, len(keys)), values: make([]int, len(keys))}
+	for out, in := range idx {
+		c.keys[out] = keys[in]
+		c.values[out] = values[in]
+		if out > 0 && c.keys[out-1] == c.keys[out] {
+			return nil, fmt.Errorf("morton: BuildCurve duplicate key at sorted position %d", out)
+		}
+	}
+	return c, nil
+}
+
+// Len returns the number of buckets on the curve.
+func (c *Curve) Len() int { return len(c.keys) }
+
+// Key returns the i-th key in curve order.
+func (c *Curve) Key(i int) string { return c.keys[i] }
+
+// Value returns the value attached to the i-th key in curve order.
+func (c *Curve) Value(i int) int { return c.values[i] }
+
+// Find returns the insertion position of key: the first index whose key is
+// >= key. The position can equal Len().
+func (c *Curve) Find(key string) int {
+	return sort.SearchStrings(c.keys, key)
+}
+
+// Window returns the values of up to count buckets nearest to the insertion
+// position of key on the curve (the paper's "Morton codes before and after
+// the insert position"), alternating outward.
+func (c *Curve) Window(key string, count int) []int {
+	if count <= 0 || len(c.keys) == 0 {
+		return nil
+	}
+	pos := c.Find(key)
+	out := make([]int, 0, count)
+	lo, hi := pos-1, pos
+	// If the key itself is present, start with the exact bucket.
+	if hi < len(c.keys) && c.keys[hi] == key {
+		out = append(out, c.values[hi])
+		hi++
+	}
+	for len(out) < count && (lo >= 0 || hi < len(c.keys)) {
+		if hi < len(c.keys) {
+			out = append(out, c.values[hi])
+			hi++
+		}
+		if len(out) < count && lo >= 0 {
+			out = append(out, c.values[lo])
+			lo--
+		}
+	}
+	return out
+}
+
+// PrefixRange returns the half-open range [lo, hi) of curve positions whose
+// keys share the first prefixBits bits with key — the bucket group at the
+// corresponding hierarchy level.
+func (c *Curve) PrefixRange(key string, prefixBits int) (lo, hi int) {
+	if prefixBits <= 0 {
+		return 0, len(c.keys)
+	}
+	max := c.enc.KeyBits()
+	if prefixBits > max {
+		prefixBits = max
+	}
+	lo = sort.Search(len(c.keys), func(i int) bool {
+		return comparePrefix(c.keys[i], key, prefixBits) >= 0
+	})
+	hi = sort.Search(len(c.keys), func(i int) bool {
+		return comparePrefix(c.keys[i], key, prefixBits) > 0
+	})
+	return lo, hi
+}
+
+// comparePrefix lexicographically compares the first bits bits of a and b.
+func comparePrefix(a, b string, bits int) int {
+	fullBytes := bits / 8
+	rem := bits % 8
+	n := fullBytes
+	if n > len(a) {
+		n = len(a)
+	}
+	if n > len(b) {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	if rem == 0 || fullBytes >= len(a) || fullBytes >= len(b) {
+		return 0
+	}
+	mask := byte(0xff) << uint(8-rem)
+	av, bv := a[fullBytes]&mask, b[fullBytes]&mask
+	switch {
+	case av < bv:
+		return -1
+	case av > bv:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,309 @@
+package morton
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bilsh/internal/xrand"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		m := 1 + rng.Intn(12)
+		bits := 2 + rng.Intn(20)
+		e := NewEncoder(m, bits)
+		code := make([]int32, m)
+		half := int32(1) << uint(bits-1)
+		for i := range code {
+			code[i] = int32(rng.Intn(int(2*half))) - half
+		}
+		return reflect.DeepEqual(e.Decode(e.Encode(code)), code)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeClampsOutOfRange(t *testing.T) {
+	e := NewEncoder(2, 4) // range [-8, 7]
+	low := e.Encode([]int32{-100, 0})
+	lowWant := e.Encode([]int32{-8, 0})
+	if low != lowWant {
+		t.Fatal("underflow must clamp to minimum")
+	}
+	high := e.Encode([]int32{100, 0})
+	highWant := e.Encode([]int32{7, 0})
+	if high != highWant {
+		t.Fatal("overflow must clamp to maximum")
+	}
+}
+
+func TestMortonOrder2DKnown(t *testing.T) {
+	// Classic 2x2 Z pattern with bits=1 (biased domain {-1,0}): dim 0 is
+	// interleaved first, so it occupies the more significant bit of each
+	// pair: (-1,-1) < (-1,0) < (0,-1) < (0,0).
+	e := NewEncoder(2, 1)
+	keys := []string{
+		e.Encode([]int32{-1, -1}),
+		e.Encode([]int32{-1, 0}),
+		e.Encode([]int32{0, -1}),
+		e.Encode([]int32{0, 0}),
+	}
+	for i := 1; i < len(keys); i++ {
+		if !(keys[i-1] < keys[i]) {
+			t.Fatalf("Z-order violated between %d and %d", i-1, i)
+		}
+	}
+}
+
+// Property: the Morton order refines per-dimension order on shared-prefix
+// groups — codes equal in all but the lowest bit land adjacent under their
+// common ancestor prefix.
+func TestAncestorPrefixGrouping(t *testing.T) {
+	e := NewEncoder(3, 8)
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		code := make([]int32, 3)
+		for i := range code {
+			code[i] = int32(rng.Intn(200) - 100)
+		}
+		k := 1 + rng.Intn(4)
+		// Sibling: same level-k ancestor, different low bits.
+		sib := make([]int32, 3)
+		for i := range sib {
+			base := (code[i] >> uint(k)) << uint(k)
+			sib[i] = base + int32(rng.Intn(1<<uint(k)))
+		}
+		pb := e.AncestorLevelToPrefixBits(k)
+		ka, kb := e.Encode(code), e.Encode(sib)
+		return e.SharedPrefixBits(ka, kb) >= pb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedPrefixBits(t *testing.T) {
+	e := NewEncoder(2, 8)
+	a := e.Encode([]int32{3, 5})
+	if got := e.SharedPrefixBits(a, a); got != e.KeyBits() {
+		t.Fatalf("self shared prefix = %d, want %d", got, e.KeyBits())
+	}
+	b := FlipBit(a, 0)
+	if got := e.SharedPrefixBits(a, b); got != 0 {
+		t.Fatalf("MSB-flip shared prefix = %d, want 0", got)
+	}
+	c := FlipBit(a, 9)
+	if got := e.SharedPrefixBits(a, c); got != 9 {
+		t.Fatalf("bit-9 flip shared prefix = %d, want 9", got)
+	}
+}
+
+func TestFlipBitInvolution(t *testing.T) {
+	e := NewEncoder(4, 6)
+	key := e.Encode([]int32{1, -2, 3, -4})
+	for bit := 0; bit < e.KeyBits(); bit++ {
+		if FlipBit(FlipBit(key, bit), bit) != key {
+			t.Fatalf("FlipBit not an involution at bit %d", bit)
+		}
+	}
+}
+
+func TestBuildCurveSortsAndRejectsDuplicates(t *testing.T) {
+	e := NewEncoder(2, 8)
+	keys := []string{e.Encode([]int32{5, 5}), e.Encode([]int32{-3, 2}), e.Encode([]int32{0, 0})}
+	c, err := BuildCurve(e, keys, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if !sort.StringsAreSorted([]string{c.Key(0), c.Key(1), c.Key(2)}) {
+		t.Fatal("curve keys not sorted")
+	}
+	_, err = BuildCurve(e, []string{keys[0], keys[0]}, []int{0, 1})
+	if err == nil {
+		t.Fatal("duplicate keys must be rejected")
+	}
+	_, err = BuildCurve(e, keys, []int{0})
+	if err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+}
+
+func TestWindowAlternatesOutward(t *testing.T) {
+	e := NewEncoder(1, 8)
+	var keys []string
+	var vals []int
+	for i := 0; i < 10; i++ {
+		keys = append(keys, e.Encode([]int32{int32(i * 2)}))
+		vals = append(vals, i)
+	}
+	c, err := BuildCurve(e, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query key 7 falls between buckets 3 (code 6) and 4 (code 8).
+	got := c.Window(e.Encode([]int32{7}), 4)
+	want := []int{4, 3, 5, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Window = %v, want %v", got, want)
+	}
+	// Exact hit starts with the hit bucket.
+	got = c.Window(e.Encode([]int32{6}), 3)
+	if got[0] != 3 {
+		t.Fatalf("exact-hit Window = %v, want leading 3", got)
+	}
+	// Requesting more than available returns everything.
+	got = c.Window(e.Encode([]int32{7}), 100)
+	if len(got) != 10 {
+		t.Fatalf("oversized Window returned %d values", len(got))
+	}
+	if c.Window(e.Encode([]int32{7}), 0) != nil {
+		t.Fatal("zero-count Window must be nil")
+	}
+}
+
+func TestWindowAtCurveEnds(t *testing.T) {
+	e := NewEncoder(1, 8)
+	keys := []string{e.Encode([]int32{0}), e.Encode([]int32{10})}
+	c, err := BuildCurve(e, keys, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Window(e.Encode([]int32{-50}), 2); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("left-end Window = %v", got)
+	}
+	if got := c.Window(e.Encode([]int32{50}), 2); !reflect.DeepEqual(got, []int{1, 0}) {
+		t.Fatalf("right-end Window = %v", got)
+	}
+}
+
+func TestPrefixRange(t *testing.T) {
+	e := NewEncoder(2, 4)
+	var keys []string
+	var vals []int
+	codes := [][]int32{{0, 0}, {0, 1}, {1, 0}, {4, 4}, {4, 5}, {-8, -8}}
+	for i, code := range codes {
+		keys = append(keys, e.Encode(code))
+		vals = append(vals, i)
+	}
+	c, err := BuildCurve(e, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level-1 ancestor of (0,0): codes whose >>1 equals (0,0): {0,1}x{0,1}.
+	lo, hi := c.PrefixRange(e.Encode([]int32{0, 0}), e.AncestorLevelToPrefixBits(1))
+	members := map[int]bool{}
+	for i := lo; i < hi; i++ {
+		members[c.Value(i)] = true
+	}
+	if !members[0] || !members[1] || !members[2] || len(members) != 3 {
+		t.Fatalf("level-1 group = %v, want {0,1,2}", members)
+	}
+	// Level-3 group around (0,0) spans codes in [0,8)^2 biased — excludes
+	// the negative corner point.
+	lo, hi = c.PrefixRange(e.Encode([]int32{0, 0}), e.AncestorLevelToPrefixBits(3))
+	if hi-lo != 5 {
+		t.Fatalf("level-3 group size = %d, want 5", hi-lo)
+	}
+	// prefixBits<=0 is the whole curve.
+	lo, hi = c.PrefixRange(keys[0], 0)
+	if lo != 0 || hi != c.Len() {
+		t.Fatalf("root group = [%d,%d)", lo, hi)
+	}
+}
+
+// Property: PrefixRange contains exactly the keys sharing the prefix.
+func TestPrefixRangeExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		e := NewEncoder(2, 6)
+		seen := map[string]bool{}
+		var keys []string
+		var vals []int
+		for i := 0; i < 40; i++ {
+			code := []int32{int32(rng.Intn(64) - 32), int32(rng.Intn(64) - 32)}
+			k := e.Encode(code)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			keys = append(keys, k)
+			vals = append(vals, len(vals))
+		}
+		c, err := BuildCurve(e, keys, vals)
+		if err != nil {
+			return false
+		}
+		q := e.Encode([]int32{int32(rng.Intn(64) - 32), int32(rng.Intn(64) - 32)})
+		pb := rng.Intn(e.KeyBits() + 1)
+		lo, hi := c.PrefixRange(q, pb)
+		for i := 0; i < c.Len(); i++ {
+			in := i >= lo && i < hi
+			shares := e.SharedPrefixBits(c.Key(i), q) >= pb
+			if in != shares {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Morton order groups nested prefixes contiguously — any prefix
+// range is an interval (already by construction) and deeper levels nest.
+func TestPrefixNesting(t *testing.T) {
+	e := NewEncoder(3, 6)
+	rng := xrand.New(44)
+	seen := map[string]bool{}
+	var keys []string
+	var vals []int
+	for i := 0; i < 100; i++ {
+		code := []int32{int32(rng.Intn(60) - 30), int32(rng.Intn(60) - 30), int32(rng.Intn(60) - 30)}
+		k := e.Encode(code)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+		vals = append(vals, len(vals))
+	}
+	c, err := BuildCurve(e, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := e.Encode([]int32{3, -7, 12})
+	prevLo, prevHi := c.PrefixRange(q, e.AncestorLevelToPrefixBits(0))
+	for k := 1; k <= 6; k++ {
+		lo, hi := c.PrefixRange(q, e.AncestorLevelToPrefixBits(k))
+		if lo > prevLo || hi < prevHi {
+			t.Fatalf("level %d group [%d,%d) does not contain level %d group [%d,%d)",
+				k, lo, hi, k-1, prevLo, prevHi)
+		}
+		prevLo, prevHi = lo, hi
+	}
+}
+
+func TestNewEncoderValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewEncoder(0, 8) },
+		func() { NewEncoder(2, 0) },
+		func() { NewEncoder(2, 32) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

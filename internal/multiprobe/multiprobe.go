@@ -1,0 +1,231 @@
+// Package multiprobe generates probing sequences for LSH queries.
+//
+// For the Z^M lattice it implements the query-directed probing of Lv et
+// al. (VLDB 2007), the method the paper uses: per-dimension boundary
+// distances are sorted and perturbation sets are expanded best-first
+// through a min-heap with the shift/expand operations, yielding buckets in
+// increasing order of estimated distance to the query.
+//
+// For the E8 lattice (Section IV-B2b) the probe sequence is the bucket the
+// query lies in followed by its 240 equidistant lattice neighbors, ordered
+// by the distance from the query's unquantized projection to each
+// neighbor's lattice point; when more probes are requested the adjacency
+// ring is expanded recursively.
+package multiprobe
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"bilsh/internal/lattice"
+)
+
+// ZMProbes returns up to count probe codes for a query whose unquantized
+// projection is y (unit-cell coordinates, i.e. already divided by W). The
+// first probe is always the home bucket ⌊y⌋; subsequent probes follow the
+// Lv et al. perturbation order.
+func ZMProbes(z *lattice.ZM, y []float64, count int) [][]int32 {
+	if len(y) != z.M() {
+		panic(fmt.Sprintf("multiprobe: ZMProbes got %d dims, want %d", len(y), z.M()))
+	}
+	if count <= 0 {
+		return nil
+	}
+	home := z.Decode(y)
+	probes := make([][]int32, 0, count)
+	probes = append(probes, home)
+	if count == 1 {
+		return probes
+	}
+
+	m := z.M()
+	// Boundary distances: for dimension i, x(i,-1) = y_i − ⌊y_i⌋ is the
+	// distance to the lower cell wall, x(i,+1) = 1 − x(i,-1) to the upper.
+	type pert struct {
+		dim   int
+		delta int32
+		score float64 // squared boundary distance
+	}
+	perts := make([]pert, 0, 2*m)
+	for i := 0; i < m; i++ {
+		frac := y[i] - float64(home[i])
+		perts = append(perts,
+			pert{dim: i, delta: -1, score: frac * frac},
+			pert{dim: i, delta: +1, score: (1 - frac) * (1 - frac)},
+		)
+	}
+	sort.Slice(perts, func(a, b int) bool { return perts[a].score < perts[b].score })
+
+	// prefix[j] = Σ scores of the first j sorted perturbations, used to
+	// score sets cheaply.
+	total := 2 * m
+	score := func(set []int) float64 {
+		var s float64
+		for _, j := range set {
+			s += perts[j].score
+		}
+		return s
+	}
+	// Validity: a set must not perturb one dimension both ways. With the
+	// sorted order this is the classic "j and its companion" test; we check
+	// dimensions directly, which is equivalent and robust to score ties.
+	valid := func(set []int) bool {
+		var seen [64]bool // m <= 32 in practice; fall back to map beyond
+		var seenMap map[int]bool
+		if m > 64 {
+			seenMap = make(map[int]bool, len(set))
+		}
+		for _, j := range set {
+			d := perts[j].dim
+			if seenMap != nil {
+				if seenMap[d] {
+					return false
+				}
+				seenMap[d] = true
+				continue
+			}
+			if seen[d] {
+				return false
+			}
+			seen[d] = true
+		}
+		return true
+	}
+
+	pq := &setHeap{}
+	heap.Init(pq)
+	heap.Push(pq, probeSet{set: []int{0}, score: perts[0].score})
+	for len(probes) < count && pq.Len() > 0 {
+		cur := heap.Pop(pq).(probeSet)
+		if valid(cur.set) {
+			code := make([]int32, m)
+			copy(code, home)
+			for _, j := range cur.set {
+				code[perts[j].dim] += perts[j].delta
+			}
+			probes = append(probes, code)
+		}
+		// Children: shift the max element, and expand by the next element.
+		last := cur.set[len(cur.set)-1]
+		if last+1 < total {
+			shifted := append(append([]int(nil), cur.set[:len(cur.set)-1]...), last+1)
+			heap.Push(pq, probeSet{set: shifted, score: score(shifted)})
+			expanded := append(append([]int(nil), cur.set...), last+1)
+			heap.Push(pq, probeSet{set: expanded, score: score(expanded)})
+		}
+	}
+	return probes
+}
+
+type probeSet struct {
+	set   []int
+	score float64
+}
+
+type setHeap []probeSet
+
+func (h setHeap) Len() int            { return len(h) }
+func (h setHeap) Less(i, j int) bool  { return h[i].score < h[j].score }
+func (h setHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *setHeap) Push(x interface{}) { *h = append(*h, x.(probeSet)) }
+func (h *setHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// E8Probes returns up to count probe codes for a query with unquantized
+// projection y under the E8 quantizer: the home bucket, then neighbor
+// buckets ordered by the distance from y to the neighbor's lattice point,
+// expanding the adjacency ring recursively while more probes are needed
+// ("if the number of candidates computed is not enough, we recursively
+// probe the adjacent buckets of the 240 probed buckets").
+func E8Probes(e *lattice.E8, y []float64, count int) [][]int32 {
+	if len(y) != e.M() {
+		panic(fmt.Sprintf("multiprobe: E8Probes got %d dims, want %d", len(y), e.M()))
+	}
+	mins := lattice.MinVectors()
+	blockMins := make([][]int32, len(mins))
+	for i := range mins {
+		blockMins[i] = mins[i][:]
+	}
+	return ringProbes(e.Decode(y), y, 8, blockMins, count)
+}
+
+// DnProbes is the D_n analogue of E8Probes: the home bucket plus the
+// 2n(n-1) equidistant D_n neighbors per block, ring-expanded on demand.
+func DnProbes(d *lattice.Dn, y []float64, count int) [][]int32 {
+	if len(y) != d.M() {
+		panic(fmt.Sprintf("multiprobe: DnProbes got %d dims, want %d", len(y), d.M()))
+	}
+	bdim := d.BlockDim()
+	return ringProbes(d.Decode(y), y, bdim, lattice.DnMinVectors(bdim), count)
+}
+
+// ringProbes generates probe codes around home: neighbors differ in
+// exactly one block by one minimal vector (doubled representation), are
+// ordered by distance from the query's projection, and rings are expanded
+// recursively until count probes exist or the frontier empties.
+func ringProbes(home []int32, y []float64, blockDim int, mins [][]int32, count int) [][]int32 {
+	if count <= 0 {
+		return nil
+	}
+	probes := make([][]int32, 0, count)
+	probes = append(probes, home)
+	if count == 1 {
+		return probes
+	}
+	codeLen := len(home)
+	// Pad y to the code length in lattice (real) units.
+	yy := make([]float64, codeLen)
+	copy(yy, y)
+
+	type cand struct {
+		code []int32
+		d2   float64
+	}
+	seen := map[string]bool{lattice.Key(home): true}
+	frontier := [][]int32{home}
+	for len(probes) < count && len(frontier) > 0 {
+		var ring []cand
+		for _, base := range frontier {
+			for b := 0; b+blockDim <= codeLen; b += blockDim {
+				for _, mv := range mins {
+					nb := make([]int32, codeLen)
+					copy(nb, base)
+					for j := 0; j < blockDim; j++ {
+						nb[b+j] += mv[j]
+					}
+					key := lattice.Key(nb)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					var d2 float64
+					for j := 0; j < codeLen; j++ {
+						diff := yy[j] - float64(nb[j])/2
+						d2 += diff * diff
+					}
+					ring = append(ring, cand{code: nb, d2: d2})
+				}
+			}
+		}
+		sort.Slice(ring, func(a, b int) bool {
+			if ring[a].d2 != ring[b].d2 {
+				return ring[a].d2 < ring[b].d2
+			}
+			return lattice.Key(ring[a].code) < lattice.Key(ring[b].code)
+		})
+		frontier = frontier[:0]
+		for _, c := range ring {
+			if len(probes) < count {
+				probes = append(probes, c.code)
+			}
+			frontier = append(frontier, c.code)
+		}
+	}
+	return probes
+}

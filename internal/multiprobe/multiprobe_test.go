@@ -1,0 +1,326 @@
+package multiprobe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bilsh/internal/lattice"
+	"bilsh/internal/xrand"
+)
+
+func randomY(rng *xrand.RNG, m int, scale float64) []float64 {
+	y := make([]float64, m)
+	for i := range y {
+		y[i] = rng.NormFloat64() * scale
+	}
+	return y
+}
+
+// probeScore recomputes the Lv et al. score of a probe code: the sum of
+// squared boundary distances over the perturbed dimensions.
+func probeScore(home []int32, y []float64, probe []int32) float64 {
+	var s float64
+	for i := range home {
+		d := probe[i] - home[i]
+		frac := y[i] - float64(home[i])
+		switch d {
+		case 0:
+		case -1:
+			s += frac * frac
+		case 1:
+			s += (1 - frac) * (1 - frac)
+		default:
+			return math.Inf(1) // outside the ±1 perturbation model
+		}
+	}
+	return s
+}
+
+func TestZMProbesBasics(t *testing.T) {
+	z := lattice.NewZM(8)
+	rng := xrand.New(1)
+	y := randomY(rng, 8, 3)
+	probes := ZMProbes(z, y, 50)
+	if len(probes) != 50 {
+		t.Fatalf("got %d probes, want 50", len(probes))
+	}
+	home := z.Decode(y)
+	for i, h := range home {
+		if probes[0][i] != h {
+			t.Fatal("first probe must be the home bucket")
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range probes {
+		k := lattice.Key(p)
+		if seen[k] {
+			t.Fatalf("duplicate probe %v", p)
+		}
+		seen[k] = true
+	}
+}
+
+// Property: the probe sequence is emitted in non-decreasing score order —
+// the defining guarantee of the heap-based generation.
+func TestZMProbeOrderMonotone(t *testing.T) {
+	z := lattice.NewZM(6)
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		y := randomY(rng, 6, 4)
+		probes := ZMProbes(z, y, 40)
+		home := probes[0]
+		prev := -1.0
+		for _, p := range probes[1:] {
+			s := probeScore(home, y, p)
+			if math.IsInf(s, 1) {
+				return false
+			}
+			if s < prev-1e-12 {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZMSecondProbeIsCheapestFlip(t *testing.T) {
+	z := lattice.NewZM(4)
+	// y chosen so dimension 2's lower wall is closest (frac 0.05).
+	y := []float64{0.5, 0.4, 0.05, 0.7}
+	probes := ZMProbes(z, y, 2)
+	want := z.Decode(y)
+	want[2]--
+	for i := range want {
+		if probes[1][i] != want[i] {
+			t.Fatalf("second probe = %v, want %v", probes[1], want)
+		}
+	}
+}
+
+func TestZMProbesNeverDoublePerturbOneDim(t *testing.T) {
+	z := lattice.NewZM(3)
+	rng := xrand.New(5)
+	y := randomY(rng, 3, 2)
+	probes := ZMProbes(z, y, 100)
+	home := probes[0]
+	for _, p := range probes {
+		for i := range p {
+			d := p[i] - home[i]
+			if d < -1 || d > 1 {
+				t.Fatalf("probe %v perturbs dim %d by %d", p, i, d)
+			}
+		}
+	}
+}
+
+func TestZMProbesEdgeCounts(t *testing.T) {
+	z := lattice.NewZM(2)
+	y := []float64{0.3, 0.6}
+	if got := ZMProbes(z, y, 0); got != nil {
+		t.Fatal("count=0 must return nil")
+	}
+	if got := ZMProbes(z, y, 1); len(got) != 1 {
+		t.Fatal("count=1 must return only home")
+	}
+	// M=2 has finitely many ±1 perturbation sets (3^2 = 9 codes); huge
+	// counts must terminate.
+	got := ZMProbes(z, y, 1000)
+	if len(got) > 9 {
+		t.Fatalf("M=2 emitted %d probes; only 9 cells reachable", len(got))
+	}
+	if len(got) < 5 {
+		t.Fatalf("M=2 emitted %d probes; expected most of the 3x3 block", len(got))
+	}
+}
+
+func TestE8ProbesBasics(t *testing.T) {
+	e := lattice.NewE8(8)
+	rng := xrand.New(7)
+	y := randomY(rng, 8, 2)
+	probes := E8Probes(e, y, 241)
+	if len(probes) != 241 {
+		t.Fatalf("got %d probes, want 241 (home + kissing number)", len(probes))
+	}
+	home := e.Decode(y)
+	for i := range home {
+		if probes[0][i] != home[i] {
+			t.Fatal("first probe must be home")
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range probes {
+		var arr [8]int32
+		copy(arr[:], p)
+		if !lattice.IsE8(arr) {
+			t.Fatalf("probe %v is not an E8 point", p)
+		}
+		k := lattice.Key(p)
+		if seen[k] {
+			t.Fatalf("duplicate probe %v", p)
+		}
+		seen[k] = true
+	}
+}
+
+// Property: within the first ring, probes are ordered by distance from the
+// query's projection to the neighbor lattice points.
+func TestE8ProbeDistanceOrder(t *testing.T) {
+	e := lattice.NewE8(8)
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		y := randomY(rng, 8, 1.5)
+		probes := E8Probes(e, y, 100)
+		prev := -1.0
+		for _, p := range probes[1:] {
+			var d2 float64
+			for j := range p {
+				diff := y[j] - float64(p[j])/2
+				d2 += diff * diff
+			}
+			if d2 < prev-1e-9 {
+				return false
+			}
+			prev = d2
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE8ProbesRecursiveExpansion(t *testing.T) {
+	e := lattice.NewE8(8)
+	rng := xrand.New(9)
+	y := randomY(rng, 8, 1)
+	// More than one ring's worth: must keep producing unique E8 codes.
+	probes := E8Probes(e, y, 500)
+	if len(probes) != 500 {
+		t.Fatalf("expansion produced %d probes, want 500", len(probes))
+	}
+	seen := map[string]bool{}
+	for _, p := range probes {
+		k := lattice.Key(p)
+		if seen[k] {
+			t.Fatal("duplicate in expanded rings")
+		}
+		seen[k] = true
+	}
+}
+
+func TestE8ProbesMultiBlock(t *testing.T) {
+	e := lattice.NewE8(16) // two blocks
+	rng := xrand.New(11)
+	y := randomY(rng, 16, 2)
+	probes := E8Probes(e, y, 481) // home + 240 per block
+	if len(probes) != 481 {
+		t.Fatalf("got %d probes", len(probes))
+	}
+	home := probes[0]
+	// Each first-ring probe differs from home in exactly one block.
+	for _, p := range probes[1:] {
+		blocksChanged := 0
+		for b := 0; b < 16; b += 8 {
+			diff := false
+			for j := b; j < b+8; j++ {
+				if p[j] != home[j] {
+					diff = true
+				}
+			}
+			if diff {
+				blocksChanged++
+			}
+		}
+		if blocksChanged != 1 {
+			t.Fatalf("first-ring probe %v changes %d blocks", p, blocksChanged)
+		}
+	}
+}
+
+func BenchmarkZMProbes240(b *testing.B) {
+	z := lattice.NewZM(8)
+	rng := xrand.New(1)
+	y := randomY(rng, 8, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ZMProbes(z, y, 240)
+	}
+}
+
+func BenchmarkE8Probes240(b *testing.B) {
+	e := lattice.NewE8(8)
+	rng := xrand.New(1)
+	y := randomY(rng, 8, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		E8Probes(e, y, 241)
+	}
+}
+
+func TestDnProbesBasics(t *testing.T) {
+	d := lattice.NewDn(8)
+	rng := xrand.New(21)
+	y := randomY(rng, 8, 2)
+	// Home + the 2*8*7=112 first-ring neighbors.
+	probes := DnProbes(d, y, 113)
+	if len(probes) != 113 {
+		t.Fatalf("got %d probes, want 113", len(probes))
+	}
+	home := d.Decode(y)
+	for i := range home {
+		if probes[0][i] != home[i] {
+			t.Fatal("first probe must be home")
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range probes {
+		if !lattice.IsDn(p) {
+			t.Fatalf("probe %v not in D_n", p)
+		}
+		k := lattice.Key(p)
+		if seen[k] {
+			t.Fatal("duplicate probe")
+		}
+		seen[k] = true
+	}
+}
+
+func TestDnProbeDistanceOrder(t *testing.T) {
+	d := lattice.NewDn(8)
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		y := randomY(rng, 8, 1.5)
+		probes := DnProbes(d, y, 60)
+		prev := -1.0
+		for _, p := range probes[1:] {
+			var d2 float64
+			for j := range p {
+				diff := y[j] - float64(p[j])/2
+				d2 += diff * diff
+			}
+			if d2 < prev-1e-9 {
+				return false
+			}
+			prev = d2
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDnProbesSmallDim(t *testing.T) {
+	d := lattice.NewDn(3) // single 3-dim block, 2*3*2=12 neighbors
+	rng := xrand.New(22)
+	y := randomY(rng, 3, 2)
+	probes := DnProbes(d, y, 13)
+	if len(probes) != 13 {
+		t.Fatalf("got %d probes", len(probes))
+	}
+}

@@ -1,0 +1,155 @@
+package parsim
+
+import (
+	"testing"
+
+	"bilsh/internal/shortlist"
+	"bilsh/internal/xrand"
+)
+
+// syntheticWorkload builds a Figure-4-style batch: q queries with roughly
+// c candidates each (lognormal-ish spread to exercise warp imbalance).
+func syntheticWorkload(q, c, dim, k, lookupsPerQuery int, seed int64) (Workload, shortlist.OpStats, shortlist.OpStats) {
+	rng := xrand.New(seed)
+	w := Workload{Queries: q, Dim: dim, K: k, Lookups: q * lookupsPerQuery}
+	total := 0
+	for i := 0; i < q; i++ {
+		n := int(float64(c) * (0.5 + rng.Float64()))
+		w.PerQueryCandidates = append(w.PerQueryCandidates, n)
+		total += n
+	}
+	serial := shortlist.OpStats{DistanceOps: total, HeapOps: total, MaxPerQuery: 2 * c}
+	queue := shortlist.OpStats{DistanceOps: total, SortedItems: total + q*k, Passes: 1}
+	return w, serial, queue
+}
+
+func TestValidate(t *testing.T) {
+	if err := CPU().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := GTX480().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Device{Cores: 0, ParallelEfficiency: 0.5, WarpSize: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Cores=0 must be invalid")
+	}
+	bad = Device{Cores: 1, ParallelEfficiency: 0, WarpSize: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("eff=0 must be invalid")
+	}
+	bad = Device{Cores: 1, ParallelEfficiency: 0.5, WarpSize: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("warp=0 must be invalid")
+	}
+}
+
+// The headline test: the modeled layering must land in the paper's quoted
+// ranges at realistic settings (dim 384, k=500, L=10).
+func TestFigure4LayeringMatchesPaper(t *testing.T) {
+	w, serial, queue := syntheticWorkload(1000, 5000, 384, 500, 10, 1)
+	row := ModelFigure4(CPU(), GTX480(), w, serial, queue)
+	hashOffload, pureGPU, queued := row.Speedups()
+
+	if hashOffload < 1.5 || hashOffload > 3 {
+		t.Fatalf("hash-offload speedup %.1fx outside the paper's ~2x", hashOffload)
+	}
+	// "about 15-20x faster than the second" → pureGPU / hashOffload.
+	overSL := pureGPU / hashOffload
+	if overSL < 10 || overSL > 25 {
+		t.Fatalf("per-thread GPU %.1fx over CPU short-list, want ~15-20x", overSL)
+	}
+	// "Overall ... 40x acceleration" (we accept 25-55x).
+	if pureGPU < 25 || pureGPU > 55 {
+		t.Fatalf("pure GPU total speedup %.1fx, want ~40x", pureGPU)
+	}
+	// "Another 2-5x ... by the work-queue based method."
+	extra := queued / pureGPU
+	if extra < 2 || extra > 5 {
+		t.Fatalf("work-queue extra speedup %.1fx, want 2-5x", extra)
+	}
+}
+
+// Ordering must hold across the candidate sweep (the figure's x axis).
+func TestFigure4OrderingAcrossSweep(t *testing.T) {
+	for _, c := range []int{100, 500, 2000, 10000, 50000} {
+		w, serial, queue := syntheticWorkload(200, c, 384, 500, 10, int64(c))
+		row := ModelFigure4(CPU(), GTX480(), w, serial, queue)
+		if !(row.CPUOnly > row.GPUHashCPUSL && row.GPUHashCPUSL > row.PureGPU && row.PureGPU > row.PureGPUQueued) {
+			t.Fatalf("c=%d: ordering violated: %+v", c, row)
+		}
+	}
+}
+
+// Times must grow monotonically with candidate volume for every system.
+func TestMonotoneInCandidates(t *testing.T) {
+	var prev Figure4Row
+	for i, c := range []int{100, 1000, 10000} {
+		w, serial, queue := syntheticWorkload(100, c, 128, 100, 10, 7)
+		row := ModelFigure4(CPU(), GTX480(), w, serial, queue)
+		if i > 0 {
+			if row.CPUOnly <= prev.CPUOnly || row.PureGPU <= prev.PureGPU ||
+				row.GPUHashCPUSL <= prev.GPUHashCPUSL || row.PureGPUQueued <= prev.PureGPUQueued {
+				t.Fatalf("times not monotone at c=%d", c)
+			}
+		}
+		prev = row
+	}
+}
+
+// Load imbalance: a skewed workload must cost the per-thread engine more
+// than a balanced workload with the same total candidates.
+func TestWarpImbalancePenalty(t *testing.T) {
+	gpu := GTX480()
+	balanced := Workload{Queries: 64, Dim: 64, K: 10,
+		PerQueryCandidates: make([]int, 64)}
+	skewed := Workload{Queries: 64, Dim: 64, K: 10,
+		PerQueryCandidates: make([]int, 64)}
+	for i := range balanced.PerQueryCandidates {
+		balanced.PerQueryCandidates[i] = 100
+		skewed.PerQueryCandidates[i] = 1
+	}
+	// Same total: one whale per warp.
+	skewed.PerQueryCandidates[0] = 100*32 - 31
+	skewed.PerQueryCandidates[32] = 100*32 - 31
+	st := shortlist.OpStats{DistanceOps: 6400, HeapOps: 6400}
+	tBal := gpu.PerQueryShortList(balanced, st)
+	tSkew := gpu.PerQueryShortList(skewed, st)
+	if tSkew <= tBal {
+		t.Fatalf("no imbalance penalty: balanced %.0f vs skewed %.0f", tBal, tSkew)
+	}
+	// The work-queue engine is immune: identical stats → identical time.
+	if gpu.WorkQueueShortList(balanced, st) != gpu.WorkQueueShortList(skewed, st) {
+		t.Fatal("work-queue time must depend only on totals")
+	}
+}
+
+// The work-queue bound is work-efficient: modeled parallel time times
+// lanes never beats the serial distance work.
+func TestWorkQueueWorkEfficiency(t *testing.T) {
+	gpu := GTX480()
+	w, _, queue := syntheticWorkload(300, 2000, 256, 200, 10, 9)
+	par := gpu.WorkQueueShortList(w, queue)
+	serialWork := float64(queue.DistanceOps) * gpu.DistCostPerDim * float64(w.Dim)
+	if par*gpu.lanes() < serialWork {
+		t.Fatalf("modeled parallel time %.0f × lanes beats serial work %.0f", par, serialWork)
+	}
+}
+
+func TestEmptyWorkload(t *testing.T) {
+	gpu := GTX480()
+	if got := gpu.PerQueryShortList(Workload{}, shortlist.OpStats{}); got != 0 {
+		t.Fatalf("empty per-query time = %v", got)
+	}
+	if got := gpu.HashStage(Workload{}); got != 0 {
+		t.Fatalf("empty hash time = %v", got)
+	}
+}
+
+func TestSpeedupsZeroSafe(t *testing.T) {
+	var r Figure4Row
+	a, b, c := r.Speedups()
+	if a != 0 || b != 0 || c != 0 {
+		t.Fatal("zero row must give zero speedups, not NaN/Inf")
+	}
+}

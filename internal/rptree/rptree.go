@@ -1,0 +1,410 @@
+// Package rptree implements random projection trees (Freund et al.;
+// Dasgupta & Freund) — the first level of Bi-level LSH (Section IV-A).
+//
+// The tree recursively splits the dataset with two rules:
+//
+//   - RP-tree max: project onto a random unit direction and split at the
+//     median plus a small jitter proportional to the cell diameter — the
+//     rule with guaranteed aspect-ratio ("roundness") bounds.
+//   - RP-tree mean: like max, but when the cell's diameter is much larger
+//     than its average interpoint distance (Δ² > c·Δ_A²), split by distance
+//     to the cell mean instead, which adapts to the data's intrinsic
+//     dimension. The diameter is approximated with the Egecioglu–Kalantari
+//     iteration (package diameter), as prescribed by the paper.
+//
+// Construction targets a leaf count g rather than a depth: the largest
+// leaf is split repeatedly until g leaves exist (or no leaf is splittable),
+// so g needs not be a power of two.
+package rptree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"bilsh/internal/diameter"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// Rule selects the RP-tree split rule. The zero value is RuleMean — the
+// rule the paper prefers ("RP-tree mean rule computes better results in
+// terms of recall ratio of the overall bi-level scheme") — so default
+// configurations follow the paper.
+type Rule int
+
+const (
+	// RuleMean adds the diameter-conditional distance-to-mean split; the
+	// paper observes it gives better recall for the overall bi-level
+	// scheme and uses it by default.
+	RuleMean Rule = iota
+	// RuleMax is the gap-snapped median projection split.
+	RuleMax
+)
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	switch r {
+	case RuleMax:
+		return "max"
+	case RuleMean:
+		return "mean"
+	default:
+		return fmt.Sprintf("Rule(%d)", int(r))
+	}
+}
+
+// Options configures tree construction.
+type Options struct {
+	// Rule selects the split rule (default RuleMean, the paper's choice).
+	Rule Rule
+	// Leaves is the number of partitions g to produce (>= 1).
+	Leaves int
+	// MinLeafSize stops splitting cells that would produce a side smaller
+	// than this (default 1).
+	MinLeafSize int
+	// DiameterIters is the m of the approximate-diameter iteration
+	// (default 40, the value the paper reports as sufficient).
+	DiameterIters int
+	// MeanSplitC is the c of the Δ²(S) ≤ c·Δ_A²(S) test deciding between
+	// projection and distance splits in the mean rule (default 10).
+	MeanSplitC float64
+	// JitterFrac scales the max-rule median jitter as a fraction of the
+	// projected spread (default 0.05).
+	JitterFrac float64
+}
+
+func (o *Options) fill() {
+	if o.Leaves < 1 {
+		o.Leaves = 1
+	}
+	if o.MinLeafSize < 1 {
+		o.MinLeafSize = 1
+	}
+	if o.DiameterIters <= 0 {
+		o.DiameterIters = 40
+	}
+	if o.MeanSplitC <= 0 {
+		o.MeanSplitC = 10
+	}
+	if o.JitterFrac <= 0 {
+		o.JitterFrac = 0.05
+	}
+}
+
+// node is one tree node. Internal nodes carry a split; leaves carry the
+// partition id.
+type node struct {
+	// split by projection: proj != nil, go left when dot(v,proj) <= thresh.
+	proj []float32
+	// split by distance to mean: mean != nil, go left when
+	// ||v-mean|| <= thresh.
+	mean   []float32
+	thresh float64
+
+	left, right int // children indices, -1 for leaves
+	leaf        int // leaf id, -1 for internal nodes
+	size        int // points routed here during construction
+}
+
+// Tree is a built random projection tree.
+type Tree struct {
+	nodes  []node
+	leaves int
+	dim    int
+	rule   Rule
+}
+
+// Assignment maps each build point to its leaf, with member lists per leaf.
+type Assignment struct {
+	LeafOf  []int   // point index -> leaf id
+	Members [][]int // leaf id -> point indices
+}
+
+// Build constructs a tree over data targeting opts.Leaves partitions and
+// returns the tree plus the training-point assignment.
+func Build(data *vec.Matrix, opts Options, rng *xrand.RNG) (*Tree, *Assignment) {
+	opts.fill()
+	t := &Tree{dim: data.D, rule: opts.Rule}
+	all := make([]int, data.N)
+	for i := range all {
+		all[i] = i
+	}
+	root := t.addLeaf(len(all))
+
+	// Largest-first splitting via a max-heap on |idx|.
+	pq := &workHeap{}
+	heap.Init(pq)
+	heap.Push(pq, workItem{node: root, idx: all})
+
+	leafSets := map[int][]int{root: all}
+	for t.leaves < opts.Leaves && pq.Len() > 0 {
+		it := heap.Pop(pq).(workItem)
+		if len(it.idx) < 2*opts.MinLeafSize {
+			continue // unsplittable; leave as leaf
+		}
+		leftIdx, rightIdx, nd, ok := split(data, it.idx, opts, rng)
+		if !ok || len(leftIdx) < opts.MinLeafSize || len(rightIdx) < opts.MinLeafSize {
+			continue // unsplittable under the size floor; stays a leaf
+		}
+		// Convert the leaf into an internal node with two fresh leaves.
+		li := t.addLeaf(len(leftIdx))
+		ri := t.addLeaf(len(rightIdx))
+		n := &t.nodes[it.node]
+		n.proj, n.mean, n.thresh = nd.proj, nd.mean, nd.thresh
+		n.left, n.right = li, ri
+		// The converted node is no longer a leaf.
+		t.releaseLeaf(n.leaf)
+		n.leaf = -1
+		delete(leafSets, it.node)
+		leafSets[li] = leftIdx
+		leafSets[ri] = rightIdx
+		heap.Push(pq, workItem{node: li, idx: leftIdx})
+		heap.Push(pq, workItem{node: ri, idx: rightIdx})
+	}
+
+	// Renumber leaves densely in node order for stable ids.
+	asg := &Assignment{LeafOf: make([]int, data.N)}
+	leafID := 0
+	for i := range t.nodes {
+		if t.nodes[i].leaf >= 0 {
+			t.nodes[i].leaf = leafID
+			idx := leafSets[i]
+			asg.Members = append(asg.Members, idx)
+			for _, p := range idx {
+				asg.LeafOf[p] = leafID
+			}
+			leafID++
+		}
+	}
+	t.leaves = leafID
+	return t, asg
+}
+
+// addLeaf appends a leaf node and returns its index.
+func (t *Tree) addLeaf(size int) int {
+	t.nodes = append(t.nodes, node{left: -1, right: -1, leaf: t.leaves, size: size})
+	t.leaves++
+	return len(t.nodes) - 1
+}
+
+func (t *Tree) releaseLeaf(int) { t.leaves-- }
+
+// NumLeaves returns the number of partitions.
+func (t *Tree) NumLeaves() int { return t.leaves }
+
+// Dim returns the expected vector dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Rule returns the split rule the tree was built with.
+func (t *Tree) Rule() Rule { return t.rule }
+
+// Leaf routes v to its partition id — the RP-tree(v) component of the
+// bi-level hash code H~(v).
+func (t *Tree) Leaf(v []float32) int {
+	if len(v) != t.dim {
+		panic(fmt.Sprintf("rptree: Leaf got dim %d, want %d", len(v), t.dim))
+	}
+	i := 0
+	for {
+		n := &t.nodes[i]
+		if n.leaf >= 0 {
+			return n.leaf
+		}
+		if n.proj != nil {
+			if vec.Dot(v, n.proj) <= n.thresh {
+				i = n.left
+			} else {
+				i = n.right
+			}
+		} else {
+			if vec.Dist(v, n.mean) <= n.thresh {
+				i = n.left
+			} else {
+				i = n.right
+			}
+		}
+	}
+}
+
+// split divides idx into two non-empty sides per the configured rule.
+func split(data *vec.Matrix, idx []int, opts Options, rng *xrand.RNG) (left, right []int, nd node, ok bool) {
+	if opts.Rule == RuleMean {
+		mean := data.Mean(idx)
+		// Δ_A² estimated as 2 · average squared distance to the mean
+		// (exact identity for the average interpoint squared distance).
+		var avg2 float64
+		for _, p := range idx {
+			avg2 += vec.SqDist(data.Row(p), mean)
+		}
+		avg2 = 2 * avg2 / float64(len(idx))
+		diam := diameter.Approx(data, idx, opts.DiameterIters)
+		if diam.Lower*diam.Lower > opts.MeanSplitC*avg2 {
+			// Outlier-dominated cell: split by distance to mean.
+			dists := make([]float64, len(idx))
+			for j, p := range idx {
+				dists[j] = vec.Dist(data.Row(p), mean)
+			}
+			th, lok := medianThreshold(dists)
+			if lok {
+				for j, p := range idx {
+					if dists[j] <= th {
+						left = append(left, p)
+					} else {
+						right = append(right, p)
+					}
+				}
+				return left, right, node{mean: mean, thresh: th}, true
+			}
+			// Degenerate distances: fall through to projection split.
+		}
+	}
+
+	// Projection split (the max rule, and the mean rule's common case).
+	// A few retries guard against degenerate directions where every point
+	// projects identically.
+	for attempt := 0; attempt < 4; attempt++ {
+		dir := rng.UnitVec(data.D)
+		proj := make([]float64, len(idx))
+		for j, p := range idx {
+			proj[j] = vec.Dot(data.Row(p), dir)
+		}
+		th, lok := medianThreshold(proj)
+		if !lok {
+			continue
+		}
+		if opts.Rule == RuleMax {
+			// Jittered median split (Dasgupta–Freund): perturb within a
+			// fraction of the projected spread, re-clamped to keep both
+			// sides non-empty.
+			lo, hi := minMax(proj)
+			jit := (rng.Float64()*2 - 1) * opts.JitterFrac * (hi - lo)
+			th = clampThreshold(proj, th+jit)
+		}
+		for j, p := range idx {
+			if proj[j] <= th {
+				left = append(left, p)
+			} else {
+				right = append(right, p)
+			}
+		}
+		if len(left) > 0 && len(right) > 0 {
+			return left, right, node{proj: dir, thresh: th}, true
+		}
+		left, right = nil, nil
+	}
+	return nil, nil, node{}, false
+}
+
+// medianThreshold returns a threshold splitting xs into two non-empty,
+// roughly balanced halves; ok is false when all values are equal.
+//
+// Rather than cutting exactly at the median — which slices through any
+// cluster that happens to straddle it — the threshold snaps to the largest
+// gap between consecutive sorted values inside the middle [25%, 75%]
+// quantile band. On multi-cluster data the inter-cluster gaps dominate, so
+// splits land between clusters while staying balanced within a factor of
+// three; on gap-free data this degenerates to (approximately) the median.
+func medianThreshold(xs []float64) (float64, bool) {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if s[0] == s[n-1] {
+		return 0, false
+	}
+	lo := n / 4
+	hi := n - 1 - n/4
+	if hi <= lo {
+		lo, hi = 0, n-1
+	}
+	bestGap := -1.0
+	bestI := -1
+	for i := lo; i < hi; i++ {
+		if gap := s[i+1] - s[i]; gap > bestGap {
+			bestGap = gap
+			bestI = i
+		}
+	}
+	if bestI < 0 || bestGap <= 0 {
+		// Middle band constant: fall back to a full-range split at the
+		// first distinct value below the maximum.
+		th := s[(n-1)/2]
+		if th == s[n-1] {
+			for i := n - 1; i > 0; i-- {
+				if s[i-1] < th {
+					return s[i-1], true
+				}
+			}
+		}
+		if th == s[n-1] {
+			return 0, false
+		}
+		return th, true
+	}
+	// Everything <= s[bestI] goes left.
+	return s[bestI], true
+}
+
+// clampThreshold forces th into a range that keeps both sides of xs
+// non-empty.
+func clampThreshold(xs []float64, th float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1) // min and max of xs
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if th < lo {
+		th = lo
+	}
+	// Threshold semantics are "x <= th goes left", so th == hi would empty
+	// the right side; nudge below the maximum.
+	if th >= hi {
+		// Largest value strictly below hi.
+		best := lo
+		for _, x := range xs {
+			if x < hi && x > best {
+				best = x
+			}
+		}
+		th = best
+	}
+	return th
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// workItem and workHeap implement largest-first splitting.
+type workItem struct {
+	node int
+	idx  []int
+}
+
+type workHeap []workItem
+
+func (h workHeap) Len() int            { return len(h) }
+func (h workHeap) Less(i, j int) bool  { return len(h[i].idx) > len(h[j].idx) }
+func (h workHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *workHeap) Push(x interface{}) { *h = append(*h, x.(workItem)) }
+func (h *workHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

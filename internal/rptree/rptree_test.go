@@ -1,0 +1,238 @@
+package rptree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bilsh/internal/dataset"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+func buildClustered(t *testing.T, n, d int, seed int64) (*vec.Matrix, []int) {
+	t.Helper()
+	spec := dataset.ClusteredSpec{N: n, D: d, Clusters: 4, IntrinsicDim: 3,
+		Aspect: 4, NoiseSigma: 0.02, Spread: 10, PowerLaw: 0.5}
+	m, labels, err := dataset.Clustered(spec, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, labels
+}
+
+func TestBuildPartitionIsComplete(t *testing.T) {
+	for _, rule := range []Rule{RuleMax, RuleMean} {
+		data, _ := buildClustered(t, 300, 16, 1)
+		tree, asg := Build(data, Options{Rule: rule, Leaves: 8}, xrand.New(2))
+		if tree.NumLeaves() != 8 {
+			t.Fatalf("rule %v: leaves = %d, want 8", rule, tree.NumLeaves())
+		}
+		// Every point in exactly one leaf; member lists consistent.
+		seen := make([]bool, data.N)
+		for leaf, members := range asg.Members {
+			for _, p := range members {
+				if seen[p] {
+					t.Fatalf("rule %v: point %d in two leaves", rule, p)
+				}
+				seen[p] = true
+				if asg.LeafOf[p] != leaf {
+					t.Fatalf("rule %v: LeafOf mismatch for %d", rule, p)
+				}
+			}
+		}
+		for p, ok := range seen {
+			if !ok {
+				t.Fatalf("rule %v: point %d unassigned", rule, p)
+			}
+		}
+	}
+}
+
+func TestRoutingMatchesAssignment(t *testing.T) {
+	for _, rule := range []Rule{RuleMax, RuleMean} {
+		data, _ := buildClustered(t, 400, 12, 3)
+		tree, asg := Build(data, Options{Rule: rule, Leaves: 16}, xrand.New(4))
+		for p := 0; p < data.N; p++ {
+			if got := tree.Leaf(data.Row(p)); got != asg.LeafOf[p] {
+				t.Fatalf("rule %v: point %d routed to %d, assigned %d", rule, p, got, asg.LeafOf[p])
+			}
+		}
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	data, _ := buildClustered(t, 50, 8, 5)
+	tree, asg := Build(data, Options{Leaves: 1}, xrand.New(6))
+	if tree.NumLeaves() != 1 {
+		t.Fatalf("leaves = %d", tree.NumLeaves())
+	}
+	if len(asg.Members[0]) != 50 {
+		t.Fatalf("leaf 0 holds %d points", len(asg.Members[0]))
+	}
+	if tree.Leaf(data.Row(0)) != 0 {
+		t.Fatal("routing in trivial tree")
+	}
+}
+
+func TestDuplicatePointsDoNotLoop(t *testing.T) {
+	// All-identical data is unsplittable; Build must terminate with one
+	// populated leaf rather than spinning or producing empty cells.
+	rows := make([][]float32, 64)
+	for i := range rows {
+		rows[i] = []float32{1, 2, 3}
+	}
+	data := vec.FromRows(rows)
+	tree, asg := Build(data, Options{Rule: RuleMean, Leaves: 8}, xrand.New(7))
+	if tree.NumLeaves() != 1 {
+		t.Fatalf("identical data produced %d leaves, want 1", tree.NumLeaves())
+	}
+	if len(asg.Members[0]) != 64 {
+		t.Fatal("points lost")
+	}
+}
+
+func TestMinLeafSizeRespected(t *testing.T) {
+	data, _ := buildClustered(t, 200, 8, 9)
+	_, asg := Build(data, Options{Leaves: 64, MinLeafSize: 10}, xrand.New(10))
+	for leaf, members := range asg.Members {
+		if len(members) < 10 {
+			t.Fatalf("leaf %d has %d members < MinLeafSize", leaf, len(members))
+		}
+	}
+}
+
+func TestBalancedSizes(t *testing.T) {
+	// Median splits keep leaves within a reasonable factor of each other.
+	data := dataset.Gaussian(512, 16, 1, xrand.New(11))
+	_, asg := Build(data, Options{Rule: RuleMax, Leaves: 8}, xrand.New(12))
+	min, max := data.N, 0
+	for _, m := range asg.Members {
+		if len(m) < min {
+			min = len(m)
+		}
+		if len(m) > max {
+			max = len(m)
+		}
+	}
+	if max > 4*min {
+		t.Fatalf("leaf sizes too skewed: min=%d max=%d", min, max)
+	}
+}
+
+func TestLeavesShrinkRadius(t *testing.T) {
+	// The mean of leaf radii must be well below the root radius: the tree
+	// actually localizes points (the paper's convergence property).
+	data, _ := buildClustered(t, 600, 24, 13)
+	_, asg := Build(data, Options{Rule: RuleMean, Leaves: 16}, xrand.New(14))
+	radius := func(idx []int) float64 {
+		mean := data.Mean(idx)
+		var worst float64
+		for _, p := range idx {
+			if d := vec.Dist(data.Row(p), mean); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	all := make([]int, data.N)
+	for i := range all {
+		all[i] = i
+	}
+	rootR := radius(all)
+	var sum float64
+	for _, m := range asg.Members {
+		sum += radius(m)
+	}
+	avg := sum / float64(len(asg.Members))
+	if avg > 0.8*rootR {
+		t.Fatalf("leaves barely shrink: avg leaf radius %.2f vs root %.2f", avg, rootR)
+	}
+}
+
+func TestClusterPurity(t *testing.T) {
+	// With well-separated latent clusters, RP-tree leaves should be nearly
+	// pure (each leaf dominated by one cluster) — this is the "similar
+	// data items end up together" property the bi-level scheme relies on.
+	spec := dataset.ClusteredSpec{N: 800, D: 32, Clusters: 4, IntrinsicDim: 2,
+		Aspect: 2, NoiseSigma: 0.01, Spread: 50, PowerLaw: 0}
+	data, labels, err := dataset.Clustered(spec, xrand.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, asg := Build(data, Options{Rule: RuleMean, Leaves: 8}, xrand.New(16))
+	var pure, total int
+	for _, members := range asg.Members {
+		counts := map[int]int{}
+		for _, p := range members {
+			counts[labels[p]]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		pure += best
+		total += len(members)
+	}
+	if purity := float64(pure) / float64(total); purity < 0.9 {
+		t.Fatalf("leaf purity %.2f < 0.9 on well-separated clusters", purity)
+	}
+}
+
+// Property: routing is total and stable — every vector lands in a valid
+// leaf, twice in the same one.
+func TestRoutingTotalAndDeterministic(t *testing.T) {
+	data, _ := buildClustered(t, 300, 10, 17)
+	tree, _ := Build(data, Options{Rule: RuleMean, Leaves: 12}, xrand.New(18))
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		v := rng.GaussianVec(10)
+		vec.Scale(v, 20*rng.Float64())
+		l1 := tree.Leaf(v)
+		l2 := tree.Leaf(v)
+		return l1 == l2 && l1 >= 0 && l1 < tree.NumLeaves()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	data, _ := buildClustered(t, 250, 8, 19)
+	t1, a1 := Build(data, Options{Rule: RuleMean, Leaves: 8}, xrand.New(20))
+	t2, a2 := Build(data, Options{Rule: RuleMean, Leaves: 8}, xrand.New(20))
+	if t1.NumLeaves() != t2.NumLeaves() {
+		t.Fatal("leaf counts differ across identical builds")
+	}
+	for p := range a1.LeafOf {
+		if a1.LeafOf[p] != a2.LeafOf[p] {
+			t.Fatal("assignments differ across identical builds")
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	if RuleMax.String() != "max" || RuleMean.String() != "mean" {
+		t.Fatal("Rule.String wrong")
+	}
+	if Rule(9).String() == "" {
+		t.Fatal("unknown rule must still format")
+	}
+}
+
+func TestMedianThreshold(t *testing.T) {
+	th, ok := medianThreshold([]float64{3, 1, 2, 4})
+	if !ok || th != 2 {
+		t.Fatalf("medianThreshold = %v ok=%v", th, ok)
+	}
+	// All-equal input is degenerate.
+	if _, ok := medianThreshold([]float64{5, 5, 5}); ok {
+		t.Fatal("all-equal input must report !ok")
+	}
+	// Median equal to max must step down to keep the right side non-empty.
+	th, ok = medianThreshold([]float64{1, 9, 9})
+	if !ok || th != 1 {
+		t.Fatalf("max-median case: th=%v ok=%v, want 1", th, ok)
+	}
+}

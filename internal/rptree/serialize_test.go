@@ -1,0 +1,136 @@
+package rptree
+
+import (
+	"bytes"
+	"testing"
+
+	"bilsh/internal/dataset"
+	"bilsh/internal/wire"
+	"bilsh/internal/xrand"
+)
+
+func TestTreeRoundTrip(t *testing.T) {
+	for _, rule := range []Rule{RuleMean, RuleMax} {
+		data, _, err := dataset.Clustered(dataset.DefaultClusteredSpec(300, 16), xrand.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, _ := Build(data, Options{Rule: rule, Leaves: 8}, xrand.New(2))
+
+		var buf bytes.Buffer
+		w := wire.NewWriter(&buf)
+		orig.Encode(w)
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeTree(wire.NewReader(&buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumLeaves() != orig.NumLeaves() || got.Dim() != orig.Dim() || got.Rule() != orig.Rule() {
+			t.Fatal("tree metadata changed across round trip")
+		}
+		// Routing must be identical for stored points and fresh vectors.
+		for i := 0; i < data.N; i += 7 {
+			if got.Leaf(data.Row(i)) != orig.Leaf(data.Row(i)) {
+				t.Fatalf("rule %v: routing differs for row %d", rule, i)
+			}
+		}
+		rng := xrand.New(3)
+		for i := 0; i < 50; i++ {
+			v := rng.GaussianVec(16)
+			if got.Leaf(v) != orig.Leaf(v) {
+				t.Fatalf("rule %v: routing differs for random vector", rule)
+			}
+		}
+	}
+}
+
+func TestDecodeTreeRejectsBadStructure(t *testing.T) {
+	// Internal node whose children point backwards must be rejected.
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	w.Magic("rptree.Tree/1")
+	w.Int(4) // dim
+	w.Int(0) // rule
+	w.Int(1) // leaves
+	w.Int(2) // nodes
+	// Node 0: internal with left=0 (self-loop).
+	w.F32s([]float32{1, 0, 0, 0})
+	w.F32s(nil)
+	w.F64(0)
+	w.Int(0) // left: invalid (must be > 0)
+	w.Int(1)
+	w.Int(-1)
+	w.Int(10)
+	// Node 1: leaf.
+	w.F32s(nil)
+	w.F32s(nil)
+	w.F64(0)
+	w.Int(-1)
+	w.Int(-1)
+	w.Int(0)
+	w.Int(10)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTree(wire.NewReader(&buf)); err == nil {
+		t.Fatal("self-loop children must be rejected")
+	}
+}
+
+func TestDecodeTreeRejectsSplitlessInternal(t *testing.T) {
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	w.Magic("rptree.Tree/1")
+	w.Int(4)
+	w.Int(0)
+	w.Int(2)
+	w.Int(3)
+	// Node 0: internal with NO split vectors.
+	w.F32s(nil)
+	w.F32s(nil)
+	w.F64(0)
+	w.Int(1)
+	w.Int(2)
+	w.Int(-1)
+	w.Int(10)
+	for leaf := 0; leaf < 2; leaf++ {
+		w.F32s(nil)
+		w.F32s(nil)
+		w.F64(0)
+		w.Int(-1)
+		w.Int(-1)
+		w.Int(leaf)
+		w.Int(5)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTree(wire.NewReader(&buf)); err == nil {
+		t.Fatal("splitless internal node must be rejected")
+	}
+}
+
+func TestDecodeTreeRejectsLeafIDOutOfRange(t *testing.T) {
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	w.Magic("rptree.Tree/1")
+	w.Int(4)
+	w.Int(0)
+	w.Int(1) // one leaf claimed...
+	w.Int(1)
+	w.F32s(nil)
+	w.F32s(nil)
+	w.F64(0)
+	w.Int(-1)
+	w.Int(-1)
+	w.Int(5) // ...but labeled 5
+	w.Int(3)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTree(wire.NewReader(&buf)); err == nil {
+		t.Fatal("out-of-range leaf id must be rejected")
+	}
+}

@@ -1,0 +1,250 @@
+// Package server exposes a Bi-level LSH index over HTTP with a small JSON
+// API — the deployment shape for using the index as a shared similarity
+// service. Handlers are safe for concurrent use: reads share an RWMutex
+// read lock; mutating endpoints (insert, delete, compact) take the write
+// lock, matching the core package's concurrency contract.
+//
+// Endpoints:
+//
+//	GET  /healthz          -> 200 "ok"
+//	GET  /info             -> index description (JSON)
+//	POST /query            -> {"vector":[...], "k":10}            -> neighbors
+//	POST /batch            -> {"vectors":[[...],...], "k":10}     -> neighbor lists
+//	POST /insert           -> {"vector":[...]}                    -> {"id":...}
+//	POST /delete           -> {"id":...}                          -> {"deleted":bool}
+//	POST /compact          -> {}                                  -> {"live":...}
+//
+// Vectors are JSON arrays of numbers with the index's dimensionality.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"bilsh/internal/core"
+	"bilsh/internal/vec"
+)
+
+// maxBodyBytes bounds request bodies (queries are small; batches bounded).
+const maxBodyBytes = 64 << 20
+
+// Server wraps an index with the HTTP API.
+type Server struct {
+	mu sync.RWMutex
+	ix *core.Index
+
+	// mutable reports whether mutating endpoints are enabled.
+	mutable bool
+}
+
+// New wraps ix. When mutable is false the insert/delete/compact endpoints
+// return 403 (the safe default for disk-backed or shared indexes).
+func New(ix *core.Index, mutable bool) *Server {
+	return &Server{ix: ix, mutable: mutable}
+}
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /info", s.handleInfo)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("POST /insert", s.handleInsert)
+	mux.HandleFunc("POST /delete", s.handleDelete)
+	mux.HandleFunc("POST /compact", s.handleCompact)
+	return mux
+}
+
+// neighbor is one result entry.
+type neighbor struct {
+	ID   int     `json:"id"`
+	Dist float64 `json:"dist"` // squared Euclidean distance
+}
+
+// queryRequest is the /query body.
+type queryRequest struct {
+	Vector []float32 `json:"vector"`
+	K      int       `json:"k"`
+}
+
+// queryResponse is the /query reply.
+type queryResponse struct {
+	Neighbors  []neighbor `json:"neighbors"`
+	Candidates int        `json:"candidates"`
+	Group      int        `json:"group"`
+}
+
+// batchRequest is the /batch body.
+type batchRequest struct {
+	Vectors [][]float32 `json:"vectors"`
+	K       int         `json:"k"`
+	Workers int         `json:"workers,omitempty"`
+}
+
+// batchResponse is the /batch reply.
+type batchResponse struct {
+	Results []queryResponse `json:"results"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	d := s.ix.Describe()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if len(req.Vector) != s.dim() {
+		httpError(w, http.StatusBadRequest, "vector has %d dims, index wants %d", len(req.Vector), s.dim())
+		return
+	}
+	s.mu.RLock()
+	res, st := s.ix.Query(req.Vector, req.K)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, toResponse(res.IDs, res.Dists, st))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if len(req.Vectors) == 0 {
+		httpError(w, http.StatusBadRequest, "no vectors")
+		return
+	}
+	d := s.dim()
+	for i, v := range req.Vectors {
+		if len(v) != d {
+			httpError(w, http.StatusBadRequest, "vector %d has %d dims, index wants %d", i, len(v), d)
+			return
+		}
+	}
+	queries := vec.FromRows(req.Vectors)
+	s.mu.RLock()
+	results, stats := s.ix.QueryBatchParallel(queries, req.K, req.Workers)
+	s.mu.RUnlock()
+	resp := batchResponse{Results: make([]queryResponse, len(results))}
+	for i := range results {
+		resp.Results[i] = toResponse(results[i].IDs, results[i].Dists, stats[i])
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMutable(w) {
+		return
+	}
+	var req struct {
+		Vector []float32 `json:"vector"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	id, err := s.ix.Insert(req.Vector)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"id": id})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMutable(w) {
+		return
+	}
+	var req struct {
+		ID int `json:"id"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	ok := s.ix.Delete(req.ID)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]bool{"deleted": ok})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMutable(w) {
+		return
+	}
+	s.mu.Lock()
+	_, err := s.ix.Compact()
+	live := s.ix.Len()
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"live": live})
+}
+
+func (s *Server) dim() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.Dim()
+}
+
+func (s *Server) requireMutable(w http.ResponseWriter) bool {
+	if !s.mutable {
+		httpError(w, http.StatusForbidden, "index is read-only (start the server with -mutable)")
+		return false
+	}
+	return true
+}
+
+func toResponse(ids []int, dists []float64, st core.QueryStats) queryResponse {
+	resp := queryResponse{
+		Neighbors:  make([]neighbor, len(ids)),
+		Candidates: st.Candidates,
+		Group:      st.Group,
+	}
+	for i := range ids {
+		resp.Neighbors[i] = neighbor{ID: ids[i], Dist: dists[i]}
+	}
+	return resp
+}
+
+// decodeBody parses a JSON body with a size cap; it writes the error
+// response itself and reports success.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do than drop the connection.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

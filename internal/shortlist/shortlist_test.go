@@ -1,0 +1,209 @@
+package shortlist
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"bilsh/internal/dataset"
+	"bilsh/internal/knn"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// makeReqs builds q random queries each with a random candidate subset.
+func makeReqs(rng *xrand.RNG, data *vec.Matrix, q, maxCand int) []Request {
+	reqs := make([]Request, q)
+	for i := range reqs {
+		nc := rng.Intn(maxCand + 1)
+		cands := make([]int, nc)
+		for j := range cands {
+			cands[j] = rng.Intn(data.N)
+		}
+		reqs[i] = Request{Query: rng.GaussianVec(data.D), Candidates: cands}
+	}
+	return reqs
+}
+
+// reference computes the expected result of short-list search directly.
+func reference(data *vec.Matrix, reqs []Request, k int) []knn.Result {
+	out := make([]knn.Result, len(reqs))
+	for qi, req := range reqs {
+		sub := make(map[int]float64, len(req.Candidates))
+		for _, id := range req.Candidates {
+			sub[id] = vec.SqDist(data.Row(id), req.Query)
+		}
+		type pair struct {
+			id int
+			d  float64
+		}
+		ps := make([]pair, 0, len(sub))
+		for id, d := range sub {
+			ps = append(ps, pair{id, d})
+		}
+		// Sort by (d, id).
+		for i := 1; i < len(ps); i++ {
+			for j := i; j > 0 && (ps[j].d < ps[j-1].d || (ps[j].d == ps[j-1].d && ps[j].id < ps[j-1].id)); j-- {
+				ps[j], ps[j-1] = ps[j-1], ps[j]
+			}
+		}
+		if len(ps) > k {
+			ps = ps[:k]
+		}
+		r := knn.Result{IDs: make([]int, len(ps)), Dists: make([]float64, len(ps))}
+		for i, p := range ps {
+			r.IDs[i] = p.id
+			r.Dists[i] = p.d
+		}
+		out[qi] = r
+	}
+	return out
+}
+
+func enginesUnderTest() []Engine {
+	return []Engine{
+		Serial{},
+		PerQuery{Workers: 3},
+		WorkQueue{QueueCap: 64, Workers: 2}, // tiny cap forces multiple passes
+		WorkQueue{},                         // default cap: single pass
+	}
+}
+
+func TestEnginesAgreeWithReference(t *testing.T) {
+	rng := xrand.New(1)
+	data := dataset.Gaussian(200, 8, 1, rng.Split(0))
+	reqs := makeReqs(rng.Split(1), data, 20, 60)
+	want := reference(data, reqs, 5)
+	for _, e := range enginesUnderTest() {
+		got, st := e.Search(data, reqs, 5)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("engine %q disagrees with reference", e.Name())
+		}
+		if st.DistanceOps == 0 {
+			t.Fatalf("engine %q reported zero distance ops", e.Name())
+		}
+	}
+}
+
+// Property: all engines return identical results on random workloads.
+func TestEngineEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		data := dataset.Gaussian(50+rng.Intn(100), 4, 1, rng.Split(0))
+		k := 1 + rng.Intn(8)
+		reqs := makeReqs(rng.Split(1), data, 1+rng.Intn(10), 40)
+		want := reference(data, reqs, k)
+		for _, e := range enginesUnderTest() {
+			got, _ := e.Search(data, reqs, k)
+			if !reflect.DeepEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateCandidates(t *testing.T) {
+	data := vec.FromRows([][]float32{{0}, {1}, {2}})
+	reqs := []Request{{Query: []float32{0}, Candidates: []int{2, 1, 1, 1, 0, 0}}}
+	for _, e := range enginesUnderTest() {
+		got, _ := e.Search(data, reqs, 2)
+		if !reflect.DeepEqual(got[0].IDs, []int{0, 1}) {
+			t.Fatalf("engine %q with duplicates: %v", e.Name(), got[0].IDs)
+		}
+	}
+}
+
+func TestEmptyCandidates(t *testing.T) {
+	data := vec.FromRows([][]float32{{0}})
+	reqs := []Request{
+		{Query: []float32{0}, Candidates: nil},
+		{Query: []float32{1}, Candidates: []int{0}},
+	}
+	for _, e := range enginesUnderTest() {
+		got, _ := e.Search(data, reqs, 3)
+		if len(got[0].IDs) != 0 {
+			t.Fatalf("engine %q invented candidates", e.Name())
+		}
+		if len(got[1].IDs) != 1 {
+			t.Fatalf("engine %q lost the single candidate", e.Name())
+		}
+	}
+}
+
+func TestNoRequests(t *testing.T) {
+	data := vec.FromRows([][]float32{{0}})
+	for _, e := range enginesUnderTest() {
+		got, st := e.Search(data, nil, 3)
+		if len(got) != 0 || st.DistanceOps != 0 {
+			t.Fatalf("engine %q misbehaves on empty batch", e.Name())
+		}
+	}
+}
+
+func TestWorkQueueMultiplePasses(t *testing.T) {
+	rng := xrand.New(9)
+	data := dataset.Gaussian(300, 4, 1, rng.Split(0))
+	reqs := makeReqs(rng.Split(1), data, 30, 100)
+	e := WorkQueue{QueueCap: 64}
+	got, st := e.Search(data, reqs, 4)
+	if st.Passes < 2 {
+		t.Fatalf("tiny queue ran only %d passes", st.Passes)
+	}
+	want := reference(data, reqs, 4)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("multi-pass results wrong")
+	}
+	if st.SortedItems == 0 {
+		t.Fatal("clustered sort not counted")
+	}
+}
+
+func TestOpStatsPlausible(t *testing.T) {
+	rng := xrand.New(10)
+	data := dataset.Gaussian(100, 4, 1, rng.Split(0))
+	reqs := makeReqs(rng.Split(1), data, 10, 50)
+	var totalCands, uniqueCands, maxCands int
+	for _, r := range reqs {
+		totalCands += len(r.Candidates)
+		set := map[int]bool{}
+		for _, id := range r.Candidates {
+			set[id] = true
+		}
+		uniqueCands += len(set)
+		if len(r.Candidates) > maxCands {
+			maxCands = len(r.Candidates)
+		}
+	}
+	for _, e := range []Engine{Serial{}, PerQuery{Workers: 2}} {
+		_, st := e.Search(data, reqs, 5)
+		if st.DistanceOps != uniqueCands {
+			t.Fatalf("%s: DistanceOps = %d, want %d unique", e.Name(), st.DistanceOps, uniqueCands)
+		}
+		if st.MaxPerQuery != maxCands {
+			t.Fatalf("%s: MaxPerQuery = %d, want %d", e.Name(), st.MaxPerQuery, maxCands)
+		}
+	}
+	// WorkQueue computes a distance per queued occurrence (dedup happens
+	// in the compact step, as on the GPU).
+	_, st := WorkQueue{}.Search(data, reqs, 5)
+	if st.DistanceOps != totalCands {
+		t.Fatalf("work-queue DistanceOps = %d, want %d", st.DistanceOps, totalCands)
+	}
+}
+
+func BenchmarkSerial(b *testing.B)    { benchEngine(b, Serial{}) }
+func BenchmarkWorkQueue(b *testing.B) { benchEngine(b, WorkQueue{}) }
+
+func benchEngine(b *testing.B, e Engine) {
+	rng := xrand.New(1)
+	data := dataset.Gaussian(5000, 32, 1, rng.Split(0))
+	reqs := makeReqs(rng.Split(1), data, 50, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Search(data, reqs, 50)
+	}
+}

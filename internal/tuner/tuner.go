@@ -1,0 +1,163 @@
+// Package tuner estimates per-cluster LSH parameters, playing the role of
+// the statistical model of Dong et al. that the paper invokes at the start
+// of Section IV-B ("we use an automatic parameter tuning approach to
+// compute the optimal LSH parameters for each cell").
+//
+// Substitution note (see DESIGN.md): Dong et al. fit a full quality/runtime
+// model from a sample. This tuner keeps the part the bi-level algorithm
+// actually consumes — a per-cluster bucket width W — and derives it from
+// the same ingredients: the sampled k-NN radius of the cluster and the
+// closed-form p-stable collision probability. Choosing W so that a true
+// k-th neighbor collides with the query in one table with a target
+// probability directly trades recall against selectivity, which is the
+// axis all the paper's figures sweep.
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// Config bounds the sampling effort.
+type Config struct {
+	// SamplePoints caps how many cluster members serve as pivot samples
+	// (default 64).
+	SamplePoints int
+	// SampleAgainst caps how many members each pivot is compared to
+	// (default 1024).
+	SampleAgainst int
+}
+
+func (c *Config) fill() {
+	if c.SamplePoints <= 0 {
+		c.SamplePoints = 64
+	}
+	if c.SampleAgainst <= 0 {
+		c.SampleAgainst = 1024
+	}
+}
+
+// Estimate is the tuner's output for one cluster.
+type Estimate struct {
+	// W is the recommended bucket width for Eq. 2.
+	W float64
+	// KDist is the sampled mean distance to the k-th nearest neighbor.
+	KDist float64
+	// MeanDist is the sampled mean pairwise distance (a scale reference).
+	MeanDist float64
+	// Samples is the number of pivots actually used.
+	Samples int
+}
+
+// CollisionProb returns the probability that two points at distance r fall
+// into the same bucket of a single p-stable hash h(v) = ⌊(a·v+b)/W⌋ with
+// Gaussian a — the closed form used by Datar et al. and Dong et al.:
+//
+//	p(c) = 2Φ(c) − 1 − (2/(√(2π)·c))·(1 − e^(−c²/2)),  c = W/r.
+func CollisionProb(r, w float64) float64 {
+	if r <= 0 {
+		return 1
+	}
+	if w <= 0 {
+		return 0
+	}
+	c := w / r
+	return 2*phi(c) - 1 - 2/(math.Sqrt(2*math.Pi)*c)*(1-math.Exp(-c*c/2))
+}
+
+// phi is the standard normal CDF.
+func phi(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+
+// EstimateW picks a bucket width for the cluster consisting of the given
+// member rows, such that a point at the sampled k-NN radius shares all M
+// hash values with the query with probability targetRecall (per table).
+// Clusters too small to sample fall back to W = MeanDist (and ultimately
+// to 1.0 for degenerate single-point clusters).
+func EstimateW(data *vec.Matrix, members []int, k, m int, targetRecall float64, cfg Config, rng *xrand.RNG) (Estimate, error) {
+	if k <= 0 || m <= 0 {
+		return Estimate{}, fmt.Errorf("tuner: k=%d m=%d must be positive", k, m)
+	}
+	if targetRecall <= 0 || targetRecall >= 1 {
+		return Estimate{}, fmt.Errorf("tuner: targetRecall=%g must be in (0,1)", targetRecall)
+	}
+	cfg.fill()
+
+	est := Estimate{W: 1}
+	if len(members) < 2 {
+		return est, nil
+	}
+	pivots := rng.Sample(len(members), cfg.SamplePoints)
+	others := members
+	if len(others) > cfg.SampleAgainst {
+		idx := rng.Sample(len(members), cfg.SampleAgainst)
+		others = make([]int, len(idx))
+		for i, j := range idx {
+			others[i] = members[j]
+		}
+	}
+
+	var kSum, meanSum float64
+	var meanN int
+	dists := make([]float64, 0, len(others))
+	for _, pi := range pivots {
+		p := members[pi]
+		dists = dists[:0]
+		for _, q := range others {
+			if q == p {
+				continue
+			}
+			d := vec.Dist(data.Row(p), data.Row(q))
+			dists = append(dists, d)
+			meanSum += d
+			meanN++
+		}
+		if len(dists) == 0 {
+			continue
+		}
+		sort.Float64s(dists)
+		kk := k
+		if kk > len(dists) {
+			kk = len(dists)
+		}
+		kSum += dists[kk-1]
+		est.Samples++
+	}
+	if est.Samples == 0 || meanN == 0 {
+		return est, nil
+	}
+	est.KDist = kSum / float64(est.Samples)
+	est.MeanDist = meanSum / float64(meanN)
+	if est.KDist <= 0 {
+		// Duplicate-heavy cluster: any W works; use the scale reference.
+		est.W = math.Max(est.MeanDist, 1e-6)
+		return est, nil
+	}
+
+	// Solve p(W/KDist)^m = targetRecall for W by bisection; p is
+	// monotonically increasing in W.
+	perDim := math.Pow(targetRecall, 1/float64(m))
+	lo, hi := 1e-9*est.KDist, 1e6*est.KDist
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if CollisionProb(est.KDist, mid) < perDim {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	est.W = (lo + hi) / 2
+	return est, nil
+}
+
+// ScaleForSelectivity adjusts a base estimate multiplicatively: the
+// experiments sweep W over a grid of multipliers of the tuned value, which
+// keeps per-cluster ratios intact while moving the global operating point.
+func ScaleForSelectivity(base Estimate, mult float64) Estimate {
+	out := base
+	out.W = base.W * mult
+	return out
+}

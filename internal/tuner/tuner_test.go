@@ -1,0 +1,198 @@
+package tuner
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bilsh/internal/dataset"
+	"bilsh/internal/lattice"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+func TestCollisionProbLimits(t *testing.T) {
+	// Tiny W: almost never collide. Huge W: almost always.
+	if p := CollisionProb(1, 1e-6); p > 1e-3 {
+		t.Fatalf("p(tiny W) = %v", p)
+	}
+	if p := CollisionProb(1, 1e6); p < 0.999 {
+		t.Fatalf("p(huge W) = %v", p)
+	}
+	if p := CollisionProb(0, 5); p != 1 {
+		t.Fatalf("p(r=0) = %v, want 1", p)
+	}
+	if p := CollisionProb(1, 0); p != 0 {
+		t.Fatalf("p(W=0) = %v, want 0", p)
+	}
+}
+
+// Property: CollisionProb is within [0,1] and increasing in W.
+func TestCollisionProbMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		r := 0.1 + rng.Float64()*10
+		prev := -1.0
+		for w := 0.1; w < 50; w *= 1.5 {
+			p := CollisionProb(r, w)
+			if p < 0 || p > 1 || p < prev-1e-12 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CollisionProb must agree with a Monte-Carlo simulation of Eq. 2.
+func TestCollisionProbMatchesSimulation(t *testing.T) {
+	rng := xrand.New(3)
+	const d = 16
+	r := 2.0
+	w := 3.0
+	u := make([]float32, d)
+	v := make([]float32, d)
+	v[0] = float32(r) // distance exactly r
+	z := lattice.NewZM(1)
+	const trials = 4000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		f, err := lshfunc.NewFamily(d, lshfunc.Params{M: 1, L: 1, W: w}, rng.Split(int64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cu := z.Decode(f.Projected(0, u))
+		cv := z.Decode(f.Projected(0, v))
+		if cu[0] == cv[0] {
+			hits++
+		}
+	}
+
+	got := float64(hits) / trials
+	want := CollisionProb(r, w)
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("simulated collision %.3f vs closed form %.3f", got, want)
+	}
+}
+
+func TestEstimateWValidation(t *testing.T) {
+	data := dataset.Gaussian(10, 4, 1, xrand.New(1))
+	members := []int{0, 1, 2}
+	if _, err := EstimateW(data, members, 0, 8, 0.9, Config{}, xrand.New(2)); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := EstimateW(data, members, 3, 0, 0.9, Config{}, xrand.New(2)); err == nil {
+		t.Fatal("m=0 must error")
+	}
+	if _, err := EstimateW(data, members, 3, 8, 1.5, Config{}, xrand.New(2)); err == nil {
+		t.Fatal("target out of range must error")
+	}
+}
+
+func TestEstimateWTinyClusters(t *testing.T) {
+	data := dataset.Gaussian(10, 4, 1, xrand.New(3))
+	est, err := EstimateW(data, []int{5}, 3, 8, 0.9, Config{}, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.W != 1 || est.Samples != 0 {
+		t.Fatalf("single-point cluster estimate = %+v", est)
+	}
+}
+
+func TestEstimateWDuplicateCluster(t *testing.T) {
+	rows := make([][]float32, 30)
+	for i := range rows {
+		rows[i] = []float32{1, 2}
+	}
+	data := vec.FromRows(rows)
+	members := make([]int, 30)
+	for i := range members {
+		members[i] = i
+	}
+	est, err := EstimateW(data, members, 5, 8, 0.9, Config{}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.W <= 0 {
+		t.Fatalf("degenerate cluster W = %v", est.W)
+	}
+}
+
+func TestEstimateWScalesWithData(t *testing.T) {
+	// Scaling the data by 10x must scale the tuned W by ~10x.
+	rng := xrand.New(6)
+	small := dataset.Gaussian(300, 8, 1, rng.Split(0))
+	big := vec.NewMatrix(small.N, small.D)
+	copy(big.Data, small.Data)
+	vec.Scale(big.Data, 10)
+	members := make([]int, small.N)
+	for i := range members {
+		members[i] = i
+	}
+	e1, err := EstimateW(small, members, 10, 8, 0.9, Config{}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := EstimateW(big, members, 10, 8, 0.9, Config{}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := e2.W / e1.W
+	if ratio < 8 || ratio > 12 {
+		t.Fatalf("W ratio = %.2f, want ~10", ratio)
+	}
+}
+
+func TestEstimateWAchievesTarget(t *testing.T) {
+	// The tuned W must make CollisionProb(KDist, W)^m equal the target.
+	data := dataset.Gaussian(400, 16, 2, xrand.New(8))
+	members := make([]int, data.N)
+	for i := range members {
+		members[i] = i
+	}
+	const m = 8
+	const target = 0.7
+	est, err := EstimateW(data, members, 20, m, target, Config{}, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := math.Pow(CollisionProb(est.KDist, est.W), m)
+	if math.Abs(got-target) > 1e-6 {
+		t.Fatalf("achieved collision %.6f, want %.2f", got, target)
+	}
+	if est.KDist <= 0 || est.MeanDist <= est.KDist {
+		t.Fatalf("distance stats implausible: %+v", est)
+	}
+}
+
+func TestHigherTargetNeedsWiderBuckets(t *testing.T) {
+	data := dataset.Gaussian(300, 8, 1, xrand.New(10))
+	members := make([]int, data.N)
+	for i := range members {
+		members[i] = i
+	}
+	lo, err := EstimateW(data, members, 10, 8, 0.5, Config{}, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := EstimateW(data, members, 10, 8, 0.95, Config{}, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.W <= lo.W {
+		t.Fatalf("W(0.95)=%.3f not wider than W(0.5)=%.3f", hi.W, lo.W)
+	}
+}
+
+func TestScaleForSelectivity(t *testing.T) {
+	base := Estimate{W: 2, KDist: 1}
+	out := ScaleForSelectivity(base, 2.5)
+	if out.W != 5 || out.KDist != 1 {
+		t.Fatalf("scaled = %+v", out)
+	}
+}

@@ -1,0 +1,42 @@
+package vec
+
+import (
+	"fmt"
+
+	"bilsh/internal/wire"
+)
+
+const matrixMagic = "vec.Matrix/1"
+
+// Encode writes the matrix to w.
+func (m *Matrix) Encode(w *wire.Writer) {
+	w.Magic(matrixMagic)
+	w.Int(m.N)
+	w.Int(m.D)
+	// Rows are written directly (not length-prefixed per row) since the
+	// shape fully determines the payload size.
+	for _, v := range m.Data {
+		w.F32(v)
+	}
+}
+
+// DecodeMatrix reads a matrix written by Encode.
+func DecodeMatrix(r *wire.Reader) (*Matrix, error) {
+	r.ExpectMagic(matrixMagic)
+	n := r.Int()
+	d := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || d <= 0 || n > wire.MaxLen/4 || d > wire.MaxLen/4 || n*d > wire.MaxLen/4 {
+		return nil, fmt.Errorf("vec: decoded matrix shape %dx%d implausible", n, d)
+	}
+	m := NewMatrix(n, d)
+	for i := range m.Data {
+		m.Data[i] = r.F32()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

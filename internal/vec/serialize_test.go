@@ -1,0 +1,97 @@
+package vec
+
+import (
+	"bytes"
+	"testing"
+
+	"bilsh/internal/wire"
+)
+
+func TestMatrixRoundTrip(t *testing.T) {
+	m := FromRows([][]float32{{1.5, -2}, {0, 3.25}, {7, 8}})
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	m.Encode(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMatrix(wire.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != m.N || got.D != m.D {
+		t.Fatalf("shape %dx%d", got.N, got.D)
+	}
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatal("data corrupted")
+		}
+	}
+}
+
+func TestDecodeMatrixRejectsBadShape(t *testing.T) {
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	w.Magic("vec.Matrix/1")
+	w.Int(-3)
+	w.Int(4)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMatrix(wire.NewReader(&buf)); err == nil {
+		t.Fatal("negative N must be rejected")
+	}
+	buf.Reset()
+	w = wire.NewWriter(&buf)
+	w.Magic("vec.Matrix/1")
+	w.Int(1 << 29)
+	w.Int(1 << 29) // N*D overflow the sanity bound
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMatrix(wire.NewReader(&buf)); err == nil {
+		t.Fatal("huge shape must be rejected")
+	}
+}
+
+func TestDecodeMatrixRejectsTruncation(t *testing.T) {
+	m := FromRows([][]float32{{1, 2, 3}})
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	m.Encode(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := DecodeMatrix(wire.NewReader(bytes.NewReader(raw[:len(raw)-2]))); err == nil {
+		t.Fatal("truncated payload must be rejected")
+	}
+	if _, err := DecodeMatrix(wire.NewReader(bytes.NewReader(nil))); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+}
+
+func TestNewMatrixPanicsOnBadShape(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMatrix(-1, 3) },
+		func() { NewMatrix(3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float32{{1, 2}, {3}})
+}

@@ -1,0 +1,213 @@
+// Package vec provides the dense vector and matrix primitives used across
+// the Bi-level LSH implementation.
+//
+// Feature vectors are stored as float32 (matching the GIST descriptors the
+// paper indexes) while all reductions accumulate in float64 to keep the
+// distance computations stable for high-dimensional data.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b, accumulated in float64.
+// It panics if the lengths differ: mixing dimensionalities is a programming
+// error, not a runtime condition.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, ai := range a {
+		s += float64(ai) * float64(b[i])
+	}
+	return s
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: SqDist length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, ai := range a {
+		d := float64(ai) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float32) float64 { return math.Sqrt(SqDist(a, b)) }
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float32) float64 {
+	var s float64
+	for _, ai := range a {
+		s += float64(ai) * float64(ai)
+	}
+	return math.Sqrt(s)
+}
+
+// Scale multiplies a by s in place.
+func Scale(a []float32, s float64) {
+	for i := range a {
+		a[i] = float32(float64(a[i]) * s)
+	}
+}
+
+// Normalize scales a to unit length in place. A zero vector is left
+// untouched and reported via the return value.
+func Normalize(a []float32) bool {
+	n := Norm(a)
+	if n == 0 {
+		return false
+	}
+	Scale(a, 1/n)
+	return true
+}
+
+// Add stores a+b into dst. dst may alias a or b.
+func Add(dst, a, b []float32) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub stores a-b into dst. dst may alias a or b.
+func Sub(dst, a, b []float32) {
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// AXPY adds s*x to y in place.
+func AXPY(y []float32, s float64, x []float32) {
+	for i := range y {
+		y[i] = float32(float64(y[i]) + s*float64(x[i]))
+	}
+}
+
+// Clone returns a copy of a.
+func Clone(a []float32) []float32 {
+	c := make([]float32, len(a))
+	copy(c, a)
+	return c
+}
+
+// Matrix is a dense row-major collection of N vectors of dimension D,
+// stored in a single allocation so the short-list scan stays cache friendly
+// (the layout the paper's GPU implementation uses for its linear arrays).
+type Matrix struct {
+	Data []float32
+	N    int
+	D    int
+}
+
+// NewMatrix allocates an n x d zero matrix.
+func NewMatrix(n, d int) *Matrix {
+	if n < 0 || d <= 0 {
+		panic(fmt.Sprintf("vec: NewMatrix invalid shape %dx%d", n, d))
+	}
+	return &Matrix{Data: make([]float32, n*d), N: n, D: d}
+}
+
+// FromRows builds a matrix by copying the given equal-length rows.
+func FromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 {
+		panic("vec: FromRows needs at least one row")
+	}
+	d := len(rows[0])
+	m := NewMatrix(len(rows), d)
+	for i, r := range rows {
+		if len(r) != d {
+			panic(fmt.Sprintf("vec: FromRows ragged input: row %d has %d dims, want %d", i, len(r), d))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns the i-th row as a slice sharing the matrix storage.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.D : (i+1)*m.D] }
+
+// CopyRow copies row i into dst and returns dst.
+func (m *Matrix) CopyRow(dst []float32, i int) []float32 {
+	return append(dst[:0], m.Row(i)...)
+}
+
+// Subset returns a new matrix containing the rows listed in idx, in order.
+func (m *Matrix) Subset(idx []int) *Matrix {
+	s := NewMatrix(len(idx), m.D)
+	for j, i := range idx {
+		copy(s.Row(j), m.Row(i))
+	}
+	return s
+}
+
+// Mean computes the arithmetic mean of the rows listed in idx (all rows if
+// idx is nil) into a freshly allocated vector.
+func (m *Matrix) Mean(idx []int) []float32 {
+	mean := make([]float64, m.D)
+	n := 0
+	add := func(row []float32) {
+		for j, v := range row {
+			mean[j] += float64(v)
+		}
+		n++
+	}
+	if idx == nil {
+		for i := 0; i < m.N; i++ {
+			add(m.Row(i))
+		}
+	} else {
+		for _, i := range idx {
+			add(m.Row(i))
+		}
+	}
+	out := make([]float32, m.D)
+	if n == 0 {
+		return out
+	}
+	for j := range mean {
+		out[j] = float32(mean[j] / float64(n))
+	}
+	return out
+}
+
+// Stats bundles simple summary statistics of a scalar sample.
+type Stats struct {
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+	N    int
+}
+
+// Summarize computes mean, population standard deviation, min and max of xs.
+// An empty sample yields the zero Stats.
+func Summarize(xs []float64) Stats {
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	s := Stats{Min: xs[0], Max: xs[0], N: len(xs)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(xs)))
+	return s
+}

@@ -1,0 +1,191 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDot(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+func TestSqDistAndDist(t *testing.T) {
+	a := []float32{0, 0}
+	b := []float32{3, 4}
+	if got := SqDist(a, b); got != 25 {
+		t.Fatalf("SqDist = %v, want 25", got)
+	}
+	if got := Dist(a, b); got != 5 {
+		t.Fatalf("Dist = %v, want 5", got)
+	}
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	a := []float32{3, 4}
+	if got := Norm(a); got != 5 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	if !Normalize(a) {
+		t.Fatal("Normalize reported zero vector")
+	}
+	if !almostEq(Norm(a), 1, 1e-6) {
+		t.Fatalf("norm after Normalize = %v, want 1", Norm(a))
+	}
+	z := []float32{0, 0}
+	if Normalize(z) {
+		t.Fatal("Normalize of zero vector should return false")
+	}
+}
+
+func TestAddSubAXPY(t *testing.T) {
+	a := []float32{1, 2}
+	b := []float32{10, 20}
+	dst := make([]float32, 2)
+	Add(dst, a, b)
+	if dst[0] != 11 || dst[1] != 22 {
+		t.Fatalf("Add = %v", dst)
+	}
+	Sub(dst, b, a)
+	if dst[0] != 9 || dst[1] != 18 {
+		t.Fatalf("Sub = %v", dst)
+	}
+	y := []float32{1, 1}
+	AXPY(y, 2, []float32{3, 4})
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("AXPY = %v", y)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := []float32{1, 2, 3}
+	c := Clone(a)
+	c[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone shares storage with source")
+	}
+}
+
+func TestMatrixRowsAndSubset(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	if m.N != 3 || m.D != 2 {
+		t.Fatalf("shape = %dx%d", m.N, m.D)
+	}
+	if r := m.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	s := m.Subset([]int{2, 0})
+	if s.Row(0)[0] != 5 || s.Row(1)[0] != 1 {
+		t.Fatalf("Subset rows wrong: %v", s.Data)
+	}
+	// Subset must copy, not alias.
+	s.Row(0)[0] = -1
+	if m.Row(2)[0] != 5 {
+		t.Fatal("Subset aliases parent storage")
+	}
+}
+
+func TestMatrixMean(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	mean := m.Mean(nil)
+	if mean[0] != 2 || mean[1] != 3 {
+		t.Fatalf("Mean = %v", mean)
+	}
+	sub := m.Mean([]int{1})
+	if sub[0] != 3 || sub[1] != 4 {
+		t.Fatalf("Mean(subset) = %v", sub)
+	}
+	if got := m.Mean([]int{}); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("Mean(empty) = %v, want zeros", got)
+	}
+}
+
+func TestCopyRowReusesBuffer(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	buf := make([]float32, 0, 2)
+	r := m.CopyRow(buf, 1)
+	if r[0] != 3 || r[1] != 4 {
+		t.Fatalf("CopyRow = %v", r)
+	}
+	r[0] = -5
+	if m.Row(1)[0] != 3 {
+		t.Fatal("CopyRow aliases matrix storage")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.N != 4 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if !almostEq(s.Std, math.Sqrt(1.25), 1e-12) {
+		t.Fatalf("Std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("Summarize(nil) = %+v", z)
+	}
+}
+
+// Property: Cauchy-Schwarz, |a.b| <= |a||b|, and SqDist expansion
+// |a-b|^2 = |a|^2 + |b|^2 - 2 a.b hold for random vectors.
+func TestDotDistProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(32)
+		a := make([]float32, d)
+		b := make([]float32, d)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+		}
+		dot := Dot(a, b)
+		if math.Abs(dot) > Norm(a)*Norm(b)+1e-4 {
+			return false
+		}
+		lhs := SqDist(a, b)
+		rhs := Norm(a)*Norm(a) + Norm(b)*Norm(b) - 2*dot
+		return almostEq(lhs, rhs, 1e-3*(1+math.Abs(rhs)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistSymmetryAndTriangleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(16)
+		v := make([][]float32, 3)
+		for i := range v {
+			v[i] = make([]float32, d)
+			for j := range v[i] {
+				v[i][j] = float32(rng.NormFloat64())
+			}
+		}
+		ab, ba := Dist(v[0], v[1]), Dist(v[1], v[0])
+		if ab != ba {
+			return false
+		}
+		// Triangle inequality with small float slack.
+		return Dist(v[0], v[2]) <= Dist(v[0], v[1])+Dist(v[1], v[2])+1e-5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, write func(*Writer), read func(*Reader)) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	write(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	read(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalars(t *testing.T) {
+	roundTrip(t,
+		func(w *Writer) {
+			w.U64(0)
+			w.U64(math.MaxUint64)
+			w.I64(-12345)
+			w.Int(42)
+			w.Bool(true)
+			w.Bool(false)
+			w.F64(-1.5e300)
+			w.F32(3.25)
+			w.String("héllo")
+			w.String("")
+		},
+		func(r *Reader) {
+			if r.U64() != 0 || r.U64() != math.MaxUint64 {
+				t.Error("u64 mismatch")
+			}
+			if r.I64() != -12345 || r.Int() != 42 {
+				t.Error("i64 mismatch")
+			}
+			if !r.Bool() || r.Bool() {
+				t.Error("bool mismatch")
+			}
+			if r.F64() != -1.5e300 || r.F32() != 3.25 {
+				t.Error("float mismatch")
+			}
+			if r.String() != "héllo" || r.String() != "" {
+				t.Error("string mismatch")
+			}
+		})
+}
+
+func TestSlices(t *testing.T) {
+	f32 := []float32{1, -2, 3.5}
+	f64 := []float64{math.Pi, -math.E}
+	ints := []int{0, -1, 1 << 40}
+	i32s := []int32{-7, 7, math.MaxInt32, math.MinInt32}
+	strs := []string{"a", "", "long string with spaces"}
+	roundTrip(t,
+		func(w *Writer) {
+			w.F32s(f32)
+			w.F64s(f64)
+			w.Ints(ints)
+			w.I32s(i32s)
+			w.Strings(strs)
+			w.F32s(nil)
+			w.Ints(nil)
+		},
+		func(r *Reader) {
+			if !reflect.DeepEqual(r.F32s(), f32) {
+				t.Error("f32s mismatch")
+			}
+			if !reflect.DeepEqual(r.F64s(), f64) {
+				t.Error("f64s mismatch")
+			}
+			if !reflect.DeepEqual(r.Ints(), ints) {
+				t.Error("ints mismatch")
+			}
+			if !reflect.DeepEqual(r.I32s(), i32s) {
+				t.Error("i32s mismatch")
+			}
+			if !reflect.DeepEqual(r.Strings(), strs) {
+				t.Error("strings mismatch")
+			}
+			if got := r.F32s(); len(got) != 0 {
+				t.Error("nil f32s mismatch")
+			}
+			if got := r.Ints(); len(got) != 0 {
+				t.Error("nil ints mismatch")
+			}
+		})
+}
+
+// Property: arbitrary scalar sequences survive a round trip.
+func TestScalarProperty(t *testing.T) {
+	f := func(u uint64, i int64, f64v float64, f32v float32, s string, b bool) bool {
+		ok := true
+		roundTrip(t,
+			func(w *Writer) {
+				w.U64(u)
+				w.I64(i)
+				w.F64(f64v)
+				w.F32(f32v)
+				w.String(s)
+				w.Bool(b)
+			},
+			func(r *Reader) {
+				if r.U64() != u || r.I64() != i {
+					ok = false
+				}
+				gf64, gf32 := r.F64(), r.F32()
+				// NaN != NaN; compare bit patterns.
+				if math.Float64bits(gf64) != math.Float64bits(f64v) ||
+					math.Float32bits(gf32) != math.Float32bits(f32v) {
+					ok = false
+				}
+				if r.String() != s || r.Bool() != b {
+					ok = false
+				}
+			})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMagic(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Magic("BILSH1")
+	w.Int(7)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	r.ExpectMagic("BILSH1")
+	if r.Int() != 7 || r.Err() != nil {
+		t.Fatal("magic round trip failed")
+	}
+	r2 := NewReader(bytes.NewReader(buf.Bytes()))
+	r2.ExpectMagic("OTHER")
+	if r2.Err() == nil {
+		t.Fatal("wrong magic must error")
+	}
+}
+
+func TestTruncatedInputErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.F64s([]float64{1, 2, 3})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		r.F64s()
+		if r.Err() == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestHugeLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(uint64(MaxLen) + 1) // forged length prefix
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if got := r.Ints(); got != nil || r.Err() == nil {
+		t.Fatal("oversized length prefix must be rejected")
+	}
+}
+
+func TestStickyErrorStopsEverything(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	_ = r.Int() // fails: empty input
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+	first := r.Err()
+	// Everything afterwards is a no-op preserving the first error.
+	_ = r.String()
+	_ = r.F32s()
+	if r.Err() != first {
+		t.Fatal("sticky error replaced")
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	n := len(p)
+	if n > f.after {
+		n = f.after
+	}
+	f.after -= n
+	if n < len(p) {
+		return n, io.ErrClosedPipe
+	}
+	return n, nil
+}
+
+func TestWriterPropagatesErrors(t *testing.T) {
+	w := NewWriter(&failWriter{after: 2})
+	for i := 0; i < 10000; i++ {
+		w.F64(1.0) // eventually overflows the bufio buffer and hits the sink
+	}
+	if w.Flush() == nil {
+		t.Fatal("writer error not propagated")
+	}
+}
+
+func TestBytesWritten(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.F64(1)
+	w.F32(1)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.BytesWritten() != 12 {
+		t.Fatalf("BytesWritten = %d, want 12", w.BytesWritten())
+	}
+}

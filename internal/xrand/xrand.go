@@ -1,0 +1,113 @@
+// Package xrand provides the deterministic, splittable random sources used
+// throughout the reproduction.
+//
+// Every randomized component (projection directions, hash offsets, dataset
+// generation, query sampling) takes an *RNG so whole experiments replay
+// bit-identically from a single seed, which is what lets the harness
+// measure the projection-induced variance (the paper's r1) by re-running
+// with controlled seeds.
+package xrand
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with splitting and vector-sampling helpers.
+type RNG struct {
+	r *rand.Rand
+}
+
+// New returns an RNG seeded with seed.
+func New(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child stream. The child's seed mixes the
+// parent stream and the label so distinct labels give distinct streams and
+// the derivation is reproducible.
+func (g *RNG) Split(label int64) *RNG {
+	base := g.r.Int63()
+	return New(mix(base, label))
+}
+
+// mix combines two 64-bit values with a splitmix64-style finalizer.
+func mix(a, b int64) int64 {
+	z := uint64(a) + 0x9e3779b97f4a7c15*uint64(b+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & 0x7fffffffffffffff)
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// NormFloat64 returns a standard Gaussian sample.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Intn returns a uniform sample in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a uniform non-negative 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle randomly permutes n elements via swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Uniform returns a uniform sample in [lo,hi).
+func (g *RNG) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*g.r.Float64() }
+
+// GaussianVec fills a fresh length-d vector with i.i.d. N(0,1) samples —
+// the entries of the paper's p-stable projection directions a_i (Eq. 2).
+func (g *RNG) GaussianVec(d int) []float32 {
+	v := make([]float32, d)
+	for i := range v {
+		v[i] = float32(g.r.NormFloat64())
+	}
+	return v
+}
+
+// UnitVec returns a uniformly random direction on the d-sphere, used by the
+// RP-tree split rule. Falls back to e_0 in the (measure-zero) case of an
+// all-zero Gaussian draw.
+func (g *RNG) UnitVec(d int) []float32 {
+	v := g.GaussianVec(d)
+	var n float64
+	for _, x := range v {
+		n += float64(x) * float64(x)
+	}
+	if n == 0 {
+		v[0] = 1
+		return v
+	}
+	inv := 1 / math.Sqrt(n)
+	for i := range v {
+		v[i] = float32(float64(v[i]) * inv)
+	}
+	return v
+}
+
+// Sample returns k distinct indices drawn uniformly from [0,n), shuffled.
+// If k >= n it returns a permutation of all n indices. It uses Floyd's
+// algorithm so the cost is O(k) regardless of n.
+func (g *RNG) Sample(n, k int) []int {
+	if k >= n {
+		return g.Perm(n)
+	}
+	set := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for i := n - k; i < n; i++ {
+		j := g.Intn(i + 1)
+		if _, dup := set[j]; dup {
+			j = i
+		}
+		set[j] = struct{}{}
+		out = append(out, j)
+	}
+	g.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	return out
+}

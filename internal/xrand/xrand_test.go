@@ -1,0 +1,131 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed must reproduce the same stream")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// Children with different labels from identically-seeded parents must
+	// themselves be reproducible and distinct from each other.
+	p1 := New(7)
+	p2 := New(7)
+	c1 := p1.Split(1)
+	c2 := p2.Split(1)
+	for i := 0; i < 50; i++ {
+		if c1.Int63() != c2.Int63() {
+			t.Fatal("Split with same label must be reproducible")
+		}
+	}
+	d1 := New(7).Split(1)
+	d2 := New(7).Split(2)
+	same := true
+	for i := 0; i < 10; i++ {
+		if d1.Int63() != d2.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Split with different labels produced identical streams")
+	}
+}
+
+func TestGaussianVecMoments(t *testing.T) {
+	g := New(1)
+	const d = 20000
+	v := g.GaussianVec(d)
+	var sum, ss float64
+	for _, x := range v {
+		sum += float64(x)
+		ss += float64(x) * float64(x)
+	}
+	mean := sum / d
+	variance := ss/d - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("gaussian mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("gaussian variance = %v, want ~1", variance)
+	}
+}
+
+func TestUnitVecIsUnit(t *testing.T) {
+	g := New(2)
+	for i := 0; i < 20; i++ {
+		v := g.UnitVec(1 + g.Intn(64))
+		var n float64
+		for _, x := range v {
+			n += float64(x) * float64(x)
+		}
+		if math.Abs(n-1) > 1e-5 {
+			t.Fatalf("unit vector norm^2 = %v", n)
+		}
+	}
+}
+
+func TestSampleDistinctAndInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		g := New(seed)
+		n := 1 + g.Intn(200)
+		k := g.Intn(n + 10) // occasionally k > n
+		s := g.Sample(n, k)
+		want := k
+		if k > n {
+			want = n
+		}
+		if len(s) != want {
+			return false
+		}
+		seen := make(map[int]bool, len(s))
+		for _, i := range s {
+			if i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleUniformity(t *testing.T) {
+	// Each index should appear with roughly equal frequency.
+	g := New(9)
+	const n, k, trials = 10, 3, 20000
+	counts := make([]int, n)
+	for t := 0; t < trials; t++ {
+		for _, i := range g.Sample(n, k) {
+			counts[i]++
+		}
+	}
+	expected := float64(trials*k) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 0.1*expected {
+			t.Fatalf("index %d drawn %d times, want ~%.0f", i, c, expected)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := New(3)
+	for i := 0; i < 1000; i++ {
+		x := g.Uniform(2, 5)
+		if x < 2 || x >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", x)
+		}
+	}
+}
