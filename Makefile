@@ -1,0 +1,22 @@
+# Standard entry points; `make check` is the gate CI and contributors run.
+
+GO ?= go
+
+.PHONY: check vet build test race fmt
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l -w .

@@ -3,11 +3,15 @@ package main
 import (
 	"fmt"
 	"io"
+	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"bilsh/internal/experiments"
+	"bilsh/internal/metrics"
 )
 
 // figureRunner adapts each harness to a common signature.
@@ -59,6 +63,9 @@ func cmdExp(args []string) error {
 	seed := fs.Int64("seed", 0, "override: seed")
 	profile := fs.String("workload", "labelme", "workload profile: labelme or tinyimages")
 	csvDir := fs.String("csv", "", "also write each figure's series to <dir>/<fig>.csv")
+	metricsOut := fs.Bool("metrics", false, "print the accumulated process metrics (Prometheus text) after the run")
+	pprofAddr := fs.String("pprof", "", "serve /debug/pprof/ and /metrics on this address while experiments run (e.g. localhost:6060)")
+	statsEvery := fs.Duration("stats-interval", 0, "log a one-line stats summary at this interval (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,6 +73,39 @@ func cmdExp(args []string) error {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return err
 		}
+	}
+	if *pprofAddr != "" {
+		go func() {
+			// A debug-only listener: pprof for profiling the harnesses, the
+			// metrics registry for watching stage counters move mid-run.
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+				metrics.Default().WritePrometheus(w)
+			})
+			srv := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+			if err := srv.ListenAndServe(); err != nil {
+				fmt.Fprintf(os.Stderr, "exp: pprof listener: %v\n", err)
+			}
+		}()
+	}
+	if *statsEvery > 0 {
+		logger := metrics.NewLogger(metrics.Default(), *statsEvery, log.Printf)
+		logger.Start()
+		defer logger.Stop()
+	}
+	if *metricsOut {
+		defer func() {
+			fmt.Println("--- metrics ---")
+			if err := metrics.Default().WritePrometheus(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "exp: writing metrics: %v\n", err)
+			}
+		}()
 	}
 
 	cfg := experiments.Default()

@@ -2,11 +2,13 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"time"
 
 	"bilsh/internal/core"
+	"bilsh/internal/metrics"
 	"bilsh/internal/server"
 )
 
@@ -16,6 +18,9 @@ func cmdServe(args []string) error {
 	indexPath := fs.String("index", "", "index file from 'bilsh build' (required)")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	mutable := fs.Bool("mutable", false, "enable insert/delete/compact endpoints")
+	metricsOn := fs.Bool("metrics", true, "expose GET /metrics (Prometheus text; ?format=json for JSON)")
+	pprofOn := fs.Bool("pprof", false, "expose the runtime profiler under /debug/pprof/")
+	statsEvery := fs.Duration("stats-interval", 0, "log a one-line stats summary at this interval (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,12 +56,20 @@ func cmdServe(args []string) error {
 		}
 	}
 
+	api := server.New(ix, *mutable)
+	api.EnableMetrics(*metricsOn)
+	api.EnablePprof(*pprofOn)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(ix, *mutable).Handler(),
+		Handler:           api.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("serving %d vectors (dim %d, %d groups) on http://%s (mutable=%v)\n",
-		ix.N(), ix.Dim(), ix.NumGroups(), *addr, *mutable)
+	if *statsEvery > 0 {
+		logger := metrics.NewLogger(metrics.Default(), *statsEvery, log.Printf)
+		logger.Start()
+		defer logger.Stop()
+	}
+	fmt.Printf("serving %d vectors (dim %d, %d groups) on http://%s (mutable=%v metrics=%v pprof=%v)\n",
+		ix.N(), ix.Dim(), ix.NumGroups(), *addr, *mutable, *metricsOn, *pprofOn)
 	return srv.ListenAndServe()
 }

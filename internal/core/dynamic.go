@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"bilsh/internal/hierarchy"
 	"bilsh/internal/lattice"
@@ -86,6 +87,11 @@ func (ix *Index) Insert(v []float32) (int, error) {
 	if len(v) != ix.data.D {
 		return 0, fmt.Errorf("core: Insert got dim %d, want %d", len(v), ix.data.D)
 	}
+	start := time.Now()
+	defer func() {
+		metInserts.Inc()
+		metInsertSeconds.Observe(time.Since(start).Seconds())
+	}()
 	d := ix.dyn()
 	id := ix.data.N + len(d.extra)
 	d.extra = append(d.extra, vecRow(vec.Clone(v)))
@@ -121,9 +127,11 @@ func (ix *Index) Delete(id int) bool {
 		total += len(ix.dynamic.extra)
 	}
 	if id < 0 || id >= total || ix.isDeleted(id) {
+		metDeleteMisses.Inc()
 		return false
 	}
 	ix.dyn().deleted[id] = struct{}{}
+	metDeletes.Inc()
 	return true
 }
 
@@ -150,6 +158,18 @@ func (ix *Index) overlayBucket(gi, table int, key string) []int {
 // remapped densely in the order (surviving base rows, surviving inserts);
 // the returned slice maps old ids to new ids (-1 for deleted).
 func (ix *Index) Compact() ([]int, error) {
+	start := time.Now()
+	mapping, err := ix.compact()
+	if err != nil {
+		metCompactErrors.Inc()
+		return nil, err
+	}
+	metCompacts.Inc()
+	metCompactSeconds.Observe(time.Since(start).Seconds())
+	return mapping, nil
+}
+
+func (ix *Index) compact() ([]int, error) {
 	if ix.dynamic == nil {
 		// Nothing to fold; identity mapping.
 		m := make([]int, ix.data.N)

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"bilsh/internal/knn"
 	"bilsh/internal/vec"
@@ -17,6 +18,7 @@ import (
 // (GOMAXPROCS when workers <= 0). Results are identical to QueryBatch: the
 // hierarchy median rule is applied batch-wide before the parallel phase.
 func (ix *Index) QueryBatchParallel(queries *vec.Matrix, k, workers int) ([]knn.Result, []QueryStats) {
+	metBatches.Inc()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -52,9 +54,13 @@ func (ix *Index) QueryBatchParallel(queries *vec.Matrix, k, workers int) ([]knn.
 	}
 
 	parallelFor(queries.N, workers, func(qi int) {
+		start := time.Now()
 		q := queries.Row(qi)
 		cands, st := ix.gather(q, minCounts[qi])
+		rankStart := time.Now()
 		results[qi] = ix.rank(q, cands, k)
+		st.Timings.Rank = time.Since(rankStart)
+		recordQuery(&st, time.Since(start)) // registry updates are atomic
 		stats[qi] = st
 	})
 	return results, stats

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"bilsh/internal/knn"
 	"bilsh/internal/lattice"
@@ -9,6 +10,22 @@ import (
 	"bilsh/internal/topk"
 	"bilsh/internal/vec"
 )
+
+// StageTimings breaks one query's latency down by pipeline stage. The
+// stages follow the paper's Section V pipeline; see the metrics catalogue
+// in internal/core/metrics.go and docs/metrics.md.
+type StageTimings struct {
+	// Route is the level-1 descent (RP-tree / k-means group routing).
+	Route time.Duration
+	// Probe covers p-stable projections, lattice decoding and probe
+	// sequence generation across all L tables.
+	Probe time.Duration
+	// Scan covers bucket lookups and the candidate-set union.
+	Scan time.Duration
+	// Rank covers exact distances over the short list and the top-k
+	// merge (zero for CandidateList, which stops before ranking).
+	Rank time.Duration
+}
 
 // QueryStats reports the work done for one query.
 type QueryStats struct {
@@ -24,26 +41,37 @@ type QueryStats struct {
 	// HierarchyLevel is the maximum hierarchy level visited (0 when the
 	// home bucket sufficed or hierarchy is off).
 	HierarchyLevel int
+	// Timings is the per-stage wall-clock breakdown. Timings are
+	// measured, not derived, so they vary run to run; every other field
+	// is deterministic under a fixed seed.
+	Timings StageTimings
 }
 
 // Query returns the approximate k nearest neighbors of q. For
 // ProbeHierarchy the per-query bucket floor is Options.HierMinCandidates
 // (default 2k); use QueryBatch for the paper's median rule.
 func (ix *Index) Query(q []float32, k int) (knn.Result, QueryStats) {
+	start := time.Now()
 	minCount := ix.opts.HierMinCandidates
 	if minCount <= 0 {
 		minCount = 2 * k
 	}
 	cands, stats := ix.gather(q, minCount)
-	return ix.rank(q, cands, k), stats
+	rankStart := time.Now()
+	res := ix.rank(q, cands, k)
+	stats.Timings.Rank = time.Since(rankStart)
+	recordQuery(&stats, time.Since(start))
+	return res, stats
 }
 
 // gather collects the candidate id set for q. For ProbeHierarchy,
 // hierMinCount is the bucket-size floor for sparse queries.
 func (ix *Index) gather(q []float32, hierMinCount int) (map[int]struct{}, QueryStats) {
+	routeStart := time.Now()
 	gi := ix.GroupOf(q)
 	g := ix.groups[gi]
 	stats := QueryStats{Group: gi}
+	stats.Timings.Route = time.Since(routeStart)
 	set := make(map[int]struct{})
 	proj := make([]float64, ix.opts.Params.M)
 
@@ -58,14 +86,18 @@ func (ix *Index) gather(q []float32, hierMinCount int) (map[int]struct{}, QueryS
 	}
 
 	for t := 0; t < ix.opts.Params.L; t++ {
+		probeStart := time.Now()
 		g.fam.Project(t, q, proj)
 		switch ix.opts.ProbeMode {
 		case ProbeSingle:
 			code := g.lat.Decode(proj)
+			stats.Timings.Probe += time.Since(probeStart)
+			scanStart := time.Now()
 			stats.Probes++
 			key := lattice.Key(code)
 			add(g.tables[t].Bucket(key))
 			add(ix.overlayBucket(gi, t, key))
+			stats.Timings.Scan += time.Since(scanStart)
 
 		case ProbeMulti:
 			var probes [][]int32
@@ -77,15 +109,20 @@ func (ix *Index) gather(q []float32, hierMinCount int) (map[int]struct{}, QueryS
 			case *lattice.Dn:
 				probes = multiprobe.DnProbes(lat, proj, ix.opts.Probes)
 			}
+			stats.Timings.Probe += time.Since(probeStart)
+			scanStart := time.Now()
 			for _, code := range probes {
 				stats.Probes++
 				key := lattice.Key(code)
 				add(g.tables[t].Bucket(key))
 				add(ix.overlayBucket(gi, t, key))
 			}
+			stats.Timings.Scan += time.Since(scanStart)
 
 		case ProbeHierarchy:
 			code := g.lat.Decode(proj)
+			stats.Timings.Probe += time.Since(probeStart)
+			scanStart := time.Now()
 			stats.Probes++
 			var ids []int
 			var level int
@@ -101,6 +138,7 @@ func (ix *Index) gather(q []float32, hierMinCount int) (map[int]struct{}, QueryS
 			// Overlay inserts are only reachable through their exact
 			// bucket code until Compact folds them into the hierarchy.
 			add(ix.overlayBucket(gi, t, lattice.Key(code)))
+			stats.Timings.Scan += time.Since(scanStart)
 		}
 	}
 	stats.Candidates = len(set)
@@ -116,6 +154,8 @@ func (ix *Index) CandidateList(q []float32) ([]int, QueryStats) {
 		minCount = 2 * ix.opts.TuneK
 	}
 	set, st := ix.gather(q, minCount)
+	metCandLists.Inc()
+	recordStages(&st)
 	ids := make([]int, 0, len(set))
 	for id := range set {
 		ids = append(ids, id)
@@ -199,6 +239,7 @@ func (ix *Index) rank(q []float32, cands map[int]struct{}, k int) knn.Result {
 // the batch median as the threshold, and climb the hierarchy only for
 // queries below it. Other probe modes map Query over the batch.
 func (ix *Index) QueryBatch(queries *vec.Matrix, k int) ([]knn.Result, []QueryStats) {
+	metBatches.Inc()
 	results := make([]knn.Result, queries.N)
 	stats := make([]QueryStats, queries.N)
 
@@ -218,6 +259,7 @@ func (ix *Index) QueryBatch(queries *vec.Matrix, k int) ([]knn.Result, []QuerySt
 		median = 1
 	}
 	for qi := 0; qi < queries.N; qi++ {
+		start := time.Now()
 		q := queries.Row(qi)
 		minCount := 1 // at least the home bucket group
 		if sizes[qi] < median {
@@ -226,7 +268,10 @@ func (ix *Index) QueryBatch(queries *vec.Matrix, k int) ([]knn.Result, []QuerySt
 			minCount = median
 		}
 		cands, st := ix.gather(q, minCount)
+		rankStart := time.Now()
 		results[qi] = ix.rank(q, cands, k)
+		st.Timings.Rank = time.Since(rankStart)
+		recordQuery(&st, time.Since(start))
 		stats[qi] = st
 	}
 	return results, stats

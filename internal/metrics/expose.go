@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound ("le"); the final
+	// bucket has UpperBound +Inf (serialized as the string "+Inf" in JSON).
+	UpperBound float64 `json:"-"`
+	// Count is the cumulative number of observations <= UpperBound.
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON emits {"le":"0.01","count":42}; +Inf needs a string form
+// because JSON has no infinity literal.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, +1) {
+		le = formatFloat(b.UpperBound)
+	}
+	return json.Marshal(struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}{le, b.Count})
+}
+
+// Point is one series in a snapshot: a counter or gauge value, or a full
+// histogram.
+type Point struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+
+	// Value is set for counters and gauges.
+	Value *float64 `json:"value,omitempty"`
+
+	// Count, Sum and Buckets are set for histograms.
+	Count   *int64   `json:"count,omitempty"`
+	Sum     *float64 `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every registered series in a deterministic order:
+// families in registration order, series in registration order within a
+// family. Values are read atomically per metric.
+func (r *Registry) Snapshot() []Point {
+	r.mu.Lock()
+	type flat struct {
+		f *family
+		s *series
+	}
+	var all []flat
+	for _, name := range r.order {
+		f := r.families[name]
+		for _, key := range f.order {
+			all = append(all, flat{f, f.series[key]})
+		}
+	}
+	r.mu.Unlock()
+
+	out := make([]Point, 0, len(all))
+	for _, fs := range all {
+		p := Point{Name: fs.f.name, Type: fs.f.typ, Help: fs.f.help}
+		if len(fs.s.labels) > 0 {
+			p.Labels = make(map[string]string, len(fs.s.labels))
+			for _, l := range fs.s.labels {
+				p.Labels[l.Name] = l.Value
+			}
+		}
+		switch fs.f.typ {
+		case typeCounter:
+			v := float64(fs.s.c.Value())
+			p.Value = &v
+		case typeGauge:
+			v := float64(fs.s.g.Value())
+			p.Value = &v
+		case typeHistogram:
+			h := fs.s.h
+			cum := h.Cumulative()
+			n := h.Count()
+			sum := h.Sum()
+			p.Count, p.Sum = &n, &sum
+			p.Buckets = make([]Bucket, len(cum))
+			for i, c := range cum {
+				ub := math.Inf(+1)
+				if i < len(h.bounds) {
+					ub = h.bounds[i]
+				}
+				p.Buckets[i] = Bucket{UpperBound: ub, Count: c}
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as a single JSON object:
+//
+//	{"metrics":[{"name":...,"type":"counter","value":12}, ...]}
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []Point `json:"metrics"`
+	}{r.Snapshot()})
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers per family, one line
+// per series, histograms expanded into _bucket{le=...}, _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	points := r.Snapshot()
+	var b strings.Builder
+	lastFamily := ""
+	for _, p := range points {
+		if p.Name != lastFamily {
+			if p.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", p.Name, escapeHelp(p.Help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", p.Name, p.Type)
+			lastFamily = p.Name
+		}
+		switch p.Type {
+		case typeCounter, typeGauge:
+			fmt.Fprintf(&b, "%s%s %s\n", p.Name, promLabels(p.Labels, "", ""), formatFloat(*p.Value))
+		case typeHistogram:
+			for _, bk := range p.Buckets {
+				le := "+Inf"
+				if !math.IsInf(bk.UpperBound, +1) {
+					le = formatFloat(bk.UpperBound)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", p.Name, promLabels(p.Labels, "le", le), bk.Count)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", p.Name, promLabels(p.Labels, "", ""), formatFloat(*p.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", p.Name, promLabels(p.Labels, "", ""), *p.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promLabels renders {k="v",...} with an optional extra label appended
+// (used for the histogram "le"); empty label sets render as "".
+func promLabels(labels map[string]string, extraName, extraValue string) string {
+	if len(labels) == 0 && extraName == "" {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		names = append(names, k)
+	}
+	// Deterministic order for tests and diffing.
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraName, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeHelp escapes newlines and backslashes per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

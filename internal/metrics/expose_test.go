@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func populated(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("bilsh_requests_total", "Requests served.", L("path", "/query"), L("code", "200")).Add(42)
+	r.Counter("bilsh_requests_total", "Requests served.", L("path", "/batch"), L("code", "200")).Add(7)
+	r.Gauge("bilsh_inflight", "In-flight requests.").Set(3)
+	h := r.Histogram("bilsh_latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+	return r
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populated(t).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name    string            `json:"name"`
+			Type    string            `json:"type"`
+			Labels  map[string]string `json:"labels"`
+			Value   *float64          `json:"value"`
+			Count   *int64            `json:"count"`
+			Sum     *float64          `json:"sum"`
+			Buckets []struct {
+				LE    string `json:"le"`
+				Count int64  `json:"count"`
+			} `json:"buckets"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Metrics) != 4 {
+		t.Fatalf("got %d points, want 4 (2 counter series + gauge + histogram)", len(doc.Metrics))
+	}
+	byName := map[string]int{}
+	for i, m := range doc.Metrics {
+		byName[m.Name+"/"+m.Labels["path"]] = i
+	}
+	q := doc.Metrics[byName["bilsh_requests_total//query"]]
+	if q.Type != "counter" || q.Value == nil || *q.Value != 42 || q.Labels["code"] != "200" {
+		t.Errorf("query counter point wrong: %+v", q)
+	}
+	hist := doc.Metrics[byName["bilsh_latency_seconds/"]]
+	if hist.Type != "histogram" || hist.Count == nil || *hist.Count != 3 {
+		t.Fatalf("histogram point wrong: %+v", hist)
+	}
+	if got := len(hist.Buckets); got != 4 {
+		t.Fatalf("histogram has %d buckets, want 4 (3 bounds + +Inf)", got)
+	}
+	if last := hist.Buckets[3]; last.LE != "+Inf" || last.Count != 3 {
+		t.Errorf("+Inf bucket = %+v, want le=+Inf count=3", last)
+	}
+}
+
+// TestWritePrometheus asserts the exposition output against a minimal
+// line-oriented parser of the 0.0.4 text format.
+func TestWritePrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populated(t).WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	values, types := parsePrometheus(t, out)
+
+	if types["bilsh_requests_total"] != "counter" ||
+		types["bilsh_inflight"] != "gauge" ||
+		types["bilsh_latency_seconds"] != "histogram" {
+		t.Fatalf("TYPE lines wrong: %v", types)
+	}
+	checks := map[string]float64{
+		`bilsh_requests_total{code="200",path="/query"}`: 42,
+		`bilsh_requests_total{code="200",path="/batch"}`: 7,
+		`bilsh_inflight`: 3,
+		`bilsh_latency_seconds_bucket{le="0.001"}`: 1,
+		`bilsh_latency_seconds_bucket{le="0.1"}`:   2,
+		`bilsh_latency_seconds_bucket{le="+Inf"}`:  3,
+		`bilsh_latency_seconds_count`:              3,
+	}
+	for series, want := range checks {
+		got, ok := values[series]
+		if !ok {
+			t.Errorf("missing series %s in output:\n%s", series, out)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	if sum := values["bilsh_latency_seconds_sum"]; sum < 5.05 || sum > 5.06 {
+		t.Errorf("histogram sum = %v, want ~5.0505", sum)
+	}
+}
+
+// parsePrometheus is a strict little parser: every non-comment line must
+// be "<series> <float>", every family must have a TYPE comment.
+func parsePrometheus(t *testing.T, s string) (values map[string]float64, types map[string]string) {
+	t.Helper()
+	values = map[string]float64{}
+	types = map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		values[line[:idx]] = v
+	}
+	return values, types
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Logger periodically writes a one-line summary of a registry: every
+// counter family whose total moved since the previous tick (summed across
+// label series, with the delta in parentheses) and every histogram family
+// with new observations (count delta plus p50/p99 estimates). Families
+// that did not move are omitted, so an idle process logs nothing.
+//
+// It is the "periodic stats logger" behind `bilsh serve -stats-interval`
+// and `bilsh exp -stats-interval`.
+type Logger struct {
+	reg      *Registry
+	interval time.Duration
+	printf   func(format string, args ...any)
+
+	prev map[string]float64 // family name -> last summed value/count
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewLogger creates a logger over reg that emits through printf every
+// interval. printf is typically log.Printf; it must be safe for
+// concurrent use.
+func NewLogger(reg *Registry, interval time.Duration, printf func(format string, args ...any)) *Logger {
+	return &Logger{
+		reg:      reg,
+		interval: interval,
+		printf:   printf,
+		prev:     make(map[string]float64),
+	}
+}
+
+// Start launches the ticking goroutine and returns immediately. Call Stop
+// to halt it; Start after Stop is not supported.
+func (l *Logger) Start() {
+	l.stop = make(chan struct{})
+	l.done = make(chan struct{})
+	go func() {
+		defer close(l.done)
+		t := time.NewTicker(l.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-l.stop:
+				return
+			case <-t.C:
+				if line := l.Tick(); line != "" {
+					l.printf("%s", line)
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the ticking goroutine and flushes one final line.
+func (l *Logger) Stop() {
+	if l.stop == nil {
+		return
+	}
+	close(l.stop)
+	<-l.done
+	if line := l.Tick(); line != "" {
+		l.printf("%s", line)
+	}
+}
+
+// Tick computes the summary line for activity since the previous Tick and
+// advances the baseline. It returns "" when nothing moved. Exported so
+// tests (and callers with their own scheduling) can drive it directly.
+func (l *Logger) Tick() string {
+	type agg struct {
+		name  string
+		typ   string
+		total float64 // counter sum or histogram count
+		p50   float64
+		p99   float64
+	}
+	points := l.reg.Snapshot()
+	byFamily := map[string]*agg{}
+	var order []string
+	// Merge label series: operators want "queries total this tick", not
+	// one log field per label combination.
+	merged := map[string]*Histogram{}
+	for _, p := range points {
+		a, ok := byFamily[p.Name]
+		if !ok {
+			a = &agg{name: p.Name, typ: p.Type}
+			byFamily[p.Name] = a
+			order = append(order, p.Name)
+		}
+		switch p.Type {
+		case typeCounter:
+			a.total += *p.Value
+		case typeHistogram:
+			a.total += float64(*p.Count)
+			m, ok := merged[p.Name]
+			if !ok {
+				bounds := make([]float64, 0, len(p.Buckets))
+				for _, b := range p.Buckets[:len(p.Buckets)-1] {
+					bounds = append(bounds, b.UpperBound)
+				}
+				m = newHistogram(bounds)
+				merged[p.Name] = m
+			}
+			prev := int64(0)
+			for i, b := range p.Buckets {
+				m.counts[i].Add(b.Count - prev)
+				m.total.Add(b.Count - prev)
+				prev = b.Count
+			}
+		}
+	}
+	var parts []string
+	sort.Strings(order)
+	for _, name := range order {
+		a := byFamily[name]
+		if a.typ == typeGauge {
+			continue // gauges are instantaneous; /metrics is the place for them
+		}
+		delta := a.total - l.prev[name]
+		l.prev[name] = a.total
+		if delta == 0 {
+			continue
+		}
+		short := strings.TrimPrefix(name, "bilsh_")
+		if a.typ == typeHistogram {
+			m := merged[name]
+			parts = append(parts, fmt.Sprintf("%s=%s (+%s) p50=%.3g p99=%.3g",
+				short, formatFloat(a.total), formatFloat(delta), m.Quantile(0.50), m.Quantile(0.99)))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s=%s (+%s)", short, formatFloat(a.total), formatFloat(delta)))
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "stats: " + strings.Join(parts, " ")
+}

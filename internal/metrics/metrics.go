@@ -1,0 +1,234 @@
+// Package metrics is the repository's own lock-cheap instrumentation
+// layer: atomic counters, gauges, and fixed-bucket latency histograms,
+// collected in a process-wide Registry and exposed as JSON or Prometheus
+// text exposition format. It has no dependencies outside the standard
+// library, so every package in the module (including the hot query path
+// in internal/core) can record into it without pulling in an external
+// metrics stack.
+//
+// # Why it exists
+//
+// The paper's performance story (the GPU pipeline of Section V, the
+// W/multi-probe trade-off curves of Section VI) depends on knowing where
+// query time goes — RP-tree descent, probe generation, short-list scan,
+// top-k merge. core.QueryStats reports that per query but evaporates with
+// the response; this package is where those per-query samples accumulate
+// so operators (and future optimization PRs) can see distributions over a
+// whole workload: `GET /metrics` on a running server, the -metrics flag on
+// `bilsh exp`, or the periodic Logger.
+//
+// # Concurrency and cost
+//
+// All update operations (Counter.Add, Gauge.Set, Histogram.Observe) are
+// single atomic instructions plus, for histograms, one branch-free binary
+// search over a small immutable bound slice — no locks, no allocation.
+// Registry lookups (Registry.Counter etc.) do take a mutex, so hot paths
+// should resolve their metric pointers once (package-level vars or struct
+// fields) and then only call the atomic update methods. Snapshots read the
+// same atomics; a snapshot taken during concurrent updates is a coherent
+// per-metric view, not a global point-in-time cut, which is the standard
+// metrics-registry contract.
+//
+// # Typical use
+//
+//	var queries = metrics.Default().Counter(
+//	        "bilsh_core_queries_total", "Single-vector Query calls.")
+//	var latency = metrics.Default().Histogram(
+//	        "bilsh_core_query_seconds", "End-to-end query latency.",
+//	        metrics.DefLatencyBuckets)
+//
+//	func handle() {
+//	        start := time.Now()
+//	        ...
+//	        queries.Inc()
+//	        latency.Observe(time.Since(start).Seconds())
+//	}
+//
+// Every exported metric name in the repository is catalogued in
+// docs/metrics.md.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n is a programming error and is ignored so a
+// counter can never go backwards.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (e.g. in-flight requests).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution. Bucket i counts observations
+// v with v <= Bounds[i] and v > Bounds[i-1]; one implicit overflow bucket
+// (+Inf) catches everything above the last bound. Counts are stored
+// per-bucket (not cumulative); exposition cumulates them to match the
+// Prometheus `le` convention.
+type Histogram struct {
+	bounds  []float64      // sorted upper bounds, immutable after creation
+	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
+	total   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum, CAS-updated
+}
+
+// newHistogram validates and copies bounds.
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	cp := append([]float64(nil), bounds...)
+	if !sort.Float64sAreSorted(cp) {
+		panic("metrics: histogram bounds must be sorted ascending")
+	}
+	for i := 1; i < len(cp); i++ {
+		if cp[i] == cp[i-1] {
+			panic("metrics: histogram bounds must be strictly increasing")
+		}
+	}
+	if math.IsInf(cp[len(cp)-1], +1) {
+		cp = cp[:len(cp)-1] // the +Inf bucket is implicit
+	}
+	if len(cp) == 0 {
+		panic("metrics: histogram needs at least one finite bucket bound")
+	}
+	return &Histogram{bounds: cp, counts: make([]atomic.Int64, len(cp)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v; SearchFloat64s finds the first i with bounds[i] >= v
+	// because bounds are strictly increasing.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Cumulative returns the cumulative bucket counts aligned with Bounds()
+// plus one final entry for +Inf (== Count(), up to snapshot skew).
+func (h *Histogram) Cumulative() []int64 {
+	out := make([]int64, len(h.counts))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		out[i] = run
+	}
+	return out
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) by linear
+// interpolation inside the owning bucket, the same estimate Prometheus's
+// histogram_quantile computes. The +Inf bucket clamps to the last finite
+// bound. Returns NaN when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum := h.Cumulative()
+	n := cum[len(cum)-1]
+	if n == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	i := sort.Search(len(cum), func(i int) bool { return float64(cum[i]) >= rank })
+	if i >= len(h.bounds) {
+		return h.bounds[len(h.bounds)-1] // +Inf bucket: clamp
+	}
+	lo, prev := 0.0, int64(0)
+	if i > 0 {
+		lo, prev = h.bounds[i-1], cum[i-1]
+	}
+	hi := h.bounds[i]
+	inBucket := cum[i] - prev
+	if inBucket == 0 {
+		return hi
+	}
+	return lo + (hi-lo)*(rank-float64(prev))/float64(inBucket)
+}
+
+// ExpBuckets returns n bounds start, start*factor, start*factor², ….
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: ExpBuckets(%v, %v, %d): need start>0, factor>1, n>=1", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bounds start, start+width, start+2·width, ….
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic(fmt.Sprintf("metrics: LinearBuckets(%v, %v, %d): need width>0, n>=1", start, width, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// DefLatencyBuckets spans 10µs to ~10s in powers of two — wide enough for
+// both an in-memory bucket probe and a cold disk-backed batch.
+var DefLatencyBuckets = ExpBuckets(10e-6, 2, 21)
+
+// DefCountBuckets spans 1 to ~256k in powers of four, suited to candidate
+// and probe counts whose interesting range covers several decades.
+var DefCountBuckets = ExpBuckets(1, 4, 10)

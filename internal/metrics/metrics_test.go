@@ -1,0 +1,262 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Counter.Value() = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("Gauge.Value() = %d, want 5", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins down the le (inclusive upper bound)
+// convention: an observation exactly on a bound lands in that bound's
+// bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	tests := []struct {
+		name    string
+		bounds  []float64
+		samples []float64
+		// wantCum is the expected cumulative count per bucket, including
+		// the final +Inf bucket.
+		wantCum []int64
+	}{
+		{
+			name:    "exact-boundary-is-inclusive",
+			bounds:  []float64{1, 2, 4},
+			samples: []float64{1, 2, 4},
+			wantCum: []int64{1, 2, 3, 3},
+		},
+		{
+			name:    "just-above-boundary-spills",
+			bounds:  []float64{1, 2, 4},
+			samples: []float64{1.0001, 2.0001, 4.0001},
+			wantCum: []int64{0, 1, 2, 3},
+		},
+		{
+			name:    "below-first-bound",
+			bounds:  []float64{1, 2},
+			samples: []float64{-5, 0, 0.5},
+			wantCum: []int64{3, 3, 3},
+		},
+		{
+			name:    "overflow-bucket",
+			bounds:  []float64{1, 2},
+			samples: []float64{3, 1e12, math.Inf(1)},
+			wantCum: []int64{0, 0, 3},
+		},
+		{
+			name:    "explicit-inf-bound-is-trimmed",
+			bounds:  []float64{1, math.Inf(1)},
+			samples: []float64{0.5, 99},
+			wantCum: []int64{1, 2},
+		},
+		{
+			name:    "mixed",
+			bounds:  []float64{0.001, 0.01, 0.1, 1},
+			samples: []float64{0.0005, 0.001, 0.002, 0.05, 0.5, 2},
+			wantCum: []int64{2, 3, 4, 5, 6},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHistogram(tc.bounds)
+			for _, v := range tc.samples {
+				h.Observe(v)
+			}
+			got := h.Cumulative()
+			if len(got) != len(tc.wantCum) {
+				t.Fatalf("Cumulative() has %d buckets, want %d", len(got), len(tc.wantCum))
+			}
+			for i := range got {
+				if got[i] != tc.wantCum[i] {
+					t.Errorf("bucket %d: cumulative = %d, want %d", i, got[i], tc.wantCum[i])
+				}
+			}
+			if h.Count() != int64(len(tc.samples)) {
+				t.Errorf("Count() = %d, want %d", h.Count(), len(tc.samples))
+			}
+			var sum float64
+			for _, v := range tc.samples {
+				sum += v
+			}
+			if !math.IsInf(sum, 0) && math.Abs(h.Sum()-sum) > 1e-9 {
+				t.Errorf("Sum() = %v, want %v", h.Sum(), sum)
+			}
+		})
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	// 100 samples uniform in (0,1]: everything in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if q := h.Quantile(0.5); q < 0 || q > 1 {
+		t.Errorf("p50 = %v, want within first bucket [0,1]", q)
+	}
+	// Push 100 samples into the overflow bucket; p99 clamps to last bound.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	if q := h.Quantile(0.99); q != 8 {
+		t.Errorf("p99 with overflow mass = %v, want clamp to 8", q)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", exp, want)
+		}
+	}
+	lin := LinearBuckets(10, 5, 3)
+	want = []float64{10, 15, 20}
+	for i := range want {
+		if lin[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", lin, want)
+		}
+	}
+	if len(DefLatencyBuckets) == 0 || len(DefCountBuckets) == 0 {
+		t.Fatal("default bucket sets must be non-empty")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, bounds := range [][]float64{
+		nil,
+		{},
+		{2, 1},
+		{1, 1},
+		{math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("newHistogram(%v) should panic", bounds)
+				}
+			}()
+			newHistogram(bounds)
+		}()
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines doing
+// both registration (lookups) and updates; run with -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("test_ops_total", "ops", L("worker", "shared")).Inc()
+				r.Gauge("test_inflight", "inflight").Add(1)
+				r.Histogram("test_latency_seconds", "lat", DefLatencyBuckets).Observe(float64(i) * 1e-5)
+				r.Gauge("test_inflight", "inflight").Add(-1)
+				if i%100 == 0 {
+					_ = r.Snapshot() // concurrent reads
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("test_ops_total", "ops", L("worker", "shared")).Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("test_inflight", "inflight").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := r.Histogram("test_latency_seconds", "lat", DefLatencyBuckets).Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("metric_a", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("metric_a", "a")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"", "1abc", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Counter(%q) should panic", name)
+				}
+			}()
+			r.Counter(name, "bad")
+		}()
+	}
+}
+
+func TestRegistrySeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	// Same labels in any order are the same series.
+	a := r.Counter("multi", "m", L("x", "1"), L("y", "2"))
+	b := r.Counter("multi", "m", L("y", "2"), L("x", "1"))
+	if a != b {
+		t.Fatal("label order must not create a new series")
+	}
+	c := r.Counter("multi", "m", L("x", "1"), L("y", "3"))
+	if a == c {
+		t.Fatal("different label values must create a new series")
+	}
+}
+
+func TestLoggerTick(t *testing.T) {
+	r := NewRegistry()
+	l := NewLogger(r, 0, func(string, ...any) {})
+	if line := l.Tick(); line != "" {
+		t.Fatalf("idle registry should produce no line, got %q", line)
+	}
+	r.Counter("bilsh_test_total", "t").Add(3)
+	r.Histogram("bilsh_test_seconds", "t", DefLatencyBuckets).Observe(0.001)
+	line := l.Tick()
+	if line == "" {
+		t.Fatal("expected a summary line after activity")
+	}
+	for _, want := range []string{"test_total=3 (+3)", "test_seconds=1 (+1)", "p50="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+	if again := l.Tick(); again != "" {
+		t.Fatalf("no new activity should produce no line, got %q", again)
+	}
+}

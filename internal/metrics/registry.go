@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" dimension of a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// metric type strings, shared by exposition.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// family groups every label combination (series) of one metric name; a
+// family has a single type and help string, mirroring the Prometheus data
+// model.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	bounds []float64 // histogram families only; fixed across series
+
+	series map[string]*series // keyed by canonical label string
+	order  []string           // registration order of series keys
+}
+
+// series is one (name, labels) instrument.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry (or use Default). Registration (the Counter/Gauge/Histogram
+// lookups) takes a mutex; the returned instruments update lock-free, so
+// hot paths should cache them.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order of family names
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// std is the process-wide registry that core, server, shortlist and
+// multiprobe record into.
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// Counter returns the counter registered under name and labels, creating
+// it on first use. It panics if name is already registered with a
+// different type — a programming error, like a duplicate flag.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, typeCounter, nil, labels)
+	return s.c
+}
+
+// Gauge returns the gauge registered under name and labels, creating it
+// on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, typeGauge, nil, labels)
+	return s.g
+}
+
+// Histogram returns the histogram registered under name and labels,
+// creating it on first use with the given bucket upper bounds. Bounds are
+// fixed per family: series of the same name share them, and passing
+// different bounds for an existing family panics.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.lookup(name, help, typeHistogram, bounds, labels)
+	return s.h
+}
+
+// lookup is the shared get-or-create path.
+func (r *Registry) lookup(name, help, typ string, bounds []float64, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Name) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l.Name, name))
+		}
+	}
+	key := labelKey(labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		if typ == typeHistogram {
+			f.bounds = newHistogram(bounds).bounds // validated copy
+		}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %q already registered as %s, requested %s", name, f.typ, typ))
+	}
+	if typ == typeHistogram && bounds != nil && !sameBounds(f.bounds, newHistogram(bounds).bounds) {
+		panic(fmt.Sprintf("metrics: %q re-registered with different buckets", name))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: sortedLabels(labels)}
+		switch typ {
+		case typeCounter:
+			s.c = &Counter{}
+		case typeGauge:
+			s.g = &Gauge{}
+		case typeHistogram:
+			s.h = &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// validName checks the Prometheus metric/label name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedLabels returns a copy sorted by label name, the canonical series
+// order.
+func sortedLabels(labels []Label) []Label {
+	cp := append([]Label(nil), labels...)
+	sort.Slice(cp, func(a, b int) bool { return cp[a].Name < cp[b].Name })
+	return cp
+}
+
+// labelKey is the canonical map key for a label set.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	cp := sortedLabels(labels)
+	key := ""
+	for _, l := range cp {
+		key += l.Name + "\x00" + l.Value + "\x00"
+	}
+	return key
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -25,15 +25,17 @@ import (
 // projection is y (unit-cell coordinates, i.e. already divided by W). The
 // first probe is always the home bucket ⌊y⌋; subsequent probes follow the
 // Lv et al. perturbation order.
-func ZMProbes(z *lattice.ZM, y []float64, count int) [][]int32 {
+func ZMProbes(z *lattice.ZM, y []float64, count int) (probes [][]int32) {
 	if len(y) != z.M() {
 		panic(fmt.Sprintf("multiprobe: ZMProbes got %d dims, want %d", len(y), z.M()))
 	}
+	zmSequences.Inc()
+	defer func() { zmProbes.Add(int64(len(probes))) }()
 	if count <= 0 {
 		return nil
 	}
 	home := z.Decode(y)
-	probes := make([][]int32, 0, count)
+	probes = make([][]int32, 0, count)
 	probes = append(probes, home)
 	if count == 1 {
 		return probes
@@ -152,7 +154,10 @@ func E8Probes(e *lattice.E8, y []float64, count int) [][]int32 {
 	for i := range mins {
 		blockMins[i] = mins[i][:]
 	}
-	return ringProbes(e.Decode(y), y, 8, blockMins, count)
+	e8Sequences.Inc()
+	probes := ringProbes(e.Decode(y), y, 8, blockMins, count)
+	e8Probes.Add(int64(len(probes)))
+	return probes
 }
 
 // DnProbes is the D_n analogue of E8Probes: the home bucket plus the
@@ -162,7 +167,10 @@ func DnProbes(d *lattice.Dn, y []float64, count int) [][]int32 {
 		panic(fmt.Sprintf("multiprobe: DnProbes got %d dims, want %d", len(y), d.M()))
 	}
 	bdim := d.BlockDim()
-	return ringProbes(d.Decode(y), y, bdim, lattice.DnMinVectors(bdim), count)
+	dnSequences.Inc()
+	probes := ringProbes(d.Decode(y), y, bdim, lattice.DnMinVectors(bdim), count)
+	dnProbes.Add(int64(len(probes)))
+	return probes
 }
 
 // ringProbes generates probe codes around home: neighbors differ in

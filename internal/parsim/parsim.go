@@ -32,6 +32,11 @@
 // the layering lands in the paper's quoted ranges; they are inputs to the
 // model, not measurements. The model's purpose is to preserve the *shape*
 // of Figure 4, as documented in DESIGN.md.
+//
+// The same shortlist.OpStats the model consumes are also accumulated
+// process-wide as bilsh_shortlist_* counters (docs/metrics.md), so live
+// operation counts from a running server can be fed back through a
+// Device to estimate what the modeled hardware would have spent.
 package parsim
 
 import (

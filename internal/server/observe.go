@@ -1,0 +1,105 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"bilsh/internal/metrics"
+)
+
+// methodDispatch routes by HTTP method and answers anything else with 405
+// plus an Allow header — the contract HTTP clients and load balancers
+// expect, instead of a fall-through 404 that hides the typo'd verb.
+func methodDispatch(methods map[string]http.HandlerFunc) http.Handler {
+	allowed := make([]string, 0, len(methods))
+	for m := range methods {
+		allowed = append(allowed, m)
+	}
+	sort.Strings(allowed)
+	allow := strings.Join(allowed, ", ")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h, ok := methods[r.Method]
+		if !ok {
+			w.Header().Set("Allow", allow)
+			httpError(w, http.StatusMethodNotAllowed,
+				"method %s not allowed (allow: %s)", r.Method, allow)
+			return
+		}
+		h(w, r)
+	})
+}
+
+// statusRecorder captures the response status for the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one endpoint with the middleware metrics: request
+// count by (path, code), in-flight gauge, latency histogram by path, and
+// error count by path. The path label set is bounded because instrument
+// is only applied to the fixed route table.
+func (s *Server) instrument(path string, next http.Handler) http.Handler {
+	inflight := s.reg.Gauge("bilsh_http_in_flight_requests", "Requests currently being served.")
+	latency := s.reg.Histogram("bilsh_http_request_seconds",
+		"HTTP request latency, by path.", metrics.DefLatencyBuckets, metrics.L("path", path))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inflight.Inc()
+		defer inflight.Dec()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		latency.Observe(time.Since(start).Seconds())
+		s.reg.Counter("bilsh_http_requests_total", "HTTP requests served, by path and status code.",
+			metrics.L("path", path), metrics.L("code", strconv.Itoa(rec.status))).Inc()
+		if rec.status >= 400 {
+			s.reg.Counter("bilsh_http_errors_total", "HTTP responses with status >= 400, by path.",
+				metrics.L("path", path)).Inc()
+		}
+	})
+}
+
+// handleMetrics serves the registry. The default is the Prometheus text
+// exposition format; `?format=json` or an Accept header preferring
+// application/json selects the JSON document instead.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.Gauge("bilsh_process_uptime_seconds", "Seconds since the server was constructed.").
+		Set(int64(time.Since(s.start).Seconds()))
+	wantJSON := r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	if wantJSON {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.reg.WriteJSON(w); err != nil {
+			return // headers are gone; drop the connection
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		return
+	}
+}
+
+// mountPprof exposes the runtime profiler under /debug/pprof/. The
+// handlers come straight from net/http/pprof; they are mounted on our mux
+// (not the DefaultServeMux) and instrumented under one shared path label
+// so profile names cannot grow the metric cardinality.
+func (s *Server) mountPprof(mux *http.ServeMux) {
+	profiled := func(h http.HandlerFunc) http.Handler {
+		return s.instrument("/debug/pprof/", h)
+	}
+	mux.Handle("/debug/pprof/", profiled(pprof.Index))
+	mux.Handle("/debug/pprof/cmdline", profiled(pprof.Cmdline))
+	mux.Handle("/debug/pprof/profile", profiled(pprof.Profile))
+	mux.Handle("/debug/pprof/symbol", profiled(pprof.Symbol))
+	mux.Handle("/debug/pprof/trace", profiled(pprof.Trace))
+}

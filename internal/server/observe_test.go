@@ -1,0 +1,289 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bilsh/internal/core"
+	"bilsh/internal/dataset"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/metrics"
+	"bilsh/internal/xrand"
+)
+
+// testIndex builds a small index for observability tests.
+func testIndex(t *testing.T) *core.Index {
+	t.Helper()
+	spec := dataset.ClusteredSpec{N: 300, D: 8, Clusters: 4, IntrinsicDim: 3,
+		Aspect: 3, NoiseSigma: 0.05, Spread: 8, PowerLaw: 0.3, ScaleSpread: 2}
+	data, _, err := dataset.Clustered(spec, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.Build(data, core.Options{
+		Partitioner: core.PartitionRPTree, Groups: 4, AutoTuneW: true,
+		Params: lshfunc.Params{M: 4, L: 4, W: 2},
+	}, xrand.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestMethodNotAllowed audits every endpoint: a known path with the wrong
+// method must answer 405 with an Allow header naming the right method and
+// a JSON error body — not fall through to 404.
+func TestMethodNotAllowed(t *testing.T) {
+	s := New(testIndex(t), true)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	cases := []struct {
+		path      string
+		wrong     string
+		wantAllow string
+	}{
+		{"/healthz", http.MethodPost, "GET"},
+		{"/info", http.MethodDelete, "GET"},
+		{"/metrics", http.MethodPost, "GET"},
+		{"/query", http.MethodGet, "POST"},
+		{"/batch", http.MethodGet, "POST"},
+		{"/insert", http.MethodPut, "POST"},
+		{"/delete", http.MethodGet, "POST"},
+		{"/compact", http.MethodGet, "POST"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.wrong, srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", tc.wrong, tc.path, resp.StatusCode)
+			continue
+		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, tc.wantAllow) {
+			t.Errorf("%s %s Allow = %q, want it to contain %q", tc.wrong, tc.path, allow, tc.wantAllow)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s %s body = %q, want a JSON error object", tc.wrong, tc.path, body)
+		}
+	}
+}
+
+// TestMetricsRoundTrip drives a query through the HTTP API and asserts
+// GET /metrics reflects it in both exposition formats: the JSON document
+// must unmarshal, the Prometheus text must parse line by line, and both
+// must show non-zero query counts and stage latency histograms.
+func TestMetricsRoundTrip(t *testing.T) {
+	ix := testIndex(t)
+	s := New(ix, false)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	if code := postJSON(t, srv.URL+"/query", queryRequest{Vector: vectorFrom(ix), K: 5}, nil); code != 200 {
+		t.Fatalf("/query = %d", code)
+	}
+
+	// Prometheus text form (the default).
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prometheus Content-Type = %q", ct)
+	}
+	values := parsePromText(t, string(promBody))
+	if v := values["bilsh_core_queries_total"]; v < 1 {
+		t.Errorf("bilsh_core_queries_total = %v, want >= 1", v)
+	}
+	if v := values[`bilsh_core_stage_seconds_count{stage="probe"}`]; v < 1 {
+		t.Errorf("probe stage histogram count = %v, want >= 1", v)
+	}
+	if v := values[`bilsh_http_requests_total{code="200",path="/query"}`]; v < 1 {
+		t.Errorf("http request counter = %v, want >= 1", v)
+	}
+
+	// JSON form via ?format=json.
+	resp, err = http.Get(srv.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json Content-Type = %q", ct)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name  string   `json:"name"`
+			Type  string   `json:"type"`
+			Value *float64 `json:"value"`
+			Count *int64   `json:"count"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(jsonBody, &doc); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	found := map[string]bool{}
+	for _, m := range doc.Metrics {
+		switch m.Name {
+		case "bilsh_core_queries_total":
+			if m.Type == "counter" && m.Value != nil && *m.Value >= 1 {
+				found[m.Name] = true
+			}
+		case "bilsh_core_stage_seconds":
+			if m.Type == "histogram" && m.Count != nil && *m.Count >= 1 {
+				found[m.Name] = true
+			}
+		}
+	}
+	for _, name := range []string{"bilsh_core_queries_total", "bilsh_core_stage_seconds"} {
+		if !found[name] {
+			t.Errorf("JSON form missing live %s", name)
+		}
+	}
+
+	// The Accept header selects JSON too.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Accept negotiation Content-Type = %q", ct)
+	}
+}
+
+// TestMiddlewareCounts uses an isolated registry to assert exact
+// middleware behavior: request counts by code, error counts, in-flight
+// returning to zero.
+func TestMiddlewareCounts(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(testIndex(t), false)
+	s.SetRegistry(reg)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	if code := postJSON(t, srv.URL+"/query", queryRequest{Vector: vectorFrom(nil), K: 5}, nil); code != http.StatusBadRequest {
+		t.Fatalf("dimension mismatch should 400, got %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if got := reg.Counter("bilsh_http_requests_total", "",
+		metrics.L("path", "/query"), metrics.L("code", "400")).Value(); got != 1 {
+		t.Errorf("requests{path=/query,code=400} = %d, want 1", got)
+	}
+	if got := reg.Counter("bilsh_http_errors_total", "", metrics.L("path", "/query")).Value(); got != 1 {
+		t.Errorf("errors{path=/query} = %d, want 1", got)
+	}
+	if got := reg.Counter("bilsh_http_requests_total", "",
+		metrics.L("path", "/healthz"), metrics.L("code", "200")).Value(); got != 1 {
+		t.Errorf("requests{path=/healthz,code=200} = %d, want 1", got)
+	}
+	if got := reg.Gauge("bilsh_http_in_flight_requests", "").Value(); got != 0 {
+		t.Errorf("in-flight gauge = %d, want 0 at rest", got)
+	}
+	if got := reg.Histogram("bilsh_http_request_seconds", "", metrics.DefLatencyBuckets,
+		metrics.L("path", "/query")).Count(); got != 1 {
+		t.Errorf("latency{path=/query} count = %d, want 1", got)
+	}
+}
+
+func TestMetricsDisabled(t *testing.T) {
+	s := New(testIndex(t), false)
+	s.EnableMetrics(false)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/metrics with metrics disabled = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPprofToggle(t *testing.T) {
+	// Off by default.
+	s := New(testIndex(t), false)
+	srv := httptest.NewServer(s.Handler())
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	srv.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof off: /debug/pprof/ = %d, want 404", resp.StatusCode)
+	}
+
+	// On when enabled.
+	s = New(testIndex(t), false)
+	s.EnablePprof(true)
+	srv = httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "profile") {
+		t.Fatalf("pprof on: /debug/pprof/ = %d, want 200 with an index page", resp.StatusCode)
+	}
+}
+
+// vectorFrom returns a zero query vector of the index's dimensionality;
+// with a nil index it returns a dim-5 vector, deliberately mismatching
+// the dim-8 test index to provoke a 400.
+func vectorFrom(ix *core.Index) []float32 {
+	if ix == nil {
+		return make([]float32, 5) // wrong dimension on purpose
+	}
+	return make([]float32, ix.Dim())
+}
+
+// parsePromText is a strict line parser for the 0.0.4 text format,
+// returning series -> value.
+func parsePromText(t *testing.T, s string) map[string]float64 {
+	t.Helper()
+	values := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		values[line[:idx]] = v
+	}
+	return values
+}

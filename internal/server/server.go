@@ -8,11 +8,18 @@
 //
 //	GET  /healthz          -> 200 "ok"
 //	GET  /info             -> index description (JSON)
+//	GET  /metrics          -> process metrics (Prometheus text or JSON)
 //	POST /query            -> {"vector":[...], "k":10}            -> neighbors
 //	POST /batch            -> {"vectors":[[...],...], "k":10}     -> neighbor lists
 //	POST /insert           -> {"vector":[...]}                    -> {"id":...}
 //	POST /delete           -> {"id":...}                          -> {"deleted":bool}
 //	POST /compact          -> {}                                  -> {"live":...}
+//
+// With EnablePprof(true), the net/http/pprof handlers are mounted under
+// /debug/pprof/. Requests with a known path but wrong method receive 405
+// with an Allow header; every endpoint is wrapped in middleware recording
+// request counts, in-flight gauge, latency histograms and error counts
+// into the metrics registry (see docs/metrics.md).
 //
 // Vectors are JSON arrays of numbers with the index's dimensionality.
 package server
@@ -22,8 +29,10 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"bilsh/internal/core"
+	"bilsh/internal/metrics"
 	"bilsh/internal/vec"
 )
 
@@ -37,28 +46,75 @@ type Server struct {
 
 	// mutable reports whether mutating endpoints are enabled.
 	mutable bool
+
+	// reg receives the per-endpoint middleware metrics and is what
+	// GET /metrics exposes; defaults to the process-wide registry.
+	reg *metrics.Registry
+	// metricsOn controls whether GET /metrics is mounted.
+	metricsOn bool
+	// pprofOn controls whether /debug/pprof/ is mounted.
+	pprofOn bool
+	// start anchors the uptime gauge.
+	start time.Time
 }
 
 // New wraps ix. When mutable is false the insert/delete/compact endpoints
-// return 403 (the safe default for disk-backed or shared indexes).
+// return 403 (the safe default for disk-backed or shared indexes). The
+// metrics endpoint is on and pprof is off by default.
 func New(ix *core.Index, mutable bool) *Server {
-	return &Server{ix: ix, mutable: mutable}
+	return &Server{
+		ix:        ix,
+		mutable:   mutable,
+		reg:       metrics.Default(),
+		metricsOn: true,
+		start:     time.Now(),
+	}
 }
 
-// Handler returns the routed http.Handler.
+// EnableMetrics mounts or unmounts GET /metrics (on by default). Call
+// before Handler.
+func (s *Server) EnableMetrics(on bool) { s.metricsOn = on }
+
+// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/
+// (off by default: profiling endpoints reveal internals and cost CPU, so
+// exposure is the operator's explicit choice). Call before Handler.
+func (s *Server) EnablePprof(on bool) { s.pprofOn = on }
+
+// SetRegistry replaces the metrics registry (tests use isolated
+// registries; production keeps the process-wide default). Call before
+// Handler.
+func (s *Server) SetRegistry(r *metrics.Registry) { s.reg = r }
+
+// Handler returns the routed http.Handler. Routing is an explicit
+// path -> method table so that a known path with the wrong method gets a
+// JSON 405 carrying an Allow header rather than falling through to a 404,
+// and so the middleware sees a bounded set of path labels.
 func (s *Server) Handler() http.Handler {
+	routes := map[string]map[string]http.HandlerFunc{
+		"/healthz": {http.MethodGet: s.handleHealthz},
+		"/info":    {http.MethodGet: s.handleInfo},
+		"/query":   {http.MethodPost: s.handleQuery},
+		"/batch":   {http.MethodPost: s.handleBatch},
+		"/insert":  {http.MethodPost: s.handleInsert},
+		"/delete":  {http.MethodPost: s.handleDelete},
+		"/compact": {http.MethodPost: s.handleCompact},
+	}
+	if s.metricsOn {
+		routes["/metrics"] = map[string]http.HandlerFunc{http.MethodGet: s.handleMetrics}
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /info", s.handleInfo)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /batch", s.handleBatch)
-	mux.HandleFunc("POST /insert", s.handleInsert)
-	mux.HandleFunc("POST /delete", s.handleDelete)
-	mux.HandleFunc("POST /compact", s.handleCompact)
+	for path, methods := range routes {
+		mux.Handle(path, s.instrument(path, methodDispatch(methods)))
+	}
+	if s.pprofOn {
+		s.mountPprof(mux)
+	}
 	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
 }
 
 // neighbor is one result entry.

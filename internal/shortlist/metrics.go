@@ -1,0 +1,24 @@
+package shortlist
+
+import "bilsh/internal/metrics"
+
+// Engine-level stage counters: every Search call folds its OpStats into
+// the process-wide registry, labeled by engine, so the relative work of
+// the serial / per-query / work-queue engines is visible outside the
+// parsim cost model (docs/metrics.md lists the names).
+func recordOps(engine string, reqs int, st OpStats) {
+	l := metrics.L("engine", engine)
+	reg := metrics.Default()
+	reg.Counter("bilsh_shortlist_batches_total",
+		"Search calls, by engine.", l).Inc()
+	reg.Counter("bilsh_shortlist_requests_total",
+		"Queries ranked across all Search calls, by engine.", l).Add(int64(reqs))
+	reg.Counter("bilsh_shortlist_distance_ops_total",
+		"Exact distance evaluations, by engine.", l).Add(int64(st.DistanceOps))
+	reg.Counter("bilsh_shortlist_heap_ops_total",
+		"Heap pushes (accepted or rejected), by engine.", l).Add(int64(st.HeapOps))
+	reg.Counter("bilsh_shortlist_sorted_items_total",
+		"Items passed through clustered sorts (work-queue engine).", l).Add(int64(st.SortedItems))
+	reg.Counter("bilsh_shortlist_passes_total",
+		"Work-queue passes (work-queue engine).", l).Add(int64(st.Passes))
+}

@@ -17,7 +17,10 @@
 //
 // All engines report operation counts so the parsim cost model can map the
 // same executions onto a p-core device (the GPU substitution documented in
-// DESIGN.md).
+// DESIGN.md). The same counts are accumulated process-wide, labeled by
+// engine, into the metrics registry (bilsh_shortlist_*; see
+// docs/metrics.md), so a running server shows the relative work of the
+// engines without re-running the cost model.
 package shortlist
 
 import (
@@ -106,6 +109,7 @@ func (Serial) Search(data *vec.Matrix, reqs []Request, k int) ([]knn.Result, OpS
 		}
 		out[qi] = resultFromHeap(h)
 	}
+	recordOps("serial", len(reqs), st)
 	return out, st
 }
 
@@ -174,6 +178,7 @@ func (e PerQuery) Search(data *vec.Matrix, reqs []Request, k int) ([]knn.Result,
 			st.MaxPerQuery = s.MaxPerQuery
 		}
 	}
+	recordOps("per-query", len(reqs), st)
 	return out, st
 }
 
@@ -330,5 +335,6 @@ func (e WorkQueue) Search(data *vec.Matrix, reqs []Request, k int) ([]knn.Result
 		}
 		out[qi] = r
 	}
+	recordOps("work-queue", len(reqs), st)
 	return out, st
 }
