@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fmt
+.PHONY: check vet build test race fmt bench
 
 check: vet build race
 
@@ -20,3 +20,11 @@ race:
 
 fmt:
 	gofmt -l -w .
+
+# Hot-path microbenchmarks (see docs/performance.md). Writes the raw
+# `go test -json` stream to BENCH_query.json for before/after comparison.
+bench:
+	$(GO) test ./internal/core ./internal/vec -run '^$$' \
+		-bench 'BenchmarkQueryModes|BenchmarkGather|BenchmarkRank|BenchmarkCandidateList|BenchmarkQueryBatchParallel|BenchmarkDot|BenchmarkSqDist' \
+		-benchmem -count=1 -json > BENCH_query.json
+	@echo "wrote BENCH_query.json"

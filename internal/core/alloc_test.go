@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"bilsh/internal/lattice"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// allocIndex builds a small fixed-seed index for allocation pinning.
+func allocIndex(t *testing.T, mode ProbeMode) (*Index, *vec.Matrix) {
+	t.Helper()
+	rng := xrand.New(3)
+	const n, d = 600, 16
+	data := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		copy(data.Row(i), rng.GaussianVec(d))
+	}
+	qs := vec.NewMatrix(32, d)
+	for i := 0; i < qs.N; i++ {
+		copy(qs.Row(i), data.Row(rng.Intn(n)))
+	}
+	ix, err := Build(data, Options{
+		Partitioner: PartitionRPTree,
+		Groups:      4,
+		ProbeMode:   mode,
+		Probes:      8,
+	}, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, qs
+}
+
+// TestQueryAllocs pins the steady-state allocation count of Query: after
+// warm-up, each call may allocate only the returned result slices (IDs and
+// Dists), for every probe mode.
+func TestQueryAllocs(t *testing.T) {
+	for _, mode := range []ProbeMode{ProbeSingle, ProbeMulti, ProbeHierarchy} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ix, qs := allocIndex(t, mode)
+			// Warm the pool and grow every scratch buffer to its high-water
+			// mark. Use one pinned scratch so a GC clearing the pool between
+			// runs cannot charge a re-allocation to the measurement.
+			s := ix.getScratch()
+			for i := 0; i < qs.N; i++ {
+				ix.query(qs.Row(i), 5, s)
+			}
+			qi := 0
+			got := testing.AllocsPerRun(200, func() {
+				ix.query(qs.Row(qi%qs.N), 5, s)
+				qi++
+			})
+			// knn.Result's IDs and Dists are the only permitted allocations.
+			if got > 2 {
+				t.Fatalf("Query allocates %.1f/op in steady state, want <= 2 (result slices only)", got)
+			}
+		})
+	}
+}
+
+// TestCandidateListAllocs pins CandidateList to the returned id slice plus
+// the pool round-trip.
+func TestCandidateListAllocs(t *testing.T) {
+	ix, qs := allocIndex(t, ProbeSingle)
+	for i := 0; i < qs.N; i++ {
+		ix.CandidateList(qs.Row(i))
+	}
+	qi := 0
+	got := testing.AllocsPerRun(200, func() {
+		ix.CandidateList(qs.Row(qi % qs.N))
+		qi++
+	})
+	if got > 2 {
+		t.Fatalf("CandidateList allocates %.1f/op in steady state, want <= 2", got)
+	}
+}
+
+// TestAppendKeyAllocs pins lattice.AppendKey to zero allocations once the
+// destination buffer has capacity.
+func TestAppendKeyAllocs(t *testing.T) {
+	code := []int32{-3, 1, 0, 7, 2147483647, -2147483648}
+	dst := make([]byte, 0, 4*len(code))
+	got := testing.AllocsPerRun(200, func() {
+		dst = lattice.AppendKey(dst[:0], code)
+	})
+	if got != 0 {
+		t.Fatalf("AppendKey allocates %.1f/op with preallocated dst, want 0", got)
+	}
+	if string(dst) != lattice.Key(code) {
+		t.Fatalf("AppendKey image differs from Key")
+	}
+}

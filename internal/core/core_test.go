@@ -219,9 +219,11 @@ func TestQueryBatchMedianRule(t *testing.T) {
 	// The batch's candidate floor is the median: every query must have at
 	// least min(median, everything-reachable) candidates.
 	sizes := make([]int, queries.N)
+	sc := ix.getScratch()
 	for qi := 0; qi < queries.N; qi++ {
-		sizes[qi] = ix.plainShortListSize(queries.Row(qi))
+		sizes[qi] = ix.plainShortListSize(queries.Row(qi), sc)
 	}
+	ix.putScratch(sc)
 	median := medianInt(sizes)
 	for i, st := range stats {
 		if st.Candidates < median && st.Candidates < data.N {

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"bilsh/internal/vec"
 )
@@ -83,11 +84,11 @@ func (d Description) WriteReport(w io.Writer) error {
 	}
 	// Group-size distribution (sorted descending, quartile markers).
 	sizes := append([]int(nil), d.GroupSizes...)
-	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	slices.SortFunc(sizes, func(a, b int) int { return cmp.Compare(b, a) })
 	if len(sizes) > 0 {
 		widths := make([]float64, len(d.GroupWidths))
 		copy(widths, d.GroupWidths)
-		sort.Float64s(widths)
+		slices.Sort(widths)
 		stats := vec.Summarize(widths)
 		if _, err := fmt.Fprintf(w,
 			"groups: largest=%d smallest=%d; widths W in [%.3g, %.3g] (mean %.3g)\n",

@@ -153,6 +153,19 @@ func (ix *Index) overlayBucket(gi, table int, key string) []int {
 	return tables[table][key]
 }
 
+// overlayBucketBytes is overlayBucket keyed by the scratch key buffer; the
+// map lookup via string(key) compiles without a conversion allocation.
+func (ix *Index) overlayBucketBytes(gi, table int, key []byte) []int {
+	if ix.dynamic == nil {
+		return nil
+	}
+	tables, ok := ix.dynamic.overlays[gi]
+	if !ok {
+		return nil
+	}
+	return tables[table][string(key)]
+}
+
 // Compact folds inserts and deletes into fresh base structures: a new data
 // matrix, re-grouped members, rebuilt tables and hierarchies. Ids are
 // remapped densely in the order (surviving base rows, surviving inserts);

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"bilsh/internal/hierarchy"
 	"bilsh/internal/kmeans"
@@ -32,6 +33,10 @@ type Index struct {
 	// fetch, when non-nil, retrieves base rows instead of data.Row —
 	// the disk-backed mode (diskindex.go). data still carries N and D.
 	fetch func(id int) []float32
+
+	// scratchPool recycles per-query scratch state (see scratch.go). The
+	// zero value is usable, so no constructor threading is needed.
+	scratchPool sync.Pool
 }
 
 // group is one level-1 partition with its level-2 machinery.

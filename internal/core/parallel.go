@@ -17,6 +17,8 @@ import (
 // QueryBatchParallel is QueryBatch fanned out over workers goroutines
 // (GOMAXPROCS when workers <= 0). Results are identical to QueryBatch: the
 // hierarchy median rule is applied batch-wide before the parallel phase.
+// Each worker goroutine holds one pooled scratch for its whole share of the
+// batch, so the parallel path is as allocation-free as the serial one.
 func (ix *Index) QueryBatchParallel(queries *vec.Matrix, k, workers int) ([]knn.Result, []QueryStats) {
 	metBatches.Inc()
 	if workers <= 0 {
@@ -29,8 +31,8 @@ func (ix *Index) QueryBatchParallel(queries *vec.Matrix, k, workers int) ([]knn.
 	switch ix.opts.ProbeMode {
 	case ProbeHierarchy:
 		sizes := make([]int, queries.N)
-		parallelFor(queries.N, workers, func(qi int) {
-			sizes[qi] = ix.plainShortListSize(queries.Row(qi))
+		ix.parallelFor(queries.N, workers, func(qi int, s *scratch) {
+			sizes[qi] = ix.plainShortListSize(queries.Row(qi), s)
 		})
 		median := medianInt(sizes)
 		if median < 1 {
@@ -53,12 +55,12 @@ func (ix *Index) QueryBatchParallel(queries *vec.Matrix, k, workers int) ([]knn.
 		}
 	}
 
-	parallelFor(queries.N, workers, func(qi int) {
+	ix.parallelFor(queries.N, workers, func(qi int, s *scratch) {
 		start := time.Now()
 		q := queries.Row(qi)
-		cands, st := ix.gather(q, minCounts[qi])
+		st := ix.gather(q, minCounts[qi], s)
 		rankStart := time.Now()
-		results[qi] = ix.rank(q, cands, k)
+		results[qi] = ix.rank(q, k, s)
 		st.Timings.Rank = time.Since(rankStart)
 		recordQuery(&st, time.Since(start)) // registry updates are atomic
 		stats[qi] = st
@@ -66,14 +68,17 @@ func (ix *Index) QueryBatchParallel(queries *vec.Matrix, k, workers int) ([]knn.
 	return results, stats
 }
 
-// parallelFor runs body(i) for i in [0,n) on up to workers goroutines.
-func parallelFor(n, workers int, body func(i int)) {
+// parallelFor runs body(i, s) for i in [0,n) on up to workers goroutines,
+// handing each goroutine its own pooled scratch for the duration.
+func (ix *Index) parallelFor(n, workers int, body func(i int, s *scratch)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		s := ix.getScratch()
+		defer ix.putScratch(s)
 		for i := 0; i < n; i++ {
-			body(i)
+			body(i, s)
 		}
 		return
 	}
@@ -83,8 +88,10 @@ func parallelFor(n, workers int, body func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			s := ix.getScratch()
+			defer ix.putScratch(s)
 			for i := range next {
-				body(i)
+				body(i, s)
 			}
 		}()
 	}

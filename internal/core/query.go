@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"bilsh/internal/knn"
@@ -50,143 +50,140 @@ type QueryStats struct {
 // Query returns the approximate k nearest neighbors of q. For
 // ProbeHierarchy the per-query bucket floor is Options.HierMinCandidates
 // (default 2k); use QueryBatch for the paper's median rule.
+//
+// The hot path is allocation-free in steady state: per-query scratch state
+// (projection and key buffers, the stamped dedup array, the top-k heap) is
+// drawn from a pool, and only the returned result slices are allocated.
 func (ix *Index) Query(q []float32, k int) (knn.Result, QueryStats) {
+	s := ix.getScratch()
+	defer ix.putScratch(s)
+	return ix.query(q, k, s)
+}
+
+func (ix *Index) query(q []float32, k int, s *scratch) (knn.Result, QueryStats) {
 	start := time.Now()
 	minCount := ix.opts.HierMinCandidates
 	if minCount <= 0 {
 		minCount = 2 * k
 	}
-	cands, stats := ix.gather(q, minCount)
+	stats := ix.gather(q, minCount, s)
 	rankStart := time.Now()
-	res := ix.rank(q, cands, k)
+	res := ix.rank(q, k, s)
 	stats.Timings.Rank = time.Since(rankStart)
 	recordQuery(&stats, time.Since(start))
 	return res, stats
 }
 
-// gather collects the candidate id set for q. For ProbeHierarchy,
-// hierMinCount is the bucket-size floor for sparse queries.
-func (ix *Index) gather(q []float32, hierMinCount int) (map[int]struct{}, QueryStats) {
+// gather collects the candidate id set for q into s.cands under the
+// index's probe mode. For ProbeHierarchy, hierMinCount is the bucket-size
+// floor for sparse queries.
+func (ix *Index) gather(q []float32, hierMinCount int, s *scratch) QueryStats {
+	return ix.gatherMode(q, hierMinCount, ix.opts.ProbeMode, s)
+}
+
+// gatherMode is the shared candidate-collection core behind gather and
+// plainShortListSize (which forces ProbeSingle regardless of the index's
+// configured mode, per the Section VI-B4c median rule).
+func (ix *Index) gatherMode(q []float32, hierMinCount int, mode ProbeMode, s *scratch) QueryStats {
 	routeStart := time.Now()
 	gi := ix.GroupOf(q)
 	g := ix.groups[gi]
 	stats := QueryStats{Group: gi}
 	stats.Timings.Route = time.Since(routeStart)
-	set := make(map[int]struct{})
-	proj := make([]float64, ix.opts.Params.M)
-
-	add := func(ids []int) {
-		for _, id := range ids {
-			if ix.isDeleted(id) {
-				continue
-			}
-			stats.Scanned++
-			set[id] = struct{}{}
-		}
-	}
+	s.begin(ix)
 
 	for t := 0; t < ix.opts.Params.L; t++ {
 		probeStart := time.Now()
-		g.fam.Project(t, q, proj)
-		switch ix.opts.ProbeMode {
+		g.fam.Project(t, q, s.proj)
+		switch mode {
 		case ProbeSingle:
-			code := g.lat.Decode(proj)
+			s.hier.Code = g.lat.DecodeInto(s.hier.Code, s.proj)
+			s.key = lattice.AppendKey(s.key[:0], s.hier.Code)
 			stats.Timings.Probe += time.Since(probeStart)
 			scanStart := time.Now()
 			stats.Probes++
-			key := lattice.Key(code)
-			add(g.tables[t].Bucket(key))
-			add(ix.overlayBucket(gi, t, key))
+			ix.addCandidates(s, &stats, g.tables[t].BucketBytes(s.key))
+			ix.addCandidates(s, &stats, ix.overlayBucketBytes(gi, t, s.key))
 			stats.Timings.Scan += time.Since(scanStart)
 
 		case ProbeMulti:
-			var probes [][]int32
 			switch lat := g.lat.(type) {
 			case *lattice.ZM:
-				probes = multiprobe.ZMProbes(lat, proj, ix.opts.Probes)
+				multiprobe.ZMProbesInto(&s.mp, lat, s.proj, ix.opts.Probes)
 			case *lattice.E8:
-				probes = multiprobe.E8Probes(lat, proj, ix.opts.Probes)
+				multiprobe.E8ProbesInto(&s.mp, lat, s.proj, ix.opts.Probes)
 			case *lattice.Dn:
-				probes = multiprobe.DnProbes(lat, proj, ix.opts.Probes)
+				multiprobe.DnProbesInto(&s.mp, lat, s.proj, ix.opts.Probes)
 			}
 			stats.Timings.Probe += time.Since(probeStart)
 			scanStart := time.Now()
-			for _, code := range probes {
+			for p := 0; p < s.mp.Probes(); p++ {
 				stats.Probes++
-				key := lattice.Key(code)
-				add(g.tables[t].Bucket(key))
-				add(ix.overlayBucket(gi, t, key))
+				s.key = lattice.AppendKey(s.key[:0], s.mp.Probe(p))
+				ix.addCandidates(s, &stats, g.tables[t].BucketBytes(s.key))
+				ix.addCandidates(s, &stats, ix.overlayBucketBytes(gi, t, s.key))
 			}
 			stats.Timings.Scan += time.Since(scanStart)
 
 		case ProbeHierarchy:
-			code := g.lat.Decode(proj)
+			s.hier.Code = g.lat.DecodeInto(s.hier.Code, s.proj)
+			s.key = lattice.AppendKey(s.key[:0], s.hier.Code)
 			stats.Timings.Probe += time.Since(probeStart)
 			scanStart := time.Now()
 			stats.Probes++
-			var ids []int
 			var level int
+			// s.hier.Code holds the query code; AppendCandidates only
+			// uses s.hier's Key/Code buffers for Morton keys and ancestor
+			// codes, so pass the code itself from the scratch buffer.
+			code := s.hier.Code
 			if g.mortonH != nil {
-				ids, level = g.mortonH[t].Candidates(code, hierMinCount)
+				s.hierIDs, level = g.mortonH[t].AppendCandidates(s.hierIDs[:0], code, hierMinCount, &s.hier)
 			} else {
-				ids, level = g.e8H[t].Candidates(code, hierMinCount)
+				s.hierIDs, level = g.e8H[t].AppendCandidates(s.hierIDs[:0], code, hierMinCount, &s.hier)
 			}
 			if level > stats.HierarchyLevel {
 				stats.HierarchyLevel = level
 			}
-			add(ids)
+			ix.addCandidates32(s, &stats, s.hierIDs)
 			// Overlay inserts are only reachable through their exact
 			// bucket code until Compact folds them into the hierarchy.
-			add(ix.overlayBucket(gi, t, lattice.Key(code)))
+			ix.addCandidates(s, &stats, ix.overlayBucketBytes(gi, t, s.key))
 			stats.Timings.Scan += time.Since(scanStart)
 		}
 	}
-	stats.Candidates = len(set)
-	return set, stats
+	stats.Candidates = len(s.cands)
+	return stats
 }
 
 // CandidateList returns the deduplicated, id-sorted candidate list for q
 // under the index's probe mode, for callers that run their own short-list
 // engine (e.g. the Figure 4 harness feeding the parallel engines).
 func (ix *Index) CandidateList(q []float32) ([]int, QueryStats) {
+	s := ix.getScratch()
+	defer ix.putScratch(s)
 	minCount := ix.opts.HierMinCandidates
 	if minCount <= 0 {
 		minCount = 2 * ix.opts.TuneK
 	}
-	set, st := ix.gather(q, minCount)
+	st := ix.gather(q, minCount, s)
 	metCandLists.Inc()
 	recordStages(&st)
-	ids := make([]int, 0, len(set))
-	for id := range set {
-		ids = append(ids, id)
+	slices.Sort(s.cands)
+	ids := make([]int, len(s.cands))
+	for i, id := range s.cands {
+		ids[i] = int(id)
 	}
-	sort.Ints(ids)
 	return ids, st
 }
 
 // plainShortListSize returns the candidate count the query would see with
 // single-bucket probing — the quantity whose batch median drives the
-// hierarchical rule of Section VI-B4c.
-func (ix *Index) plainShortListSize(q []float32) int {
-	gi := ix.GroupOf(q)
-	g := ix.groups[gi]
-	proj := make([]float64, ix.opts.Params.M)
-	set := make(map[int]struct{})
-	for t := 0; t < ix.opts.Params.L; t++ {
-		g.fam.Project(t, q, proj)
-		key := lattice.Key(g.lat.Decode(proj))
-		for _, id := range g.tables[t].Bucket(key) {
-			if !ix.isDeleted(id) {
-				set[id] = struct{}{}
-			}
-		}
-		for _, id := range ix.overlayBucket(gi, t, key) {
-			if !ix.isDeleted(id) {
-				set[id] = struct{}{}
-			}
-		}
-	}
-	return len(set)
+// hierarchical rule of Section VI-B4c. It runs the same collection core as
+// real queries (gatherMode with ProbeSingle), so tombstone filtering and
+// overlay handling cannot drift from the probe path.
+func (ix *Index) plainShortListSize(q []float32, s *scratch) int {
+	st := ix.gatherMode(q, 0, ProbeSingle, s)
+	return st.Candidates
 }
 
 // ExactKNN computes exact k nearest neighbors by linear scan over the
@@ -216,18 +213,44 @@ func (ix *Index) ExactKNN(q []float32, k int) knn.Result {
 	return r
 }
 
-// rank is the serial short-list search over a candidate set.
-func (ix *Index) rank(q []float32, cands map[int]struct{}, k int) knn.Result {
-	h := topk.New(k)
-	for id := range cands {
-		d := vec.SqDist(ix.row(id), q)
-		if h.Accepts(d) {
-			h.Push(id, d)
+// rank is the serial short-list search over the candidate set in s.cands.
+// Candidates are ranked in ascending id order: ids index a contiguous
+// row-major matrix, so the scan walks memory forward (the linear-array
+// layout of Section V-A) and the result is independent of collection
+// order.
+func (ix *Index) rank(q []float32, k int, s *scratch) knn.Result {
+	slices.Sort(s.cands)
+	h := s.topK(k)
+
+	// Batch the base-matrix distances (ids below data.N, a sorted prefix
+	// of cands); overlay rows and disk-backed fetches go one at a time.
+	nBase := len(s.cands)
+	if ix.dynamic != nil {
+		nBase, _ = slices.BinarySearch(s.cands, int32(ix.data.N))
+	}
+	if cap(s.dists) < len(s.cands) {
+		s.dists = make([]float64, len(s.cands))
+	}
+	s.dists = s.dists[:len(s.cands)]
+	if ix.fetch == nil {
+		vec.SqDistToRows(s.dists[:nBase], ix.data.Data, ix.data.D, s.cands[:nBase], q)
+	} else {
+		for i := 0; i < nBase; i++ {
+			s.dists[i] = vec.SqDist(ix.fetch(int(s.cands[i])), q)
 		}
 	}
-	items := h.Sorted()
-	r := knn.Result{IDs: make([]int, len(items)), Dists: make([]float64, len(items))}
-	for i, it := range items {
+	for i := nBase; i < len(s.cands); i++ {
+		s.dists[i] = vec.SqDist(ix.dynamic.extra[int(s.cands[i])-ix.data.N], q)
+	}
+	for i, id := range s.cands {
+		if d := s.dists[i]; h.Accepts(d) {
+			h.Push(int(id), d)
+		}
+	}
+
+	s.items = h.AppendSorted(s.items[:0])
+	r := knn.Result{IDs: make([]int, len(s.items)), Dists: make([]float64, len(s.items))}
+	for i, it := range s.items {
 		r.IDs[i] = it.ID
 		r.Dists[i] = it.Dist
 	}
@@ -237,22 +260,25 @@ func (ix *Index) rank(q []float32, cands map[int]struct{}, k int) knn.Result {
 // QueryBatch answers a whole query set. For ProbeHierarchy it implements
 // the paper's protocol: compute every query's plain short-list size, take
 // the batch median as the threshold, and climb the hierarchy only for
-// queries below it. Other probe modes map Query over the batch.
+// queries below it. Other probe modes map Query over the batch. One
+// scratch serves the whole batch.
 func (ix *Index) QueryBatch(queries *vec.Matrix, k int) ([]knn.Result, []QueryStats) {
 	metBatches.Inc()
 	results := make([]knn.Result, queries.N)
 	stats := make([]QueryStats, queries.N)
+	s := ix.getScratch()
+	defer ix.putScratch(s)
 
 	if ix.opts.ProbeMode != ProbeHierarchy {
 		for qi := 0; qi < queries.N; qi++ {
-			results[qi], stats[qi] = ix.Query(queries.Row(qi), k)
+			results[qi], stats[qi] = ix.query(queries.Row(qi), k, s)
 		}
 		return results, stats
 	}
 
 	sizes := make([]int, queries.N)
 	for qi := 0; qi < queries.N; qi++ {
-		sizes[qi] = ix.plainShortListSize(queries.Row(qi))
+		sizes[qi] = ix.plainShortListSize(queries.Row(qi), s)
 	}
 	median := medianInt(sizes)
 	if median < 1 {
@@ -267,9 +293,9 @@ func (ix *Index) QueryBatch(queries *vec.Matrix, k int) ([]knn.Result, []QuerySt
 			// batch median.
 			minCount = median
 		}
-		cands, st := ix.gather(q, minCount)
+		st := ix.gather(q, minCount, s)
 		rankStart := time.Now()
-		results[qi] = ix.rank(q, cands, k)
+		results[qi] = ix.rank(q, k, s)
 		st.Timings.Rank = time.Since(rankStart)
 		recordQuery(&st, time.Since(start))
 		stats[qi] = st
@@ -281,7 +307,7 @@ func medianInt(xs []int) int {
 	if len(xs) == 0 {
 		return 0
 	}
-	cp := append([]int(nil), xs...)
-	sort.Ints(cp)
+	cp := slices.Clone(xs)
+	slices.Sort(cp)
 	return cp[len(cp)/2]
 }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bilsh/internal/hierarchy"
+	"bilsh/internal/multiprobe"
+	"bilsh/internal/topk"
+)
+
+// scratch is the per-query reusable state that makes the read path
+// allocation-free in steady state (the Section V design goal: the short
+// list should be gathered and ranked at memory bandwidth, not at the
+// allocator's pace). One scratch serves one query at a time:
+//
+//   - Query draws one from the index's sync.Pool and returns it;
+//   - QueryBatch reuses a single scratch across the whole batch;
+//   - QueryBatchParallel gives each worker goroutine its own.
+//
+// Candidate dedup uses an epoch-stamped visited array instead of a map:
+// visited[id] == epoch means id was already collected this query, and
+// bumping epoch invalidates all stamps at once, so there is nothing to
+// clear between queries.
+type scratch struct {
+	proj    []float64 // projection buffer (len M)
+	key     []byte    // bucket key byte buffer
+	cands   []int32   // deduplicated candidate ids, in collection order
+	visited []uint32  // per-id stamp; visited[id] == epoch <=> collected
+	epoch   uint32
+	hierIDs []int32 // raw hierarchy group ids before dedup
+
+	hier hierarchy.Scratch
+	mp   multiprobe.Scratch
+
+	heap  *topk.Heap
+	items []topk.Item // reusable sorted-heap output
+	dists []float64   // rank distance buffer
+}
+
+// getScratch draws a scratch from the pool (the pool's zero value works:
+// a nil entry becomes a fresh zero scratch whose buffers grow on first
+// use).
+func (ix *Index) getScratch() *scratch {
+	s, _ := ix.scratchPool.Get().(*scratch)
+	if s == nil {
+		s = &scratch{}
+	}
+	return s
+}
+
+func (ix *Index) putScratch(s *scratch) { ix.scratchPool.Put(s) }
+
+// begin readies the scratch for one query against ix: sizes the projection
+// and visited buffers and opens a fresh dedup epoch.
+func (s *scratch) begin(ix *Index) {
+	if m := ix.opts.Params.M; cap(s.proj) < m {
+		s.proj = make([]float64, m)
+	} else {
+		s.proj = s.proj[:m]
+	}
+	total := ix.data.N
+	if ix.dynamic != nil {
+		total += len(ix.dynamic.extra)
+	}
+	if len(s.visited) < total {
+		s.visited = make([]uint32, total)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // stamp wraparound: all stamps stale, reset
+		clear(s.visited)
+		s.epoch = 1
+	}
+	s.cands = s.cands[:0]
+}
+
+// topK returns the reusable bounded heap, re-created only when k changes.
+func (s *scratch) topK(k int) *topk.Heap {
+	if s.heap == nil || s.heap.K() != k {
+		s.heap = topk.New(k)
+	} else {
+		s.heap.Reset()
+	}
+	return s.heap
+}
+
+// addCandidates stamps and appends every live, not-yet-seen id, counting
+// scanned (pre-dedup, post-tombstone) entries like the original map-based
+// gather did. This is the single candidate-collection core shared by all
+// probe modes and by the median rule's plain short-list sizing, so
+// deleted-row filtering and overlay handling cannot diverge between them.
+func (ix *Index) addCandidates(s *scratch, st *QueryStats, ids []int) {
+	for _, id := range ids {
+		if ix.isDeleted(id) {
+			continue
+		}
+		st.Scanned++
+		if s.visited[id] == s.epoch {
+			continue
+		}
+		s.visited[id] = s.epoch
+		s.cands = append(s.cands, int32(id))
+	}
+}
+
+// addCandidates32 is addCandidates for the hierarchy's int32 id buffers.
+func (ix *Index) addCandidates32(s *scratch, st *QueryStats, ids []int32) {
+	for _, id := range ids {
+		if ix.isDeleted(int(id)) {
+			continue
+		}
+		st.Scanned++
+		if s.visited[id] == s.epoch {
+			continue
+		}
+		s.visited[id] = s.epoch
+		s.cands = append(s.cands, id)
+	}
+}

@@ -23,6 +23,43 @@ const (
 	minTableSize = 16
 )
 
+// Compress64 folds an LSH code key's byte image to the 64-bit cuckoo key
+// (the "dim-1 key by using another hash function" of Section V-A). It is
+// FNV-1a, inlined so the query hot path hashes straight from a reused byte
+// buffer without constructing a hash.Hash64. The reserved sentinel value
+// is remapped so the result is always a legal Table key.
+func Compress64(key []byte) uint64 {
+	v := uint64(fnvOffset64)
+	for _, b := range key {
+		v ^= uint64(b)
+		v *= fnvPrime64
+	}
+	if v == empty {
+		v-- // avoid the cuckoo sentinel
+	}
+	return v
+}
+
+// Compress64String is Compress64 over a string key (build paths index
+// string-keyed buckets; both forms produce identical values for the same
+// bytes).
+func Compress64String(key string) uint64 {
+	v := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		v ^= uint64(key[i])
+		v *= fnvPrime64
+	}
+	if v == empty {
+		v--
+	}
+	return v
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // Table maps uint64 keys to int values. The zero value is not usable;
 // create with New. Key ^uint64(0) is reserved.
 type Table struct {

@@ -20,7 +20,7 @@ package hierarchy
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"bilsh/internal/lattice"
 	"bilsh/internal/lshtable"
@@ -33,6 +33,18 @@ type Hierarchy interface {
 	// query code with at least minCount items (all items if no group
 	// reaches minCount). The second result is the hierarchy level used.
 	Candidates(code []int32, minCount int) ([]int, int)
+	// AppendCandidates is Candidates appending int32 ids to dst, using s
+	// for reusable key/code buffers — the allocation-free form the query
+	// hot path calls with pooled scratch state.
+	AppendCandidates(dst []int32, code []int32, minCount int, s *Scratch) ([]int32, int)
+}
+
+// Scratch carries the reusable buffers AppendCandidates encodes into. The
+// zero value is ready to use; buffers grow on first use and are retained
+// across queries.
+type Scratch struct {
+	Key  []byte  // Morton / lattice key buffer
+	Code []int32 // ancestor code buffer
 }
 
 // ---------------------------------------------------------------------------
@@ -78,14 +90,22 @@ func NewMorton(table *lshtable.Table, m, bits int) (*Morton, error) {
 // Candidates implements Hierarchy by climbing ancestor levels (widening
 // Morton prefix ranges) until the group holds minCount items.
 func (h *Morton) Candidates(code []int32, minCount int) ([]int, int) {
-	key := h.enc.Encode(code)
+	var s Scratch
+	ids32, level := h.AppendCandidates(nil, code, minCount, &s)
+	return widen(ids32), level
+}
+
+// AppendCandidates implements Hierarchy without allocating: the Morton key
+// is encoded into s.Key and the group's ids are appended to dst.
+func (h *Morton) AppendCandidates(dst []int32, code []int32, minCount int, s *Scratch) ([]int32, int) {
+	s.Key = h.enc.AppendEncode(s.Key[:0], code)
 	for k := 0; k <= h.enc.Bits(); k++ {
-		lo, hi := h.curve.PrefixRange(key, h.enc.AncestorLevelToPrefixBits(k))
+		lo, hi := h.curve.PrefixRangeBytes(s.Key, h.enc.AncestorLevelToPrefixBits(k))
 		if h.prefix[hi]-h.prefix[lo] >= minCount || k == h.enc.Bits() {
-			return h.collect(lo, hi), k
+			return h.collectAppend(dst, lo, hi), k
 		}
 	}
-	return nil, 0 // unreachable: k == Bits() always returns
+	return dst, 0 // unreachable: k == Bits() always returns
 }
 
 // Window returns the ids of up to nBuckets buckets nearest the query code
@@ -124,11 +144,22 @@ func (h *Morton) SharedMSB(code []int32) int {
 	return best
 }
 
-func (h *Morton) collect(lo, hi int) []int {
-	out := make([]int, 0, h.prefix[hi]-h.prefix[lo])
+func (h *Morton) collectAppend(dst []int32, lo, hi int) []int32 {
 	for i := lo; i < hi; i++ {
 		_, ids := h.table.BucketByOrdinal(h.curve.Value(i))
-		out = append(out, ids...)
+		for _, id := range ids {
+			dst = append(dst, int32(id))
+		}
+	}
+	return dst
+}
+
+// widen converts collected int32 ids back to the []int form of the
+// compatibility Candidates methods.
+func widen(ids32 []int32) []int {
+	out := make([]int, len(ids32))
+	for i, id := range ids32 {
+		out[i] = int(id)
 	}
 	return out
 }
@@ -204,14 +235,16 @@ func NewE8Tree(table *lshtable.Table, lat lattice.Lattice) (*E8Tree, error) {
 	for i := range h.order {
 		h.order[i] = i
 	}
-	sort.Slice(h.order, func(a, b int) bool {
-		x, y := h.order[a], h.order[b]
+	slices.SortFunc(h.order, func(x, y int) int {
 		for k := top; k >= 0; k-- {
-			if ancKeys[k][x] != ancKeys[k][y] {
-				return ancKeys[k][x] < ancKeys[k][y]
+			switch {
+			case ancKeys[k][x] < ancKeys[k][y]:
+				return -1
+			case ancKeys[k][x] > ancKeys[k][y]:
+				return 1
 			}
 		}
-		return false
+		return 0
 	})
 
 	h.prefix = make([]int, n+1)
@@ -243,19 +276,29 @@ func (h *E8Tree) Levels() int { return len(h.levels) }
 // a group with minCount items exists; the virtual root (all items) is the
 // final fallback, covering queries whose codes match no stored group.
 func (h *E8Tree) Candidates(code []int32, minCount int) ([]int, int) {
+	var s Scratch
+	ids32, level := h.AppendCandidates(nil, code, minCount, &s)
+	return widen(ids32), level
+}
+
+// AppendCandidates implements Hierarchy without allocating: ancestor codes
+// and their keys are built in s's reused buffers and the group's ids are
+// appended to dst.
+func (h *E8Tree) AppendCandidates(dst []int32, code []int32, minCount int, s *Scratch) ([]int32, int) {
 	for k := 0; k < len(h.levels); k++ {
-		key := lattice.Key(h.lat.Ancestor(code, k))
-		g, ok := h.levels[k][key]
+		s.Code = h.lat.AncestorInto(s.Code, code, k)
+		s.Key = lattice.AppendKey(s.Key[:0], s.Code)
+		g, ok := h.levels[k][string(s.Key)]
 		if !ok {
 			continue
 		}
 		if h.prefix[g.hi]-h.prefix[g.lo] >= minCount {
-			return h.collect(g.lo, g.hi), k
+			return h.collectAppend(dst, g.lo, g.hi), k
 		}
 	}
 	// Virtual root: distinct E8 ancestor chains can converge to different
 	// fixed points and never unify, so the root is the explicit fallback.
-	return h.collect(0, len(h.order)), len(h.levels)
+	return h.collectAppend(dst, 0, len(h.order)), len(h.levels)
 }
 
 // Descend mirrors the paper's traversal: walk down from the top choosing
@@ -281,4 +324,14 @@ func (h *E8Tree) collect(lo, hi int) []int {
 		out = append(out, ids...)
 	}
 	return out
+}
+
+func (h *E8Tree) collectAppend(dst []int32, lo, hi int) []int32 {
+	for i := lo; i < hi; i++ {
+		_, ids := h.table.BucketByOrdinal(h.order[i])
+		for _, id := range ids {
+			dst = append(dst, int32(id))
+		}
+	}
+	return dst
 }

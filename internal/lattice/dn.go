@@ -48,11 +48,16 @@ func (d *Dn) BlockDim() int { return d.bdim }
 
 // Decode maps each block to its nearest D_n point (doubled integers).
 func (d *Dn) Decode(y []float64) []int32 {
+	return d.DecodeInto(nil, y)
+}
+
+// DecodeInto implements Lattice.
+func (d *Dn) DecodeInto(dst []int32, y []float64) []int32 {
 	if len(y) != d.m {
 		panic(fmt.Sprintf("lattice: Dn.Decode got %d dims, want %d", len(y), d.m))
 	}
-	out := make([]int32, d.CodeLen())
-	block := make([]float64, d.bdim)
+	out := growCode(dst, d.CodeLen())
+	var block [8]float64 // bdim = min(m, 8) <= 8
 	for b := 0; b < d.blocks; b++ {
 		for j := 0; j < d.bdim; j++ {
 			if i := b*d.bdim + j; i < d.m {
@@ -61,20 +66,19 @@ func (d *Dn) Decode(y []float64) []int32 {
 				block[j] = 0
 			}
 		}
-		p := decodeDn(block)
-		copy(out[b*d.bdim:], p)
+		decodeDn(out[b*d.bdim:(b+1)*d.bdim], block[:d.bdim])
 	}
 	return out
 }
 
-// decodeDn returns the nearest D_n point to y in doubled-integer form:
-// round every coordinate, then repair odd parity at the coordinate with
-// the largest rounding error (the Conway–Sloane D_n decoder).
-func decodeDn(y []float64) []int32 {
-	out := make([]int32, len(y))
+// decodeDn writes the nearest D_n point to y into out (doubled-integer
+// form): round every coordinate, then repair odd parity at the coordinate
+// with the largest rounding error (the Conway–Sloane D_n decoder).
+// len(y) == len(out) <= 8.
+func decodeDn(out []int32, y []float64) {
 	var sum int32
 	worst, worstAbs := 0, -1.0
-	errs := make([]float64, len(y))
+	var errs [8]float64
 	for i, v := range y {
 		r := int32(math.Floor(v + 0.5))
 		out[i] = r
@@ -95,24 +99,28 @@ func decodeDn(y []float64) []int32 {
 	for i := range out {
 		out[i] *= 2 // doubled representation, shared with E8
 	}
-	return out
 }
 
 // Ancestor applies the halve-and-decode recursion of Eq. 10 with the D_n
 // decoder (D_n also has the scaling property: 2·D_n ⊂ D_n).
 func (d *Dn) Ancestor(c []int32, k int) []int32 {
-	out := make([]int32, len(c))
+	return d.AncestorInto(nil, c, k)
+}
+
+// AncestorInto implements Lattice.
+func (d *Dn) AncestorInto(dst, c []int32, k int) []int32 {
+	out := growCode(dst, len(c))
 	copy(out, c)
 	if k > 30 {
 		k = 30
 	}
-	y := make([]float64, d.bdim)
+	var y [8]float64
 	for step := 0; step < k; step++ {
 		for b := 0; b+d.bdim <= len(out); b += d.bdim {
 			for j := 0; j < d.bdim; j++ {
 				y[j] = float64(out[b+j]) / 4
 			}
-			copy(out[b:b+d.bdim], decodeDn(y))
+			decodeDn(out[b:b+d.bdim], y[:d.bdim])
 		}
 	}
 	if k > 0 {

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Lattice is a space quantizer mapping M-dimensional projected values to
@@ -28,10 +29,17 @@ type Lattice interface {
 	CodeLen() int
 	// Decode quantizes the projected vector y (len == M()) to a code.
 	Decode(y []float64) []int32
+	// DecodeInto is Decode writing into dst's storage (grown as needed) —
+	// the allocation-free form the query hot path uses. The returned slice
+	// has length CodeLen and may alias dst.
+	DecodeInto(dst []int32, y []float64) []int32
 	// Ancestor returns the level-k ancestor of a level-0 code, in the
 	// (unscaled for Z^M, doubled for E8) representation produced by
 	// Decode. Ancestor(c, 0) is a copy of c.
 	Ancestor(c []int32, k int) []int32
+	// AncestorInto is Ancestor writing into dst's storage (grown as
+	// needed). dst must not alias c.
+	AncestorInto(dst, c []int32, k int) []int32
 	// Center returns the real-space point (in projected coordinates, i.e.
 	// pre-quantization units) represented by a code, used to order probes
 	// by distance.
@@ -41,11 +49,60 @@ type Lattice interface {
 // Key packs a code into a string usable as a map key. The encoding is the
 // little-endian byte image of the entries, so it is injective.
 func Key(code []int32) string {
-	b := make([]byte, 4*len(code))
-	for i, c := range code {
-		binary.LittleEndian.PutUint32(b[4*i:], uint32(c))
+	return string(AppendKey(nil, code))
+}
+
+// AppendKey appends the byte image of code (the Key encoding) to dst and
+// returns the extended slice — the allocation-free form the query hot path
+// uses together with byte-keyed bucket lookups.
+func AppendKey(dst []byte, code []int32) []byte {
+	need := 4 * len(code)
+	if n := len(dst) + need; cap(dst) < n {
+		grown := make([]byte, len(dst), n)
+		copy(grown, dst)
+		dst = grown
 	}
-	return string(b)
+	for _, c := range code {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(c))
+	}
+	return dst
+}
+
+// CompareKeyOrder compares two codes in the lexicographic order of their
+// Key byte images (bytes.Compare(AppendKey(nil,a), AppendKey(nil,b)))
+// without materializing either key. Comparing the little-endian byte image
+// of an entry is comparing its byte-swapped unsigned value.
+func CompareKeyOrder(a, b []int32) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			av := bits.ReverseBytes32(uint32(a[i]))
+			bv := bits.ReverseBytes32(uint32(b[i]))
+			if av < bv {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// growCode returns a slice of length n reusing dst's storage when it fits.
+func growCode(dst []int32, n int) []int32 {
+	if cap(dst) < n {
+		return make([]int32, n)
+	}
+	return dst[:n]
 }
 
 // Unkey inverts Key.
@@ -80,32 +137,42 @@ func (z *ZM) CodeLen() int { return z.m }
 
 // Decode floors every projected coordinate, i.e. h_i = ⌊y_i⌋.
 func (z *ZM) Decode(y []float64) []int32 {
+	return z.DecodeInto(nil, y)
+}
+
+// DecodeInto implements Lattice.
+func (z *ZM) DecodeInto(dst []int32, y []float64) []int32 {
 	if len(y) != z.m {
 		panic(fmt.Sprintf("lattice: ZM.Decode got %d dims, want %d", len(y), z.m))
 	}
-	c := make([]int32, z.m)
+	dst = growCode(dst, z.m)
 	for i, v := range y {
-		c[i] = int32(math.Floor(v))
+		dst[i] = int32(math.Floor(v))
 	}
-	return c
+	return dst
 }
 
 // Ancestor implements Eq. 8: H^k(c) = 2^k·⌊c/2^k⌋. The returned code is in
 // original-lattice units (scaled back up), so codes of distinct ancestors
 // never collide across levels of the same run.
 func (z *ZM) Ancestor(c []int32, k int) []int32 {
-	out := make([]int32, len(c))
-	copy(out, c)
+	return z.AncestorInto(nil, c, k)
+}
+
+// AncestorInto implements Lattice.
+func (z *ZM) AncestorInto(dst, c []int32, k int) []int32 {
+	dst = growCode(dst, len(c))
+	copy(dst, c)
 	if k <= 0 {
-		return out
+		return dst
 	}
 	if k > 30 {
 		k = 30
 	}
-	for i, v := range out {
-		out[i] = floorDivPow2(v, uint(k)) << uint(k)
+	for i, v := range dst {
+		dst[i] = floorDivPow2(v, uint(k)) << uint(k)
 	}
-	return out
+	return dst
 }
 
 // Center returns the cell midpoint c + 0.5 in projected units.
@@ -148,10 +215,15 @@ func (e *E8) CodeLen() int { return 8 * e.blocks }
 // Decode maps each 8-dim block to its nearest E8 lattice point and returns
 // the doubled-integer representation.
 func (e *E8) Decode(y []float64) []int32 {
+	return e.DecodeInto(nil, y)
+}
+
+// DecodeInto implements Lattice.
+func (e *E8) DecodeInto(dst []int32, y []float64) []int32 {
 	if len(y) != e.m {
 		panic(fmt.Sprintf("lattice: E8.Decode got %d dims, want %d", len(y), e.m))
 	}
-	out := make([]int32, e.CodeLen())
+	out := growCode(dst, e.CodeLen())
 	var block [8]float64
 	for b := 0; b < e.blocks; b++ {
 		for j := 0; j < 8; j++ {
@@ -173,7 +245,12 @@ func (e *E8) Decode(y []float64) []int32 {
 // Unlike the floor function, DECODE does not telescope (Eq. 9 fails for
 // it), so the steps cannot be collapsed into a single division.
 func (e *E8) Ancestor(c []int32, k int) []int32 {
-	out := make([]int32, len(c))
+	return e.AncestorInto(nil, c, k)
+}
+
+// AncestorInto implements Lattice.
+func (e *E8) AncestorInto(dst, c []int32, k int) []int32 {
+	out := growCode(dst, len(c))
 	copy(out, c)
 	if k > 30 {
 		k = 30

@@ -8,9 +8,9 @@
 package lshtable
 
 import (
+	"cmp"
 	"fmt"
-	"hash/fnv"
-	"sort"
+	"slices"
 
 	"bilsh/internal/cuckoo"
 )
@@ -34,11 +34,11 @@ func Build(codes []string, ids []int) (*Table, error) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if codes[order[a]] != codes[order[b]] {
-			return codes[order[a]] < codes[order[b]]
+	slices.SortFunc(order, func(a, b int) int {
+		if c := cmp.Compare(codes[a], codes[b]); c != 0 {
+			return c
 		}
-		return ids[order[a]] < ids[order[b]]
+		return cmp.Compare(ids[a], ids[b])
 	})
 
 	t := &Table{ids: make([]int, len(ids))}
@@ -74,15 +74,7 @@ func Build(codes []string, ids []int) (*Table, error) {
 
 // compress folds a code key to the 64-bit cuckoo key (the "dim-1 key by
 // using another hash function" of Section V-A).
-func compress(key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	v := h.Sum64()
-	if v == ^uint64(0) {
-		v-- // avoid the cuckoo sentinel
-	}
-	return v
-}
+func compress(key string) uint64 { return cuckoo.Compress64String(key) }
 
 // NumBuckets returns the number of distinct codes.
 func (t *Table) NumBuckets() int { return len(t.keys) }
@@ -109,6 +101,33 @@ func (t *Table) bucketOrdinal(key string) (int, bool) {
 	}
 	b, ok := t.index.Get(compress(key))
 	if !ok || t.keys[b] != key {
+		return 0, false
+	}
+	return b, true
+}
+
+// BucketBytes is Bucket for a byte-slice key: the query hot path encodes
+// codes into a reused byte buffer and probes without ever converting to
+// string (the conversions below are comparison/lookup temporaries the
+// compiler does not materialize on the heap).
+func (t *Table) BucketBytes(key []byte) []int {
+	b, ok := t.bucketOrdinalBytes(key)
+	if !ok {
+		return nil
+	}
+	return t.ids[t.starts[b]:t.starts[b+1]]
+}
+
+// bucketOrdinalBytes resolves a byte-slice key to its bucket index without
+// allocating.
+func (t *Table) bucketOrdinalBytes(key []byte) (int, bool) {
+	if t.overflow != nil {
+		if b, ok := t.overflow[string(key)]; ok {
+			return b, true
+		}
+	}
+	b, ok := t.index.Get(cuckoo.Compress64(key))
+	if !ok || t.keys[b] != string(key) {
 		return 0, false
 	}
 	return b, true

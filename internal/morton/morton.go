@@ -12,6 +12,7 @@ package morton
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -48,10 +49,24 @@ func (e *Encoder) KeyBits() int { return e.m * e.bits }
 // Encode produces the Morton key of a signed code as a byte string whose
 // lexicographic order is the Morton order. len(code) must equal M.
 func (e *Encoder) Encode(code []int32) string {
+	return string(e.AppendEncode(nil, code))
+}
+
+// AppendEncode appends the Morton key bytes of code to dst and returns the
+// extended slice — the allocation-free form the hierarchical query path
+// uses with a reused key buffer. Codes of more than 64 dimensions fall
+// back to a small per-call scratch allocation.
+func (e *Encoder) AppendEncode(dst []byte, code []int32) []byte {
 	if len(code) != e.m {
 		panic(fmt.Sprintf("morton: Encode got %d dims, want %d", len(code), e.m))
 	}
-	biased := make([]uint32, e.m)
+	var stack [64]uint32
+	var biased []uint32
+	if e.m <= len(stack) {
+		biased = stack[:e.m]
+	} else {
+		biased = make([]uint32, e.m)
+	}
 	limit := (int64(1) << uint(e.bits)) - 1
 	for i, c := range code {
 		v := int64(c) + int64(e.bias)
@@ -64,7 +79,11 @@ func (e *Encoder) Encode(code []int32) string {
 		biased[i] = uint32(v)
 	}
 	total := e.KeyBits()
-	out := make([]byte, (total+7)/8)
+	base := len(dst)
+	for n := (total + 7) / 8; n > 0; n-- {
+		dst = append(dst, 0)
+	}
+	out := dst[base:]
 	pos := 0 // bit cursor, MSB-first
 	for level := e.bits - 1; level >= 0; level-- {
 		for i := 0; i < e.m; i++ {
@@ -74,7 +93,7 @@ func (e *Encoder) Encode(code []int32) string {
 			pos++
 		}
 	}
-	return string(out)
+	return dst
 }
 
 // Decode inverts Encode (for keys produced by this encoder).
@@ -170,7 +189,16 @@ func BuildCurve(enc *Encoder, keys []string, values []int) (*Curve, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	slices.SortFunc(idx, func(a, b int) int {
+		switch {
+		case keys[a] < keys[b]:
+			return -1
+		case keys[a] > keys[b]:
+			return 1
+		default:
+			return 0
+		}
+	})
 	c := &Curve{enc: enc, keys: make([]string, len(keys)), values: make([]int, len(keys))}
 	for out, in := range idx {
 		c.keys[out] = keys[in]
@@ -195,6 +223,13 @@ func (c *Curve) Value(i int) int { return c.values[i] }
 // >= key. The position can equal Len().
 func (c *Curve) Find(key string) int {
 	return sort.SearchStrings(c.keys, key)
+}
+
+// FindBytes is Find for a byte-slice key, allocation-free (the string
+// conversion below is a comparison temporary the compiler keeps off the
+// heap).
+func (c *Curve) FindBytes(key []byte) int {
+	return sort.Search(len(c.keys), func(i int) bool { return c.keys[i] >= string(key) })
 }
 
 // Window returns the values of up to count buckets nearest to the insertion
@@ -229,6 +264,19 @@ func (c *Curve) Window(key string, count int) []int {
 // keys share the first prefixBits bits with key — the bucket group at the
 // corresponding hierarchy level.
 func (c *Curve) PrefixRange(key string, prefixBits int) (lo, hi int) {
+	return prefixRange(c, key, prefixBits)
+}
+
+// PrefixRangeBytes is PrefixRange for a byte-slice key, allocation-free.
+func (c *Curve) PrefixRangeBytes(key []byte, prefixBits int) (lo, hi int) {
+	return prefixRange(c, key, prefixBits)
+}
+
+// byteSeq abstracts over the string keys the curve stores and the reused
+// []byte key buffers the query hot path encodes into.
+type byteSeq interface{ ~string | ~[]byte }
+
+func prefixRange[K byteSeq](c *Curve, key K, prefixBits int) (lo, hi int) {
 	if prefixBits <= 0 {
 		return 0, len(c.keys)
 	}
@@ -246,7 +294,7 @@ func (c *Curve) PrefixRange(key string, prefixBits int) (lo, hi int) {
 }
 
 // comparePrefix lexicographically compares the first bits bits of a and b.
-func comparePrefix(a, b string, bits int) int {
+func comparePrefix[A, B byteSeq](a A, b B, bits int) int {
 	fullBytes := bits / 8
 	rem := bits % 8
 	n := fullBytes

@@ -21,7 +21,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"bilsh/internal/diameter"
 	"bilsh/internal/vec"
@@ -308,7 +308,7 @@ func split(data *vec.Matrix, idx []int, opts Options, rng *xrand.RNG) (left, rig
 // three; on gap-free data this degenerates to (approximately) the median.
 func medianThreshold(xs []float64) (float64, bool) {
 	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	slices.Sort(s)
 	n := len(s)
 	if s[0] == s[n-1] {
 		return 0, false

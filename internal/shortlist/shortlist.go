@@ -24,8 +24,9 @@
 package shortlist
 
 import (
+	"cmp"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"bilsh/internal/knn"
@@ -296,14 +297,14 @@ func (e WorkQueue) Search(data *vec.Matrix, reqs []Request, k int) ([]knn.Result
 
 		// Clustered sort: by (query, dist, id) — candidates of the same
 		// query become contiguous and ascending.
-		sort.Slice(queue, func(a, b int) bool {
-			if queue[a].query != queue[b].query {
-				return queue[a].query < queue[b].query
+		slices.SortFunc(queue, func(a, b workItem) int {
+			if a.query != b.query {
+				return cmp.Compare(a.query, b.query)
 			}
-			if queue[a].dist != queue[b].dist {
-				return queue[a].dist < queue[b].dist
+			if a.dist != b.dist {
+				return cmp.Compare(a.dist, b.dist)
 			}
-			return queue[a].id < queue[b].id
+			return cmp.Compare(a.id, b.id)
 		})
 		st.SortedItems += len(queue)
 

@@ -10,7 +10,7 @@ package topk
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Item is one k-NN candidate: a dataset id and its distance to the query.
@@ -94,13 +94,32 @@ func (h *Heap) Merge(other *Heap) {
 	}
 }
 
+// cmpItem is the three-way form of less for slices.SortFunc.
+func cmpItem(a, b Item) int {
+	switch {
+	case less(a, b):
+		return -1
+	case less(b, a):
+		return 1
+	default:
+		return 0
+	}
+}
+
 // Sorted returns the held items ordered by ascending (Dist, ID).
 // The heap remains valid afterwards.
 func (h *Heap) Sorted() []Item {
-	out := make([]Item, len(h.items))
-	copy(out, h.items)
-	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
-	return out
+	return h.AppendSorted(make([]Item, 0, len(h.items)))
+}
+
+// AppendSorted appends the held items to dst in ascending (Dist, ID) order
+// and returns the extended slice — the allocation-free form the pooled
+// query scratch uses. The heap remains valid afterwards.
+func (h *Heap) AppendSorted(dst []Item) []Item {
+	base := len(dst)
+	dst = append(dst, h.items...)
+	slices.SortFunc(dst[base:], cmpItem)
+	return dst
 }
 
 // IDs returns just the ids of Sorted().
@@ -149,7 +168,7 @@ func (h *Heap) down(i int) {
 func SelectK(xs []Item, k int) []Item {
 	cp := make([]Item, len(xs))
 	copy(cp, xs)
-	sort.Slice(cp, func(i, j int) bool { return less(cp[i], cp[j]) })
+	slices.SortFunc(cp, cmpItem)
 	if len(cp) > k {
 		cp = cp[:k]
 	}

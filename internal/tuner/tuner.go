@@ -16,7 +16,7 @@ package tuner
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"bilsh/internal/vec"
 	"bilsh/internal/xrand"
@@ -118,7 +118,7 @@ func EstimateW(data *vec.Matrix, members []int, k, m int, targetRecall float64, 
 		if len(dists) == 0 {
 			continue
 		}
-		sort.Float64s(dists)
+		slices.Sort(dists)
 		kk := k
 		if kk > len(dists) {
 			kk = len(dists)

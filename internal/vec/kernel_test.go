@@ -1,0 +1,151 @@
+package vec
+
+import (
+	"math"
+	"testing"
+)
+
+// The unrolled kernels accumulate in four independent float64 lanes, so
+// their summation order differs from a naive scalar loop and results may
+// differ by a few ulps. These tests verify the kernels stay within that
+// tolerance of the scalar reference at every length across the unroll
+// boundaries, and that SqDistToRows is bit-identical to per-row SqDist
+// (the property the rank-path equivalence depends on).
+
+func naiveDot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+func naiveSqDist(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+func fill(n int, seed uint32) []float32 {
+	xs := make([]float32, n)
+	state := seed
+	for i := range xs {
+		// xorshift32: cheap deterministic values spanning sign and scale.
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		xs[i] = float32(int32(state)) / float32(1<<28)
+	}
+	return xs
+}
+
+func relClose(got, want float64) bool {
+	diff := math.Abs(got - want)
+	return diff <= 1e-9*math.Max(1, math.Max(math.Abs(got), math.Abs(want)))
+}
+
+func TestDotMatchesNaiveAllLengths(t *testing.T) {
+	for n := 0; n <= 70; n++ {
+		a, b := fill(n, 1+uint32(n)), fill(n, 1000+uint32(n))
+		got, want := Dot(a, b), naiveDot(a, b)
+		if !relClose(got, want) {
+			t.Fatalf("n=%d: Dot=%v naive=%v", n, got, want)
+		}
+	}
+}
+
+func TestSqDistMatchesNaiveAllLengths(t *testing.T) {
+	for n := 0; n <= 70; n++ {
+		a, b := fill(n, 2+uint32(n)), fill(n, 2000+uint32(n))
+		got, want := SqDist(a, b), naiveSqDist(a, b)
+		if !relClose(got, want) {
+			t.Fatalf("n=%d: SqDist=%v naive=%v", n, got, want)
+		}
+		if got < 0 {
+			t.Fatalf("n=%d: SqDist=%v negative", n, got)
+		}
+	}
+}
+
+func TestSqDistToRowsMatchesSqDistExactly(t *testing.T) {
+	for _, d := range []int{1, 3, 8, 17, 64} {
+		const rows = 23
+		m := NewMatrix(rows, d)
+		copy(m.Data, fill(rows*d, 77))
+		q := fill(d, 99)
+		ids := []int32{0, 5, 5, 1, 22, 13, 7}
+		out := make([]float64, len(ids))
+		SqDistToRows(out, m.Data, d, ids, q)
+		for i, id := range ids {
+			want := SqDist(m.Row(int(id)), q)
+			if out[i] != want {
+				t.Fatalf("d=%d row %d: SqDistToRows=%v SqDist=%v (must be bit-identical)", d, id, out[i], want)
+			}
+		}
+	}
+}
+
+func benchVecs(n int) ([]float32, []float32) {
+	return fill(n, 11), fill(n, 13)
+}
+
+func BenchmarkDot(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		b.Run(itoa(n), func(b *testing.B) {
+			x, y := benchVecs(n)
+			var sink float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += Dot(x, y)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkSqDist(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		b.Run(itoa(n), func(b *testing.B) {
+			x, y := benchVecs(n)
+			var sink float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += SqDist(x, y)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkSqDistToRows(b *testing.B) {
+	const d, rows = 64, 256
+	m := NewMatrix(rows, d)
+	copy(m.Data, fill(rows*d, 21))
+	q := fill(d, 23)
+	ids := make([]int32, rows)
+	for i := range ids {
+		ids[i] = int32((i * 7) % rows)
+	}
+	out := make([]float64, rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SqDistToRows(out, m.Data, d, ids, q)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -14,28 +14,72 @@ import (
 // Dot returns the inner product of a and b, accumulated in float64.
 // It panics if the lengths differ: mixing dimensionalities is a programming
 // error, not a runtime condition.
+//
+// The loop is unrolled 4-way with independent accumulators so the
+// multiplies pipeline instead of serializing on one addition chain; the
+// final reduction order is fixed, so results are deterministic run to run
+// (though they may differ in the last ulp from a single-accumulator sum).
 func Dot(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: Dot length mismatch %d != %d", len(a), len(b)))
 	}
-	var s float64
-	for i, ai := range a {
-		s += float64(ai) * float64(b[i])
+	b = b[:len(a)] // hoist the bounds check out of the loop
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += float64(a[i]) * float64(b[i])
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
-// SqDist returns the squared Euclidean distance between a and b.
+// SqDist returns the squared Euclidean distance between a and b, with the
+// same 4-way unrolled accumulation as Dot.
 func SqDist(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: SqDist length mismatch %d != %d", len(a), len(b)))
 	}
-	var s float64
-	for i, ai := range a {
-		d := float64(ai) - float64(b[i])
-		s += d * d
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := float64(a[i]) - float64(b[i])
+		d1 := float64(a[i+1]) - float64(b[i+1])
+		d2 := float64(a[i+2]) - float64(b[i+2])
+		d3 := float64(a[i+3]) - float64(b[i+3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
 	}
-	return s
+	for ; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// SqDistToRows computes the squared distance from q to each listed row of
+// the row-major matrix data (row id occupies data[id*d : (id+1)*d]),
+// writing the results into out (len(out) must equal len(ids)). Walking an
+// id-sorted list streams the matrix in ascending address order, which is
+// what lets the short-list scan run at memory bandwidth. Each per-row
+// accumulation matches SqDist exactly, so the two are interchangeable.
+func SqDistToRows(out []float64, data []float32, d int, ids []int32, q []float32) {
+	if len(out) != len(ids) {
+		panic(fmt.Sprintf("vec: SqDistToRows out len %d, want %d", len(out), len(ids)))
+	}
+	if len(q) != d {
+		panic(fmt.Sprintf("vec: SqDistToRows query dim %d, want %d", len(q), d))
+	}
+	for i, id := range ids {
+		out[i] = SqDist(data[int(id)*d:int(id)*d+d], q)
+	}
 }
 
 // Dist returns the Euclidean distance between a and b.
