@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fmt bench
+.PHONY: check vet build test race fmt bench bench-concurrency
 
 check: vet build race
 
@@ -28,3 +28,12 @@ bench:
 		-bench 'BenchmarkQueryModes|BenchmarkGather|BenchmarkRank|BenchmarkCandidateList|BenchmarkQueryBatchParallel|BenchmarkDot|BenchmarkSqDist' \
 		-benchmem -count=1 -json > BENCH_query.json
 	@echo "wrote BENCH_query.json"
+
+# Concurrency benchmarks: per-op latency under mixed read/write load on the
+# snapshot-based index, plus the global-RWMutex baseline it replaced (see
+# docs/performance.md and docs/concurrency.md).
+bench-concurrency:
+	$(GO) test ./internal/core -run '^$$' \
+		-bench 'BenchmarkMixedReadWrite|BenchmarkRWMutexMixedReadWrite' \
+		-benchmem -count=1 -json > BENCH_concurrency.json
+	@echo "wrote BENCH_concurrency.json"

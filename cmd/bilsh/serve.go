@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bilsh/internal/core"
@@ -18,6 +20,9 @@ func cmdServe(args []string) error {
 	indexPath := fs.String("index", "", "index file from 'bilsh build' (required)")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	mutable := fs.Bool("mutable", false, "enable insert/delete/compact endpoints")
+	memtable := fs.Int("memtable", 0, "memtable seal threshold in rows (0 = default 1024)")
+	autoCompact := fs.Int("auto-compact", 0, "start a background compaction at this many frozen segments (0 disables)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 	metricsOn := fs.Bool("metrics", true, "expose GET /metrics (Prometheus text; ?format=json for JSON)")
 	pprofOn := fs.Bool("pprof", false, "expose the runtime profiler under /debug/pprof/")
 	statsEvery := fs.Duration("stats-interval", 0, "log a one-line stats summary at this interval (0 disables)")
@@ -55,21 +60,25 @@ func cmdServe(args []string) error {
 			return err
 		}
 	}
+	ix.ConfigureDynamic(*memtable, *autoCompact)
 
 	api := server.New(ix, *mutable)
 	api.EnableMetrics(*metricsOn)
 	api.EnablePprof(*pprofOn)
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           api.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	api.SetDrainTimeout(*shutdownTimeout)
 	if *statsEvery > 0 {
 		logger := metrics.NewLogger(metrics.Default(), *statsEvery, log.Printf)
 		logger.Start()
 		defer logger.Stop()
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	fmt.Printf("serving %d vectors (dim %d, %d groups) on http://%s (mutable=%v metrics=%v pprof=%v)\n",
 		ix.N(), ix.Dim(), ix.NumGroups(), *addr, *mutable, *metricsOn, *pprofOn)
-	return srv.ListenAndServe()
+	err = api.ListenAndServe(ctx, *addr)
+	if ctx.Err() != nil {
+		fmt.Println("shutdown: in-flight requests drained")
+	}
+	return err
 }

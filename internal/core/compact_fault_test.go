@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/lshtable"
+	"bilsh/internal/vec"
+)
+
+// TestCompactBuildFailureLeavesIndexIntact injects a table-build failure
+// partway through the compaction rebuild (via the buildTable hook) and
+// verifies the published index is untouched: same live count, identical
+// query results, and a subsequent Compact succeeds. This is the regression
+// test for the partial-mutation bug class: a failed rebuild must never
+// publish half-swapped state or leave the compaction latch held.
+func TestCompactBuildFailureLeavesIndexIntact(t *testing.T) {
+	ix, data := dynamicIndex(t, Options{Partitioner: PartitionRPTree, Groups: 4,
+		Params: lshfunc.Params{M: 4, L: 3, W: 4}})
+	for i := 0; i < 15; i++ {
+		v := vec.Clone(data.Row(i))
+		v[0] += 0.01
+		if _, err := ix.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 50; i < 55; i++ {
+		if !ix.Delete(i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	wantLen := ix.Len()
+
+	queries := make([][]float32, 10)
+	type answer struct {
+		ids   []int
+		dists []float64
+	}
+	before := make([]answer, len(queries))
+	for qi := range queries {
+		queries[qi] = vec.Clone(data.Row(qi * 11))
+		res, _ := ix.Query(queries[qi], 5)
+		before[qi] = answer{res.IDs, res.Dists}
+	}
+
+	boom := errors.New("injected table build failure")
+	orig := buildTable
+	defer func() { buildTable = orig }()
+	calls := 0
+	buildTable = func(codes []string, ids []int) (*lshtable.Table, error) {
+		calls++
+		if calls == 5 { // fail mid-rebuild: some groups already built
+			return nil, boom
+		}
+		return orig(codes, ids)
+	}
+	if _, err := ix.Compact(); !errors.Is(err, boom) {
+		t.Fatalf("Compact error = %v, want injected failure", err)
+	}
+	if calls != 5 {
+		t.Fatalf("rebuild continued after failure: %d build calls", calls)
+	}
+	buildTable = orig
+
+	// The failed attempt must not have changed anything observable.
+	if got := ix.Len(); got != wantLen {
+		t.Fatalf("Len after failed Compact = %d, want %d", got, wantLen)
+	}
+	for qi := range queries {
+		res, _ := ix.Query(queries[qi], 5)
+		if !reflect.DeepEqual(res.IDs, before[qi].ids) || !reflect.DeepEqual(res.Dists, before[qi].dists) {
+			t.Fatalf("query %d changed after failed Compact:\n got %v %v\nwant %v %v",
+				qi, res.IDs, res.Dists, before[qi].ids, before[qi].dists)
+		}
+	}
+
+	// The compaction latch must be free and a retry must fully succeed.
+	mapping, err := ix.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != wantLen || ix.N() != wantLen {
+		t.Fatalf("after retry Compact Len=%d N=%d want %d", ix.Len(), ix.N(), wantLen)
+	}
+	deleted := 0
+	for _, m := range mapping {
+		if m == -1 {
+			deleted++
+		}
+	}
+	if deleted != 5 {
+		t.Fatalf("retry mapping reports %d deletions, want 5", deleted)
+	}
+}

@@ -31,33 +31,48 @@ type Description struct {
 	CollisionMass float64
 	// PendingInserts/PendingDeletes report dynamic-overlay volume.
 	PendingInserts, PendingDeletes int
-	HierarchyStale                 bool
-	DiskBacked                     bool
+	// FrozenSegments counts sealed (but not yet compacted) overlay
+	// segments; the active memtable is not included.
+	FrozenSegments int
+	// Epoch is the snapshot epoch (monotone across publications).
+	Epoch          uint64
+	HierarchyStale bool
+	DiskBacked     bool
 }
 
-// Describe collects the snapshot.
+// Describe collects a consistent structural snapshot (one atomic load; no
+// locks).
 func (ix *Index) Describe() Description {
+	sn := ix.loadSnap()
 	d := Description{
-		N: ix.data.N, Dim: ix.data.D, Live: ix.Len(),
-		Groups:      len(ix.groups),
+		N: sn.data.N, Dim: sn.data.D, Live: sn.live(),
+		Groups:      len(sn.groups),
 		Lattice:     ix.opts.Lattice,
 		Partitioner: ix.opts.Partitioner,
 		ProbeMode:   ix.opts.ProbeMode,
 		M:           ix.opts.Params.M, L: ix.opts.Params.L,
-		DiskBacked: ix.fetch != nil,
+		DiskBacked:     sn.fetch != nil,
+		FrozenSegments: len(sn.frozen),
+		Epoch:          sn.epoch,
 	}
-	for _, g := range ix.groups {
-		d.GroupSizes = append(d.GroupSizes, len(g.members))
+	var overlayCounts []int
+	if sn.hasOverlay() {
+		overlayCounts = sn.overlayGroupCounts()
+	}
+	for gi, g := range sn.groups {
+		size := len(g.members)
+		if overlayCounts != nil {
+			size += overlayCounts[gi]
+		}
+		d.GroupSizes = append(d.GroupSizes, size)
 		d.GroupWidths = append(d.GroupWidths, g.w)
 	}
 	s := ix.TableSummary()
 	d.Buckets, d.Items = s.Buckets, s.Items
 	d.MeanBucket, d.MaxBucket, d.CollisionMass = s.MeanBucket, s.MaxBucket, s.CollisionMass
-	if ix.dynamic != nil {
-		d.PendingInserts = len(ix.dynamic.extra)
-		d.PendingDeletes = len(ix.dynamic.deleted)
-		d.HierarchyStale = ix.dynamic.stale
-	}
+	d.PendingInserts = sn.frozenN + sn.mem.len()
+	d.PendingDeletes = sn.dead.count()
+	d.HierarchyStale = ix.opts.ProbeMode == ProbeHierarchy && sn.hasOverlay()
 	return d
 }
 

@@ -36,10 +36,11 @@ var diskMagic = [diskMagicLen]byte{'b', 'i', 'l', 's', 'h', '.', 'D', 'i', 's', 
 // must support seeking (an *os.File does): the data offset is back-patched
 // once the metadata size is known. It returns the total bytes written.
 func (ix *Index) WriteDiskTo(f io.WriteSeeker) (int64, error) {
-	if err := ix.requireClean(); err != nil {
+	sn := ix.loadSnap()
+	if err := sn.requireClean(); err != nil {
 		return 0, err
 	}
-	if ix.fetch != nil {
+	if sn.fetch != nil {
 		return 0, fmt.Errorf("core: cannot re-serialize a disk-backed index; Compact materializes it first")
 	}
 	var header [diskMagicLen + 8]byte
@@ -49,10 +50,10 @@ func (ix *Index) WriteDiskTo(f io.WriteSeeker) (int64, error) {
 	}
 
 	meta := wire.NewWriter(f)
-	ix.writeOptions(meta)
-	meta.Int(ix.data.N)
-	meta.Int(ix.data.D)
-	ix.writeStructure(meta)
+	writeOptions(meta, ix.opts)
+	meta.Int(sn.data.N)
+	meta.Int(sn.data.D)
+	writeStructure(meta, sn.tree, sn.km, sn.groups)
 	if err := meta.Flush(); err != nil {
 		return 0, err
 	}
@@ -61,9 +62,9 @@ func (ix *Index) WriteDiskTo(f io.WriteSeeker) (int64, error) {
 		return 0, err
 	}
 
-	payload := make([]byte, 4*ix.data.D)
-	for i := 0; i < ix.data.N; i++ {
-		row := ix.data.Row(i)
+	payload := make([]byte, 4*sn.data.D)
+	for i := 0; i < sn.data.N; i++ {
+		row := sn.data.Row(i)
 		for j, v := range row {
 			binary.LittleEndian.PutUint32(payload[4*j:], math.Float32bits(v))
 		}
@@ -164,12 +165,12 @@ func openDisk(f *os.File) (*DiskIndex, error) {
 		return nil, fmt.Errorf("core: disk index truncated: %d bytes, want %d", st.Size(), want)
 	}
 
-	ix := &Index{opts: o, data: &vec.Matrix{N: n, D: d}}
-	if err := readStructure(meta, ix, n); err != nil {
+	tree, km, groups, err := readStructure(meta, o, n)
+	if err != nil {
 		return nil, err
 	}
 	stride := int64(4 * d)
-	ix.fetch = func(id int) []float32 {
+	fetch := func(id int) []float32 {
 		buf := make([]byte, stride)
 		if _, err := f.ReadAt(buf, dataOffset+int64(id)*stride); err != nil {
 			// A read failure below the size check above means the file
@@ -183,6 +184,7 @@ func openDisk(f *os.File) (*DiskIndex, error) {
 		}
 		return row
 	}
+	ix := newIndex(o, &vec.Matrix{N: n, D: d}, fetch, tree, km, groups)
 	return &DiskIndex{Index: ix, f: f}, nil
 }
 

@@ -1,176 +1,228 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
-	"bilsh/internal/hierarchy"
 	"bilsh/internal/lattice"
 	"bilsh/internal/lshtable"
 	"bilsh/internal/vec"
 )
 
-// Dynamic updates. The paper's evaluation is static, but a usable library
-// needs inserts and deletes, so the index supports both as an overlay:
+// Dynamic updates. The paper's evaluation is static, but a usable service
+// needs inserts and deletes, so the index supports both as an overlay on
+// top of the immutable base structures (see memtable.go and snapshot.go):
 //
-//   - Insert routes the new vector through level 1, appends it to an
-//     overlay row store, and adds its id to per-table overlay buckets that
-//     every probe consults alongside the immutable base tables.
-//   - Delete tombstones an id; gathering and ranking skip tombstoned ids.
+//   - Insert routes the new vector through level 1, writes it into the
+//     active memtable and adds its id to per-(group, table) overlay buckets
+//     that every probe consults alongside the immutable base tables. When
+//     the memtable reaches Options.MemtableThreshold rows it is sealed into
+//     a frozen segment and a fresh memtable is started.
+//   - Delete tombstones an id (base or overlay); gathering and ranking skip
+//     tombstoned ids.
+//   - Compact folds every overlay row and tombstone into fresh base
+//     structures built off to the side, then swaps them in with one
+//     snapshot publication. Readers and writers keep running throughout.
 //
 // The bucket hierarchies (ProbeHierarchy) are built over the base tables
 // only; inserted points are still found through their exact bucket code,
-// but they do not participate in coarser hierarchy levels until
-// RebuildHierarchies is called. Compact folds the overlay and tombstones
-// into fresh base tables.
+// but they do not participate in coarser hierarchy levels until Compact
+// folds them in.
 //
-// Dynamic state is intentionally not serialized: call Compact before
+// Overlay state is intentionally not serialized: call Compact before
 // WriteTo to persist a dynamic index (WriteTo refuses otherwise).
 
-// overlayTable is one table's inserted-id buckets.
-type overlayTable map[string][]int
+// ErrCompactBusy is returned when a Compact is requested while another one
+// is still running; the in-flight compaction is unaffected.
+var ErrCompactBusy = errors.New("core: compaction already in progress")
 
-// dynamicState holds all mutable overlay structures.
-type dynamicState struct {
-	extra    []vecRow               // inserted vectors, id = baseN + position
-	deleted  map[int]struct{}       // tombstoned ids (base or inserted)
-	overlays map[int][]overlayTable // group -> per-table overlay buckets
-	stale    bool                   // hierarchies out of date
+// buildTable is lshtable.Build, indirected so tests can inject a build
+// failure into the compaction rebuild and verify the old index state
+// survives intact.
+var buildTable = lshtable.Build
+
+// memtableCap returns the configured memtable capacity, defaulting when the
+// option is unset (e.g. on an index loaded from disk, where dynamic knobs
+// are not part of the wire format).
+func (ix *Index) memtableCap() int {
+	if ix.opts.MemtableThreshold > 0 {
+		return ix.opts.MemtableThreshold
+	}
+	return defaultMemtableThreshold
 }
 
-type vecRow []float32
-
-// dyn lazily allocates the dynamic state.
-func (ix *Index) dyn() *dynamicState {
-	if ix.dynamic == nil {
-		ix.dynamic = &dynamicState{
-			deleted:  make(map[int]struct{}),
-			overlays: make(map[int][]overlayTable),
-		}
+// sealLocked freezes the active memtable (if any) into a new frozen
+// segment and publishes a snapshot with a fresh memtable ready for the
+// next insert. Caller holds ix.mu. The returned snapshot is the published
+// one. autoCompact suppresses the compaction trigger when sealing on
+// behalf of Compact itself.
+func (ix *Index) sealLocked(sn *snapshot, autoCompact bool) *snapshot {
+	next := sn.clone()
+	if sn.mem != nil && sn.mem.len() > 0 {
+		frozen := make([]*segment, len(sn.frozen), len(sn.frozen)+1)
+		copy(frozen, sn.frozen)
+		next.frozen = append(frozen, sn.mem.freeze())
+		next.frozenN = sn.frozenN + sn.mem.len()
+		metSeals.Inc()
 	}
-	return ix.dynamic
-}
-
-// row returns the vector for any live id (base or inserted).
-func (ix *Index) row(id int) []float32 {
-	if id < ix.data.N {
-		if ix.fetch != nil {
-			return ix.fetch(id)
-		}
-		return ix.data.Row(id)
+	idBase := next.data.N + next.frozenN
+	capacity := ix.memtableCap()
+	next.mem = newMemtable(idBase, capacity, ix.opts.Params.L)
+	next.dead = next.dead.grown(idBase + capacity)
+	ix.publish(next)
+	if autoCompact && ix.opts.AutoCompactSegments > 0 &&
+		len(next.frozen) >= ix.opts.AutoCompactSegments {
+		ix.CompactAsync() // ErrCompactBusy just means one is already running
 	}
-	return ix.dynamic.extra[id-ix.data.N]
-}
-
-// Len returns the number of live (non-deleted) items.
-func (ix *Index) Len() int {
-	n := ix.data.N
-	if ix.dynamic != nil {
-		n += len(ix.dynamic.extra)
-		n -= len(ix.dynamic.deleted)
-	}
-	return n
-}
-
-// isDeleted reports whether id is tombstoned.
-func (ix *Index) isDeleted(id int) bool {
-	if ix.dynamic == nil {
-		return false
-	}
-	_, ok := ix.dynamic.deleted[id]
-	return ok
+	return next
 }
 
 // Insert adds v to the index and returns its id. The id is stable until
-// the next Compact.
+// the next Compact, which returns the id remapping. Insert is safe to call
+// concurrently with queries and other mutators.
 func (ix *Index) Insert(v []float32) (int, error) {
-	if len(v) != ix.data.D {
-		return 0, fmt.Errorf("core: Insert got dim %d, want %d", len(v), ix.data.D)
+	if err := CheckVector(ix.Dim(), v); err != nil {
+		return 0, err
 	}
 	start := time.Now()
-	defer func() {
-		metInserts.Inc()
-		metInsertSeconds.Observe(time.Since(start).Seconds())
-	}()
-	d := ix.dyn()
-	id := ix.data.N + len(d.extra)
-	d.extra = append(d.extra, vecRow(vec.Clone(v)))
 
-	gi := ix.GroupOf(v)
-	g := ix.groups[gi]
-	g.members = append(g.members, id)
-
-	tables, ok := d.overlays[gi]
-	if !ok {
-		tables = make([]overlayTable, ix.opts.Params.L)
-		for t := range tables {
-			tables[t] = make(overlayTable)
-		}
-		d.overlays[gi] = tables
+	ix.mu.Lock()
+	sn := ix.loadSnap()
+	if sn.mem == nil || sn.mem.full() {
+		sn = ix.sealLocked(sn, true)
 	}
-	proj := make([]float64, ix.opts.Params.M)
+	m := sn.mem
+	n := m.len()
+	id := m.idBase + n
+
+	gi := sn.groupOf(v)
+	m.rows[n] = vecRow(vec.Clone(v))
+	m.groupOf[n] = int32(gi)
+
+	g := sn.groups[gi]
+	if len(ix.insProj) < ix.opts.Params.M {
+		ix.insProj = make([]float64, ix.opts.Params.M)
+	}
+	proj := ix.insProj
+	code, key := ix.insCode, ix.insKey
 	for t := 0; t < ix.opts.Params.L; t++ {
 		g.fam.Project(t, v, proj)
-		key := lattice.Key(g.lat.Decode(proj))
-		tables[t][key] = append(tables[t][key], id)
+		code = g.lat.DecodeInto(code[:0], proj)
+		key = appendOverlayKey(key[:0], gi, t)
+		key = lattice.AppendKey(key, code)
+		m.addToBucket(key, int32(id))
 	}
-	if ix.opts.ProbeMode == ProbeHierarchy {
-		d.stale = true
-	}
+	ix.insCode, ix.insKey = code, key
+	// Publish the row last: a reader that observes the new count also
+	// observes the fully written row and buckets (atomic store/load pair).
+	m.n.Store(int32(n + 1))
+	ix.mu.Unlock()
+
+	metInserts.Inc()
+	metInsertSeconds.Observe(time.Since(start).Seconds())
 	return id, nil
 }
 
-// Delete tombstones an id. It reports whether the id was live.
+// Delete tombstones an id. It reports whether the id was live. Safe to
+// call concurrently with queries and other mutators.
 func (ix *Index) Delete(id int) bool {
-	total := ix.data.N
-	if ix.dynamic != nil {
-		total += len(ix.dynamic.extra)
-	}
-	if id < 0 || id >= total || ix.isDeleted(id) {
+	ix.mu.Lock()
+	sn := ix.loadSnap()
+	if id < 0 || id >= sn.total() || sn.isDeleted(id) {
+		ix.mu.Unlock()
 		metDeleteMisses.Inc()
 		return false
 	}
-	ix.dyn().deleted[id] = struct{}{}
+	if sn.dead == nil {
+		// First delete on a fully static snapshot: attach a tombstone set.
+		next := sn.clone()
+		next.dead = newTombstones(sn.idCapacity())
+		ix.publish(next)
+		sn = next
+	}
+	sn.dead.set(id)
+	ix.mu.Unlock()
 	metDeletes.Inc()
 	return true
 }
 
+// Len returns the number of live (non-deleted) items.
+func (ix *Index) Len() int { return ix.loadSnap().live() }
+
+// row returns the vector for any id in the dense id space (test hook; the
+// query path uses the snapshot directly).
+func (ix *Index) row(id int) []float32 { return ix.loadSnap().row(id) }
+
+// isDeleted reports whether id is tombstoned (test hook).
+func (ix *Index) isDeleted(id int) bool { return ix.loadSnap().isDeleted(id) }
+
 // HierarchyStale reports whether inserted points are missing from the
-// bucket hierarchies (only meaningful for ProbeHierarchy).
+// bucket hierarchies (only meaningful for ProbeHierarchy). Hierarchies
+// cover the base plane only, so this is equivalent to "overlay rows
+// exist"; Compact folds them in and clears the condition.
 func (ix *Index) HierarchyStale() bool {
-	return ix.dynamic != nil && ix.dynamic.stale
+	return ix.opts.ProbeMode == ProbeHierarchy && ix.loadSnap().hasOverlay()
 }
 
-// overlayBucket returns the inserted ids sharing a bucket key, or nil.
+// overlayBucket returns the overlay ids sharing a bucket key, oldest
+// first (equivalence-test oracle; the query path uses the snapshot's
+// addOverlayCandidates).
 func (ix *Index) overlayBucket(gi, table int, key string) []int {
-	if ix.dynamic == nil {
-		return nil
+	sn := ix.loadSnap()
+	composed := string(appendOverlayKey(nil, gi, table)) + key
+	var out []int
+	for _, seg := range sn.frozen {
+		for _, id := range seg.buckets[composed] {
+			out = append(out, int(id))
+		}
 	}
-	tables, ok := ix.dynamic.overlays[gi]
-	if !ok {
-		return nil
+	if sn.mem != nil {
+		for _, id := range sn.mem.bucket([]byte(composed)) {
+			out = append(out, int(id))
+		}
 	}
-	return tables[table][key]
-}
-
-// overlayBucketBytes is overlayBucket keyed by the scratch key buffer; the
-// map lookup via string(key) compiles without a conversion allocation.
-func (ix *Index) overlayBucketBytes(gi, table int, key []byte) []int {
-	if ix.dynamic == nil {
-		return nil
-	}
-	tables, ok := ix.dynamic.overlays[gi]
-	if !ok {
-		return nil
-	}
-	return tables[table][string(key)]
+	return out
 }
 
 // Compact folds inserts and deletes into fresh base structures: a new data
 // matrix, re-grouped members, rebuilt tables and hierarchies. Ids are
-// remapped densely in the order (surviving base rows, surviving inserts);
-// the returned slice maps old ids to new ids (-1 for deleted).
+// remapped densely in insertion order over the surviving rows; the
+// returned slice maps old ids to new ids (-1 for deleted).
+//
+// Compact never blocks readers and barely blocks writers: it seals the
+// overlay under the index mutex, rebuilds off to the side with no locks
+// held, then swaps the fresh base in under the mutex again, re-basing any
+// rows inserted meanwhile. On error the index is untouched. At most one
+// compaction runs at a time; concurrent calls fail fast with
+// ErrCompactBusy.
 func (ix *Index) Compact() ([]int, error) {
+	if !ix.compactMu.TryLock() {
+		return nil, ErrCompactBusy
+	}
+	defer ix.compactMu.Unlock()
+	return ix.compactLocked()
+}
+
+// CompactAsync starts a Compact in the background and returns immediately.
+// It fails fast with ErrCompactBusy if a compaction is already running;
+// the background result is observable through metrics and the snapshot
+// epoch. The id remapping is discarded, so it is only appropriate for
+// callers that treat ids as unstable across compactions (see
+// docs/concurrency.md).
+func (ix *Index) CompactAsync() error {
+	if !ix.compactMu.TryLock() {
+		return ErrCompactBusy
+	}
+	go func() {
+		defer ix.compactMu.Unlock()
+		ix.compactLocked() //nolint:errcheck // reported via metrics
+	}()
+	return nil
+}
+
+// compactLocked runs one compaction; caller holds compactMu.
+func (ix *Index) compactLocked() ([]int, error) {
 	start := time.Now()
 	mapping, err := ix.compact()
 	if err != nil {
@@ -183,50 +235,64 @@ func (ix *Index) Compact() ([]int, error) {
 }
 
 func (ix *Index) compact() ([]int, error) {
-	if ix.dynamic == nil {
-		// Nothing to fold; identity mapping.
-		m := make([]int, ix.data.N)
+	// Phase 1 (under mu, bounded work): seal the overlay so the source view
+	// is fully immutable, and plan the id remap from the tombstones.
+	ix.mu.Lock()
+	src := ix.loadSnap()
+	if !src.hasOverlay() && src.dead.count() == 0 {
+		// Nothing to fold; identity mapping (disk-backed rows stay on disk).
+		ix.mu.Unlock()
+		m := make([]int, src.data.N)
 		for i := range m {
 			m[i] = i
 		}
 		return m, nil
 	}
-	d := ix.dynamic
-	total := ix.data.N + len(d.extra)
-	mapping := make([]int, total)
+	if src.mem != nil && src.mem.len() > 0 {
+		src = ix.sealLocked(src, false)
+	}
+	srcTotal := src.data.N + src.frozenN
+	srcFrozen := len(src.frozen)
+	mapping := make([]int, srcTotal)
 	live := 0
-	for id := 0; id < total; id++ {
-		if _, dead := d.deleted[id]; dead {
+	for id := 0; id < srcTotal; id++ {
+		if src.isDeleted(id) {
 			mapping[id] = -1
 			continue
 		}
 		mapping[id] = live
 		live++
 	}
+	ix.mu.Unlock()
 	if live == 0 {
 		return nil, fmt.Errorf("core: Compact would empty the index")
 	}
 
-	fresh := vec.NewMatrix(live, ix.data.D)
-	for id := 0; id < total; id++ {
+	// Phase 2 (no locks): build the replacement base plane off to the side.
+	// Concurrent queries keep hitting the old snapshot; concurrent inserts
+	// land in the post-seal memtable and are re-based in phase 3.
+	fresh := vec.NewMatrix(live, src.data.D)
+	for id := 0; id < srcTotal; id++ {
 		if mapping[id] < 0 {
 			continue
 		}
-		copy(fresh.Row(mapping[id]), ix.row(id))
+		copy(fresh.Row(mapping[id]), src.row(id))
 	}
 
 	// Re-group: membership is recomputed by routing, which also covers
 	// inserted points, and per-group tables are rebuilt from scratch with
 	// the existing hash families (projections are preserved, so queries
 	// keep behaving identically for surviving points).
-	members := make([][]int, len(ix.groups))
+	members := make([][]int, len(src.groups))
 	for id := 0; id < live; id++ {
-		gi := ix.GroupOf(fresh.Row(id))
+		gi := src.groupOf(fresh.Row(id))
 		members[gi] = append(members[gi], id)
 	}
+	groups := make([]*group, len(src.groups))
 	proj := make([]float64, ix.opts.Params.M)
-	for gi, g := range ix.groups {
-		g.members = members[gi]
+	for gi, old := range src.groups {
+		g := &group{members: members[gi], fam: old.fam, lat: old.lat, w: old.w}
+		g.tables = make([]*lshtable.Table, len(old.tables))
 		for t := range g.tables {
 			codes := make([]string, len(g.members))
 			ids := make([]int, len(g.members))
@@ -235,54 +301,79 @@ func (ix *Index) compact() ([]int, error) {
 				codes[i] = lattice.Key(g.lat.Decode(proj))
 				ids[i] = id
 			}
-			tab, err := lshtable.Build(codes, ids)
+			tab, err := buildTable(codes, ids)
 			if err != nil {
 				return nil, fmt.Errorf("core: Compact group %d table %d: %w", gi, t, err)
 			}
 			g.tables[t] = tab
 		}
+		groups[gi] = g
 	}
-	ix.data = fresh
-	ix.fetch = nil // a compacted index is fully in memory
-	ix.dynamic = nil
 	if ix.opts.ProbeMode == ProbeHierarchy {
-		if err := ix.RebuildHierarchies(); err != nil {
+		if err := buildHierarchies(groups, ix.opts); err != nil {
 			return nil, err
 		}
 	}
+
+	// Phase 3 (under mu, bounded work): swap the fresh base in. Rows
+	// inserted or segments sealed during phase 2 carry ids >= srcTotal;
+	// shift them down by delta so the id space stays dense, and carry every
+	// tombstone over (including deletes that raced the rebuild).
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	cur := ix.loadSnap()
+	delta := live - srcTotal
+
+	next := &snapshot{
+		data: fresh, tree: src.tree, km: src.km, groups: groups,
+	}
+	for _, seg := range cur.frozen[srcFrozen:] {
+		next.frozen = append(next.frozen, seg.shifted(delta))
+		next.frozenN += len(seg.rows)
+	}
+	if cur.mem != nil {
+		next.mem = cur.mem.shifted(delta)
+	}
+	next.dead = newTombstones(next.idCapacity())
+	for id := 0; id < srcTotal; id++ {
+		if mapping[id] >= 0 && cur.isDeleted(id) {
+			// Deleted while the rebuild ran: the row made it into the new
+			// base, so tombstone it there and report it gone.
+			next.dead.set(mapping[id])
+			mapping[id] = -1
+		}
+	}
+	for id := srcTotal; id < cur.total(); id++ {
+		if cur.isDeleted(id) {
+			next.dead.set(id + delta)
+		}
+	}
+	ix.publish(next)
 	return mapping, nil
 }
 
 // RebuildHierarchies reconstructs the bucket hierarchies over the current
-// base tables. It is called by Compact; calling it directly is only useful
-// after external table surgery, and it cannot fold overlay inserts (those
-// require Compact), so the stale flag persists while inserts are pending.
+// base tables. Compact builds hierarchies as part of its rebuild; calling
+// this directly is only useful after external table surgery, and it cannot
+// fold overlay inserts (those require Compact), so HierarchyStale persists
+// while overlay rows are pending.
 func (ix *Index) RebuildHierarchies() error {
 	if ix.opts.ProbeMode != ProbeHierarchy {
 		return nil
 	}
-	for gi, g := range ix.groups {
-		switch lat := g.lat.(type) {
-		case *lattice.ZM:
-			for t, tab := range g.tables {
-				h, err := hierarchy.NewMorton(tab, ix.opts.Params.M, ix.opts.MortonBits)
-				if err != nil {
-					return fmt.Errorf("core: group %d morton hierarchy: %w", gi, err)
-				}
-				g.mortonH[t] = h
-			}
-		default:
-			for t, tab := range g.tables {
-				h, err := hierarchy.NewE8Tree(tab, lat)
-				if err != nil {
-					return fmt.Errorf("core: group %d lattice hierarchy: %w", gi, err)
-				}
-				g.e8H[t] = h
-			}
-		}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	sn := ix.loadSnap()
+	groups := make([]*group, len(sn.groups))
+	for i, g := range sn.groups {
+		cp := *g
+		groups[i] = &cp
 	}
-	if ix.dynamic != nil {
-		ix.dynamic.stale = len(ix.dynamic.extra) > 0
+	if err := buildHierarchies(groups, ix.opts); err != nil {
+		return err
 	}
+	next := sn.clone()
+	next.groups = groups
+	ix.publish(next)
 	return nil
 }

@@ -242,8 +242,8 @@ func TestQualityAfterHeavyChurn(t *testing.T) {
 	}
 	// Fresh ground truth over the live set via linear scan through the
 	// index's own row accessor.
-	live := make([]int, 0, ix.data.N+100)
-	for id := 0; id < ix.data.N+100; id++ {
+	live := make([]int, 0, ix.N()+100)
+	for id := 0; id < ix.N()+100; id++ {
 		if !ix.isDeleted(id) {
 			live = append(live, id)
 		}

@@ -25,7 +25,7 @@ import (
 // refGather is the old map-based candidate collection.
 func refGather(ix *Index, q []float32, hierMinCount int) (map[int]struct{}, QueryStats) {
 	gi := ix.GroupOf(q)
-	g := ix.groups[gi]
+	g := ix.loadSnap().groups[gi]
 	stats := QueryStats{Group: gi}
 	set := make(map[int]struct{})
 	proj := make([]float64, ix.opts.Params.M)
@@ -118,7 +118,7 @@ func refQuery(ix *Index, q []float32, k int) (knn.Result, QueryStats) {
 // refPlainShortListSize is the old standalone single-probe sizing pass.
 func refPlainShortListSize(ix *Index, q []float32) int {
 	gi := ix.GroupOf(q)
-	g := ix.groups[gi]
+	g := ix.loadSnap().groups[gi]
 	proj := make([]float64, ix.opts.Params.M)
 	set := make(map[int]struct{})
 	for t := 0; t < ix.opts.Params.L; t++ {
@@ -362,6 +362,9 @@ func equivIndex(t *testing.T, lat LatticeKind, mode ProbeMode, dynamic bool) (*I
 		Lattice:     lat,
 		ProbeMode:   mode,
 		Probes:      12,
+		// Tiny memtable so the dynamic variants cover frozen segments as
+		// well as the active memtable (40 inserts -> several seals).
+		MemtableThreshold: 16,
 	}
 	ix, err := Build(data, opts, xrand.New(5))
 	if err != nil {

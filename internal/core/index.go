@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"bilsh/internal/hierarchy"
 	"bilsh/internal/kmeans"
@@ -18,28 +19,48 @@ import (
 
 // Index is a built Bi-level LSH index (or a standard LSH index when
 // Options.Partitioner is PartitionNone).
+//
+// Concurrency: the index is safe for unrestricted concurrent use. Readers
+// (Query, QueryBatch, QueryBatchParallel, CandidateList, ExactKNN,
+// Describe, Len, Epoch, ...) load the current snapshot once and never take
+// a lock. Writers (Insert, Delete, Compact, RebuildHierarchies) serialize
+// on a short-held mutex; Compact additionally runs its rebuild outside the
+// mutex, so reads and writes keep flowing while it works. See
+// docs/concurrency.md.
 type Index struct {
-	data *vec.Matrix
+	// opts are the (filled) build options. The struct is immutable after
+	// construction except for the dynamic knobs guarded by mu (memtable
+	// threshold, auto-compact), which the query path never reads.
 	opts Options
 
-	tree *rptree.Tree
-	km   *kmeans.Model
+	// snap is the published read view; see snapshot.go.
+	snap atomic.Pointer[snapshot]
 
-	groups []*group
+	// mu serializes all mutators (insert, delete, seal, snapshot swap).
+	// It is held only for short, bounded sections — never across a
+	// compaction rebuild or a query.
+	mu sync.Mutex
 
-	// dynamic holds the insert/delete overlay; nil for static indexes.
-	dynamic *dynamicState
+	// compactMu admits at most one Compact at a time (TryLock, so callers
+	// get ErrCompactBusy instead of queuing).
+	compactMu sync.Mutex
 
-	// fetch, when non-nil, retrieves base rows instead of data.Row —
-	// the disk-backed mode (diskindex.go). data still carries N and D.
-	fetch func(id int) []float32
+	// Insert scratch, guarded by mu (inserts serialize on it): projection,
+	// code and key buffers reused across inserts so the write path does not
+	// feed the garbage collector on every call.
+	insProj []float64
+	insCode []int32
+	insKey  []byte
 
 	// scratchPool recycles per-query scratch state (see scratch.go). The
 	// zero value is usable, so no constructor threading is needed.
 	scratchPool sync.Pool
 }
 
-// group is one level-1 partition with its level-2 machinery.
+// group is one level-1 partition with its level-2 machinery. Groups
+// reachable from a published snapshot are immutable; mutators that change
+// derived state (Compact, RebuildHierarchies) build replacement groups and
+// publish a new snapshot.
 type group struct {
 	members []int // global row ids
 	fam     *lshfunc.Family
@@ -49,6 +70,28 @@ type group struct {
 	// Hierarchies (one per table), present when ProbeMode==ProbeHierarchy.
 	mortonH []*hierarchy.Morton
 	e8H     []*hierarchy.E8Tree
+}
+
+// newIndex wraps built structures into an Index with its first snapshot.
+func newIndex(opts Options, data *vec.Matrix, fetch func(id int) []float32,
+	tree *rptree.Tree, km *kmeans.Model, groups []*group) *Index {
+	ix := &Index{opts: opts}
+	ix.snap.Store(&snapshot{
+		epoch: 1, opts: opts,
+		data: data, fetch: fetch, tree: tree, km: km, groups: groups,
+	})
+	return ix
+}
+
+// loadSnap returns the current read view.
+func (ix *Index) loadSnap() *snapshot { return ix.snap.Load() }
+
+// publish installs sn as the next snapshot. Caller holds ix.mu.
+func (ix *Index) publish(sn *snapshot) {
+	sn.epoch = ix.snap.Load().epoch + 1
+	sn.opts = ix.opts
+	ix.snap.Store(sn)
+	metEpoch.Set(int64(sn.epoch))
 }
 
 // Build constructs the index over data. The rng drives every random choice
@@ -62,10 +105,13 @@ func Build(data *vec.Matrix, opts Options, rng *xrand.RNG) (*Index, error) {
 	if data.N == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
 	}
-	ix := &Index{data: data, opts: opts}
 
 	// Level 1: partition.
-	var members [][]int
+	var (
+		tree    *rptree.Tree
+		km      *kmeans.Model
+		members [][]int
+	)
 	switch opts.Partitioner {
 	case PartitionNone:
 		all := make([]int, data.N)
@@ -74,16 +120,16 @@ func Build(data *vec.Matrix, opts Options, rng *xrand.RNG) (*Index, error) {
 		}
 		members = [][]int{all}
 	case PartitionRPTree:
-		tree, asg := rptree.Build(data, rptree.Options{
+		var asg *rptree.Assignment
+		tree, asg = rptree.Build(data, rptree.Options{
 			Rule:        opts.RPRule,
 			Leaves:      opts.Groups,
 			MinLeafSize: opts.MinGroupSize,
 		}, rng.Split(1))
-		ix.tree = tree
 		members = asg.Members
 	case PartitionKMeans:
-		km, asg := kmeans.Build(data, kmeans.Options{K: opts.Groups}, rng.Split(1))
-		ix.km = km
+		var asg *kmeans.Assignment
+		km, asg = kmeans.Build(data, kmeans.Options{K: opts.Groups}, rng.Split(1))
 		members = asg.Members
 	default:
 		return nil, fmt.Errorf("core: unknown partitioner %v", opts.Partitioner)
@@ -91,15 +137,15 @@ func Build(data *vec.Matrix, opts Options, rng *xrand.RNG) (*Index, error) {
 
 	// Level 2: per-group LSH tables.
 	grng := rng.Split(2)
-	ix.groups = make([]*group, len(members))
+	groups := make([]*group, len(members))
 	for gi, m := range members {
 		g, err := buildGroup(data, m, opts, grng.Split(int64(gi)))
 		if err != nil {
 			return nil, fmt.Errorf("core: group %d: %w", gi, err)
 		}
-		ix.groups[gi] = g
+		groups[gi] = g
 	}
-	return ix, nil
+	return newIndex(opts, data, nil, tree, km, groups), nil
 }
 
 func buildGroup(data *vec.Matrix, members []int, opts Options, rng *xrand.RNG) (*group, error) {
@@ -140,15 +186,9 @@ func buildGroup(data *vec.Matrix, members []int, opts Options, rng *xrand.RNG) (
 	}
 	g.fam = fam
 
-	switch opts.Lattice {
-	case LatticeZM:
-		g.lat = lattice.NewZM(params.M)
-	case LatticeE8:
-		g.lat = lattice.NewE8(params.M)
-	case LatticeDn:
-		g.lat = lattice.NewDn(params.M)
-	default:
-		return nil, fmt.Errorf("unknown lattice %v", opts.Lattice)
+	g.lat, err = newLattice(opts.Lattice, params.M)
+	if err != nil {
+		return nil, err
 	}
 
 	proj := make([]float64, params.M)
@@ -169,66 +209,123 @@ func buildGroup(data *vec.Matrix, members []int, opts Options, rng *xrand.RNG) (
 	}
 
 	if opts.ProbeMode == ProbeHierarchy {
-		switch lat := g.lat.(type) {
-		case *lattice.ZM:
-			g.mortonH = make([]*hierarchy.Morton, params.L)
-			for t, tab := range g.tables {
-				h, err := hierarchy.NewMorton(tab, params.M, opts.MortonBits)
-				if err != nil {
-					return nil, err
-				}
-				g.mortonH[t] = h
-			}
-		default:
-			// E8 and D_n share the explicit lattice hierarchy.
-			g.e8H = make([]*hierarchy.E8Tree, params.L)
-			for t, tab := range g.tables {
-				h, err := hierarchy.NewE8Tree(tab, lat)
-				if err != nil {
-					return nil, err
-				}
-				g.e8H[t] = h
-			}
+		if err := buildGroupHierarchies(g, opts); err != nil {
+			return nil, err
 		}
 	}
 	return g, nil
 }
 
-// N returns the number of indexed items.
-func (ix *Index) N() int { return ix.data.N }
+// newLattice constructs the level-2 quantizer for a group.
+func newLattice(kind LatticeKind, m int) (lattice.Lattice, error) {
+	switch kind {
+	case LatticeZM:
+		return lattice.NewZM(m), nil
+	case LatticeE8:
+		return lattice.NewE8(m), nil
+	case LatticeDn:
+		return lattice.NewDn(m), nil
+	default:
+		return nil, fmt.Errorf("unknown lattice %v", kind)
+	}
+}
+
+// buildGroupHierarchies (re)constructs one group's bucket hierarchies over
+// its current tables.
+func buildGroupHierarchies(g *group, opts Options) error {
+	switch lat := g.lat.(type) {
+	case *lattice.ZM:
+		g.mortonH = make([]*hierarchy.Morton, len(g.tables))
+		g.e8H = nil
+		for t, tab := range g.tables {
+			h, err := hierarchy.NewMorton(tab, opts.Params.M, opts.MortonBits)
+			if err != nil {
+				return err
+			}
+			g.mortonH[t] = h
+		}
+	default:
+		// E8 and D_n share the explicit lattice hierarchy.
+		g.e8H = make([]*hierarchy.E8Tree, len(g.tables))
+		g.mortonH = nil
+		for t, tab := range g.tables {
+			h, err := hierarchy.NewE8Tree(tab, lat)
+			if err != nil {
+				return err
+			}
+			g.e8H[t] = h
+		}
+	}
+	return nil
+}
+
+// buildHierarchies runs buildGroupHierarchies over a group set.
+func buildHierarchies(groups []*group, opts Options) error {
+	for gi, g := range groups {
+		if err := buildGroupHierarchies(g, opts); err != nil {
+			return fmt.Errorf("core: group %d hierarchy: %w", gi, err)
+		}
+	}
+	return nil
+}
+
+// N returns the number of base (compacted) items; overlay inserts join the
+// base on the next Compact.
+func (ix *Index) N() int { return ix.loadSnap().data.N }
 
 // Dim returns the vector dimensionality.
-func (ix *Index) Dim() int { return ix.data.D }
+func (ix *Index) Dim() int { return ix.loadSnap().data.D }
 
 // Options returns the (filled) build options.
 func (ix *Index) Options() Options { return ix.opts }
 
-// NumGroups returns the number of level-1 partitions.
-func (ix *Index) NumGroups() int { return len(ix.groups) }
-
-// GroupOf routes a vector through level 1.
-func (ix *Index) GroupOf(v []float32) int {
-	switch {
-	case ix.tree != nil:
-		return ix.tree.Leaf(v)
-	case ix.km != nil:
-		return ix.km.Assign(v)
-	default:
-		return 0
+// ConfigureDynamic sets the runtime overlay knobs — the memtable seal
+// threshold and the auto-compact segment trigger — which are not part of
+// the serialized index format and so need re-supplying after ReadIndex /
+// OpenDisk. Non-positive arguments keep the current values. Call during
+// setup, before the index is shared with other goroutines.
+func (ix *Index) ConfigureDynamic(memtableThreshold, autoCompactSegments int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if memtableThreshold > 0 {
+		ix.opts.MemtableThreshold = memtableThreshold
+	}
+	if autoCompactSegments > 0 {
+		ix.opts.AutoCompactSegments = autoCompactSegments
 	}
 }
 
-// GroupW returns group g's effective bucket width (for reports).
-func (ix *Index) GroupW(g int) float64 { return ix.groups[g].w }
+// Epoch returns the current snapshot epoch. It increases by one each time
+// a new read view is published (memtable seal, Compact, hierarchy
+// rebuild) and is monotone over the index's lifetime.
+func (ix *Index) Epoch() uint64 { return ix.loadSnap().epoch }
 
-// GroupSize returns the number of items in group g.
-func (ix *Index) GroupSize(g int) int { return len(ix.groups[g].members) }
+// NumGroups returns the number of level-1 partitions.
+func (ix *Index) NumGroups() int { return len(ix.loadSnap().groups) }
+
+// GroupOf routes a vector through level 1.
+func (ix *Index) GroupOf(v []float32) int { return ix.loadSnap().groupOf(v) }
+
+// GroupW returns group g's effective bucket width (for reports).
+func (ix *Index) GroupW(g int) float64 { return ix.loadSnap().groups[g].w }
+
+// GroupSize returns the number of items in group g, including overlay
+// inserts routed to it.
+func (ix *Index) GroupSize(g int) int {
+	sn := ix.loadSnap()
+	n := len(sn.groups[g].members)
+	if sn.hasOverlay() {
+		n += sn.overlayGroupCounts()[g]
+	}
+	return n
+}
 
 // TableSummary aggregates bucket statistics across all groups and tables.
 func (ix *Index) TableSummary() lshtable.Stats {
+	sn := ix.loadSnap()
 	var out lshtable.Stats
 	var mass, items float64
-	for _, g := range ix.groups {
+	for _, g := range sn.groups {
 		for _, tab := range g.tables {
 			s := tab.Summary()
 			out.Buckets += s.Buckets

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"sync/atomic"
+)
+
+// The write plane of the snapshot architecture (see snapshot.go for the
+// read plane). Inserted vectors live in an overlay outside the immutable
+// base structures:
+//
+//   - the active memtable receives inserts until it reaches its capacity
+//     (Options.MemtableThreshold), at which point it is sealed into a
+//     frozen segment and a fresh memtable is started;
+//   - frozen segments are fully immutable: plain bucket maps, read without
+//     any synchronization;
+//   - tombstones is an atomic bitset over the dense id space, shared
+//     between the writer (bit sets under the index mutex) and lock-free
+//     readers (atomic bit tests).
+//
+// The memtable is the only overlay structure that is read while being
+// written. It is safe for one writer (serialized by Index.mu) and any
+// number of lock-free readers:
+//
+//   - rows and groupOf are fixed-capacity arrays; slot n is fully written
+//     before the id referencing it is published, and the published row
+//     count n is an atomic whose Store/Load pair orders those writes;
+//   - buckets is a fixed-capacity open-addressing table whose slots hold
+//     immutable entries behind atomic pointers; appending an id replaces
+//     the whole entry (copy-on-write), so a reader observes either the old
+//     or the new version, never a partial write. A probe on the reader
+//     side costs a hash over the key bytes and a few atomic loads — no
+//     locks and no allocation (unlike a sync.Map, whose interface keys
+//     force a string allocation per lookup).
+
+// vecRow is one overlay vector.
+type vecRow []float32
+
+// overlayKeyPrefix is the byte length of the (group, table) prefix that
+// namespaces lattice keys in the shared overlay bucket maps.
+const overlayKeyPrefix = 4
+
+// appendOverlayKey starts a composed overlay bucket key: 3 bytes of group
+// id plus 1 byte of table index (Options.fill bounds L ≤ 255). The caller
+// appends the lattice key bytes.
+func appendOverlayKey(dst []byte, gi, t int) []byte {
+	return append(dst, byte(gi), byte(gi>>8), byte(gi>>16), byte(t))
+}
+
+// bucketEntry is one immutable (key, ids) pair; appends replace the entry.
+type bucketEntry struct {
+	key string
+	ids []int32 // insertion order
+}
+
+// bucketMap is the memtable's composed-key index: open addressing with
+// linear probing over atomic entry pointers. It is sized so it can never
+// fill (at most capacity×L distinct keys are inserted into a table of at
+// least twice as many slots) and entries are only ever added or replaced,
+// never removed, so readers need no synchronization beyond the slot load.
+type bucketMap struct {
+	mask  uint32
+	slots []atomic.Pointer[bucketEntry]
+}
+
+func newBucketMap(maxKeys int) bucketMap {
+	n := 8
+	for n < 2*maxKeys {
+		n <<= 1
+	}
+	return bucketMap{mask: uint32(n - 1), slots: make([]atomic.Pointer[bucketEntry], n)}
+}
+
+// bucketHash is FNV-1a over the composed key bytes.
+func bucketHash(key []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
+// memtable is the active, bounded insert buffer.
+type memtable struct {
+	idBase  int      // id of row 0; rows are dense from here
+	rows    []vecRow // fixed capacity; slots [0, n) are readable
+	groupOf []int32  // level-1 group of each row
+	n       atomic.Int32
+	buckets bucketMap // composed key -> ids, insertion order per key
+}
+
+// newMemtable allocates a memtable for capacity rows inserting into up to
+// tables bucket keys each.
+func newMemtable(idBase, capacity, tables int) *memtable {
+	return &memtable{
+		idBase:  idBase,
+		rows:    make([]vecRow, capacity),
+		groupOf: make([]int32, capacity),
+		buckets: newBucketMap(capacity * tables),
+	}
+}
+
+func (m *memtable) cap() int { return len(m.rows) }
+
+func (m *memtable) len() int {
+	if m == nil {
+		return 0
+	}
+	return int(m.n.Load())
+}
+
+func (m *memtable) full() bool { return m.len() == m.cap() }
+
+// bucket returns the ids sharing a composed key, or nil. Lock-free and
+// allocation-free: a hash, a linear probe, and a byte comparison.
+func (m *memtable) bucket(key []byte) []int32 {
+	b := &m.buckets
+	for i := bucketHash(key) & b.mask; ; i = (i + 1) & b.mask {
+		e := b.slots[i].Load()
+		if e == nil {
+			return nil
+		}
+		if e.key == string(key) { // alloc-free comparison
+			return e.ids
+		}
+	}
+}
+
+// addToBucket appends id to a bucket by replacing the bucket's entry
+// (copy-on-write, so concurrent readers never see a partial append).
+// Caller holds the index write mutex.
+func (m *memtable) addToBucket(key []byte, id int32) {
+	b := &m.buckets
+	for i := bucketHash(key) & b.mask; ; i = (i + 1) & b.mask {
+		e := b.slots[i].Load()
+		if e == nil {
+			b.slots[i].Store(&bucketEntry{key: string(key), ids: []int32{id}})
+			return
+		}
+		if e.key == string(key) {
+			ids := make([]int32, len(e.ids)+1)
+			copy(ids, e.ids)
+			ids[len(e.ids)] = id
+			b.slots[i].Store(&bucketEntry{key: e.key, ids: ids})
+			return
+		}
+	}
+}
+
+// freeze converts the memtable's current contents into an immutable
+// segment. The bucket slices are shared (they are never mutated again: the
+// writer moves on to a fresh memtable). Caller holds the write mutex.
+func (m *memtable) freeze() *segment {
+	n := m.len()
+	seg := &segment{
+		idBase:  m.idBase,
+		rows:    m.rows[:n:n],
+		groupOf: m.groupOf[:n:n],
+		buckets: make(map[string][]int32),
+	}
+	for i := range m.buckets.slots {
+		if e := m.buckets.slots[i].Load(); e != nil {
+			seg.buckets[e.key] = e.ids
+		}
+	}
+	return seg
+}
+
+// shifted returns a copy of the memtable with every id offset by delta
+// (the Compact id remap). Row storage is shared — vectors do not move and
+// readers of the pre-compact snapshot only ever touch slots below their
+// published count — but the bucket map is rebuilt because the ids in it
+// change. Caller holds the write mutex.
+func (m *memtable) shifted(delta int) *memtable {
+	out := &memtable{
+		idBase:  m.idBase + delta,
+		rows:    m.rows,
+		groupOf: m.groupOf,
+		buckets: newBucketMap(len(m.buckets.slots) / 2),
+	}
+	out.n.Store(m.n.Load())
+	// Same table size and slot-by-slot copy: the probe layout is preserved.
+	for i := range m.buckets.slots {
+		if e := m.buckets.slots[i].Load(); e != nil {
+			out.buckets.slots[i].Store(&bucketEntry{key: e.key, ids: shiftIDs(e.ids, delta)})
+		}
+	}
+	return out
+}
+
+// segment is a sealed, immutable overlay segment.
+type segment struct {
+	idBase  int
+	rows    []vecRow
+	groupOf []int32
+	buckets map[string][]int32
+}
+
+// shifted returns a copy with every id offset by delta (rows shared).
+func (seg *segment) shifted(delta int) *segment {
+	out := &segment{
+		idBase:  seg.idBase + delta,
+		rows:    seg.rows,
+		groupOf: seg.groupOf,
+		buckets: make(map[string][]int32, len(seg.buckets)),
+	}
+	for k, ids := range seg.buckets {
+		out.buckets[k] = shiftIDs(ids, delta)
+	}
+	return out
+}
+
+func shiftIDs(ids []int32, delta int) []int32 {
+	out := make([]int32, len(ids))
+	for i, id := range ids {
+		out[i] = id + int32(delta)
+	}
+	return out
+}
+
+// tombstones is a fixed-capacity atomic bitset over the dense id space,
+// plus a live count of set bits. Bits are set by writers holding the index
+// mutex and tested lock-free by readers.
+type tombstones struct {
+	bits []uint32
+	dead atomic.Int64
+}
+
+func newTombstones(capacity int) *tombstones {
+	return &tombstones{bits: make([]uint32, (capacity+31)/32)}
+}
+
+func (ts *tombstones) count() int {
+	if ts == nil {
+		return 0
+	}
+	return int(ts.dead.Load())
+}
+
+// get reports whether id is tombstoned. Safe for concurrent use.
+func (ts *tombstones) get(id int) bool {
+	if ts == nil {
+		return false
+	}
+	w := id >> 5
+	if w >= len(ts.bits) {
+		return false
+	}
+	return atomic.LoadUint32(&ts.bits[w])>>(uint(id)&31)&1 == 1
+}
+
+// set tombstones id. Caller holds the write mutex (single writer); the
+// store is atomic only so lock-free readers can observe it.
+func (ts *tombstones) set(id int) {
+	w := id >> 5
+	atomic.StoreUint32(&ts.bits[w], atomic.LoadUint32(&ts.bits[w])|1<<(uint(id)&31))
+	ts.dead.Add(1)
+}
+
+// grown returns a tombstone set with at least capacity bits, carrying over
+// every set bit and the live count. Caller holds the write mutex; the old
+// set stays valid for readers of older snapshots.
+func (ts *tombstones) grown(capacity int) *tombstones {
+	out := newTombstones(capacity)
+	if ts != nil {
+		copy(out.bits, ts.bits)
+		out.dead.Store(ts.dead.Load())
+	}
+	return out
+}

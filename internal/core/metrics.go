@@ -38,6 +38,10 @@ var (
 		"bilsh_core_compactions_total", "Successful Compact calls.")
 	metCompactErrors = metrics.Default().Counter(
 		"bilsh_core_compaction_errors_total", "Compact calls that returned an error.")
+	metSeals = metrics.Default().Counter(
+		"bilsh_core_memtable_seals_total", "Memtable seals into frozen overlay segments.")
+	metEpoch = metrics.Default().Gauge(
+		"bilsh_core_snapshot_epoch", "Current snapshot epoch (monotone across publications).")
 	metHierarchyClimbs = metrics.Default().Counter(
 		"bilsh_core_hierarchy_climbs_total", "Queries that climbed above hierarchy level 0.")
 

@@ -18,8 +18,10 @@
 // (WriteDiskTo / OpenDisk), streaming out-of-core construction from fvecs
 // files (BuildDisk), dynamic updates (Insert / Delete / Compact), parallel
 // batch queries (QueryBatchParallel) and introspection (Describe). An
-// Index is safe for concurrent readers; the mutating methods require
-// external synchronization.
+// Index is safe for unrestricted concurrent use: readers run lock-free
+// against immutable published snapshots, mutators serialize internally,
+// and Compact rebuilds in the background without blocking either (see
+// docs/concurrency.md for the full contract).
 package core
 
 import (
@@ -149,7 +151,21 @@ type Options struct {
 	// MinGroupSize keeps level-1 partitions from becoming too small to
 	// tune (default 8).
 	MinGroupSize int
+	// MemtableThreshold is the number of inserts the active memtable
+	// accepts before it is sealed into a frozen overlay segment (default
+	// 1024). Runtime knob only: not part of the serialized index format.
+	MemtableThreshold int
+	// AutoCompactSegments, when positive, triggers a background Compact
+	// whenever a seal leaves at least this many frozen segments pending.
+	// Zero (the default) disables automatic compaction. Runtime knob only:
+	// not serialized.
+	AutoCompactSegments int
 }
+
+// defaultMemtableThreshold is the memtable capacity when the option is
+// unset (including on indexes loaded from disk, where the knob is not part
+// of the wire format).
+const defaultMemtableThreshold = 1024
 
 func (o *Options) fill() error {
 	if o.Groups <= 0 {
@@ -184,6 +200,13 @@ func (o *Options) fill() error {
 	}
 	if o.MinGroupSize <= 0 {
 		o.MinGroupSize = 8
+	}
+	if o.MemtableThreshold <= 0 {
+		o.MemtableThreshold = defaultMemtableThreshold
+	}
+	if o.Params.L > 255 {
+		// Overlay bucket keys encode the table index in one byte.
+		return fmt.Errorf("core: L = %d exceeds the 255-table limit", o.Params.L)
 	}
 	return nil
 }

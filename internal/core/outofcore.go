@@ -10,7 +10,6 @@ import (
 	"path/filepath"
 
 	"bilsh/internal/dataset"
-	"bilsh/internal/hierarchy"
 	"bilsh/internal/kmeans"
 	"bilsh/internal/lattice"
 	"bilsh/internal/lshfunc"
@@ -86,9 +85,12 @@ func BuildDisk(dataPath, outPath string, opts Options, cfg OutOfCoreConfig, rng 
 	}
 	sample := vec.FromRows(sampleRows)
 
-	ix := &Index{opts: opts, data: &vec.Matrix{N: n, D: dim}}
-
-	// Partitioner on the sample.
+	// Partitioner on the sample. The index file is built from these local
+	// structures; no in-memory Index is ever materialized.
+	var (
+		tree *rptree.Tree
+		km   *kmeans.Model
+	)
 	var sampleMembers [][]int
 	switch opts.Partitioner {
 	case PartitionNone:
@@ -98,23 +100,33 @@ func BuildDisk(dataPath, outPath string, opts Options, cfg OutOfCoreConfig, rng 
 		}
 		sampleMembers = [][]int{all}
 	case PartitionRPTree:
-		tree, asg := rptree.Build(sample, rptree.Options{
+		var asg *rptree.Assignment
+		tree, asg = rptree.Build(sample, rptree.Options{
 			Rule: opts.RPRule, Leaves: opts.Groups, MinLeafSize: opts.MinGroupSize,
 		}, rng.Split(2))
-		ix.tree = tree
 		sampleMembers = asg.Members
 	case PartitionKMeans:
-		km, asg := kmeans.Build(sample, kmeans.Options{K: opts.Groups}, rng.Split(2))
-		ix.km = km
+		var asg *kmeans.Assignment
+		km, asg = kmeans.Build(sample, kmeans.Options{K: opts.Groups}, rng.Split(2))
 		sampleMembers = asg.Members
 	default:
 		return 0, fmt.Errorf("core: unknown partitioner %v", opts.Partitioner)
+	}
+	routeOf := func(v []float32) int {
+		switch {
+		case tree != nil:
+			return tree.Leaf(v)
+		case km != nil:
+			return km.Assign(v)
+		default:
+			return 0
+		}
 	}
 	nGroups := len(sampleMembers)
 
 	// Per-group widths and hash families from the sample.
 	grng := rng.Split(3)
-	ix.groups = make([]*group, nGroups)
+	groups := make([]*group, nGroups)
 	for gi, members := range sampleMembers {
 		g := &group{}
 		gr := grng.Split(int64(gi))
@@ -154,7 +166,7 @@ func BuildDisk(dataPath, outPath string, opts Options, cfg OutOfCoreConfig, rng 
 		default:
 			return 0, fmt.Errorf("core: unknown lattice %v", opts.Lattice)
 		}
-		ix.groups[gi] = g
+		groups[gi] = g
 	}
 
 	// ---- Pass 2: route rows to group spills and stream the payload.
@@ -200,8 +212,8 @@ func BuildDisk(dataPath, outPath string, opts Options, cfg OutOfCoreConfig, rng 
 		if _, err := payload.Write(rowBuf); err != nil {
 			return err
 		}
-		gi := ix.GroupOf(row)
-		ix.groups[gi].members = append(ix.groups[gi].members, i)
+		gi := routeOf(row)
+		groups[gi].members = append(groups[gi].members, i)
 		binary.LittleEndian.PutUint64(idBuf[:], uint64(i))
 		if _, err := spillW[gi].Write(idBuf[:]); err != nil {
 			return err
@@ -225,7 +237,7 @@ func BuildDisk(dataPath, outPath string, opts Options, cfg OutOfCoreConfig, rng 
 	}
 
 	// ---- Pass 3: per-group hashing and table construction.
-	for gi, g := range ix.groups {
+	for gi, g := range groups {
 		if err := buildGroupFromSpill(g, spillF[gi], dim, opts); err != nil {
 			closeSpills()
 			return 0, fmt.Errorf("core: out-of-core group %d: %w", gi, err)
@@ -235,27 +247,8 @@ func BuildDisk(dataPath, outPath string, opts Options, cfg OutOfCoreConfig, rng 
 
 	// Hierarchies.
 	if opts.ProbeMode == ProbeHierarchy {
-		for gi, g := range ix.groups {
-			switch lat := g.lat.(type) {
-			case *lattice.ZM:
-				g.mortonH = make([]*hierarchy.Morton, opts.Params.L)
-				for t, tab := range g.tables {
-					h, err := hierarchy.NewMorton(tab, opts.Params.M, opts.MortonBits)
-					if err != nil {
-						return 0, fmt.Errorf("core: out-of-core group %d hierarchy: %w", gi, err)
-					}
-					g.mortonH[t] = h
-				}
-			default:
-				g.e8H = make([]*hierarchy.E8Tree, opts.Params.L)
-				for t, tab := range g.tables {
-					h, err := hierarchy.NewE8Tree(tab, lat)
-					if err != nil {
-						return 0, fmt.Errorf("core: out-of-core group %d hierarchy: %w", gi, err)
-					}
-					g.e8H[t] = h
-				}
-			}
+		if err := buildHierarchies(groups, opts); err != nil {
+			return 0, fmt.Errorf("core: out-of-core: %w", err)
 		}
 	}
 
@@ -271,10 +264,10 @@ func BuildDisk(dataPath, outPath string, opts Options, cfg OutOfCoreConfig, rng 
 		return 0, err
 	}
 	meta := wire.NewWriter(out)
-	ix.writeOptions(meta)
+	writeOptions(meta, opts)
 	meta.Int(n)
 	meta.Int(dim)
-	ix.writeStructure(meta)
+	writeStructure(meta, tree, km, groups)
 	if err := meta.Flush(); err != nil {
 		return 0, err
 	}

@@ -58,7 +58,7 @@ func TestBuildDiskStreaming(t *testing.T) {
 		// Every group member set must cover all rows exactly once.
 		seen := make([]bool, 500)
 		for g := 0; g < di.NumGroups(); g++ {
-			for _, id := range di.Index.groups[g].members {
+			for _, id := range di.Index.loadSnap().groups[g].members {
 				if seen[id] {
 					t.Fatalf("row %d in two groups", id)
 				}

@@ -9,18 +9,15 @@ import (
 	"bilsh/internal/vec"
 )
 
-// Concurrency: an Index is safe for any number of concurrent readers
-// (Query, QueryBatch, QueryBatchParallel, CandidateList); Insert, Delete,
-// Compact and RebuildHierarchies are writers and require external
-// synchronization with respect to readers and to each other.
-
 // QueryBatchParallel is QueryBatch fanned out over workers goroutines
-// (GOMAXPROCS when workers <= 0). Results are identical to QueryBatch: the
-// hierarchy median rule is applied batch-wide before the parallel phase.
-// Each worker goroutine holds one pooled scratch for its whole share of the
-// batch, so the parallel path is as allocation-free as the serial one.
+// (GOMAXPROCS when workers <= 0). Results are identical to QueryBatch: one
+// snapshot is pinned for the whole batch and the hierarchy median rule is
+// applied batch-wide before the parallel phase. Each worker goroutine
+// holds one pooled scratch for its whole share of the batch, so the
+// parallel path is as allocation-free as the serial one.
 func (ix *Index) QueryBatchParallel(queries *vec.Matrix, k, workers int) ([]knn.Result, []QueryStats) {
 	metBatches.Inc()
+	sn := ix.loadSnap()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -28,11 +25,11 @@ func (ix *Index) QueryBatchParallel(queries *vec.Matrix, k, workers int) ([]knn.
 	stats := make([]QueryStats, queries.N)
 
 	minCounts := make([]int, queries.N)
-	switch ix.opts.ProbeMode {
+	switch sn.opts.ProbeMode {
 	case ProbeHierarchy:
 		sizes := make([]int, queries.N)
 		ix.parallelFor(queries.N, workers, func(qi int, s *scratch) {
-			sizes[qi] = ix.plainShortListSize(queries.Row(qi), s)
+			sizes[qi] = sn.plainShortListSize(queries.Row(qi), s)
 		})
 		median := medianInt(sizes)
 		if median < 1 {
@@ -46,7 +43,7 @@ func (ix *Index) QueryBatchParallel(queries *vec.Matrix, k, workers int) ([]knn.
 			}
 		}
 	default:
-		floor := ix.opts.HierMinCandidates
+		floor := sn.opts.HierMinCandidates
 		if floor <= 0 {
 			floor = 2 * k
 		}
@@ -58,9 +55,9 @@ func (ix *Index) QueryBatchParallel(queries *vec.Matrix, k, workers int) ([]knn.
 	ix.parallelFor(queries.N, workers, func(qi int, s *scratch) {
 		start := time.Now()
 		q := queries.Row(qi)
-		st := ix.gather(q, minCounts[qi], s)
+		st := sn.gather(q, minCounts[qi], s)
 		rankStart := time.Now()
-		results[qi] = ix.rank(q, k, s)
+		results[qi] = sn.rank(q, k, s)
 		st.Timings.Rank = time.Since(rankStart)
 		recordQuery(&st, time.Since(start)) // registry updates are atomic
 		stats[qi] = st

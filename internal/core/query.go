@@ -11,6 +11,12 @@ import (
 	"bilsh/internal/vec"
 )
 
+// The read path. Every public query entry point loads the current snapshot
+// exactly once and runs entirely against that view, so queries never take
+// a lock and are unaffected by concurrent inserts, deletes and
+// compactions. Batch entry points pin one snapshot for the whole batch,
+// which keeps the hierarchy median rule internally consistent.
+
 // StageTimings breaks one query's latency down by pipeline stage. The
 // stages follow the paper's Section V pipeline; see the metrics catalogue
 // in internal/core/metrics.go and docs/metrics.md.
@@ -51,24 +57,40 @@ type QueryStats struct {
 // ProbeHierarchy the per-query bucket floor is Options.HierMinCandidates
 // (default 2k); use QueryBatch for the paper's median rule.
 //
+// Invalid queries (wrong dimension, NaN or ±Inf components) return an
+// empty result; callers that need the reason should validate with
+// CheckVector first, as the HTTP handlers do.
+//
 // The hot path is allocation-free in steady state: per-query scratch state
 // (projection and key buffers, the stamped dedup array, the top-k heap) is
 // drawn from a pool, and only the returned result slices are allocated.
 func (ix *Index) Query(q []float32, k int) (knn.Result, QueryStats) {
+	sn := ix.loadSnap()
+	if len(q) != sn.data.D {
+		// Cheap structural check on the hot path; full NaN/Inf scanning is
+		// the boundary's job (CheckVector) and garbage-in yields an empty
+		// or meaningless result, never corruption.
+		return knn.Result{}, QueryStats{}
+	}
 	s := ix.getScratch()
 	defer ix.putScratch(s)
-	return ix.query(q, k, s)
+	return sn.query(q, k, s)
 }
 
+// query is the test seam behind Query: one snapshot load, no validation.
 func (ix *Index) query(q []float32, k int, s *scratch) (knn.Result, QueryStats) {
+	return ix.loadSnap().query(q, k, s)
+}
+
+func (sn *snapshot) query(q []float32, k int, s *scratch) (knn.Result, QueryStats) {
 	start := time.Now()
-	minCount := ix.opts.HierMinCandidates
+	minCount := sn.opts.HierMinCandidates
 	if minCount <= 0 {
 		minCount = 2 * k
 	}
-	stats := ix.gather(q, minCount, s)
+	stats := sn.gather(q, minCount, s)
 	rankStart := time.Now()
-	res := ix.rank(q, k, s)
+	res := sn.rank(q, k, s)
 	stats.Timings.Rank = time.Since(rankStart)
 	recordQuery(&stats, time.Since(start))
 	return res, stats
@@ -78,21 +100,25 @@ func (ix *Index) query(q []float32, k int, s *scratch) (knn.Result, QueryStats) 
 // index's probe mode. For ProbeHierarchy, hierMinCount is the bucket-size
 // floor for sparse queries.
 func (ix *Index) gather(q []float32, hierMinCount int, s *scratch) QueryStats {
-	return ix.gatherMode(q, hierMinCount, ix.opts.ProbeMode, s)
+	return ix.loadSnap().gather(q, hierMinCount, s)
+}
+
+func (sn *snapshot) gather(q []float32, hierMinCount int, s *scratch) QueryStats {
+	return sn.gatherMode(q, hierMinCount, sn.opts.ProbeMode, s)
 }
 
 // gatherMode is the shared candidate-collection core behind gather and
 // plainShortListSize (which forces ProbeSingle regardless of the index's
 // configured mode, per the Section VI-B4c median rule).
-func (ix *Index) gatherMode(q []float32, hierMinCount int, mode ProbeMode, s *scratch) QueryStats {
+func (sn *snapshot) gatherMode(q []float32, hierMinCount int, mode ProbeMode, s *scratch) QueryStats {
 	routeStart := time.Now()
-	gi := ix.GroupOf(q)
-	g := ix.groups[gi]
+	gi := sn.groupOf(q)
+	g := sn.groups[gi]
 	stats := QueryStats{Group: gi}
 	stats.Timings.Route = time.Since(routeStart)
-	s.begin(ix)
+	s.begin(sn)
 
-	for t := 0; t < ix.opts.Params.L; t++ {
+	for t := 0; t < sn.opts.Params.L; t++ {
 		probeStart := time.Now()
 		g.fam.Project(t, q, s.proj)
 		switch mode {
@@ -102,26 +128,26 @@ func (ix *Index) gatherMode(q []float32, hierMinCount int, mode ProbeMode, s *sc
 			stats.Timings.Probe += time.Since(probeStart)
 			scanStart := time.Now()
 			stats.Probes++
-			ix.addCandidates(s, &stats, g.tables[t].BucketBytes(s.key))
-			ix.addCandidates(s, &stats, ix.overlayBucketBytes(gi, t, s.key))
+			sn.addCandidates(s, &stats, g.tables[t].BucketBytes(s.key))
+			sn.addOverlayCandidates(s, &stats, gi, t)
 			stats.Timings.Scan += time.Since(scanStart)
 
 		case ProbeMulti:
 			switch lat := g.lat.(type) {
 			case *lattice.ZM:
-				multiprobe.ZMProbesInto(&s.mp, lat, s.proj, ix.opts.Probes)
+				multiprobe.ZMProbesInto(&s.mp, lat, s.proj, sn.opts.Probes)
 			case *lattice.E8:
-				multiprobe.E8ProbesInto(&s.mp, lat, s.proj, ix.opts.Probes)
+				multiprobe.E8ProbesInto(&s.mp, lat, s.proj, sn.opts.Probes)
 			case *lattice.Dn:
-				multiprobe.DnProbesInto(&s.mp, lat, s.proj, ix.opts.Probes)
+				multiprobe.DnProbesInto(&s.mp, lat, s.proj, sn.opts.Probes)
 			}
 			stats.Timings.Probe += time.Since(probeStart)
 			scanStart := time.Now()
 			for p := 0; p < s.mp.Probes(); p++ {
 				stats.Probes++
 				s.key = lattice.AppendKey(s.key[:0], s.mp.Probe(p))
-				ix.addCandidates(s, &stats, g.tables[t].BucketBytes(s.key))
-				ix.addCandidates(s, &stats, ix.overlayBucketBytes(gi, t, s.key))
+				sn.addCandidates(s, &stats, g.tables[t].BucketBytes(s.key))
+				sn.addOverlayCandidates(s, &stats, gi, t)
 			}
 			stats.Timings.Scan += time.Since(scanStart)
 
@@ -144,10 +170,10 @@ func (ix *Index) gatherMode(q []float32, hierMinCount int, mode ProbeMode, s *sc
 			if level > stats.HierarchyLevel {
 				stats.HierarchyLevel = level
 			}
-			ix.addCandidates32(s, &stats, s.hierIDs)
+			sn.addCandidates32(s, &stats, s.hierIDs)
 			// Overlay inserts are only reachable through their exact
 			// bucket code until Compact folds them into the hierarchy.
-			ix.addCandidates(s, &stats, ix.overlayBucketBytes(gi, t, s.key))
+			sn.addOverlayCandidates(s, &stats, gi, t)
 			stats.Timings.Scan += time.Since(scanStart)
 		}
 	}
@@ -159,13 +185,14 @@ func (ix *Index) gatherMode(q []float32, hierMinCount int, mode ProbeMode, s *sc
 // under the index's probe mode, for callers that run their own short-list
 // engine (e.g. the Figure 4 harness feeding the parallel engines).
 func (ix *Index) CandidateList(q []float32) ([]int, QueryStats) {
+	sn := ix.loadSnap()
 	s := ix.getScratch()
 	defer ix.putScratch(s)
-	minCount := ix.opts.HierMinCandidates
+	minCount := sn.opts.HierMinCandidates
 	if minCount <= 0 {
-		minCount = 2 * ix.opts.TuneK
+		minCount = 2 * sn.opts.TuneK
 	}
-	st := ix.gather(q, minCount, s)
+	st := sn.gather(q, minCount, s)
 	metCandLists.Inc()
 	recordStages(&st)
 	slices.Sort(s.cands)
@@ -182,7 +209,11 @@ func (ix *Index) CandidateList(q []float32) ([]int, QueryStats) {
 // real queries (gatherMode with ProbeSingle), so tombstone filtering and
 // overlay handling cannot drift from the probe path.
 func (ix *Index) plainShortListSize(q []float32, s *scratch) int {
-	st := ix.gatherMode(q, 0, ProbeSingle, s)
+	return ix.loadSnap().plainShortListSize(q, s)
+}
+
+func (sn *snapshot) plainShortListSize(q []float32, s *scratch) int {
+	st := sn.gatherMode(q, 0, ProbeSingle, s)
 	return st.Candidates
 }
 
@@ -190,16 +221,14 @@ func (ix *Index) plainShortListSize(q []float32, s *scratch) int {
 // index's live rows — the self-contained ground-truth reference (the index
 // stores its vectors, so no external data file is needed).
 func (ix *Index) ExactKNN(q []float32, k int) knn.Result {
-	total := ix.data.N
-	if ix.dynamic != nil {
-		total += len(ix.dynamic.extra)
-	}
+	sn := ix.loadSnap()
+	total := sn.total()
 	h := topk.New(k)
 	for id := 0; id < total; id++ {
-		if ix.isDeleted(id) {
+		if sn.isDeleted(id) {
 			continue
 		}
-		d := vec.SqDist(ix.row(id), q)
+		d := vec.SqDist(sn.row(id), q)
 		if h.Accepts(d) {
 			h.Push(id, d)
 		}
@@ -219,28 +248,32 @@ func (ix *Index) ExactKNN(q []float32, k int) knn.Result {
 // layout of Section V-A) and the result is independent of collection
 // order.
 func (ix *Index) rank(q []float32, k int, s *scratch) knn.Result {
+	return ix.loadSnap().rank(q, k, s)
+}
+
+func (sn *snapshot) rank(q []float32, k int, s *scratch) knn.Result {
 	slices.Sort(s.cands)
 	h := s.topK(k)
 
 	// Batch the base-matrix distances (ids below data.N, a sorted prefix
 	// of cands); overlay rows and disk-backed fetches go one at a time.
 	nBase := len(s.cands)
-	if ix.dynamic != nil {
-		nBase, _ = slices.BinarySearch(s.cands, int32(ix.data.N))
+	if sn.hasOverlay() {
+		nBase, _ = slices.BinarySearch(s.cands, int32(sn.data.N))
 	}
 	if cap(s.dists) < len(s.cands) {
 		s.dists = make([]float64, len(s.cands))
 	}
 	s.dists = s.dists[:len(s.cands)]
-	if ix.fetch == nil {
-		vec.SqDistToRows(s.dists[:nBase], ix.data.Data, ix.data.D, s.cands[:nBase], q)
+	if sn.fetch == nil {
+		vec.SqDistToRows(s.dists[:nBase], sn.data.Data, sn.data.D, s.cands[:nBase], q)
 	} else {
 		for i := 0; i < nBase; i++ {
-			s.dists[i] = vec.SqDist(ix.fetch(int(s.cands[i])), q)
+			s.dists[i] = vec.SqDist(sn.fetch(int(s.cands[i])), q)
 		}
 	}
 	for i := nBase; i < len(s.cands); i++ {
-		s.dists[i] = vec.SqDist(ix.dynamic.extra[int(s.cands[i])-ix.data.N], q)
+		s.dists[i] = vec.SqDist(sn.row(int(s.cands[i])), q)
 	}
 	for i, id := range s.cands {
 		if d := s.dists[i]; h.Accepts(d) {
@@ -257,28 +290,29 @@ func (ix *Index) rank(q []float32, k int, s *scratch) knn.Result {
 	return r
 }
 
-// QueryBatch answers a whole query set. For ProbeHierarchy it implements
-// the paper's protocol: compute every query's plain short-list size, take
-// the batch median as the threshold, and climb the hierarchy only for
-// queries below it. Other probe modes map Query over the batch. One
-// scratch serves the whole batch.
+// QueryBatch answers a whole query set against one snapshot. For
+// ProbeHierarchy it implements the paper's protocol: compute every query's
+// plain short-list size, take the batch median as the threshold, and climb
+// the hierarchy only for queries below it. Other probe modes map Query
+// over the batch. One scratch serves the whole batch.
 func (ix *Index) QueryBatch(queries *vec.Matrix, k int) ([]knn.Result, []QueryStats) {
 	metBatches.Inc()
+	sn := ix.loadSnap()
 	results := make([]knn.Result, queries.N)
 	stats := make([]QueryStats, queries.N)
 	s := ix.getScratch()
 	defer ix.putScratch(s)
 
-	if ix.opts.ProbeMode != ProbeHierarchy {
+	if sn.opts.ProbeMode != ProbeHierarchy {
 		for qi := 0; qi < queries.N; qi++ {
-			results[qi], stats[qi] = ix.query(queries.Row(qi), k, s)
+			results[qi], stats[qi] = sn.query(queries.Row(qi), k, s)
 		}
 		return results, stats
 	}
 
 	sizes := make([]int, queries.N)
 	for qi := 0; qi < queries.N; qi++ {
-		sizes[qi] = ix.plainShortListSize(queries.Row(qi), s)
+		sizes[qi] = sn.plainShortListSize(queries.Row(qi), s)
 	}
 	median := medianInt(sizes)
 	if median < 1 {
@@ -293,9 +327,9 @@ func (ix *Index) QueryBatch(queries *vec.Matrix, k int) ([]knn.Result, []QuerySt
 			// batch median.
 			minCount = median
 		}
-		st := ix.gather(q, minCount, s)
+		st := sn.gather(q, minCount, s)
 		rankStart := time.Now()
-		results[qi] = ix.rank(q, k, s)
+		results[qi] = sn.rank(q, k, s)
 		st.Timings.Rank = time.Since(rankStart)
 		recordQuery(&st, time.Since(start))
 		stats[qi] = st

@@ -22,6 +22,7 @@ import (
 type scratch struct {
 	proj    []float64 // projection buffer (len M)
 	key     []byte    // bucket key byte buffer
+	okey    []byte    // composed overlay key buffer (group+table prefix)
 	cands   []int32   // deduplicated candidate ids, in collection order
 	visited []uint32  // per-id stamp; visited[id] == epoch <=> collected
 	epoch   uint32
@@ -48,19 +49,18 @@ func (ix *Index) getScratch() *scratch {
 
 func (ix *Index) putScratch(s *scratch) { ix.scratchPool.Put(s) }
 
-// begin readies the scratch for one query against ix: sizes the projection
-// and visited buffers and opens a fresh dedup epoch.
-func (s *scratch) begin(ix *Index) {
-	if m := ix.opts.Params.M; cap(s.proj) < m {
+// begin readies the scratch for one query against the snapshot sn: sizes
+// the projection and visited buffers and opens a fresh dedup epoch. The
+// visited array covers every id sn can ever surface — the active memtable
+// counts at full capacity, so rows published after begin still stamp in
+// bounds.
+func (s *scratch) begin(sn *snapshot) {
+	if m := sn.opts.Params.M; cap(s.proj) < m {
 		s.proj = make([]float64, m)
 	} else {
 		s.proj = s.proj[:m]
 	}
-	total := ix.data.N
-	if ix.dynamic != nil {
-		total += len(ix.dynamic.extra)
-	}
-	if len(s.visited) < total {
+	if total := sn.idCapacity(); len(s.visited) < total {
 		s.visited = make([]uint32, total)
 		s.epoch = 0
 	}
@@ -87,9 +87,9 @@ func (s *scratch) topK(k int) *topk.Heap {
 // gather did. This is the single candidate-collection core shared by all
 // probe modes and by the median rule's plain short-list sizing, so
 // deleted-row filtering and overlay handling cannot diverge between them.
-func (ix *Index) addCandidates(s *scratch, st *QueryStats, ids []int) {
+func (sn *snapshot) addCandidates(s *scratch, st *QueryStats, ids []int) {
 	for _, id := range ids {
-		if ix.isDeleted(id) {
+		if sn.isDeleted(id) {
 			continue
 		}
 		st.Scanned++
@@ -101,10 +101,11 @@ func (ix *Index) addCandidates(s *scratch, st *QueryStats, ids []int) {
 	}
 }
 
-// addCandidates32 is addCandidates for the hierarchy's int32 id buffers.
-func (ix *Index) addCandidates32(s *scratch, st *QueryStats, ids []int32) {
+// addCandidates32 is addCandidates for int32 id buffers (hierarchy output
+// and overlay buckets).
+func (sn *snapshot) addCandidates32(s *scratch, st *QueryStats, ids []int32) {
 	for _, id := range ids {
-		if ix.isDeleted(int(id)) {
+		if sn.isDeleted(int(id)) {
 			continue
 		}
 		st.Scanned++

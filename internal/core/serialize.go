@@ -26,20 +26,24 @@ import (
 // file format independent of their in-memory representation. The
 // disk-backed variant (see diskindex.go) stores the same metadata but
 // keeps the vector rows in a separate fixed-stride section accessed with
-// ReadAt.
+// ReadAt. Dynamic runtime knobs (memtable threshold, auto-compact) are
+// deliberately not part of the format; they are re-supplied at load time.
 const indexMagic = "bilsh.Index/1"
 
 // WriteTo serializes the index (including its data) to w. It returns the
-// number of bytes written.
+// number of bytes written. The snapshot current at the time of the call is
+// written; concurrent mutations do not corrupt the output, but WriteTo
+// refuses snapshots with pending overlay state (Compact first).
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	if err := ix.requireClean(); err != nil {
+	sn := ix.loadSnap()
+	if err := sn.requireClean(); err != nil {
 		return 0, err
 	}
 	ww := wire.NewWriter(w)
 	ww.Magic(indexMagic)
-	ix.writeOptions(ww)
-	ix.data.Encode(ww)
-	ix.writeStructure(ww)
+	writeOptions(ww, ix.opts)
+	sn.data.Encode(ww)
+	writeStructure(ww, sn.tree, sn.km, sn.groups)
 	if err := ww.Flush(); err != nil {
 		return ww.BytesWritten(), fmt.Errorf("core: writing index: %w", err)
 	}
@@ -47,16 +51,15 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 }
 
 // requireClean refuses serialization with pending dynamic state.
-func (ix *Index) requireClean() error {
-	if ix.dynamic != nil && (len(ix.dynamic.extra) > 0 || len(ix.dynamic.deleted) > 0) {
+func (sn *snapshot) requireClean() error {
+	if sn.hasOverlay() || sn.dead.count() > 0 {
 		return fmt.Errorf("core: index has pending inserts/deletes; call Compact before writing")
 	}
 	return nil
 }
 
 // writeOptions emits the option block.
-func (ix *Index) writeOptions(ww *wire.Writer) {
-	o := ix.opts
+func writeOptions(ww *wire.Writer, o Options) {
 	ww.Int(int(o.Lattice))
 	ww.Int(int(o.Partitioner))
 	ww.Int(o.Groups)
@@ -75,19 +78,19 @@ func (ix *Index) writeOptions(ww *wire.Writer) {
 }
 
 // writeStructure emits the partitioner and the per-group machinery.
-func (ix *Index) writeStructure(ww *wire.Writer) {
+func writeStructure(ww *wire.Writer, tree *rptree.Tree, km *kmeans.Model, groups []*group) {
 	switch {
-	case ix.tree != nil:
+	case tree != nil:
 		ww.String("rptree")
-		ix.tree.Encode(ww)
-	case ix.km != nil:
+		tree.Encode(ww)
+	case km != nil:
 		ww.String("kmeans")
-		ix.km.Encode(ww)
+		km.Encode(ww)
 	default:
 		ww.String("none")
 	}
-	ww.Int(len(ix.groups))
-	for _, g := range ix.groups {
+	ww.Int(len(groups))
+	for _, g := range groups {
 		ww.Ints(g.members)
 		ww.F64(g.w)
 		g.fam.Encode(ww)
@@ -125,48 +128,51 @@ func readOptions(rr *wire.Reader) (Options, error) {
 	return o, nil
 }
 
-// readStructure parses the partitioner and groups into ix and rebuilds
-// derived state (cuckoo indexes, hierarchies). n is the row count used for
-// member validation.
-func readStructure(rr *wire.Reader, ix *Index, n int) error {
-	o := ix.opts
+// readStructure parses the partitioner and groups and rebuilds derived
+// state (cuckoo indexes, hierarchies). n is the row count used for member
+// validation.
+func readStructure(rr *wire.Reader, o Options, n int) (*rptree.Tree, *kmeans.Model, []*group, error) {
+	var (
+		tree *rptree.Tree
+		km   *kmeans.Model
+	)
 	switch kind := rr.String(); kind {
 	case "rptree":
-		tree, err := rptree.DecodeTree(rr)
+		t, err := rptree.DecodeTree(rr)
 		if err != nil {
-			return fmt.Errorf("core: reading rptree: %w", err)
+			return nil, nil, nil, fmt.Errorf("core: reading rptree: %w", err)
 		}
-		ix.tree = tree
+		tree = t
 	case "kmeans":
-		km, err := kmeans.DecodeModel(rr)
+		m, err := kmeans.DecodeModel(rr)
 		if err != nil {
-			return fmt.Errorf("core: reading kmeans: %w", err)
+			return nil, nil, nil, fmt.Errorf("core: reading kmeans: %w", err)
 		}
-		ix.km = km
+		km = m
 	case "none":
 	default:
 		if err := rr.Err(); err != nil {
-			return err
+			return nil, nil, nil, err
 		}
-		return fmt.Errorf("core: unknown partitioner section %q", kind)
+		return nil, nil, nil, fmt.Errorf("core: unknown partitioner section %q", kind)
 	}
 
 	nGroups := rr.Int()
 	if err := rr.Err(); err != nil {
-		return err
+		return nil, nil, nil, err
 	}
 	if nGroups < 1 || nGroups > 1<<20 {
-		return fmt.Errorf("core: decoded group count %d implausible", nGroups)
+		return nil, nil, nil, fmt.Errorf("core: decoded group count %d implausible", nGroups)
 	}
-	ix.groups = make([]*group, nGroups)
-	for gi := range ix.groups {
+	groups := make([]*group, nGroups)
+	for gi := range groups {
 		g := &group{
 			members: rr.Ints(),
 			w:       rr.F64(),
 		}
 		fam, err := lshfunc.DecodeFamily(rr)
 		if err != nil {
-			return fmt.Errorf("core: group %d family: %w", gi, err)
+			return nil, nil, nil, fmt.Errorf("core: group %d family: %w", gi, err)
 		}
 		g.fam = fam
 		switch o.Lattice {
@@ -177,43 +183,43 @@ func readStructure(rr *wire.Reader, ix *Index, n int) error {
 		case LatticeDn:
 			g.lat = lattice.NewDn(o.Params.M)
 		default:
-			return fmt.Errorf("core: decoded lattice kind %d unknown", int(o.Lattice))
+			return nil, nil, nil, fmt.Errorf("core: decoded lattice kind %d unknown", int(o.Lattice))
 		}
 		nTables := rr.Int()
 		if err := rr.Err(); err != nil {
-			return err
+			return nil, nil, nil, err
 		}
 		if nTables != o.Params.L {
-			return fmt.Errorf("core: group %d has %d tables, options say %d", gi, nTables, o.Params.L)
+			return nil, nil, nil, fmt.Errorf("core: group %d has %d tables, options say %d", gi, nTables, o.Params.L)
 		}
 		g.tables = make([]*lshtable.Table, nTables)
 		for t := range g.tables {
 			tab, err := lshtable.DecodeTable(rr)
 			if err != nil {
-				return fmt.Errorf("core: group %d table %d: %w", gi, t, err)
+				return nil, nil, nil, fmt.Errorf("core: group %d table %d: %w", gi, t, err)
 			}
 			g.tables[t] = tab
 		}
 		for _, id := range g.members {
 			if id < 0 || id >= n {
-				return fmt.Errorf("core: group %d references row %d of %d", gi, id, n)
+				return nil, nil, nil, fmt.Errorf("core: group %d references row %d of %d", gi, id, n)
 			}
 		}
-		ix.groups[gi] = g
+		groups[gi] = g
 	}
 	if err := rr.Err(); err != nil {
-		return err
+		return nil, nil, nil, err
 	}
 
 	if o.ProbeMode == ProbeHierarchy {
-		for gi, g := range ix.groups {
+		for gi, g := range groups {
 			switch lat := g.lat.(type) {
 			case *lattice.ZM:
 				g.mortonH = make([]*hierarchy.Morton, len(g.tables))
 				for t, tab := range g.tables {
 					h, err := hierarchy.NewMorton(tab, o.Params.M, o.MortonBits)
 					if err != nil {
-						return fmt.Errorf("core: group %d morton hierarchy: %w", gi, err)
+						return nil, nil, nil, fmt.Errorf("core: group %d morton hierarchy: %w", gi, err)
 					}
 					g.mortonH[t] = h
 				}
@@ -222,14 +228,14 @@ func readStructure(rr *wire.Reader, ix *Index, n int) error {
 				for t, tab := range g.tables {
 					h, err := hierarchy.NewE8Tree(tab, lat)
 					if err != nil {
-						return fmt.Errorf("core: group %d lattice hierarchy: %w", gi, err)
+						return nil, nil, nil, fmt.Errorf("core: group %d lattice hierarchy: %w", gi, err)
 					}
 					g.e8H[t] = h
 				}
 			}
 		}
 	}
-	return nil
+	return tree, km, groups, nil
 }
 
 // ReadIndex deserializes an index written by WriteTo, rebuilding all
@@ -245,9 +251,9 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: reading data: %w", err)
 	}
-	ix := &Index{data: data, opts: o}
-	if err := readStructure(rr, ix, data.N); err != nil {
+	tree, km, groups, err := readStructure(rr, o, data.N)
+	if err != nil {
 		return nil, err
 	}
-	return ix, nil
+	return newIndex(o, data, nil, tree, km, groups), nil
 }

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// TestConcurrentMixedWorkload drives queries, inserts, deletes and
+// compactions from concurrent goroutines against one index. Run under
+// `go test -race` (make race / CI) it is the safety net for the snapshot
+// protocol; its own assertions pin the semantics:
+//
+//   - the snapshot epoch observed by any single goroutine is monotone;
+//   - query results never contain out-of-range ids;
+//   - no live row is lost: after the dust settles,
+//     Len() == initial + inserts − successful deletes, and a final Compact
+//     folds everything into a base of exactly that size.
+//
+// The memtable threshold is tiny so seals and auto-compactions fire
+// constantly, maximizing snapshot churn.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	data := testData(t, 300, 12, 61)
+	opts := Options{
+		Partitioner:         PartitionRPTree,
+		Groups:              4,
+		Params:              lshfunc.Params{M: 4, L: 3, W: 4},
+		MemtableThreshold:   16,
+		AutoCompactSegments: 3,
+	}
+	ix, err := Build(data, opts, xrand.New(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers      = 4
+		writers      = 2
+		deleters     = 2
+		opsPerWorker = 250
+	)
+	var (
+		wg        sync.WaitGroup
+		inserts   atomic.Int64
+		deletes   atomic.Int64
+		failures  atomic.Int64
+		firstFail atomic.Value // string
+	)
+	fail := func(msg string) {
+		failures.Add(1)
+		firstFail.CompareAndSwap(nil, msg)
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := xrand.New(seed)
+			lastEpoch := uint64(0)
+			for i := 0; i < opsPerWorker; i++ {
+				e := ix.Epoch()
+				if e < lastEpoch {
+					fail("epoch went backwards")
+					return
+				}
+				lastEpoch = e
+				q := data.Row(rng.Intn(data.N))
+				res, _ := ix.Query(q, 5)
+				for _, id := range res.IDs {
+					if id < 0 {
+						fail("negative id in query result")
+						return
+					}
+				}
+			}
+		}(int64(100 + r))
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := xrand.New(seed)
+			for i := 0; i < opsPerWorker; i++ {
+				v := vec.Clone(data.Row(rng.Intn(data.N)))
+				v[0] += float32(rng.Float64()) * 0.01
+				if _, err := ix.Insert(v); err != nil {
+					fail("insert failed: " + err.Error())
+					return
+				}
+				inserts.Add(1)
+			}
+		}(int64(200 + w))
+	}
+
+	for d := 0; d < deleters; d++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := xrand.New(seed)
+			for i := 0; i < opsPerWorker; i++ {
+				// Ids are unstable across compactions, so this deletes
+				// "whatever currently holds this slot" — the accounting
+				// below only relies on each success killing one live row.
+				if ix.Delete(rng.Intn(data.N)) {
+					deletes.Add(1)
+				}
+			}
+		}(int64(300 + d))
+	}
+
+	// A dedicated compactor on top of the auto-compactions; busy is fine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := ix.Compact(); err != nil && !errors.Is(err, ErrCompactBusy) {
+				fail("compact failed: " + err.Error())
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d worker failures; first: %s", failures.Load(), firstFail.Load())
+	}
+
+	wantLive := int64(data.N) + inserts.Load() - deletes.Load()
+	if got := int64(ix.Len()); got != wantLive {
+		t.Fatalf("Len = %d, want %d (%d inserts, %d deletes)",
+			got, wantLive, inserts.Load(), deletes.Load())
+	}
+
+	// Fold everything; an async auto-compaction may still be running, so
+	// retry on busy.
+	for {
+		if _, err := ix.Compact(); err == nil {
+			break
+		} else if !errors.Is(err, ErrCompactBusy) {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if int64(ix.Len()) != wantLive || int64(ix.N()) != wantLive {
+		t.Fatalf("after final Compact Len=%d N=%d want %d", ix.Len(), ix.N(), wantLive)
+	}
+	if ix.Epoch() < 2 {
+		t.Fatalf("epoch = %d; snapshots were never republished", ix.Epoch())
+	}
+}

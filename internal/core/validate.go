@@ -1,0 +1,27 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckVector validates a vector at the API boundary: the dimensionality
+// must match and every component must be a finite number. NaN poisons
+// every distance comparison it touches and ±Inf breaks projection
+// arithmetic, so both are rejected up front — by Insert and Query in this
+// package and by the server's JSON handlers — rather than silently
+// corrupting the index or the result order.
+func CheckVector(dim int, v []float32) error {
+	if len(v) != dim {
+		return fmt.Errorf("core: vector has dim %d, want %d", len(v), dim)
+	}
+	for i, x := range v {
+		if math.IsNaN(float64(x)) {
+			return fmt.Errorf("core: vector component %d is NaN", i)
+		}
+		if math.IsInf(float64(x), 0) {
+			return fmt.Errorf("core: vector component %d is infinite", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bilsh/internal/lshfunc"
+)
+
+func TestCheckVector(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	cases := []struct {
+		name    string
+		dim     int
+		v       []float32
+		wantErr string // substring; empty means valid
+	}{
+		{"valid", 3, []float32{1, -2, 0.5}, ""},
+		{"nil", 3, nil, "dim 0, want 3"},
+		{"short", 3, []float32{1, 2}, "dim 2, want 3"},
+		{"long", 3, []float32{1, 2, 3, 4}, "dim 4, want 3"},
+		{"nan", 3, []float32{1, nan, 3}, "component 1 is NaN"},
+		{"pos-inf", 3, []float32{inf, 2, 3}, "component 0 is infinite"},
+		{"neg-inf", 3, []float32{1, 2, -inf}, "component 2 is infinite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckVector(tc.dim, tc.v)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("CheckVector = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("CheckVector = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestInsertRejectsNonFinite pins the boundary: a NaN or Inf component must
+// be refused before it can poison bucket routing or distance ranking, and
+// a rejected insert must not consume an id or change the live count.
+func TestInsertRejectsNonFinite(t *testing.T) {
+	ix, data := dynamicIndex(t, Options{Partitioner: PartitionNone, Params: lshfunc.Params{M: 4, L: 2, W: 2}})
+	n0 := ix.Len()
+	bad := [][]float32{
+		{1, 2, 3}, // wrong dim (index is 12-dimensional)
+		append(make([]float32, 11), float32(math.NaN())),
+		append(make([]float32, 11), float32(math.Inf(-1))),
+	}
+	for _, v := range bad {
+		if _, err := ix.Insert(v); err == nil {
+			t.Fatalf("Insert(%v) must fail", v)
+		}
+	}
+	if ix.Len() != n0 {
+		t.Fatalf("rejected inserts changed Len: %d -> %d", n0, ix.Len())
+	}
+	// A valid insert afterwards gets the first overlay id.
+	id, err := ix.Insert(data.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != data.N {
+		t.Fatalf("id after rejected inserts = %d, want %d", id, data.N)
+	}
+}
+
+// TestQueryWrongDimReturnsEmpty pins Query's inline guard: the signature
+// has no error slot, so a wrong-dimension query yields an empty result
+// rather than a panic inside projection arithmetic.
+func TestQueryWrongDimReturnsEmpty(t *testing.T) {
+	ix, _ := dynamicIndex(t, Options{Partitioner: PartitionNone, Params: lshfunc.Params{M: 4, L: 2, W: 2}})
+	res, st := ix.Query([]float32{1, 2, 3}, 5)
+	if len(res.IDs) != 0 || len(res.Dists) != 0 {
+		t.Fatalf("wrong-dim query returned results: %+v", res)
+	}
+	if st.Candidates != 0 {
+		t.Fatalf("wrong-dim query reported candidates: %+v", st)
+	}
+}

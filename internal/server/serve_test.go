@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bilsh/internal/core"
+)
+
+// TestNonFiniteVectorsRejected pins the boundary: non-finite components
+// must never reach the index. Standard JSON cannot even express NaN/Inf,
+// so clients that try send either bare NaN/Infinity tokens (invalid JSON)
+// or out-of-range numbers like 1e999 (overflow float32); both must come
+// back as 400, on the single and the batch endpoint. (core.CheckVector's
+// own NaN/Inf branch — reachable through the Go API — is covered by the
+// core package's validation tests.)
+func TestNonFiniteVectorsRejected(t *testing.T) {
+	srv, _ := testServer(t, false)
+	bodies := []string{
+		`{"vector":[NaN,0,0,0,0,0,0,0],"k":1}`,
+		`{"vector":[0,0,0,Infinity,0,0,0,0],"k":1}`,
+		`{"vector":[0,0,0,0,0,0,0,1e999],"k":1}`,
+		`{"vector":[0,0,0,0,0,0,0,-1e999],"k":1}`,
+	}
+	for _, body := range bodies {
+		resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("query body %s: status = %d, want 400", body, resp.StatusCode)
+		}
+		batch := `{"vectors":[` + body[len(`{"vector":`):len(body)-len(`,"k":1}`)] + `],"k":1}`
+		resp, err = http.Post(srv.URL+"/batch", "application/json", strings.NewReader(batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("batch body %s: status = %d, want 400", batch, resp.StatusCode)
+		}
+	}
+}
+
+// TestAsyncCompact exercises the 202 path: the response returns before the
+// rebuild finishes, and /info eventually reports the overlay folded in.
+func TestAsyncCompact(t *testing.T) {
+	srv, data := testServer(t, true)
+	v := append([]float32(nil), data.Row(5)...)
+	v[0] += 0.001
+	if status := postJSON(t, srv.URL+"/insert", map[string]interface{}{"vector": v}, nil); status != http.StatusOK {
+		t.Fatalf("insert status = %d", status)
+	}
+	var started struct {
+		Status string `json:"status"`
+	}
+	status := postJSON(t, srv.URL+"/compact", map[string]bool{"async": true}, &started)
+	if status != http.StatusAccepted || started.Status != "started" {
+		t.Fatalf("async compact = %d %+v, want 202 started", status, started)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var d core.Description
+		resp, err := http.Get(srv.URL + "/info")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if d.PendingInserts == 0 && d.PendingDeletes == 0 {
+			if d.N != 301 {
+				t.Fatalf("post-compact N = %d, want 301", d.N)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("async compact never completed: %+v", d)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeGracefulShutdown starts Serve on a real listener, parks a
+// request mid-body, cancels the serve context, and verifies that (a) the
+// listener stops accepting new connections, (b) the in-flight request
+// still completes with a full response, and (c) Serve returns nil after
+// the drain.
+func TestServeGracefulShutdown(t *testing.T) {
+	ix, data := testIndexData(t)
+	s := New(ix, false)
+	s.SetDrainTimeout(5 * time.Second)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	raw, err := json.Marshal(queryRequest{Vector: data.Row(3), K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Send headers and half the body: the connection is now mid-request
+	// and must be drained, not dropped, by shutdown.
+	fmt.Fprintf(conn, "POST /query HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", len(raw))
+	if _, err := conn.Write(raw[:len(raw)/2]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the server enter the request
+	cancel()
+
+	// The listener must close promptly: new connections get refused.
+	refusedBy := time.Now().Add(5 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second)
+		if err != nil {
+			break
+		}
+		c.Close()
+		if time.Now().After(refusedBy) {
+			t.Fatal("listener still accepting connections after shutdown began")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Finish the in-flight request; it must be answered in full.
+	if _, err := conn.Write(raw[len(raw)/2:]); err != nil {
+		t.Fatalf("writing rest of body: %v", err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("in-flight request dropped during shutdown: %v", err)
+	}
+	var out queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(out.Neighbors) == 0 || out.Neighbors[0].ID != 3 {
+		t.Fatalf("in-flight response wrong: %d %+v", resp.StatusCode, out)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve = %v, want nil after clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+}

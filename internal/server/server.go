@@ -1,8 +1,9 @@
 // Package server exposes a Bi-level LSH index over HTTP with a small JSON
 // API — the deployment shape for using the index as a shared similarity
-// service. Handlers are safe for concurrent use: reads share an RWMutex
-// read lock; mutating endpoints (insert, delete, compact) take the write
-// lock, matching the core package's concurrency contract.
+// service. Handlers are safe for concurrent use and lock-free: the core
+// index publishes immutable snapshots, so queries are served without any
+// server-side locking and mutations serialize inside the index itself
+// (see docs/concurrency.md).
 //
 // Endpoints:
 //
@@ -14,21 +15,22 @@
 //	POST /insert           -> {"vector":[...]}                    -> {"id":...}
 //	POST /delete           -> {"id":...}                          -> {"deleted":bool}
 //	POST /compact          -> {}                                  -> {"live":...}
+//	POST /compact          -> {"async":true}                      -> 202 {"status":"started"}
+//
+// Vectors are JSON arrays of numbers with the index's dimensionality;
+// NaN and infinite components are rejected with 400 at the boundary.
 //
 // With EnablePprof(true), the net/http/pprof handlers are mounted under
 // /debug/pprof/. Requests with a known path but wrong method receive 405
 // with an Allow header; every endpoint is wrapped in middleware recording
 // request counts, in-flight gauge, latency histograms and error counts
 // into the metrics registry (see docs/metrics.md).
-//
-// Vectors are JSON arrays of numbers with the index's dimensionality.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sync"
 	"time"
 
 	"bilsh/internal/core"
@@ -41,7 +43,6 @@ const maxBodyBytes = 64 << 20
 
 // Server wraps an index with the HTTP API.
 type Server struct {
-	mu sync.RWMutex
 	ix *core.Index
 
 	// mutable reports whether mutating endpoints are enabled.
@@ -56,6 +57,8 @@ type Server struct {
 	pprofOn bool
 	// start anchors the uptime gauge.
 	start time.Time
+	// drainTimeout bounds Serve's graceful shutdown (default 30s).
+	drainTimeout time.Duration
 }
 
 // New wraps ix. When mutable is false the insert/delete/compact endpoints
@@ -63,11 +66,12 @@ type Server struct {
 // metrics endpoint is on and pprof is off by default.
 func New(ix *core.Index, mutable bool) *Server {
 	return &Server{
-		ix:        ix,
-		mutable:   mutable,
-		reg:       metrics.Default(),
-		metricsOn: true,
-		start:     time.Now(),
+		ix:           ix,
+		mutable:      mutable,
+		reg:          metrics.Default(),
+		metricsOn:    true,
+		start:        time.Now(),
+		drainTimeout: 30 * time.Second,
 	}
 }
 
@@ -84,6 +88,10 @@ func (s *Server) EnablePprof(on bool) { s.pprofOn = on }
 // registries; production keeps the process-wide default). Call before
 // Handler.
 func (s *Server) SetRegistry(r *metrics.Registry) { s.reg = r }
+
+// SetDrainTimeout bounds how long Serve waits for in-flight requests on
+// shutdown (default 30s). Call before Serve.
+func (s *Server) SetDrainTimeout(d time.Duration) { s.drainTimeout = d }
 
 // Handler returns the routed http.Handler. Routing is an explicit
 // path -> method table so that a known path with the wrong method gets a
@@ -148,11 +156,14 @@ type batchResponse struct {
 	Results []queryResponse `json:"results"`
 }
 
+// compactRequest is the /compact body. The zero value ({}) requests a
+// synchronous compaction.
+type compactRequest struct {
+	Async bool `json:"async,omitempty"`
+}
+
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	d := s.ix.Describe()
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, d)
+	writeJSON(w, http.StatusOK, s.ix.Describe())
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -163,13 +174,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = 10
 	}
-	if len(req.Vector) != s.dim() {
-		httpError(w, http.StatusBadRequest, "vector has %d dims, index wants %d", len(req.Vector), s.dim())
+	if err := core.CheckVector(s.ix.Dim(), req.Vector); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.RLock()
 	res, st := s.ix.Query(req.Vector, req.K)
-	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, toResponse(res.IDs, res.Dists, st))
 }
 
@@ -185,17 +194,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "no vectors")
 		return
 	}
-	d := s.dim()
+	d := s.ix.Dim()
 	for i, v := range req.Vectors {
-		if len(v) != d {
-			httpError(w, http.StatusBadRequest, "vector %d has %d dims, index wants %d", i, len(v), d)
+		if err := core.CheckVector(d, v); err != nil {
+			httpError(w, http.StatusBadRequest, "vector %d: %v", i, err)
 			return
 		}
 	}
 	queries := vec.FromRows(req.Vectors)
-	s.mu.RLock()
 	results, stats := s.ix.QueryBatchParallel(queries, req.K, req.Workers)
-	s.mu.RUnlock()
 	resp := batchResponse{Results: make([]queryResponse, len(results))}
 	for i := range results {
 		resp.Results[i] = toResponse(results[i].IDs, results[i].Dists, stats[i])
@@ -213,9 +220,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
 	id, err := s.ix.Insert(req.Vector)
-	s.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -233,31 +238,36 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
 	ok := s.ix.Delete(req.ID)
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]bool{"deleted": ok})
 }
 
+// handleCompact folds the overlay into fresh base structures. The default
+// is synchronous (the response carries the post-compaction live count);
+// {"async":true} starts the rebuild in the background and answers 202
+// immediately — poll /info's Epoch/PendingInserts to observe completion.
+// A compaction already in progress answers 409 either way.
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMutable(w) {
 		return
 	}
-	s.mu.Lock()
-	_, err := s.ix.Compact()
-	live := s.ix.Len()
-	s.mu.Unlock()
-	if err != nil {
+	var req compactRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Async {
+		if err := s.ix.CompactAsync(); err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "started"})
+		return
+	}
+	if _, err := s.ix.Compact(); err != nil {
 		httpError(w, http.StatusConflict, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"live": live})
-}
-
-func (s *Server) dim() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.ix.Dim()
+	writeJSON(w, http.StatusOK, map[string]int{"live": s.ix.Len()})
 }
 
 func (s *Server) requireMutable(w http.ResponseWriter) bool {

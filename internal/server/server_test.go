@@ -16,7 +16,7 @@ import (
 	"bilsh/internal/xrand"
 )
 
-func testServer(t *testing.T, mutable bool) (*httptest.Server, *vec.Matrix) {
+func testIndexData(t *testing.T) (*core.Index, *vec.Matrix) {
 	t.Helper()
 	spec := dataset.ClusteredSpec{N: 300, D: 8, Clusters: 4, IntrinsicDim: 3,
 		Aspect: 3, NoiseSigma: 0.05, Spread: 8, PowerLaw: 0.3, ScaleSpread: 2}
@@ -31,6 +31,12 @@ func testServer(t *testing.T, mutable bool) (*httptest.Server, *vec.Matrix) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return ix, data
+}
+
+func testServer(t *testing.T, mutable bool) (*httptest.Server, *vec.Matrix) {
+	t.Helper()
+	ix, data := testIndexData(t)
 	srv := httptest.NewServer(New(ix, mutable).Handler())
 	t.Cleanup(srv.Close)
 	return srv, data
