@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fmt bench bench-concurrency
+.PHONY: check vet build test race fmt quality bench bench-concurrency
 
 check: vet build race
 
@@ -20,6 +20,14 @@ race:
 
 fmt:
 	gofmt -l -w .
+
+# Quality-regression gate (see docs/testing.md): runs the full matrix —
+# lattice × probe mode × partitioner × index lifecycle — against the
+# committed golden thresholds in internal/quality/golden/ and writes the
+# deterministic per-cell report. Two consecutive runs produce
+# byte-identical BENCH_quality.json.
+quality:
+	$(GO) run ./cmd/bilsh quality -preset full -out BENCH_quality.json
 
 # Hot-path microbenchmarks (see docs/performance.md). Writes the raw
 # `go test -json` stream to BENCH_query.json for before/after comparison.

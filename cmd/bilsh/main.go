@@ -9,6 +9,7 @@
 //	bilsh exp    -fig fig5|fig6|...|fig13c|fig4|rp-rule|tuner-ablation|all
 //	             [-scale tiny|default] [-n N -queries Q -d D -k K -reps R]
 //	bilsh bench  -- alias for "exp -fig all"
+//	bilsh quality [-preset full|small] [-out BENCH_quality.json]
 //
 // Every command is deterministic under -seed.
 package main
@@ -42,6 +43,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "exp":
 		err = cmdExp(os.Args[2:])
+	case "quality":
+		err = cmdQuality(os.Args[2:])
 	case "bench":
 		err = cmdExp(append([]string{"-fig", "all"}, os.Args[2:]...))
 	case "-h", "--help", "help":
@@ -70,6 +73,7 @@ commands:
   serve        expose an index over an HTTP JSON API
   exp          run a paper experiment and print its table (-fig fig4..fig13c, all)
   bench        run every experiment (alias for exp -fig all)
+  quality      run the deterministic quality-regression matrix against golden thresholds
 
 run "bilsh <command> -h" for the command's flags
 `)

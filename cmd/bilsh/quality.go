@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"bilsh/internal/quality"
+)
+
+// cmdQuality runs the deterministic quality-regression matrix (see
+// internal/quality and docs/testing.md) and checks every cell against the
+// committed golden thresholds. `make quality` is a thin wrapper around
+// this command; CI fails when any cell misses its threshold or a Bi-level
+// cell falls below its standard-LSH baseline.
+func cmdQuality(args []string) error {
+	fs := newFlagSet("quality")
+	preset := fs.String("preset", "full", "configuration preset: full or small")
+	out := fs.String("out", "", "write the JSON report to this file")
+	cache := fs.String("cache", "", "exact-oracle cache directory (default: a bilsh-quality dir under the OS temp dir)")
+	update := fs.String("update-golden", "", "regenerate the golden threshold table from this run and write it to the given path instead of checking")
+	quiet := fs.Bool("q", false, "suppress the per-cell table, print only the verdict")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg quality.Config
+	switch *preset {
+	case "full":
+		cfg = quality.Full()
+	case "small":
+		cfg = quality.Small()
+	default:
+		return fmt.Errorf("unknown preset %q (want full or small)", *preset)
+	}
+	cfg.CacheDir = *cache
+
+	rep, err := quality.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *update != "" {
+		raw, err := quality.JSON(quality.NewGolden(rep))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*update, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("quality: wrote regenerated %s golden thresholds to %s (%d cells)\n",
+			cfg.Preset, *update, len(rep.Cells))
+		return nil
+	}
+
+	golden, err := quality.LoadGolden(cfg.Preset)
+	if err != nil {
+		return err
+	}
+	if err := golden.Check(rep); err != nil {
+		return err
+	}
+
+	if !*quiet {
+		printQualityTable(rep)
+	}
+	if *out != "" {
+		raw, err := quality.JSON(rep)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("quality gate failed (see table above)")
+	}
+	fmt.Printf("quality gate passed: %d cells within thresholds, ordering holds\n", len(rep.Cells))
+	return nil
+}
+
+// printQualityTable renders the per-cell results plus any ordering
+// violations.
+func printQualityTable(rep *quality.Report) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "cell\trecall@K\t(min)\terror\t(min)\tselectivity\t(max)\tcandidates\tverdict")
+	for _, c := range rep.Cells {
+		verdict := "ok"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "%s\t%.4f\t%.3f\t%.4f\t%.3f\t%.4f\t%.4f\t%.1f\t%s\n",
+			c.Key, c.Recall, c.Threshold.MinRecall, c.ErrorRatio, c.Threshold.MinErrorRatio,
+			c.Selectivity, c.Threshold.MaxSelectivity, c.Candidates, verdict)
+	}
+	w.Flush()
+	for _, v := range rep.OrderingViolations {
+		fmt.Printf("ordering violation: %s\n", v)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"bilsh/internal/knn"
 	"bilsh/internal/lattice"
+	"bilsh/internal/lshfunc"
 	"bilsh/internal/topk"
 	"bilsh/internal/vec"
 	"bilsh/internal/xrand"
@@ -483,5 +484,125 @@ func TestQueryBatchMatchesReference(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestCompactEquivalentToFreshBuild pins Compact's strongest contract: an
+// index that absorbed inserts and deletes and then compacted must be
+// indistinguishable — identical ids, distances and deterministic stats —
+// from an index freshly built over the surviving vectors.
+//
+// The setup uses PartitionNone with a fixed W: with no data-dependent
+// level-1 partition and no tuner, the hash family drawn from a seed is
+// independent of the data it indexes, so the compacted index and the
+// fresh build share their hash functions exactly and equivalence is
+// byte-identical, not statistical. (Compact renumbers survivors densely
+// in original id order, which is exactly row order in the fresh build's
+// matrix.)
+func TestCompactEquivalentToFreshBuild(t *testing.T) {
+	lattices := []LatticeKind{LatticeZM, LatticeE8, LatticeDn}
+	modes := []ProbeMode{ProbeSingle, ProbeMulti, ProbeHierarchy}
+	for _, lat := range lattices {
+		for _, mode := range modes {
+			t.Run(fmt.Sprintf("%v/%v", lat, mode), func(t *testing.T) {
+				const (
+					n       = 600
+					d       = 24
+					inserts = 50
+					k       = 7
+				)
+				rng := xrand.New(27)
+				data := vec.NewMatrix(n, d)
+				for i := 0; i < n; i++ {
+					copy(data.Row(i), rng.GaussianVec(d))
+					vec.Scale(data.Row(i), 2)
+				}
+				ins := vec.NewMatrix(inserts, d)
+				for i := 0; i < inserts; i++ {
+					copy(ins.Row(i), rng.GaussianVec(d))
+					vec.Scale(ins.Row(i), 2)
+				}
+				qs := vec.NewMatrix(40, d)
+				for i := 0; i < qs.N; i++ {
+					copy(qs.Row(i), data.Row(rng.Intn(n)))
+					noise := rng.GaussianVec(d)
+					vec.Scale(noise, 0.2)
+					vec.Add(qs.Row(i), qs.Row(i), noise)
+				}
+
+				opts := Options{
+					Partitioner: PartitionNone,
+					Lattice:     lat,
+					ProbeMode:   mode,
+					Probes:      10,
+					Params:      lshfunc.Params{M: 8, L: 4, W: 2.5},
+					// Small memtable: the workload seals frozen segments, so
+					// Compact folds in every overlay representation.
+					MemtableThreshold: 16,
+				}
+				ix, err := Build(data, opts, xrand.New(5))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < inserts; i++ {
+					if _, err := ix.Insert(ins.Row(i)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				deleted := make([]bool, n+inserts)
+				for i := 0; i < 45; i++ {
+					id := rng.Intn(n)
+					ix.Delete(id)
+					deleted[id] = true
+				}
+				for i := 0; i < 12; i++ {
+					id := n + rng.Intn(inserts)
+					ix.Delete(id)
+					deleted[id] = true
+				}
+				if _, err := ix.Compact(); err != nil {
+					t.Fatal(err)
+				}
+
+				// Survivors in original id order = Compact's dense renumbering.
+				var rows [][]float32
+				for id := 0; id < n+inserts; id++ {
+					if deleted[id] {
+						continue
+					}
+					if id < n {
+						rows = append(rows, data.Row(id))
+					} else {
+						rows = append(rows, ins.Row(id-n))
+					}
+				}
+				fresh, err := Build(vec.FromRows(rows), opts, xrand.New(5))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				for qi := 0; qi < qs.N; qi++ {
+					q := qs.Row(qi)
+					got, gotSt := ix.Query(q, k)
+					want, wantSt := fresh.Query(q, k)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("query %d: compacted differs from fresh build\n got %+v\nwant %+v", qi, got, want)
+					}
+					if !sameStats(gotSt, wantSt) {
+						t.Fatalf("query %d: stats mismatch\n got %+v\nwant %+v", qi, gotSt, wantSt)
+					}
+				}
+				gotRes, gotSt := ix.QueryBatch(qs, k)
+				wantRes, wantSt := fresh.QueryBatch(qs, k)
+				for qi := range wantRes {
+					if !reflect.DeepEqual(gotRes[qi], wantRes[qi]) {
+						t.Fatalf("batch query %d: compacted differs from fresh build\n got %+v\nwant %+v", qi, gotRes[qi], wantRes[qi])
+					}
+					if !sameStats(gotSt[qi], wantSt[qi]) {
+						t.Fatalf("batch query %d: stats mismatch\n got %+v\nwant %+v", qi, gotSt[qi], wantSt[qi])
+					}
+				}
+			})
+		}
 	}
 }

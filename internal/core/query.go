@@ -66,10 +66,11 @@ type QueryStats struct {
 // drawn from a pool, and only the returned result slices are allocated.
 func (ix *Index) Query(q []float32, k int) (knn.Result, QueryStats) {
 	sn := ix.loadSnap()
-	if len(q) != sn.data.D {
+	if len(q) != sn.data.D || k < 1 {
 		// Cheap structural check on the hot path; full NaN/Inf scanning is
 		// the boundary's job (CheckVector) and garbage-in yields an empty
-		// or meaningless result, never corruption.
+		// or meaningless result, never corruption. k < 1 asks for nothing
+		// and gets exactly that.
 		return knn.Result{}, QueryStats{}
 	}
 	s := ix.getScratch()
@@ -221,6 +222,9 @@ func (sn *snapshot) plainShortListSize(q []float32, s *scratch) int {
 // index's live rows — the self-contained ground-truth reference (the index
 // stores its vectors, so no external data file is needed).
 func (ix *Index) ExactKNN(q []float32, k int) knn.Result {
+	if k < 1 {
+		return knn.Result{}
+	}
 	sn := ix.loadSnap()
 	total := sn.total()
 	h := topk.New(k)
@@ -300,6 +304,9 @@ func (ix *Index) QueryBatch(queries *vec.Matrix, k int) ([]knn.Result, []QuerySt
 	sn := ix.loadSnap()
 	results := make([]knn.Result, queries.N)
 	stats := make([]QueryStats, queries.N)
+	if k < 1 {
+		return results, stats
+	}
 	s := ix.getScratch()
 	defer ix.putScratch(s)
 

@@ -1,0 +1,101 @@
+package knn
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"bilsh/internal/vec"
+)
+
+// TestExactEdgeCases is the table-driven boundary sweep for the exact
+// reference: degenerate k, empty data, k exceeding n, and duplicate rows
+// (tied distances). Every returned result must be NaN-free, sorted and
+// tie-stable.
+func TestExactEdgeCases(t *testing.T) {
+	data := vec.FromRows([][]float32{
+		{0, 0}, // id 0, sqdist 0
+		{1, 0}, // id 1, sqdist 1
+		{1, 0}, // id 2, duplicate of id 1
+		{0, 2}, // id 3, sqdist 4
+	})
+	empty := vec.NewMatrix(0, 2)
+	q := []float32{0, 0}
+
+	cases := []struct {
+		name      string
+		data      *vec.Matrix
+		k         int
+		wantIDs   []int
+		wantDists []float64
+	}{
+		{name: "k zero", data: data, k: 0, wantIDs: []int{}, wantDists: []float64{}},
+		{name: "k negative", data: data, k: -3, wantIDs: []int{}, wantDists: []float64{}},
+		{name: "empty data", data: empty, k: 5, wantIDs: []int{}, wantDists: []float64{}},
+		{name: "k exceeds n", data: data, k: 100, wantIDs: []int{0, 1, 2, 3}, wantDists: []float64{0, 1, 1, 4}},
+		{name: "duplicate distances tie-break by id", data: data, k: 2, wantIDs: []int{0, 1}, wantDists: []float64{0, 1}},
+		{name: "tie straddles the cut", data: data, k: 3, wantIDs: []int{0, 1, 2}, wantDists: []float64{0, 1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := Exact(tc.data, q, tc.k)
+			if !reflect.DeepEqual(r.IDs, tc.wantIDs) {
+				t.Errorf("IDs = %v, want %v", r.IDs, tc.wantIDs)
+			}
+			if !reflect.DeepEqual(r.Dists, tc.wantDists) {
+				t.Errorf("Dists = %v, want %v", r.Dists, tc.wantDists)
+			}
+			if len(r.IDs) != len(r.Dists) {
+				t.Errorf("ragged result: %d ids, %d dists", len(r.IDs), len(r.Dists))
+			}
+			for i, d := range r.Dists {
+				if math.IsNaN(d) {
+					t.Errorf("NaN distance at rank %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestExactAllDegenerate: the parallel driver must pass the degenerate
+// cases through unchanged — empty results for k <= 0, one result row per
+// query even with zero data rows.
+func TestExactAllDegenerate(t *testing.T) {
+	data := vec.FromRows([][]float32{{0, 0}, {3, 4}})
+	queries := vec.FromRows([][]float32{{0, 0}, {1, 1}, {5, 5}})
+
+	for _, k := range []int{0, -1} {
+		out := ExactAll(data, queries, k)
+		if len(out) != queries.N {
+			t.Fatalf("k=%d: got %d results, want %d", k, len(out), queries.N)
+		}
+		for qi, r := range out {
+			if len(r.IDs) != 0 || len(r.Dists) != 0 {
+				t.Errorf("k=%d query %d: non-empty result %v", k, qi, r)
+			}
+		}
+	}
+
+	out := ExactAll(vec.NewMatrix(0, 2), queries, 3)
+	for qi, r := range out {
+		if len(r.IDs) != 0 {
+			t.Errorf("empty data, query %d: got %d neighbors", qi, len(r.IDs))
+		}
+	}
+}
+
+// TestMetricsDegenerate: the quality metrics must stay NaN-free on empty
+// inputs (a query with no results is a recall-0, not a 0/0).
+func TestMetricsDegenerate(t *testing.T) {
+	if r := Recall([]int{1, 2}, nil); r != 0 {
+		t.Errorf("Recall(truth, empty) = %v, want 0", r)
+	}
+	m := Measure(Result{IDs: []int{1}, Dists: []float64{1}}, Result{IDs: []int{}, Dists: []float64{}}, 0, 10)
+	for name, v := range map[string]float64{
+		"recall": m.Recall, "error": m.ErrorRatio, "selectivity": m.Selectivity,
+	} {
+		if math.IsNaN(v) {
+			t.Errorf("%s is NaN on an empty result", name)
+		}
+	}
+}

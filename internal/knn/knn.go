@@ -21,8 +21,11 @@ type Result struct {
 
 // Exact computes the exact k nearest neighbors of query within data by
 // linear scan — the O(n) reference the approximate algorithms are judged
-// against.
+// against. k <= 0 yields an empty result.
 func Exact(data *vec.Matrix, query []float32, k int) Result {
+	if k <= 0 {
+		return Result{IDs: []int{}, Dists: []float64{}}
+	}
 	h := topk.New(k)
 	for i := 0; i < data.N; i++ {
 		d := vec.SqDist(data.Row(i), query)

@@ -1,0 +1,154 @@
+package lattice_test
+
+import (
+	"math"
+	"testing"
+
+	"bilsh/internal/lattice"
+	"bilsh/internal/quality"
+)
+
+// Fuzz targets for the two Conway–Sloane decoders. Each decoded point must
+// satisfy three properties for arbitrary finite input:
+//
+//   - membership: the output is a lattice point (IsE8 / IsDn);
+//   - idempotence: a lattice point is its own nearest lattice point, so
+//     DECODE(Center(c)) == c exactly (Eq. 9's fixed-point requirement —
+//     the hierarchy's halve-and-decode recursion terminates only because
+//     of it);
+//   - local optimality: the decoded point is at least as close to the
+//     input as every one of its kissing neighbors (the minimal vectors).
+//     The decoders are exact nearest-point algorithms, and for a lattice
+//     "closer than all kissing neighbors of the output" is the first-order
+//     check that the parity repair picked the right coordinate.
+//
+// The seed corpus is drawn from the quality harness's generators — real
+// projected-coordinate distributions, not just synthetic corner cases.
+
+// fuzzBound keeps inputs in the range where doubled int32 codes cannot
+// overflow and float rounding stays exact.
+const fuzzBound = 1e6
+
+// seedCorpus returns rows of a quality-harness dataset as 8-dim blocks.
+func seedCorpus(tb testing.TB) [][8]float64 {
+	tb.Helper()
+	train, _, _, err := quality.Generators["manifold"](32, 1, 0, 16, 3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	out := make([][8]float64, 0, train.N)
+	for i := 0; i < train.N; i++ {
+		row := train.Row(i)
+		var y [8]float64
+		for j := range y {
+			y[j] = float64(row[j])
+		}
+		out = append(out, y)
+	}
+	return out
+}
+
+func fuzzable(y [8]float64) bool {
+	for _, v := range y {
+		if math.IsNaN(v) || math.Abs(v) > fuzzBound {
+			return false
+		}
+	}
+	return true
+}
+
+func sqDistTo(y [8]float64, center []float64) float64 {
+	var d float64
+	for i, v := range y {
+		e := v - center[i]
+		d += e * e
+	}
+	return d
+}
+
+func FuzzDecodeE8(f *testing.F) {
+	for _, y := range seedCorpus(f) {
+		f.Add(y[0], y[1], y[2], y[3], y[4], y[5], y[6], y[7])
+	}
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5)
+	f.Add(0.5, -0.5, 0.5, -0.5, 0.5, -0.5, 0.5, -0.5)
+	f.Add(0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.75)
+
+	e8 := lattice.NewE8(8)
+	mins := lattice.MinVectors()
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i float64) {
+		y := [8]float64{a, b, c, d, e, g, h, i}
+		if !fuzzable(y) {
+			t.Skip()
+		}
+		p := lattice.DecodeE8(y)
+		if !lattice.IsE8(p) {
+			t.Fatalf("DecodeE8(%v) = %v is not an E8 point", y, p)
+		}
+
+		// Idempotence: the decoded point's own coordinates decode to it.
+		var back [8]float64
+		for j, v := range e8.Center(p[:]) {
+			back[j] = v
+		}
+		if again := lattice.DecodeE8(back); again != p {
+			t.Fatalf("DecodeE8 not idempotent: %v decodes to %v, whose center decodes to %v", y, p, again)
+		}
+
+		// Local optimality among the 240 kissing neighbors.
+		center := e8.Center(p[:])
+		best := sqDistTo(y, center)
+		for _, mv := range mins {
+			var q [8]int32
+			for j := range q {
+				q[j] = p[j] + mv[j]
+			}
+			if d := sqDistTo(y, e8.Center(q[:])); d < best-1e-9 {
+				t.Fatalf("DecodeE8(%v) = %v at sqdist %.12f, but neighbor %v is closer at %.12f", y, p, best, q, d)
+			}
+		}
+	})
+}
+
+func FuzzDecodeDn(f *testing.F) {
+	for _, y := range seedCorpus(f) {
+		f.Add(y[0], y[1], y[2], y[3], y[4], y[5], y[6], y[7])
+	}
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(-0.49, 0.51, 1.5, -1.5, 0.0, 0.0, 0.0, 0.99)
+
+	dn := lattice.NewDn(8)
+	mins := lattice.DnMinVectors(8)
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i float64) {
+		y := [8]float64{a, b, c, d, e, g, h, i}
+		if !fuzzable(y) {
+			t.Skip()
+		}
+		p := dn.Decode(y[:])
+		if !lattice.IsDn(p) {
+			t.Fatalf("Dn.Decode(%v) = %v is not a D8 point", y, p)
+		}
+
+		// Idempotence.
+		again := dn.Decode(dn.Center(p))
+		for j := range p {
+			if again[j] != p[j] {
+				t.Fatalf("Dn.Decode not idempotent: %v decodes to %v, whose center decodes to %v", y, p, again)
+			}
+		}
+
+		// Local optimality among the 2·8·7 = 112 kissing neighbors.
+		best := sqDistTo(y, dn.Center(p))
+		for _, mv := range mins {
+			q := make([]int32, len(p))
+			for j := range q {
+				q[j] = p[j] + mv[j]
+			}
+			if d := sqDistTo(y, dn.Center(q)); d < best-1e-9 {
+				t.Fatalf("Dn.Decode(%v) = %v at sqdist %.12f, but neighbor %v is closer at %.12f", y, p, best, q, d)
+			}
+		}
+	})
+}

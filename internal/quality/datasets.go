@@ -1,0 +1,125 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"bilsh/internal/dataset"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// A Generator produces one named synthetic workload: the indexed training
+// rows, a disjoint query set, and the rows the dynamic-overlay cells
+// insert. The same (name, sizes, seed) always yields the same bytes; the
+// oracle cache and the golden thresholds both rely on that.
+type Generator func(n, queries, inserts, d int, seed int64) (train, qs, ins *vec.Matrix, err error)
+
+// Generators is the registry of workload generators the matrix can run
+// over. Each stresses a different structural regime:
+//
+//   - "manifold": the documented GIST substitution — anisotropic low-dim
+//     clusters embedded in high dimension with strong per-cluster scale
+//     heterogeneity, the regime Bi-level LSH's per-group tuning targets;
+//   - "mixture": isotropic Gaussian mixture with log-uniform per-cluster
+//     radii — no manifold structure, but enough scale heterogeneity that a
+//     single global bucket width stays suboptimal;
+//   - "noisy": the manifold workload with a uniform background-noise
+//     fraction mixed in — cluster structure plus unstructured outliers.
+var Generators = map[string]Generator{
+	"manifold": genManifold,
+	"mixture":  genMixture,
+	"noisy":    genNoisy,
+}
+
+// genManifold is dataset.Clustered at the package defaults (intrinsic
+// dimension 8, 6:1 aspect, ScaleSpread 4), split into train/query/insert.
+func genManifold(n, queries, inserts, d int, seed int64) (*vec.Matrix, *vec.Matrix, *vec.Matrix, error) {
+	rng := xrand.New(seed)
+	spec := dataset.DefaultClusteredSpec(n+queries+inserts, d)
+	all, _, err := dataset.Clustered(spec, rng.Split(1))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return split3(all, n, queries, inserts, rng.Split(2))
+}
+
+// genMixture draws an isotropic Gaussian mixture with heterogeneous
+// cluster radii: centers ~ N(0, spread²·I), points ~ center + σ_c·N(0,I)
+// with σ_c log-uniform in [σ/4, 4σ].
+func genMixture(n, queries, inserts, d int, seed int64) (*vec.Matrix, *vec.Matrix, *vec.Matrix, error) {
+	const (
+		clusters = 24
+		spread   = 5.0
+		sigma    = 0.8
+	)
+	rng := xrand.New(seed)
+	total := n + queries + inserts
+	m := vec.NewMatrix(total, d)
+	crng := rng.Split(1)
+	centers := make([][]float32, clusters)
+	sigmas := make([]float64, clusters)
+	for c := range centers {
+		g := crng.Split(int64(c))
+		centers[c] = g.GaussianVec(d)
+		vec.Scale(centers[c], spread)
+		sigmas[c] = sigma * math.Exp(g.Uniform(math.Log(0.25), math.Log(4)))
+	}
+	prng := rng.Split(2)
+	for i := 0; i < total; i++ {
+		c := i % clusters
+		row := m.Row(i)
+		copy(row, centers[c])
+		for j := range row {
+			row[j] += float32(prng.NormFloat64() * sigmas[c])
+		}
+	}
+	return split3(m, n, queries, inserts, rng.Split(3))
+}
+
+// genNoisy is the manifold workload with 15% of the rows replaced by
+// uniform background noise spanning the cluster support.
+func genNoisy(n, queries, inserts, d int, seed int64) (*vec.Matrix, *vec.Matrix, *vec.Matrix, error) {
+	rng := xrand.New(seed)
+	total := n + queries + inserts
+	noise := total * 15 / 100
+	spec := dataset.DefaultClusteredSpec(total-noise, d)
+	clustered, _, err := dataset.Clustered(spec, rng.Split(1))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m := vec.NewMatrix(total, d)
+	copy(m.Data, clustered.Data)
+	// Uniform noise over the box spanning the clustered support.
+	lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
+	for _, v := range clustered.Data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	nrng := rng.Split(2)
+	for i := clustered.N; i < total; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = lo + float32(nrng.Float64())*(hi-lo)
+		}
+	}
+	return split3(m, n, queries, inserts, rng.Split(3))
+}
+
+// split3 partitions all's rows into train/query/insert sets by a seeded
+// permutation (the paper's protocol: disjoint queries from the same
+// collection; the dynamic inserts likewise come from the collection).
+func split3(all *vec.Matrix, n, queries, inserts int, rng *xrand.RNG) (*vec.Matrix, *vec.Matrix, *vec.Matrix, error) {
+	if all.N != n+queries+inserts {
+		return nil, nil, nil, fmt.Errorf("quality: generator produced %d rows, want %d", all.N, n+queries+inserts)
+	}
+	perm := rng.Perm(all.N)
+	train := all.Subset(perm[:n])
+	qs := all.Subset(perm[n : n+queries])
+	ins := all.Subset(perm[n+queries:])
+	return train, qs, ins, nil
+}

@@ -1,0 +1,176 @@
+package quality
+
+import (
+	"bytes"
+	"embed"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The committed golden state. A threshold is a floor (recall, error
+// ratio) or ceiling (selectivity) a cell must meet; the committed values
+// are a measured run minus explicit slack, so a legitimate small drift
+// (a different CPU's FMA contraction, a deliberate re-calibration) fits,
+// while a real regression — a broken decoder, a probe sequence that stops
+// covering neighbors, an overlay merge that drops rows — does not.
+// docs/testing.md describes when and how to regenerate them.
+
+// Threshold bounds one cell.
+type Threshold struct {
+	// MinRecall is the recall@K floor (measured − recall slack).
+	MinRecall float64 `json:"min_recall"`
+	// MinErrorRatio is the distance-ratio floor (1.0 = exact results;
+	// lower means farther neighbors reported).
+	MinErrorRatio float64 `json:"min_error_ratio"`
+	// MaxSelectivity is the candidate-cost ceiling (measured × cost
+	// slack) — it catches "recall fixed by scanning everything".
+	MaxSelectivity float64 `json:"max_selectivity"`
+}
+
+// Golden is one preset's committed threshold table.
+type Golden struct {
+	// Preset must match the Config the table was generated from.
+	Preset string `json:"preset"`
+	// OrderingSlack is the Fig. 7 assertion's tolerance: a Bi-level cell
+	// may trail its standard baseline's recall by at most this much.
+	OrderingSlack float64 `json:"ordering_slack"`
+	// Cells maps Cell.Key() to its threshold.
+	Cells map[string]Threshold `json:"cells"`
+}
+
+// Slack separations between a measured run and the thresholds generated
+// from it. Recall and error ratio get absolute slack; selectivity is
+// multiplicative (its scale varies per cell by an order of magnitude).
+const (
+	recallSlack     = 0.06
+	errorSlack      = 0.04
+	selectivityMult = 1.35
+)
+
+//go:embed golden/*.json
+var goldenFS embed.FS
+
+// LoadGolden returns the committed threshold table for a preset.
+func LoadGolden(preset string) (*Golden, error) {
+	raw, err := goldenFS.ReadFile("golden/" + preset + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("quality: no committed golden thresholds for preset %q: %w", preset, err)
+	}
+	var g Golden
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return nil, fmt.Errorf("quality: golden/%s.json: %w", preset, err)
+	}
+	if g.Preset != preset {
+		return nil, fmt.Errorf("quality: golden/%s.json declares preset %q", preset, g.Preset)
+	}
+	return &g, nil
+}
+
+// NewGolden derives a threshold table from a measured report by applying
+// the committed slack — the generation side of the golden workflow
+// (`bilsh quality -update-golden`).
+func NewGolden(rep *Report) *Golden {
+	g := &Golden{
+		Preset:        rep.Config.Preset,
+		OrderingSlack: 0.03,
+		Cells:         make(map[string]Threshold, len(rep.Cells)),
+	}
+	for _, c := range rep.Cells {
+		g.Cells[c.Key] = Threshold{
+			MinRecall:      floorTo(c.Recall-recallSlack, 3),
+			MinErrorRatio:  floorTo(c.ErrorRatio-errorSlack, 3),
+			MaxSelectivity: ceilTo(c.Selectivity*selectivityMult, 4),
+		}
+	}
+	return g
+}
+
+// Check evaluates a report against a golden table: per-cell thresholds
+// plus the Fig. 7 ordering assertion. It fills each cell's Threshold and
+// Pass fields and the report's aggregate verdict, and returns an error
+// only for structural problems (preset mismatch, matrix/golden drift) —
+// threshold failures are reported through the verdict fields so callers
+// can render the full table before failing.
+func (g *Golden) Check(rep *Report) error {
+	if g.Preset != rep.Config.Preset {
+		return fmt.Errorf("quality: checking %q report against %q golden table", rep.Config.Preset, g.Preset)
+	}
+	rep.Pass = true
+	seen := make(map[string]bool, len(rep.Cells))
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		seen[c.Key] = true
+		th, ok := g.Cells[c.Key]
+		if !ok {
+			// A matrix cell with no committed threshold means the matrix
+			// grew without regenerating the golden table.
+			return fmt.Errorf("quality: no golden threshold for cell %s (regenerate with -update-golden)", c.Key)
+		}
+		c.Threshold = &th
+		c.Pass = c.Recall >= th.MinRecall &&
+			c.ErrorRatio >= th.MinErrorRatio &&
+			c.Selectivity <= th.MaxSelectivity
+		if !c.Pass {
+			rep.Pass = false
+		}
+	}
+	for key := range g.Cells {
+		if !seen[key] {
+			return fmt.Errorf("quality: golden threshold for %s has no matrix cell (regenerate with -update-golden)", key)
+		}
+	}
+
+	// Fig. 7 ordering: at the calibrated (budget-matched) operating
+	// points, every Bi-level cell must reach its standard baseline's
+	// recall within the ordering slack.
+	rep.OrderingViolations = []string{}
+	byKey := make(map[string]*CellResult, len(rep.Cells))
+	for i := range rep.Cells {
+		byKey[rep.Cells[i].Key] = &rep.Cells[i]
+	}
+	for _, c := range rep.Cells {
+		if c.Partition != "bilevel" {
+			continue
+		}
+		baseKey := fmt.Sprintf("%s/%s/%s/standard/%s", c.Dataset, c.Lattice, c.Probe, c.Dynamics)
+		base, ok := byKey[baseKey]
+		if !ok {
+			return fmt.Errorf("quality: bilevel cell %s has no standard baseline cell", c.Key)
+		}
+		if c.Recall+g.OrderingSlack < base.Recall {
+			rep.OrderingViolations = append(rep.OrderingViolations,
+				fmt.Sprintf("%s recall %.4f < standard baseline %.4f - slack %.2f", c.Key, c.Recall, base.Recall, g.OrderingSlack))
+			rep.Pass = false
+		}
+	}
+	sort.Strings(rep.OrderingViolations)
+	return nil
+}
+
+// JSON renders a value (a Report or a Golden) as stable, indented JSON
+// with a trailing newline. Struct field order and Go's deterministic
+// float formatting make the bytes reproducible run to run.
+func JSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// floorTo rounds x down at the given decimal place (thresholds should
+// never round up past the measurement they were derived from).
+func floorTo(x float64, places int) float64 {
+	p := math.Pow(10, float64(places))
+	return math.Floor(x*p) / p
+}
+
+// ceilTo rounds x up at the given decimal place.
+func ceilTo(x float64, places int) float64 {
+	p := math.Pow(10, float64(places))
+	return math.Ceil(x*p) / p
+}

@@ -1,0 +1,151 @@
+package quality
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+
+	"bilsh/internal/knn"
+	"bilsh/internal/vec"
+)
+
+// The exact k-NN oracle. Ground truth is the expensive part of a quality
+// run (O(n·q·d) per dataset), so it is computed once by the parallel brute
+// force of internal/knn and cached to a golden file. The cache key is a
+// fingerprint of the actual vector bytes plus k — not just the seed — so a
+// change to a generator, to the splitter, or to the float pipeline
+// invalidates stale files automatically instead of silently validating
+// against the wrong truth.
+
+// oracleMagic versions the golden file format.
+const oracleMagic = "BLSHORC1"
+
+// oracleKey fingerprints one ground-truth computation: the dataset bytes,
+// the query bytes and k. ids labels the id space (the static oracle uses
+// dense row ids; dynamic oracles pass the live-id list so a different
+// delete set cannot alias).
+func oracleKey(data, queries *vec.Matrix, ids []int32, k int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(k))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(data.N)<<32|uint64(uint32(data.D)))
+	h.Write(buf[:])
+	for _, v := range data.Data {
+		binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(v))
+		h.Write(buf[:4])
+	}
+	for _, v := range queries.Data {
+		binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(v))
+		h.Write(buf[:4])
+	}
+	for _, id := range ids {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(id))
+		h.Write(buf[:4])
+	}
+	return h.Sum64()
+}
+
+// groundTruth returns exact k-NN results for every query over data,
+// reading the cached golden file when one matches the key and writing one
+// after computing otherwise. ids, when non-nil, maps data's row indices to
+// external ids (the dynamic-overlay id space); truth is returned in that
+// id space. cached reports whether the answer came from disk.
+func groundTruth(cacheDir string, data, queries *vec.Matrix, ids []int32, k int) (truth []knn.Result, cached bool, err error) {
+	if cacheDir == "" {
+		cacheDir = filepath.Join(os.TempDir(), "bilsh-quality")
+	}
+	key := oracleKey(data, queries, ids, k)
+	path := filepath.Join(cacheDir, fmt.Sprintf("oracle-%016x.golden", key))
+
+	if truth, err := readOracle(path, key, queries.N, k); err == nil {
+		return truth, true, nil
+	}
+	// Cache miss (absent, stale or corrupt): recompute and rewrite.
+	truth = knn.ExactAll(data, queries, k)
+	if ids != nil {
+		for qi := range truth {
+			for i, id := range truth[qi].IDs {
+				truth[qi].IDs[i] = int(ids[id])
+			}
+		}
+	}
+	if err := writeOracle(path, key, truth, k); err != nil {
+		return nil, false, fmt.Errorf("quality: caching oracle: %w", err)
+	}
+	return truth, false, nil
+}
+
+// readOracle loads a golden file, validating magic, key and shape.
+func readOracle(path string, key uint64, nq, k int) ([]knn.Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(oracleMagic)+24 || string(raw[:len(oracleMagic)]) != oracleMagic {
+		return nil, fmt.Errorf("quality: %s: bad oracle header", path)
+	}
+	off := len(oracleMagic)
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(raw[off:]); off += 8; return v }
+	if u64() != key {
+		return nil, fmt.Errorf("quality: %s: oracle key mismatch", path)
+	}
+	if int(u64()) != nq || int(u64()) != k {
+		return nil, fmt.Errorf("quality: %s: oracle shape mismatch", path)
+	}
+	truth := make([]knn.Result, nq)
+	for qi := range truth {
+		if off+4 > len(raw) {
+			return nil, fmt.Errorf("quality: %s: truncated oracle", path)
+		}
+		cnt := int(binary.LittleEndian.Uint32(raw[off:]))
+		off += 4
+		if cnt < 0 || cnt > k || off+12*cnt > len(raw) {
+			return nil, fmt.Errorf("quality: %s: truncated oracle", path)
+		}
+		r := knn.Result{IDs: make([]int, cnt), Dists: make([]float64, cnt)}
+		for i := 0; i < cnt; i++ {
+			r.IDs[i] = int(int32(binary.LittleEndian.Uint32(raw[off:])))
+			off += 4
+		}
+		for i := 0; i < cnt; i++ {
+			r.Dists[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[off:]))
+			off += 8
+		}
+		truth[qi] = r
+	}
+	if off != len(raw) {
+		return nil, fmt.Errorf("quality: %s: trailing oracle bytes", path)
+	}
+	return truth, nil
+}
+
+// writeOracle persists a golden file atomically (write temp + rename) so a
+// crashed run never leaves a torn cache entry.
+func writeOracle(path string, key uint64, truth []knn.Result, k int) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(oracleMagic)+24+len(truth)*(4+12*k))
+	buf = append(buf, oracleMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, key)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(truth)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+	for _, r := range truth {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.IDs)))
+		for _, id := range r.IDs {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(id)))
+		}
+		for _, d := range r.Dists {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d))
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,226 @@
+package quality
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestGateSmall is the in-tree quality gate: the Small preset must pass its
+// committed golden thresholds and the Fig. 7 ordering assertion. The Full
+// preset runs in CI via `make quality`.
+func TestGateSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality matrix skipped in -short mode")
+	}
+	cfg := Small()
+	cfg.CacheDir = t.TempDir()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGolden(cfg.Preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check(rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		if !c.Pass {
+			t.Errorf("cell %s: recall %.4f (min %.3f) error %.4f (min %.3f) selectivity %.4f (max %.4f)",
+				c.Key, c.Recall, c.Threshold.MinRecall, c.ErrorRatio, c.Threshold.MinErrorRatio,
+				c.Selectivity, c.Threshold.MaxSelectivity)
+		}
+	}
+	for _, v := range rep.OrderingViolations {
+		t.Errorf("ordering violation: %s", v)
+	}
+	if !rep.Pass {
+		t.Fatal("quality gate failed")
+	}
+}
+
+// TestRunDeterministic asserts the acceptance property of the harness: two
+// runs of the same config produce byte-identical reports (one cold oracle
+// cache, one warm, so the cache read path cannot change the numbers).
+func TestRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality matrix skipped in -short mode")
+	}
+	cfg := Small()
+	cfg.CacheDir = t.TempDir()
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := JSON(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := JSON(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two runs of the same config produced different report bytes")
+	}
+}
+
+// TestOracleCache exercises the golden-file round trip: miss, hit with
+// identical truth, and automatic recovery from a corrupted file.
+func TestOracleCache(t *testing.T) {
+	dir := t.TempDir()
+	train, qs, _, err := Generators["manifold"](200, 20, 0, 12, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truth1, cached, err := groundTruth(dir, train, qs, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first call reported a cache hit in an empty dir")
+	}
+	truth2, cached, err := groundTruth(dir, train, qs, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("second call missed the cache")
+	}
+	if !reflect.DeepEqual(truth1, truth2) {
+		t.Fatal("cached truth differs from computed truth")
+	}
+
+	// Corrupt the golden file; the oracle must detect it and recompute.
+	files, err := filepath.Glob(filepath.Join(dir, "oracle-*.golden"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want exactly one golden file, got %v (err %v)", files, err)
+	}
+	if err := os.WriteFile(files[0], []byte("BLSHORC1 garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	truth3, cached, err := groundTruth(dir, train, qs, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("corrupted golden file was served as a cache hit")
+	}
+	if !reflect.DeepEqual(truth1, truth3) {
+		t.Fatal("recomputed truth differs after corruption")
+	}
+}
+
+// TestOracleKey asserts the fingerprint separates everything it must:
+// k, the id labeling and the vector bytes.
+func TestOracleKey(t *testing.T) {
+	train, qs, _, err := Generators["manifold"](64, 8, 0, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := oracleKey(train, qs, nil, 5)
+	if oracleKey(train, qs, nil, 6) == base {
+		t.Error("key ignores k")
+	}
+	ids := make([]int32, train.N)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	if oracleKey(train, qs, ids, 5) == base {
+		t.Error("key ignores the id labeling")
+	}
+	train.Data[0] += 1
+	if oracleKey(train, qs, nil, 5) == base {
+		t.Error("key ignores the vector bytes")
+	}
+}
+
+// TestGenerators checks every registered generator for shape, seed
+// determinism and seed sensitivity.
+func TestGenerators(t *testing.T) {
+	const n, q, ins, d = 150, 15, 10, 8
+	for name, gen := range Generators {
+		t.Run(name, func(t *testing.T) {
+			tr1, qs1, in1, err := gen(n, q, ins, d, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr1.N != n || qs1.N != q || in1.N != ins || tr1.D != d || qs1.D != d || in1.D != d {
+				t.Fatalf("wrong shapes: train %dx%d queries %dx%d inserts %dx%d",
+					tr1.N, tr1.D, qs1.N, qs1.D, in1.N, in1.D)
+			}
+			tr2, qs2, in2, err := gen(n, q, ins, d, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(tr1.Data, tr2.Data) || !reflect.DeepEqual(qs1.Data, qs2.Data) || !reflect.DeepEqual(in1.Data, in2.Data) {
+				t.Fatal("same seed produced different data")
+			}
+			tr3, _, _, err := gen(n, q, ins, d, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reflect.DeepEqual(tr1.Data, tr3.Data) {
+				t.Fatal("different seeds produced identical data")
+			}
+		})
+	}
+}
+
+// TestGoldenCoversMatrix is the cheap structural guard: the committed
+// golden tables must key exactly the cells each preset's matrix produces,
+// so drift is caught even in -short mode where the matrix does not run.
+func TestGoldenCoversMatrix(t *testing.T) {
+	for _, cfg := range []Config{Full(), Small()} {
+		g, err := LoadGolden(cfg.Preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := Cells(cfg)
+		if len(g.Cells) != len(cells) {
+			t.Errorf("%s: golden has %d cells, matrix has %d", cfg.Preset, len(g.Cells), len(cells))
+		}
+		for _, c := range cells {
+			if _, ok := g.Cells[c.Key()]; !ok {
+				t.Errorf("%s: matrix cell %s has no golden threshold", cfg.Preset, c.Key())
+			}
+		}
+		if g.OrderingSlack <= 0 || g.OrderingSlack >= 0.1 {
+			t.Errorf("%s: implausible ordering slack %v", cfg.Preset, g.OrderingSlack)
+		}
+	}
+}
+
+// TestConfigValidate covers the error paths of Config.Validate.
+func TestConfigValidate(t *testing.T) {
+	good := Small()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Small preset invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Preset = "" },
+		func(c *Config) { c.Datasets = nil },
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.K = -1 },
+		func(c *Config) { c.L = 0 },
+		func(c *Config) { c.DeleteBase = c.N },
+		func(c *Config) { c.DeleteInserted = c.Inserts + 1 },
+		func(c *Config) { c.Datasets = []string{"no-such-generator"} },
+	}
+	for i, mutate := range bad {
+		c := Small()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config passed validation", i)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package topk
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestEdgeCases is the table-driven boundary sweep: k larger than the
+// stream, duplicate distances, zero and negative distances, and exact
+// (Dist, ID) tie ordering.
+func TestEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		k    int
+		in   []Item
+		want []Item
+	}{
+		{
+			name: "empty stream",
+			k:    3,
+			in:   nil,
+			want: []Item{},
+		},
+		{
+			name: "k exceeds stream length",
+			k:    10,
+			in:   []Item{{ID: 2, Dist: 1}, {ID: 1, Dist: 3}},
+			want: []Item{{ID: 2, Dist: 1}, {ID: 1, Dist: 3}},
+		},
+		{
+			name: "duplicate distances break ties by id",
+			k:    3,
+			in:   []Item{{ID: 9, Dist: 2}, {ID: 1, Dist: 2}, {ID: 5, Dist: 2}, {ID: 3, Dist: 2}},
+			want: []Item{{ID: 1, Dist: 2}, {ID: 3, Dist: 2}, {ID: 5, Dist: 2}},
+		},
+		{
+			name: "all-equal stream keeps the k smallest ids",
+			k:    2,
+			in:   []Item{{ID: 4, Dist: 0}, {ID: 2, Dist: 0}, {ID: 8, Dist: 0}, {ID: 1, Dist: 0}},
+			want: []Item{{ID: 1, Dist: 0}, {ID: 2, Dist: 0}},
+		},
+		{
+			name: "zero and negative distances order correctly",
+			k:    3,
+			in:   []Item{{ID: 1, Dist: 0}, {ID: 2, Dist: -1.5}, {ID: 3, Dist: 2}, {ID: 4, Dist: -1.5}},
+			want: []Item{{ID: 2, Dist: -1.5}, {ID: 4, Dist: -1.5}, {ID: 1, Dist: 0}},
+		},
+		{
+			name: "k equals one keeps the single best",
+			k:    1,
+			in:   []Item{{ID: 7, Dist: 5}, {ID: 3, Dist: 5}, {ID: 9, Dist: 4}},
+			want: []Item{{ID: 9, Dist: 4}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := New(tc.k)
+			for _, it := range tc.in {
+				h.Push(it.ID, it.Dist)
+			}
+			got := h.Sorted()
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("Sorted() = %v, want %v", got, tc.want)
+			}
+			if ref := SelectK(tc.in, tc.k); !reflect.DeepEqual(got, ref) {
+				t.Errorf("heap disagrees with SelectK: %v vs %v", got, ref)
+			}
+		})
+	}
+}
+
+// TestTieStabilityUnderInsertionOrder: with duplicate distances the kept
+// set and its order must not depend on the order candidates arrive — the
+// (Dist, ID) total order makes eviction deterministic.
+func TestTieStabilityUnderInsertionOrder(t *testing.T) {
+	items := []Item{
+		{ID: 0, Dist: 1}, {ID: 1, Dist: 1}, {ID: 2, Dist: 1},
+		{ID: 3, Dist: 1}, {ID: 4, Dist: 2}, {ID: 5, Dist: 2},
+	}
+	want := SelectK(items, 4)
+
+	// All rotations plus a reversal: enough order diversity to catch an
+	// arrival-order-dependent eviction rule.
+	orders := make([][]Item, 0, len(items)+1)
+	for r := 0; r < len(items); r++ {
+		rot := append(append([]Item{}, items[r:]...), items[:r]...)
+		orders = append(orders, rot)
+	}
+	rev := make([]Item, len(items))
+	for i, it := range items {
+		rev[len(items)-1-i] = it
+	}
+	orders = append(orders, rev)
+
+	for oi, order := range orders {
+		h := New(4)
+		for _, it := range order {
+			h.Push(it.ID, it.Dist)
+		}
+		if got := h.Sorted(); !reflect.DeepEqual(got, want) {
+			t.Errorf("order %d: Sorted() = %v, want %v", oi, got, want)
+		}
+	}
+}
+
+// TestWorstOnPartialHeap: Worst must report ok=false (the +Inf semantics)
+// until the heap is full, and the true k-th best afterwards.
+func TestWorstOnPartialHeap(t *testing.T) {
+	h := New(2)
+	if _, ok := h.Worst(); ok {
+		t.Fatal("empty heap reported a worst item")
+	}
+	h.Push(1, 5)
+	if _, ok := h.Worst(); ok {
+		t.Fatal("half-full heap reported a worst item")
+	}
+	if !h.Accepts(math.Inf(1)) {
+		t.Fatal("non-full heap must accept any distance")
+	}
+	h.Push(2, 3)
+	w, ok := h.Worst()
+	if !ok || w.ID != 1 || w.Dist != 5 {
+		t.Fatalf("Worst() = %v,%v, want item 1 at 5", w, ok)
+	}
+}
