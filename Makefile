@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fmt quality bench bench-concurrency
+.PHONY: check vet build test race fmt quality bench bench-concurrency durability
 
 check: vet build race
 
@@ -20,6 +20,14 @@ race:
 
 fmt:
 	gofmt -l -w .
+
+# Durability gate (see docs/durability.md): the out-of-process crash
+# harness (SIGKILL a serving child under concurrent writes, restart,
+# verify every acked write) plus a bounded fuzz pass over the WAL replay
+# path's framing invariants.
+durability:
+	$(GO) test ./internal/durable ./internal/core -run 'Crash|Durable|WAL|Checkpoint|Atomic' -v -count=1
+	$(GO) test ./internal/durable -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s
 
 # Quality-regression gate (see docs/testing.md): runs the full matrix —
 # lattice × probe mode × partitioner × index lifecycle — against the

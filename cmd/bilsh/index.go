@@ -8,6 +8,7 @@ import (
 
 	"bilsh/internal/core"
 	"bilsh/internal/dataset"
+	"bilsh/internal/durable"
 	"bilsh/internal/knn"
 	"bilsh/internal/lshfunc"
 	"bilsh/internal/vec"
@@ -109,21 +110,17 @@ func cmdBuild(args []string) error {
 	}
 	buildDur := time.Since(start)
 
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
 	var n int64
-	if *disk {
-		n, err = ix.WriteDiskTo(f)
-	} else {
-		n, err = ix.WriteTo(f)
-	}
+	err = durable.AtomicWrite(*out, func(f *os.File) error {
+		var werr error
+		if *disk {
+			n, werr = ix.WriteDiskTo(f)
+		} else {
+			n, werr = ix.WriteTo(f)
+		}
+		return werr
+	})
 	if err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
 		return err
 	}
 	kind := "self-contained"
@@ -224,15 +221,10 @@ func cmdGroundTruth(args []string) error {
 			rows[i][j] = int32(id)
 		}
 	}
-	f, err := os.Create(*out)
+	err = durable.AtomicWrite(*out, func(f *os.File) error {
+		return dataset.WriteIvecs(f, rows)
+	})
 	if err != nil {
-		return err
-	}
-	if err := dataset.WriteIvecs(f, rows); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("wrote exact %d-NN of %d queries over %d vectors to %s in %v\n",

@@ -70,7 +70,7 @@ commands:
   search       one-shot build + query + quality report
   groundtruth  compute exact k-NN id lists (ivecs)
   info         describe a persisted index
-  serve        expose an index over an HTTP JSON API
+  serve        expose an index over an HTTP JSON API (-data-dir for WAL-backed durability)
   exp          run a paper experiment and print its table (-fig fig4..fig13c, all)
   bench        run every experiment (alias for exp -fig all)
   quality      run the deterministic quality-regression matrix against golden thresholds

@@ -4,24 +4,36 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"bilsh/internal/core"
+	"bilsh/internal/durable"
 	"bilsh/internal/metrics"
 	"bilsh/internal/server"
 )
 
 // cmdServe exposes a persisted index over the HTTP JSON API.
+//
+// With -data-dir the server runs durably: every insert/delete is
+// write-ahead logged to <dir>/wal.log before it is acknowledged, POST
+// /save (and /compact) writes an atomic checkpoint, and startup replays
+// the log so acked writes survive crashes (see docs/durability.md). The
+// -index file only seeds the directory on first boot; after that the
+// checkpoint is authoritative.
 func cmdServe(args []string) error {
 	fs := newFlagSet("serve")
-	indexPath := fs.String("index", "", "index file from 'bilsh build' (required)")
-	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	indexPath := fs.String("index", "", "index file from 'bilsh build' (required unless -data-dir already holds a checkpoint)")
+	dataDir := fs.String("data-dir", "", "durable data directory (WAL + checkpoints); implies -mutable")
+	fsyncMode := fs.String("fsync", "always", "WAL durability: always (fsync before ack), interval, never")
+	fsyncEvery := fs.Duration("fsync-interval", 100*time.Millisecond, "background WAL sync cadence for -fsync=interval")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port; the bound address is printed)")
 	mutable := fs.Bool("mutable", false, "enable insert/delete/compact endpoints")
 	memtable := fs.Int("memtable", 0, "memtable seal threshold in rows (0 = default 1024)")
-	autoCompact := fs.Int("auto-compact", 0, "start a background compaction at this many frozen segments (0 disables)")
+	autoCompact := fs.Int("auto-compact", 0, "start a background compaction (a checkpoint under -data-dir) at this many frozen segments (0 disables)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 	metricsOn := fs.Bool("metrics", true, "expose GET /metrics (Prometheus text; ?format=json for JSON)")
 	pprofOn := fs.Bool("pprof", false, "expose the runtime profiler under /debug/pprof/")
@@ -29,40 +41,105 @@ func cmdServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *indexPath == "" {
+	if *indexPath == "" && *dataDir == "" {
 		return fmt.Errorf("serve: -index is required")
+	}
+	fsync, err := durable.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		return fmt.Errorf("serve: %v", err)
 	}
 
 	// The server needs the concrete *core.Index for mutation; load either
 	// layout and unwrap.
-	var ix *core.Index
-	f, err := os.Open(*indexPath)
-	if err != nil {
-		return err
-	}
-	var head [16]byte
-	if _, err := f.Read(head[:]); err == nil && string(head[:12]) == "bilsh.Disk/1" {
-		f.Close()
-		di, err := core.OpenDisk(*indexPath)
+	var (
+		ix     *core.Index
+		isDisk bool
+	)
+	if *indexPath != "" {
+		f, err := os.Open(*indexPath)
 		if err != nil {
-			return err
-		}
-		defer di.Close()
-		ix = di.Index
-	} else {
-		if _, err := f.Seek(0, 0); err != nil {
-			f.Close()
-			return err
-		}
-		ix, err = core.ReadIndex(f)
-		f.Close()
-		if err != nil {
-			return err
+			if !(os.IsNotExist(err) && *dataDir != "") {
+				return err
+			}
+			// First boot may legitimately have only the data dir; the
+			// checkpoint inside it is the index.
+		} else {
+			var head [16]byte
+			if _, err := f.Read(head[:]); err == nil && string(head[:12]) == "bilsh.Disk/1" {
+				f.Close()
+				di, err := core.OpenDisk(*indexPath)
+				if err != nil {
+					return err
+				}
+				defer di.Close()
+				ix, isDisk = di.Index, true
+			} else {
+				if _, err := f.Seek(0, 0); err != nil {
+					f.Close()
+					return err
+				}
+				ix, err = core.ReadIndex(f)
+				f.Close()
+				if err != nil {
+					return err
+				}
+			}
 		}
 	}
-	ix.ConfigureDynamic(*memtable, *autoCompact)
 
-	api := server.New(ix, *mutable)
+	api := (*server.Server)(nil)
+	var d *core.DurableIndex
+	switch {
+	case *dataDir != "":
+		if isDisk {
+			return fmt.Errorf("serve: -data-dir needs a self-contained index; %s is the disk-backed layout (checkpoints serialize the full index)", *indexPath)
+		}
+		d, err = core.OpenDurable(*dataDir, core.DurableOptions{
+			Base:                   ix, // nil is fine once a checkpoint exists
+			Fsync:                  fsync,
+			FsyncInterval:          *fsyncEvery,
+			MemtableThreshold:      *memtable,
+			AutoCheckpointSegments: *autoCompact,
+		})
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		ix = d.Index
+		*mutable = true
+		rec := d.Recovery
+		src := "seed"
+		if rec.FromCheckpoint {
+			src = "checkpoint"
+		}
+		fmt.Printf("data dir %s: gen %d from %s, replayed %d WAL records", *dataDir, rec.Gen, src, rec.Replayed)
+		if rec.TruncatedBytes > 0 {
+			fmt.Printf(", truncated %d torn tail bytes", rec.TruncatedBytes)
+		}
+		if rec.DiscardedWAL {
+			fmt.Printf(", discarded stale WAL")
+		}
+		fmt.Printf(" (fsync=%v)\n", fsync)
+		api = server.New(ix, *mutable)
+		api.SetMutator(d)
+		api.EnableSave(func() error { _, err := d.Checkpoint(); return err })
+	default:
+		ix.ConfigureDynamic(*memtable, *autoCompact)
+		api = server.New(ix, *mutable)
+		if *mutable && !isDisk {
+			// Best-effort persistence for the non-durable server: /save
+			// rewrites the index file atomically. It refuses (409) while
+			// overlay state is pending — compact first — because WriteTo
+			// only serializes the base plane.
+			out := *indexPath
+			api.EnableSave(func() error {
+				return durable.AtomicWrite(out, func(f *os.File) error {
+					_, err := ix.WriteTo(f)
+					return err
+				})
+			})
+		}
+	}
 	api.EnableMetrics(*metricsOn)
 	api.EnablePprof(*pprofOn)
 	api.SetDrainTimeout(*shutdownTimeout)
@@ -74,9 +151,17 @@ func cmdServe(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Bind before announcing so the printed address is the real one (:0
+	// resolves to the kernel-assigned port — the crash harness depends on
+	// this line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
 	fmt.Printf("serving %d vectors (dim %d, %d groups) on http://%s (mutable=%v metrics=%v pprof=%v)\n",
-		ix.N(), ix.Dim(), ix.NumGroups(), *addr, *mutable, *metricsOn, *pprofOn)
-	err = api.ListenAndServe(ctx, *addr)
+		ix.Len(), ix.Dim(), ix.NumGroups(), ln.Addr(), *mutable, *metricsOn, *pprofOn)
+	err = api.Serve(ctx, ln)
 	if ctx.Err() != nil {
 		fmt.Println("shutdown: in-flight requests drained")
 	}

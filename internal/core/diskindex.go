@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 
+	"bilsh/internal/durable"
 	"bilsh/internal/vec"
 	"bilsh/internal/wire"
 )
@@ -90,17 +91,15 @@ func (ix *Index) WriteDiskTo(f io.WriteSeeker) (int64, error) {
 	return end, nil
 }
 
-// SaveDisk writes the disk-backed layout to path.
+// SaveDisk writes the disk-backed layout to path atomically: the bytes
+// stream to path+".tmp", which is fsynced and renamed over path, so a
+// crash mid-save never leaves a truncated index behind and any previous
+// file at path stays intact until the new one is complete.
 func (ix *Index) SaveDisk(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	return durable.AtomicWrite(path, func(f *os.File) error {
+		_, err := ix.WriteDiskTo(f)
 		return err
-	}
-	if _, err := ix.WriteDiskTo(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	})
 }
 
 // DiskIndex is a queryable index whose vector rows live on disk. It

@@ -208,5 +208,55 @@ func (o *Options) fill() error {
 		// Overlay bucket keys encode the table index in one byte.
 		return fmt.Errorf("core: L = %d exceeds the 255-table limit", o.Params.L)
 	}
+	return o.Validate()
+}
+
+// Validate checks every field of a fully specified Options against the
+// ranges fill produces. Build runs it after filling defaults, and
+// ReadIndex/OpenDisk run it on the decoded option block, so a corrupt or
+// hostile index file cannot carry an unknown lattice/partitioner/probe
+// mode or a negative count into a live index.
+func (o Options) Validate() error {
+	if err := o.Params.Validate(); err != nil {
+		return err
+	}
+	switch o.Lattice {
+	case LatticeZM, LatticeE8, LatticeDn:
+	default:
+		return fmt.Errorf("core: unknown lattice kind %d", int(o.Lattice))
+	}
+	switch o.Partitioner {
+	case PartitionNone, PartitionRPTree, PartitionKMeans:
+	default:
+		return fmt.Errorf("core: unknown partitioner kind %d", int(o.Partitioner))
+	}
+	switch o.ProbeMode {
+	case ProbeSingle, ProbeMulti, ProbeHierarchy:
+	default:
+		return fmt.Errorf("core: unknown probe mode %d", int(o.ProbeMode))
+	}
+	switch o.RPRule {
+	case rptree.RuleMean, rptree.RuleMax:
+	default:
+		return fmt.Errorf("core: unknown rp-tree rule %d", int(o.RPRule))
+	}
+	switch {
+	case o.Groups < 1 || o.Groups > 1<<20:
+		return fmt.Errorf("core: group count %d out of range [1, 2^20]", o.Groups)
+	case o.Params.L > 255:
+		return fmt.Errorf("core: L = %d exceeds the 255-table limit", o.Params.L)
+	case o.Probes < 1 || o.Probes > 1<<20:
+		return fmt.Errorf("core: probe count %d out of range [1, 2^20]", o.Probes)
+	case o.TuneK < 0:
+		return fmt.Errorf("core: TuneK %d negative", o.TuneK)
+	case o.TuneTargetRecall <= 0 || o.TuneTargetRecall >= 1:
+		return fmt.Errorf("core: TuneTargetRecall %g outside (0, 1)", o.TuneTargetRecall)
+	case o.MortonBits < 1 || o.MortonBits > 31:
+		return fmt.Errorf("core: MortonBits %d out of range [1, 31]", o.MortonBits)
+	case o.HierMinCandidates < 0:
+		return fmt.Errorf("core: HierMinCandidates %d negative", o.HierMinCandidates)
+	case o.MinGroupSize < 0:
+		return fmt.Errorf("core: MinGroupSize %d negative", o.MinGroupSize)
+	}
 	return nil
 }

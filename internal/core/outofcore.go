@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 
 	"bilsh/internal/dataset"
+	"bilsh/internal/durable"
 	"bilsh/internal/kmeans"
 	"bilsh/internal/lattice"
 	"bilsh/internal/lshfunc"
@@ -252,46 +253,44 @@ func BuildDisk(dataPath, outPath string, opts Options, cfg OutOfCoreConfig, rng 
 		}
 	}
 
-	// ---- Emit the disk index: header + metadata + payload copy.
-	out, err := os.Create(outPath)
+	// ---- Emit the disk index: header + metadata + payload copy. The
+	// output is built in outPath+".tmp" and renamed into place once fsynced
+	// (durable.AtomicWrite), so an interrupted build never leaves a
+	// truncated index at outPath.
+	err = durable.AtomicWrite(outPath, func(out *os.File) error {
+		var header [diskMagicLen + 8]byte
+		copy(header[:], diskMagic[:])
+		if _, err := out.Write(header[:]); err != nil {
+			return err
+		}
+		meta := wire.NewWriter(out)
+		writeOptions(meta, opts)
+		meta.Int(n)
+		meta.Int(dim)
+		writeStructure(meta, tree, km, groups)
+		if err := meta.Flush(); err != nil {
+			return err
+		}
+		dataOffset, err := out.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return err
+		}
+		src, err := os.Open(payloadPath)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		if _, err := io.Copy(out, src); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(header[diskMagicLen:], uint64(dataOffset))
+		_, err = out.WriteAt(header[diskMagicLen:], diskMagicLen)
+		return err
+	})
 	if err != nil {
 		return 0, err
 	}
-	defer out.Close()
-	var header [diskMagicLen + 8]byte
-	copy(header[:], diskMagic[:])
-	if _, err := out.Write(header[:]); err != nil {
-		return 0, err
-	}
-	meta := wire.NewWriter(out)
-	writeOptions(meta, opts)
-	meta.Int(n)
-	meta.Int(dim)
-	writeStructure(meta, tree, km, groups)
-	if err := meta.Flush(); err != nil {
-		return 0, err
-	}
-	dataOffset, err := out.Seek(0, io.SeekCurrent)
-	if err != nil {
-		return 0, err
-	}
-	src, err := os.Open(payloadPath)
-	if err != nil {
-		return 0, err
-	}
-	if _, err := io.Copy(out, src); err != nil {
-		src.Close()
-		return 0, err
-	}
-	src.Close()
-	binary.LittleEndian.PutUint64(header[diskMagicLen:], uint64(dataOffset))
-	if _, err := out.Seek(diskMagicLen, io.SeekStart); err != nil {
-		return 0, err
-	}
-	if _, err := out.Write(header[diskMagicLen:]); err != nil {
-		return 0, err
-	}
-	return n, out.Sync()
+	return n, nil
 }
 
 // buildGroupFromSpill loads one group's spilled (id, vector) records and

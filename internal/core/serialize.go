@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -50,10 +51,18 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	return ww.BytesWritten(), nil
 }
 
+// ErrDirtyIndex is returned by WriteTo and WriteDiskTo when the index has
+// pending overlay inserts or deletes: the wire format holds only the base
+// plane, so serializing now would silently drop acked mutations. Call
+// Compact first (or serve the index through a durable data directory,
+// whose checkpoints do exactly that). The server maps this error to HTTP
+// 409 on POST /save.
+var ErrDirtyIndex = errors.New("core: index has pending inserts/deletes; call Compact before writing")
+
 // requireClean refuses serialization with pending dynamic state.
 func (sn *snapshot) requireClean() error {
 	if sn.hasOverlay() || sn.dead.count() > 0 {
-		return fmt.Errorf("core: index has pending inserts/deletes; call Compact before writing")
+		return ErrDirtyIndex
 	}
 	return nil
 }
@@ -122,7 +131,10 @@ func readOptions(rr *wire.Reader) (Options, error) {
 	if err := rr.Err(); err != nil {
 		return o, fmt.Errorf("core: reading options: %w", err)
 	}
-	if err := o.Params.Validate(); err != nil {
+	// Validate every decoded field, not just Params: a corrupt or hostile
+	// file must not smuggle an out-of-range ProbeMode or a negative
+	// Probes/Groups/MortonBits/HierMinCandidates into a live index.
+	if err := o.Validate(); err != nil {
 		return o, fmt.Errorf("core: decoded options invalid: %w", err)
 	}
 	return o, nil

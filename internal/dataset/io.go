@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"bilsh/internal/durable"
 	"bilsh/internal/vec"
 )
 
@@ -189,15 +190,11 @@ func LoadFvecsFile(path string, maxN int) (*vec.Matrix, error) {
 	return ReadFvecs(f, maxN)
 }
 
-// SaveFvecsFile writes m to path in fvecs format.
+// SaveFvecsFile writes m to path in fvecs format. The write is atomic
+// (temp file + fsync + rename), so a crash never leaves a truncated
+// dataset at path.
 func SaveFvecsFile(path string, m *vec.Matrix) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteFvecs(f, m); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return durable.AtomicWrite(path, func(f *os.File) error {
+		return WriteFvecs(f, m)
+	})
 }

@@ -1,0 +1,82 @@
+// Package durable provides the crash-safety primitives of the serving
+// stack: atomic file replacement (tmp + fsync + rename + directory sync),
+// a length-prefixed, CRC32C-framed write-ahead log with group-commit
+// fsync batching, and generation-stamped checkpoint files.
+//
+// internal/core builds its durable dynamic index (core.OpenDurable) on
+// top of these; the atomic-write helper is also what every other writer
+// of user-visible files (fvecs datasets, disk-index layouts, oracle
+// caches) routes through, so that a crash mid-write can never corrupt an
+// existing file in place. docs/durability.md describes the formats and
+// the recovery guarantees.
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// AtomicWrite replaces path atomically: the payload is streamed by write
+// into path+".tmp", fsynced, closed, renamed over path, and the parent
+// directory synced. A crash at any point leaves either the old file or
+// the complete new one — never a torn mix. The temp file is removed on
+// every failure path.
+//
+// The callback receives the open *os.File so writers that need seeking
+// (e.g. back-patched headers) work unchanged. Concurrent AtomicWrite
+// calls on the same path clobber each other's temp file; callers that
+// need mutual exclusion must provide their own.
+func AtomicWrite(path string, write func(*os.File) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// WriteFileAtomic is AtomicWrite for an in-memory payload.
+func WriteFileAtomic(path string, data []byte) error {
+	return AtomicWrite(path, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// SyncDir fsyncs a directory so a preceding rename in it is durable.
+// Filesystems that do not support directory fsync (EINVAL/ENOTSUP) are
+// treated as success: on those the rename is as durable as it gets.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,404 @@
+// Package durable_test holds the out-of-process crash-recovery harness.
+// It lives in an external test package because it exercises the full
+// stack — internal/core (which imports internal/durable) driven over HTTP
+// through a real `bilsh serve -data-dir` child process — and an in-package
+// test would create an import cycle.
+package durable_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"bilsh/internal/core"
+	"bilsh/internal/dataset"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// harness state shared by the writer goroutines.
+type crashLedger struct {
+	mu sync.Mutex
+	// ackedInserts maps acked id -> the exact vector it stored.
+	ackedInserts map[int][]float32
+	// uncertain holds vectors whose insert got no response: the crash may
+	// or may not have persisted them (at-least-once ambiguity is allowed;
+	// silent loss of an ACK is not).
+	uncertain []([]float32)
+	// ackedDeletes holds base ids whose delete was acknowledged.
+	ackedDeletes []int
+	// uncertainDeletes holds base ids whose delete got no response.
+	uncertainDeletes []int
+}
+
+func (l *crashLedger) ackedCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ackedInserts) + len(l.ackedDeletes)
+}
+
+var addrRe = regexp.MustCompile(`on http://([^ ]+) `)
+var recoveryRe = regexp.MustCompile(`gen (\d+) from (\S+), replayed (\d+) WAL records`)
+
+// startServe launches `bilsh serve` and returns the process, its base
+// URL, and the recovery line (empty on first boot without a data dir
+// read... always printed with -data-dir).
+func startServe(t *testing.T, bin string, args ...string) (*exec.Cmd, string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"serve"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		}
+	})
+	var recovery string
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	lines := make(chan string, 16)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("serve exited before announcing its address (recovery=%q)", recovery)
+			}
+			if recoveryRe.MatchString(line) {
+				recovery = line
+			}
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				// Keep draining stdout so the child never blocks on a full pipe.
+				go func() {
+					for range lines {
+					}
+				}()
+				return cmd, "http://" + m[1], recovery
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for serve to announce its address")
+		}
+	}
+}
+
+func post(url string, body, out interface{}) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// TestCrashRecoveryUnderConcurrentWrites is the end-to-end durability
+// guarantee: a `bilsh serve -data-dir -fsync=always` child is SIGKILLed
+// mid-write-storm, restarted on the same directory, and every
+// acknowledged write must be there — acked inserts queryable at distance
+// zero, acked deletes gone. Writes that never got a response may have
+// landed or not (both are correct); nothing else may change.
+func TestCrashRecoveryUnderConcurrentWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness builds and kills a real server; skipped in -short")
+	}
+	work := t.TempDir()
+	bin := filepath.Join(work, "bilsh")
+	build := exec.Command("go", "build", "-o", bin, "bilsh/cmd/bilsh")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building bilsh: %v", err)
+	}
+
+	// Seed index.
+	spec := dataset.ClusteredSpec{N: 300, D: 8, Clusters: 4, IntrinsicDim: 3,
+		Aspect: 3, NoiseSigma: 0.05, Spread: 8, PowerLaw: 0.3}
+	data, _, err := dataset.Clustered(spec, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.Build(data, core.Options{Partitioner: core.PartitionNone,
+		Params: lshfunc.Params{M: 4, L: 4, W: 8}}, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedPath := filepath.Join(work, "seed.bilsh")
+	f, err := os.Create(seedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dataDir := filepath.Join(work, "data")
+	cmd, url, _ := startServe(t, bin,
+		"-index", seedPath, "-data-dir", dataDir, "-fsync", "always", "-addr", "127.0.0.1:0")
+
+	// Writer storm: two insert writers with disjoint unique vectors, one
+	// delete writer retiring distinct base ids. Each op is pending until
+	// its response arrives; a response-less op at kill time is uncertain.
+	led := &crashLedger{ackedInserts: map[int][]float32{}}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := vec.Clone(data.Row((w*131 + i) % data.N))
+				v[0] += float32(w+1) + float32(i)*1e-3 // unique per (writer, seq)
+				var resp struct {
+					ID int `json:"id"`
+				}
+				err := post(url+"/insert", map[string]interface{}{"vector": v}, &resp)
+				led.mu.Lock()
+				if err == nil {
+					led.ackedInserts[resp.ID] = v
+				} else {
+					led.uncertain = append(led.uncertain, v)
+				}
+				led.mu.Unlock()
+				if err != nil {
+					return // connection died: the kill landed
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for id := 0; id < data.N; id++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var resp struct {
+				Deleted bool `json:"deleted"`
+			}
+			err := post(url+"/delete", map[string]interface{}{"id": id}, &resp)
+			led.mu.Lock()
+			if err == nil && resp.Deleted {
+				led.ackedDeletes = append(led.ackedDeletes, id)
+			} else if err != nil {
+				led.uncertainDeletes = append(led.uncertainDeletes, id)
+			}
+			led.mu.Unlock()
+			if err != nil {
+				return
+			}
+			time.Sleep(2 * time.Millisecond) // keep some base rows alive
+		}
+	}()
+
+	// Let the storm build up real WAL volume, then kill without warning.
+	for deadline := time.Now().Add(15 * time.Second); led.ackedCount() < 150; {
+		if time.Now().After(deadline) {
+			t.Fatal("writers too slow: fewer than 150 acked ops in 15s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no flush, no defer
+		t.Fatal(err)
+	}
+	cmd.Wait() //nolint:errcheck
+	close(stop)
+	wg.Wait()
+
+	led.mu.Lock()
+	nAcked := len(led.ackedInserts)
+	nDeleted := len(led.ackedDeletes)
+	led.mu.Unlock()
+	t.Logf("killed server with %d acked inserts, %d acked deletes, %d+%d uncertain",
+		nAcked, nDeleted, len(led.uncertain), len(led.uncertainDeletes))
+
+	// Restart on the same directory.
+	_, url2, recovery := startServe(t, bin,
+		"-index", seedPath, "-data-dir", dataDir, "-fsync", "always", "-addr", "127.0.0.1:0")
+	m := recoveryRe.FindStringSubmatch(recovery)
+	if m == nil {
+		t.Fatalf("restart printed no recovery line")
+	}
+	var replayed int
+	fmt.Sscanf(m[3], "%d", &replayed) //nolint:errcheck
+	minOps := nAcked + nDeleted
+	maxOps := minOps + len(led.uncertain) + len(led.uncertainDeletes)
+	if replayed < minOps || replayed > maxOps {
+		t.Fatalf("replayed %d records, want within [%d, %d] (acked .. acked+uncertain)",
+			replayed, minOps, maxOps)
+	}
+
+	// Every acked insert must be queryable at distance zero under its own
+	// exact vector (FsyncAlways: the ACK promised durability).
+	uncertainDel := map[int]bool{}
+	for _, id := range led.uncertainDeletes {
+		uncertainDel[id] = true
+	}
+	for id, v := range led.ackedInserts {
+		var resp struct {
+			Neighbors []struct {
+				ID   int     `json:"id"`
+				Dist float64 `json:"dist"`
+			} `json:"neighbors"`
+		}
+		if err := post(url2+"/query", map[string]interface{}{"vector": v, "k": 3}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, nb := range resp.Neighbors {
+			if nb.ID == id && nb.Dist == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("acked insert id %d lost after crash (neighbors: %+v)", id, resp.Neighbors)
+		}
+	}
+	// Every acked delete must stay deleted: a fresh delete of the same id
+	// reports false (the id is no longer live).
+	for _, id := range led.ackedDeletes {
+		var resp struct {
+			Deleted bool `json:"deleted"`
+		}
+		if err := post(url2+"/delete", map[string]interface{}{"id": id}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Deleted {
+			t.Fatalf("acked delete of id %d was lost: the id was live again after recovery", id)
+		}
+	}
+
+	// Live count bookkeeping: base - deletes + inserts, with the
+	// uncertain window as the only allowed slack.
+	var info struct {
+		Live int `json:"Live"`
+	}
+	resp, err := http.Get(url2 + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// The re-deletes above removed the uncertainly-deleted-but-live ids'
+	// ambiguity? No — they deleted acked ids that were already dead
+	// (no-ops). Live = N + inserts(acked+some uncertain) - deletes.
+	minLive := data.N + nAcked - nDeleted - len(led.uncertainDeletes)
+	maxLive := data.N + nAcked + len(led.uncertain) - nDeleted
+	if info.Live < minLive || info.Live > maxLive {
+		t.Fatalf("live count %d outside [%d, %d]", info.Live, minLive, maxLive)
+	}
+}
+
+// TestServeRestartWithoutCrash is the harness's control run: a clean
+// SIGTERM shutdown followed by a restart must also preserve everything
+// (and exercises the drain path rather than recovery-from-kill).
+func TestServeRestartWithoutCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real server; skipped in -short")
+	}
+	work := t.TempDir()
+	bin := filepath.Join(work, "bilsh")
+	build := exec.Command("go", "build", "-o", bin, "bilsh/cmd/bilsh")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building bilsh: %v", err)
+	}
+	spec := dataset.ClusteredSpec{N: 120, D: 6, Clusters: 3, IntrinsicDim: 3,
+		Aspect: 2, NoiseSigma: 0.05, Spread: 6, PowerLaw: 0.3}
+	data, _, err := dataset.Clustered(spec, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.Build(data, core.Options{Partitioner: core.PartitionNone,
+		Params: lshfunc.Params{M: 4, L: 2, W: 8}}, xrand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedPath := filepath.Join(work, "seed.bilsh")
+	f, err := os.Create(seedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	dataDir := filepath.Join(work, "data")
+	cmd, url, _ := startServe(t, bin,
+		"-index", seedPath, "-data-dir", dataDir, "-addr", "127.0.0.1:0")
+	v := vec.Clone(data.Row(0))
+	v[0] += 0.125
+	var ins struct {
+		ID int `json:"id"`
+	}
+	if err := post(url+"/insert", map[string]interface{}{"vector": v}, &ins); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint over HTTP, then clean shutdown.
+	if err := post(url+"/save", map[string]interface{}{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() //nolint:errcheck
+
+	_, url2, recovery := startServe(t, bin, "-data-dir", dataDir, "-addr", "127.0.0.1:0")
+	if m := recoveryRe.FindStringSubmatch(recovery); m == nil || m[2] != "checkpoint" {
+		t.Fatalf("restart did not recover from the checkpoint: %q", recovery)
+	}
+	var resp struct {
+		Neighbors []struct {
+			ID   int     `json:"id"`
+			Dist float64 `json:"dist"`
+		} `json:"neighbors"`
+	}
+	if err := post(url2+"/query", map[string]interface{}{"vector": v, "k": 1}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Neighbors) == 0 || resp.Neighbors[0].Dist != 0 {
+		t.Fatalf("insert lost across clean restart: %+v", resp.Neighbors)
+	}
+}

@@ -1,0 +1,20 @@
+package durable
+
+import "bilsh/internal/metrics"
+
+// Durability observability, registered in the process-wide registry like
+// the core query-path instruments (docs/metrics.md catalogues them).
+var (
+	metWALAppends = metrics.Default().Counter(
+		"bilsh_wal_appends_total", "Records appended to the write-ahead log.")
+	metWALBytes = metrics.Default().Counter(
+		"bilsh_wal_bytes_total", "Bytes appended to the write-ahead log (frames plus payload).")
+	metWALSyncs = metrics.Default().Counter(
+		"bilsh_wal_syncs_total", "WAL fsync batches (group commit: one sync covers every record appended since the last).")
+	metCheckpoints = metrics.Default().Counter(
+		"bilsh_durable_checkpoints_total", "Checkpoints written (atomic snapshot plus WAL truncation).")
+	metRecoveryReplayed = metrics.Default().Counter(
+		"bilsh_recovery_replayed_total", "WAL records replayed across recoveries.")
+	metRecoveryTruncated = metrics.Default().Counter(
+		"bilsh_recovery_truncated_bytes_total", "Torn or corrupt WAL tail bytes dropped at recovery.")
+)

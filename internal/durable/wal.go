@@ -1,0 +1,589 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Write-ahead log. Each overlay mutation of a durable index (insert
+// vector / delete id) is appended here before the caller's write is
+// acknowledged, so that acked writes survive a crash and are replayed at
+// the next open.
+//
+// File layout:
+//
+//	[ 0,12)  magic "bilsh.WAL/1\0"
+//	[12,16)  CRC32C over bytes [16,40), little endian
+//	[16,24)  generation (pairs the log with a checkpoint), little endian
+//	[24,32)  base row count N the log's ids extend, little endian
+//	[32,40)  vector dimensionality, little endian
+//	records…
+//
+// Each record is length-prefixed and CRC32C-framed:
+//
+//	[0,4)  payload length, little endian
+//	[4,8)  CRC32C over the payload, little endian
+//	[8,…)  payload: op byte, then the op body
+//	       op 1 (insert): dim × float32, little endian
+//	       op 2 (delete): uint64 id, little endian
+//
+// Replay verifies every frame and stops cleanly at the first torn or
+// corrupt record: a crash mid-append legitimately leaves a partial final
+// frame, and everything before it is still good. The torn tail is
+// truncated away before new appends extend the log.
+const (
+	walMagicLen  = 12
+	walHeaderLen = 40
+
+	// maxWALRecord bounds a record payload so a corrupt length prefix
+	// cannot trigger a huge allocation (the largest legitimate record is
+	// one vector: 1 + 4·dim bytes, and dim is capped below).
+	maxWALRecord = 1 + 4*maxWALDim
+
+	// maxWALDim bounds the header's dimensionality field (mirrors the
+	// dataset package's sanity cap on fvecs headers).
+	maxWALDim = 1 << 20
+)
+
+var walMagic = [walMagicLen]byte{'b', 'i', 'l', 's', 'h', '.', 'W', 'A', 'L', '/', '1', 0}
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadWALHeader reports a missing, torn, or corrupt WAL header. A torn
+// header can only be left by a crash inside CreateWAL or Reset — before
+// any append on the new log could have been acknowledged — so callers
+// recreate the log when they see this.
+var ErrBadWALHeader = errors.New("durable: bad WAL header")
+
+// WAL op codes.
+const (
+	OpInsert byte = 1
+	OpDelete byte = 2
+)
+
+// Record is one decoded WAL entry.
+type Record struct {
+	Op     byte
+	Vector []float32 // OpInsert
+	ID     int       // OpDelete
+}
+
+// Header identifies the state a WAL extends.
+type Header struct {
+	// Gen pairs the log with a checkpoint generation; a log whose Gen is
+	// older than the newest checkpoint has been fully folded into it.
+	Gen uint64
+	// BaseN is the base row count the log's insert ids extend.
+	BaseN uint64
+	// Dim is the vector dimensionality of insert records.
+	Dim int
+}
+
+// FsyncPolicy selects when appended records become durable.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs before every commit acknowledgment; concurrent
+	// committers share one fsync (group commit). No acked write is ever
+	// lost.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a background cadence; a crash loses at most
+	// the last interval of acked writes.
+	FsyncInterval
+	// FsyncNever flushes to the OS but never fsyncs; the kernel persists
+	// pages at its own pace. A power failure loses whatever it held.
+	FsyncNever
+)
+
+// String implements fmt.Stringer.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsyncPolicy parses the -fsync flag values.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// WALConfig configures durability behavior of an open log.
+type WALConfig struct {
+	Fsync FsyncPolicy
+	// Interval is the background sync cadence for FsyncInterval
+	// (default 100ms).
+	Interval time.Duration
+}
+
+// ReplayStats summarizes one replay pass.
+type ReplayStats struct {
+	// Records is the number of intact records decoded.
+	Records int
+	// ValidBytes is the header plus every intact record.
+	ValidBytes int64
+	// TruncatedBytes is the torn/corrupt tail beyond the last intact
+	// record (zero for a clean log).
+	TruncatedBytes int64
+}
+
+// WAL is an open write-ahead log. Appends are safe for concurrent use;
+// commit acknowledgment batches concurrent fsyncs (group commit).
+type WAL struct {
+	cfg WALConfig
+
+	// mu serializes file writes (append frames, reset) and guards bw/hdr.
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	hdr      Header
+	writeSeq uint64
+	enc      []byte // payload scratch
+
+	// Group commit: syncTo(n) returns once record n is durable; the first
+	// waiter performs the fsync for everyone queued behind it.
+	syncMu   sync.Mutex
+	syncCond *sync.Cond
+	synced   uint64
+	syncing  bool
+	syncErr  error // sticky: a failed sync poisons the log
+
+	stop chan struct{} // interval syncer shutdown
+	done chan struct{}
+}
+
+func encodeWALHeader(hdr Header) [walHeaderLen]byte {
+	var h [walHeaderLen]byte
+	copy(h[:], walMagic[:])
+	binary.LittleEndian.PutUint64(h[16:], hdr.Gen)
+	binary.LittleEndian.PutUint64(h[24:], hdr.BaseN)
+	binary.LittleEndian.PutUint64(h[32:], uint64(hdr.Dim))
+	binary.LittleEndian.PutUint32(h[12:], crc32.Checksum(h[16:], castagnoli))
+	return h
+}
+
+func decodeWALHeader(h []byte) (Header, error) {
+	if len(h) < walHeaderLen ||
+		string(h[:walMagicLen]) != string(walMagic[:]) ||
+		binary.LittleEndian.Uint32(h[12:]) != crc32.Checksum(h[16:walHeaderLen], castagnoli) {
+		return Header{}, ErrBadWALHeader
+	}
+	hdr := Header{
+		Gen:   binary.LittleEndian.Uint64(h[16:]),
+		BaseN: binary.LittleEndian.Uint64(h[24:]),
+	}
+	dim := binary.LittleEndian.Uint64(h[32:])
+	if dim == 0 || dim > maxWALDim {
+		return Header{}, ErrBadWALHeader
+	}
+	hdr.Dim = int(dim)
+	return hdr, nil
+}
+
+// ReadWALHeader reads and validates the header of the log at path.
+// Missing files surface the os.Open error (check os.IsNotExist); torn or
+// corrupt headers return ErrBadWALHeader.
+func ReadWALHeader(path string) (Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, err
+	}
+	defer f.Close()
+	var h [walHeaderLen]byte
+	if _, err := io.ReadFull(f, h[:]); err != nil {
+		return Header{}, ErrBadWALHeader
+	}
+	return decodeWALHeader(h[:])
+}
+
+// decodeRecord validates and decodes one payload.
+func decodeRecord(p []byte, dim int) (Record, bool) {
+	if len(p) == 0 {
+		return Record{}, false
+	}
+	switch p[0] {
+	case OpInsert:
+		if len(p) != 1+4*dim {
+			return Record{}, false
+		}
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[1+4*i:]))
+		}
+		return Record{Op: OpInsert, Vector: v}, true
+	case OpDelete:
+		if len(p) != 9 {
+			return Record{}, false
+		}
+		id := binary.LittleEndian.Uint64(p[1:])
+		if id > math.MaxInt64 {
+			return Record{}, false
+		}
+		return Record{Op: OpDelete, ID: int(id)}, true
+	default:
+		return Record{}, false
+	}
+}
+
+// scanWAL decodes records from r (positioned just past the header),
+// calling apply (which may be nil) for each intact one. It stops cleanly
+// at the first torn or corrupt frame and returns the byte length of the
+// intact prefix (excluding the header) plus the record count. Only an
+// apply error is returned as err.
+func scanWAL(r io.Reader, dim int, apply func(Record) error) (valid int64, records int, err error) {
+	br := bufio.NewReaderSize(r, 1<<18)
+	var frame [8]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			return valid, records, nil // clean EOF or torn frame header
+		}
+		ln := binary.LittleEndian.Uint32(frame[:4])
+		if ln == 0 || ln > maxWALRecord {
+			return valid, records, nil
+		}
+		if cap(payload) < int(ln) {
+			payload = make([]byte, ln)
+		}
+		payload = payload[:ln]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return valid, records, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(frame[4:]) {
+			return valid, records, nil // bit-flip anywhere in the frame
+		}
+		rec, ok := decodeRecord(payload, dim)
+		if !ok {
+			return valid, records, nil
+		}
+		if apply != nil {
+			if err := apply(rec); err != nil {
+				return valid, records, err
+			}
+		}
+		valid += 8 + int64(ln)
+		records++
+	}
+}
+
+// ReplayWAL reads the log at path, calling apply for each intact record
+// in append order. Replay stops cleanly at the first torn or corrupt
+// record — the tail beyond it is reported in TruncatedBytes, not as an
+// error, because a crash mid-append legitimately leaves a partial final
+// frame. A nil apply just scans. An apply error aborts the replay and is
+// returned as-is.
+func ReplayWAL(path string, apply func(Record) error) (Header, ReplayStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, ReplayStats{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return Header{}, ReplayStats{}, err
+	}
+	var h [walHeaderLen]byte
+	if _, err := io.ReadFull(f, h[:]); err != nil {
+		return Header{}, ReplayStats{}, ErrBadWALHeader
+	}
+	hdr, err := decodeWALHeader(h[:])
+	if err != nil {
+		return Header{}, ReplayStats{}, err
+	}
+	valid, records, err := scanWAL(f, hdr.Dim, apply)
+	stats := ReplayStats{
+		Records:        records,
+		ValidBytes:     walHeaderLen + valid,
+		TruncatedBytes: st.Size() - walHeaderLen - valid,
+	}
+	if err != nil {
+		return hdr, stats, err
+	}
+	metRecoveryReplayed.Add(int64(records))
+	metRecoveryTruncated.Add(stats.TruncatedBytes)
+	return hdr, stats, nil
+}
+
+// CreateWAL creates (or resets) the log at path with hdr and opens it for
+// appending. The header is written and fsynced — along with the parent
+// directory — before CreateWAL returns, so no append can be acknowledged
+// against a header that might vanish.
+func CreateWAL(path string, hdr Header, cfg WALConfig) (*WAL, error) {
+	if hdr.Dim <= 0 || hdr.Dim > maxWALDim {
+		return nil, fmt.Errorf("durable: WAL dim %d out of range", hdr.Dim)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := newWAL(f, hdr, cfg)
+	if err := w.resetLocked(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.startSyncer()
+	return w, nil
+}
+
+// OpenWAL opens an existing log for appending. The torn or corrupt tail,
+// if any, is truncated away first so new records extend the intact
+// prefix. Use ReplayWAL beforehand to apply the surviving records.
+func OpenWAL(path string, cfg WALConfig) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var h [walHeaderLen]byte
+	if _, err := io.ReadFull(f, h[:]); err != nil {
+		f.Close()
+		return nil, ErrBadWALHeader
+	}
+	hdr, err := decodeWALHeader(h[:])
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	valid, _, _ := scanWAL(f, hdr.Dim, nil)
+	end := walHeaderLen + valid
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := newWAL(f, hdr, cfg)
+	w.startSyncer()
+	return w, nil
+}
+
+func newWAL(f *os.File, hdr Header, cfg WALConfig) *WAL {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	w := &WAL{cfg: cfg, f: f, bw: bufio.NewWriterSize(f, 1<<16), hdr: hdr}
+	w.syncCond = sync.NewCond(&w.syncMu)
+	return w
+}
+
+func (w *WAL) startSyncer() {
+	if w.cfg.Fsync != FsyncInterval {
+		return
+	}
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(w.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.Sync() //nolint:errcheck // sticky error resurfaces on commits
+			}
+		}
+	}()
+}
+
+// Header returns the header the log was opened or created with.
+func (w *WAL) Header() Header {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.hdr
+}
+
+// AppendInsert appends an insert record and returns its sequence number
+// for Commit. The record is buffered; it is durable only after a Commit
+// (FsyncAlways) or the next sync.
+func (w *WAL) AppendInsert(v []float32) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(v) != w.hdr.Dim {
+		return 0, fmt.Errorf("durable: insert dim %d, WAL dim %d", len(v), w.hdr.Dim)
+	}
+	w.enc = w.enc[:0]
+	w.enc = append(w.enc, OpInsert)
+	for _, x := range v {
+		w.enc = binary.LittleEndian.AppendUint32(w.enc, math.Float32bits(x))
+	}
+	return w.appendLocked(w.enc)
+}
+
+// AppendDelete appends a delete record; see AppendInsert.
+func (w *WAL) AppendDelete(id int) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if id < 0 {
+		return 0, fmt.Errorf("durable: delete id %d negative", id)
+	}
+	w.enc = w.enc[:0]
+	w.enc = append(w.enc, OpDelete)
+	w.enc = binary.LittleEndian.AppendUint64(w.enc, uint64(id))
+	return w.appendLocked(w.enc)
+}
+
+func (w *WAL) appendLocked(payload []byte) (uint64, error) {
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.bw.Write(frame[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return 0, err
+	}
+	w.writeSeq++
+	metWALAppends.Inc()
+	metWALBytes.Add(int64(8 + len(payload)))
+	return w.writeSeq, nil
+}
+
+// Commit makes record seq durable per the configured policy: FsyncAlways
+// blocks until an fsync covers it (sharing the fsync with concurrent
+// committers), FsyncInterval and FsyncNever flush to the OS and return.
+func (w *WAL) Commit(seq uint64) error {
+	switch w.cfg.Fsync {
+	case FsyncAlways:
+		return w.syncTo(seq)
+	default:
+		w.mu.Lock()
+		err := w.bw.Flush()
+		w.mu.Unlock()
+		return err
+	}
+}
+
+// Sync forces an fsync covering everything appended so far.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	seq := w.writeSeq
+	w.mu.Unlock()
+	return w.syncTo(seq)
+}
+
+// syncTo blocks until record seq is durable. The first waiter becomes
+// the syncer: it flushes and fsyncs once for every record written so
+// far, covering everyone queued behind it (group commit).
+func (w *WAL) syncTo(seq uint64) error {
+	w.syncMu.Lock()
+	for w.synced < seq && w.syncErr == nil {
+		if w.syncing {
+			w.syncCond.Wait()
+			continue
+		}
+		w.syncing = true
+		w.syncMu.Unlock()
+
+		w.mu.Lock()
+		target := w.writeSeq
+		err := w.bw.Flush()
+		f := w.f
+		w.mu.Unlock()
+		if err == nil {
+			err = f.Sync()
+			metWALSyncs.Inc()
+		}
+
+		w.syncMu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.syncErr = err
+		} else if target > w.synced {
+			w.synced = target
+		}
+		w.syncCond.Broadcast()
+	}
+	err := w.syncErr
+	w.syncMu.Unlock()
+	return err
+}
+
+// Reset truncates the log to an empty one with a fresh header — the WAL
+// half of a checkpoint. Buffered-but-unsynced records are discarded (the
+// caller has just captured the full state they describe). The new header
+// is fsynced before Reset returns.
+func (w *WAL) Reset(hdr Header) error {
+	if hdr.Dim <= 0 || hdr.Dim > maxWALDim {
+		return fmt.Errorf("durable: WAL dim %d out of range", hdr.Dim)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.resetLocked(hdr); err != nil {
+		return err
+	}
+	// Everything in the (now empty) log is durable; release any waiters.
+	w.syncMu.Lock()
+	if w.writeSeq > w.synced {
+		w.synced = w.writeSeq
+	}
+	w.syncCond.Broadcast()
+	w.syncMu.Unlock()
+	return nil
+}
+
+func (w *WAL) resetLocked(hdr Header) error {
+	w.bw.Reset(io.Discard) // drop buffered frames
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	h := encodeWALHeader(hdr)
+	if _, err := w.f.Write(h[:]); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.hdr = hdr
+	w.bw.Reset(w.f)
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the log.
+func (w *WAL) Close() error {
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+		w.stop = nil
+	}
+	err := w.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

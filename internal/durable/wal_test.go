@@ -1,0 +1,299 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testHeader() Header { return Header{Gen: 3, BaseN: 100, Dim: 4} }
+
+// buildWAL writes a log with the given records and returns its path.
+func buildWAL(t *testing.T, hdr Header, recs []Record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := CreateWAL(path, hdr, WALConfig{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		var seq uint64
+		switch r.Op {
+		case OpInsert:
+			seq, err = w.AppendInsert(r.Vector)
+		case OpDelete:
+			seq, err = w.AppendDelete(r.ID)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{Op: OpInsert, Vector: []float32{1, 2, 3, 4}},
+		{Op: OpInsert, Vector: []float32{-1, 0.5, math.MaxFloat32, -0}},
+		{Op: OpDelete, ID: 17},
+		{Op: OpInsert, Vector: []float32{9, 9, 9, 9}},
+		{Op: OpDelete, ID: 0},
+	}
+}
+
+func replayAll(t *testing.T, path string) (Header, ReplayStats, []Record) {
+	t.Helper()
+	var got []Record
+	hdr, stats, err := ReplayWAL(path, func(r Record) error {
+		cp := r
+		cp.Vector = append([]float32(nil), r.Vector...)
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReplayWAL: %v", err)
+	}
+	return hdr, stats, got
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	path := buildWAL(t, testHeader(), recs)
+	hdr, stats, got := replayAll(t, path)
+	if hdr != testHeader() {
+		t.Fatalf("header %+v, want %+v", hdr, testHeader())
+	}
+	if stats.Records != len(recs) || stats.TruncatedBytes != 0 {
+		t.Fatalf("stats %+v, want %d records and no truncation", stats, len(recs))
+	}
+	fi, _ := os.Stat(path)
+	if stats.ValidBytes != fi.Size() {
+		t.Fatalf("ValidBytes %d != file size %d", stats.ValidBytes, fi.Size())
+	}
+	for i, r := range recs {
+		if got[i].Op != r.Op || got[i].ID != r.ID {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], r)
+		}
+		for j := range r.Vector {
+			if got[i].Vector[j] != r.Vector[j] {
+				t.Fatalf("record %d vector[%d]: got %v want %v", i, j, got[i].Vector[j], r.Vector[j])
+			}
+		}
+	}
+}
+
+// TestWALTornAndCorruptTails is the table-driven heart of the recovery
+// contract: any damage confined to the tail loses only the damaged
+// records, and replay stops cleanly (no error) at the first bad frame.
+func TestWALTornAndCorruptTails(t *testing.T) {
+	recs := sampleRecords()
+	cleanPath := buildWAL(t, testHeader(), recs)
+	clean, err := os.ReadFile(cleanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame offsets: header, then per-record 8-byte frame + payload.
+	frameStart := make([]int, len(recs)+1)
+	off := walHeaderLen
+	for i := range recs {
+		frameStart[i] = off
+		ln := int(binary.LittleEndian.Uint32(clean[off:]))
+		off += 8 + ln
+	}
+	frameStart[len(recs)] = off
+
+	cases := []struct {
+		name        string
+		mutate      func(b []byte) []byte
+		wantRecords int
+		wantTrunc   bool // some tail bytes dropped
+	}{
+		{"clean", func(b []byte) []byte { return b }, len(recs), false},
+		{"empty log", func(b []byte) []byte { return b[:walHeaderLen] }, 0, false},
+		{"torn frame header", func(b []byte) []byte { return b[:frameStart[4]+3] }, 4, true},
+		{"torn payload", func(b []byte) []byte { return b[:frameStart[2]+8+2] }, 2, true},
+		{"payload bit flip", func(b []byte) []byte {
+			b[frameStart[1]+8+5] ^= 0x40
+			return b
+		}, 1, true},
+		{"crc bit flip", func(b []byte) []byte {
+			b[frameStart[3]+4] ^= 0x01
+			return b
+		}, 3, true},
+		{"length zeroed", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[frameStart[0]:], 0)
+			return b
+		}, 0, true},
+		{"length huge", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[frameStart[2]:], 1<<30)
+			return b
+		}, 2, true},
+		{"garbage appended", func(b []byte) []byte {
+			return append(b, 0xde, 0xad, 0xbe)
+		}, len(recs), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal.log")
+			if err := os.WriteFile(path, tc.mutate(append([]byte(nil), clean...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, stats, got := replayAll(t, path)
+			if stats.Records != tc.wantRecords || len(got) != tc.wantRecords {
+				t.Fatalf("replayed %d records (stats %+v), want %d", len(got), stats, tc.wantRecords)
+			}
+			if (stats.TruncatedBytes > 0) != tc.wantTrunc {
+				t.Fatalf("TruncatedBytes = %d, want truncation=%v", stats.TruncatedBytes, tc.wantTrunc)
+			}
+			// The surviving prefix must replay verbatim.
+			for i := 0; i < tc.wantRecords; i++ {
+				if got[i].Op != recs[i].Op || got[i].ID != recs[i].ID {
+					t.Fatalf("record %d diverged after damage: %+v want %+v", i, got[i], recs[i])
+				}
+			}
+
+			// Reopening truncates the tail and new appends must land after
+			// the intact prefix.
+			w, err := OpenWAL(path, WALConfig{Fsync: FsyncAlways})
+			if err != nil {
+				t.Fatalf("OpenWAL: %v", err)
+			}
+			seq, err := w.AppendDelete(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Commit(seq); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, stats2, got2 := replayAll(t, path)
+			if stats2.Records != tc.wantRecords+1 || stats2.TruncatedBytes != 0 {
+				t.Fatalf("after reopen+append: stats %+v, want %d records clean", stats2, tc.wantRecords+1)
+			}
+			last := got2[len(got2)-1]
+			if last.Op != OpDelete || last.ID != 42 {
+				t.Fatalf("appended record read back as %+v", last)
+			}
+		})
+	}
+}
+
+func TestWALHeaderValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+
+	// Missing file: os error, not ErrBadWALHeader.
+	if _, err := ReadWALHeader(path); !os.IsNotExist(err) {
+		t.Fatalf("missing file: got %v, want IsNotExist", err)
+	}
+
+	// Short / torn header.
+	if err := os.WriteFile(path, []byte("bilsh.WAL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadWALHeader(path); !errors.Is(err, ErrBadWALHeader) {
+		t.Fatalf("torn header: got %v, want ErrBadWALHeader", err)
+	}
+
+	// Corrupt header CRC.
+	good := buildWAL(t, testHeader(), nil)
+	b, _ := os.ReadFile(good)
+	b[20] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadWALHeader(path); !errors.Is(err, ErrBadWALHeader) {
+		t.Fatalf("corrupt header: got %v, want ErrBadWALHeader", err)
+	}
+	if _, err := OpenWAL(path, WALConfig{}); !errors.Is(err, ErrBadWALHeader) {
+		t.Fatalf("OpenWAL corrupt header: got %v, want ErrBadWALHeader", err)
+	}
+	if _, _, err := ReplayWAL(path, nil); !errors.Is(err, ErrBadWALHeader) {
+		t.Fatalf("ReplayWAL corrupt header: got %v, want ErrBadWALHeader", err)
+	}
+
+	// Dim guards.
+	if _, err := CreateWAL(path, Header{Gen: 1, Dim: 0}, WALConfig{}); err == nil {
+		t.Fatal("CreateWAL accepted dim 0")
+	}
+	if _, err := CreateWAL(path, Header{Gen: 1, Dim: maxWALDim + 1}, WALConfig{}); err == nil {
+		t.Fatal("CreateWAL accepted oversized dim")
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := buildWAL(t, testHeader(), sampleRecords())
+	w, err := OpenWAL(path, WALConfig{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := Header{Gen: 4, BaseN: 103, Dim: 4}
+	if err := w.Reset(next); err != nil {
+		t.Fatal(err)
+	}
+	// Appends after the reset belong to the new generation.
+	seq, err := w.AppendDelete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hdr, stats, got := replayAll(t, path)
+	if hdr != next {
+		t.Fatalf("header after reset %+v, want %+v", hdr, next)
+	}
+	if stats.Records != 1 || got[0].ID != 5 {
+		t.Fatalf("after reset replay %+v / %+v, want exactly the post-reset delete", stats, got)
+	}
+}
+
+func TestWALRejectsDimMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := CreateWAL(path, testHeader(), WALConfig{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.AppendInsert([]float32{1, 2}); err == nil {
+		t.Fatal("AppendInsert accepted wrong dimensionality")
+	}
+	if _, err := w.AppendDelete(-1); err == nil {
+		t.Fatal("AppendDelete accepted a negative id")
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+		ok   bool
+	}{
+		{"always", FsyncAlways, true},
+		{"interval", FsyncInterval, true},
+		{"never", FsyncNever, true},
+		{"sometimes", 0, false},
+	} {
+		got, err := ParseFsyncPolicy(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if tc.ok && got.String() != tc.in {
+			t.Fatalf("round trip %q -> %q", tc.in, got.String())
+		}
+	}
+}

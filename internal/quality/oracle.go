@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"bilsh/internal/durable"
 	"bilsh/internal/knn"
 	"bilsh/internal/vec"
 )
@@ -143,9 +144,8 @@ func writeOracle(path string, key uint64, truth []knn.Result, k int) error {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d))
 		}
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	// durable.WriteFileAtomic adds the fsync the old temp+rename here was
+	// missing: without it a power cut after the rename could surface a
+	// correctly named but empty or partial cache entry.
+	return durable.WriteFileAtomic(path, buf)
 }

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bilsh/internal/core"
+	"bilsh/internal/durable"
+	"bilsh/internal/vec"
+)
+
+func TestSaveNotConfigured(t *testing.T) {
+	srv, _ := testServer(t, true)
+	if code := postJSON(t, srv.URL+"/save", map[string]any{}, nil); code != 403 {
+		t.Fatalf("POST /save without EnableSave = %d, want 403", code)
+	}
+}
+
+func TestSaveDirtyIndexIs409(t *testing.T) {
+	ix, data := testIndexData(t)
+	out := filepath.Join(t.TempDir(), "index.bilsh")
+	api := New(ix, true)
+	api.EnableSave(func() error {
+		return durable.AtomicWrite(out, func(f *os.File) error {
+			_, err := ix.WriteTo(f)
+			return err
+		})
+	})
+	srv := httptest.NewServer(api.Handler())
+	t.Cleanup(srv.Close)
+
+	// Clean index: saves fine.
+	if code := postJSON(t, srv.URL+"/save", map[string]any{}, nil); code != 200 {
+		t.Fatalf("clean save = %d, want 200", code)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("save produced no file: %v", err)
+	}
+
+	// Dirty index: the ErrDirtyIndex sentinel must surface as 409 (it used
+	// to be a 500 because requireClean returned an untyped error).
+	if code := postJSON(t, srv.URL+"/insert",
+		map[string]any{"vector": vec.Clone(data.Row(0))}, nil); code != 200 {
+		t.Fatalf("insert = %d", code)
+	}
+	var errBody map[string]string
+	if code := postJSON(t, srv.URL+"/save", map[string]any{}, &errBody); code != 409 {
+		t.Fatalf("dirty save = %d (%v), want 409", code, errBody)
+	}
+
+	// Compact, then save succeeds again.
+	if code := postJSON(t, srv.URL+"/compact", map[string]any{}, nil); code != 200 {
+		t.Fatalf("compact = %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/save", map[string]any{}, nil); code != 200 {
+		t.Fatalf("post-compact save = %d, want 200", code)
+	}
+}
+
+func TestDurableServerSaveAndMutate(t *testing.T) {
+	ix, data := testIndexData(t)
+	dir := t.TempDir()
+	d, err := core.OpenDurable(dir, core.DurableOptions{Base: ix, Fsync: durable.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	api := New(d.Index, true)
+	api.SetMutator(d)
+	api.EnableSave(func() error { _, err := d.Checkpoint(); return err })
+	srv := httptest.NewServer(api.Handler())
+	t.Cleanup(srv.Close)
+
+	var ins struct {
+		ID int `json:"id"`
+	}
+	if code := postJSON(t, srv.URL+"/insert",
+		map[string]any{"vector": vec.Clone(data.Row(3))}, &ins); code != 200 {
+		t.Fatalf("insert = %d", code)
+	}
+	if ins.ID != data.N {
+		t.Fatalf("insert id = %d, want %d", ins.ID, data.N)
+	}
+	// A durable save is a checkpoint: it folds the overlay itself, so a
+	// dirty index is fine here.
+	if code := postJSON(t, srv.URL+"/save", map[string]any{}, nil); code != 200 {
+		t.Fatalf("durable save = %d, want 200", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "index.ckpt")); err != nil {
+		t.Fatalf("checkpoint missing after /save: %v", err)
+	}
+	var del struct {
+		Deleted bool `json:"deleted"`
+	}
+	if code := postJSON(t, srv.URL+"/delete", map[string]any{"id": 1}, &del); code != 200 || !del.Deleted {
+		t.Fatalf("delete = %d %+v", code, del)
+	}
+	var cmp struct {
+		Live int `json:"live"`
+	}
+	if code := postJSON(t, srv.URL+"/compact", map[string]any{}, &cmp); code != 200 {
+		t.Fatalf("compact = %d", code)
+	}
+	if cmp.Live != data.N { // +1 insert, -1 delete
+		t.Fatalf("live after compact = %d, want %d", cmp.Live, data.N)
+	}
+
+	// Everything acked over HTTP must come back after a reopen.
+	d.Close()
+	d2, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != data.N {
+		t.Fatalf("reopened Len = %d, want %d", d2.Len(), data.N)
+	}
+}
+
+func TestInsertErrorStatuses(t *testing.T) {
+	srv, _ := testServer(t, true)
+	// Boundary validation stays 400.
+	if code := postJSON(t, srv.URL+"/insert",
+		map[string]any{"vector": []float32{1, 2}}, nil); code != 400 {
+		t.Fatalf("wrong-dim insert = %d, want 400", code)
+	}
+}

@@ -16,6 +16,14 @@
 //	POST /delete           -> {"id":...}                          -> {"deleted":bool}
 //	POST /compact          -> {}                                  -> {"live":...}
 //	POST /compact          -> {"async":true}                      -> 202 {"status":"started"}
+//	POST /save             -> {}                                  -> {"status":"saved"}
+//
+// /save persists the index through the function installed with EnableSave
+// (a durable checkpoint under `bilsh serve -data-dir`, an atomic rewrite
+// of the index file otherwise) and answers 403 when no persistence is
+// configured, 409 when the index has pending overlay state that the save
+// path cannot fold itself (core.ErrDirtyIndex) or a compaction is already
+// running (core.ErrCompactBusy).
 //
 // Vectors are JSON arrays of numbers with the index's dimensionality;
 // NaN and infinite components are rejected with 400 at the boundary.
@@ -29,6 +37,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -41,9 +50,24 @@ import (
 // maxBodyBytes bounds request bodies (queries are small; batches bounded).
 const maxBodyBytes = 64 << 20
 
+// Mutator is the write-side interface the mutation endpoints call.
+// *core.Index satisfies it (the default), and *core.DurableIndex overrides
+// the same methods with write-ahead-logged variants; SetMutator installs
+// the latter so a durable server never mutates the index behind its log.
+type Mutator interface {
+	Insert(v []float32) (int, error)
+	Delete(id int) bool
+	Compact() ([]int, error)
+	CompactAsync() error
+}
+
 // Server wraps an index with the HTTP API.
 type Server struct {
 	ix *core.Index
+	// mut receives insert/delete/compact calls; defaults to ix.
+	mut Mutator
+	// save, when set, backs POST /save.
+	save func() error
 
 	// mutable reports whether mutating endpoints are enabled.
 	mutable bool
@@ -67,6 +91,7 @@ type Server struct {
 func New(ix *core.Index, mutable bool) *Server {
 	return &Server{
 		ix:           ix,
+		mut:          ix,
 		mutable:      mutable,
 		reg:          metrics.Default(),
 		metricsOn:    true,
@@ -89,6 +114,19 @@ func (s *Server) EnablePprof(on bool) { s.pprofOn = on }
 // Handler.
 func (s *Server) SetRegistry(r *metrics.Registry) { s.reg = r }
 
+// SetMutator routes the mutation endpoints through m instead of the
+// wrapped index — how `bilsh serve -data-dir` interposes the durable
+// index, whose Insert/Delete/Compact write-ahead log every change. The
+// query endpoints keep reading the wrapped index (the durable index
+// embeds it, so both see the same snapshots). Call before Handler.
+func (s *Server) SetMutator(m Mutator) { s.mut = m }
+
+// EnableSave mounts POST /save backed by fn (nil leaves the endpoint
+// answering 403). fn runs at most once at a time per the underlying
+// index's own serialization; errors map to 409 for core.ErrDirtyIndex and
+// core.ErrCompactBusy and 500 otherwise. Call before Handler.
+func (s *Server) EnableSave(fn func() error) { s.save = fn }
+
 // SetDrainTimeout bounds how long Serve waits for in-flight requests on
 // shutdown (default 30s). Call before Serve.
 func (s *Server) SetDrainTimeout(d time.Duration) { s.drainTimeout = d }
@@ -106,6 +144,7 @@ func (s *Server) Handler() http.Handler {
 		"/insert":  {http.MethodPost: s.handleInsert},
 		"/delete":  {http.MethodPost: s.handleDelete},
 		"/compact": {http.MethodPost: s.handleCompact},
+		"/save":    {http.MethodPost: s.handleSave},
 	}
 	if s.metricsOn {
 		routes["/metrics"] = map[string]http.HandlerFunc{http.MethodGet: s.handleMetrics}
@@ -220,9 +259,16 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	id, err := s.ix.Insert(req.Vector)
-	if err != nil {
+	// Validate at the boundary so a bad vector is a 400 and any error out
+	// of the mutator itself (e.g. a WAL write failure) is a 500, not
+	// misreported as a client mistake.
+	if err := core.CheckVector(s.ix.Dim(), req.Vector); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, err := s.mut.Insert(req.Vector)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"id": id})
@@ -238,7 +284,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	ok := s.ix.Delete(req.ID)
+	ok := s.mut.Delete(req.ID)
 	writeJSON(w, http.StatusOK, map[string]bool{"deleted": ok})
 }
 
@@ -256,18 +302,44 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Async {
-		if err := s.ix.CompactAsync(); err != nil {
-			httpError(w, http.StatusConflict, "%v", err)
+		if err := s.mut.CompactAsync(); err != nil {
+			httpError(w, conflictOr500(err), "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, map[string]string{"status": "started"})
 		return
 	}
-	if _, err := s.ix.Compact(); err != nil {
-		httpError(w, http.StatusConflict, "%v", err)
+	if _, err := s.mut.Compact(); err != nil {
+		httpError(w, conflictOr500(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"live": s.ix.Len()})
+}
+
+// handleSave persists the index through the EnableSave callback. Without
+// one the endpoint is 403 (read-only deployments have nowhere to save
+// to); a dirty in-memory index or a checkpoint already in progress is the
+// caller's race to retry, 409.
+func (s *Server) handleSave(w http.ResponseWriter, _ *http.Request) {
+	if s.save == nil {
+		httpError(w, http.StatusForbidden, "save is not configured (start the server with -data-dir or a writable -index)")
+		return
+	}
+	if err := s.save(); err != nil {
+		httpError(w, conflictOr500(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "saved"})
+}
+
+// conflictOr500 distinguishes retry-the-race errors from server faults.
+// Earlier versions reported every compaction failure as 409, which hid
+// real I/O errors behind a retryable status.
+func conflictOr500(err error) int {
+	if errors.Is(err, core.ErrCompactBusy) || errors.Is(err, core.ErrDirtyIndex) {
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
 }
 
 func (s *Server) requireMutable(w http.ResponseWriter) bool {
