@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fmt quality bench bench-concurrency durability
+.PHONY: check vet build test race fmt quality bench bench-concurrency durability shard linkcheck
 
 check: vet build race
 
@@ -36,6 +36,20 @@ durability:
 # byte-identical BENCH_quality.json.
 quality:
 	$(GO) run ./cmd/bilsh quality -preset full -out BENCH_quality.json
+
+# Sharded-serving benchmark (see docs/sharding.md): builds an in-process
+# 4-shard cluster (leaf-aware shard map, id maps, HTTP shard servers +
+# router) and a single-node server over the same data, drives identical
+# queries through both, and writes q/s, p50/p99 latency, recall and mean
+# shard fan-out to BENCH_shard.json.
+shard:
+	$(GO) run ./cmd/bilsh shard-bench -out BENCH_shard.json
+
+# Documentation link check: every relative link and #anchor in every
+# markdown file must resolve (internal/doccheck; external URLs are not
+# fetched).
+linkcheck:
+	$(GO) test ./internal/doccheck -run TestRepoDocLinks -count=1
 
 # Hot-path microbenchmarks (see docs/performance.md). Writes the raw
 # `go test -json` stream to BENCH_query.json for before/after comparison.

@@ -41,6 +41,14 @@ func main() {
 		err = cmdInfo(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "shard-split":
+		err = cmdShardSplit(os.Args[2:])
+	case "shard-serve":
+		err = cmdShardServe(os.Args[2:])
+	case "router":
+		err = cmdRouter(os.Args[2:])
+	case "shard-bench":
+		err = cmdShardBench(os.Args[2:])
 	case "exp":
 		err = cmdExp(os.Args[2:])
 	case "quality":
@@ -71,6 +79,10 @@ commands:
   groundtruth  compute exact k-NN id lists (ivecs)
   info         describe a persisted index
   serve        expose an index over an HTTP JSON API (-data-dir for WAL-backed durability)
+  shard-split  cut a built index into per-shard datasets and a shard map (docs/sharding.md)
+  shard-serve  serve one shard of a cluster (serve + shard id, id map, replica bring-up)
+  router       scatter-gather front end over running shards (leaf-aware routing, hedging)
+  shard-bench  in-process cluster vs single-node benchmark -> BENCH_shard.json
   exp          run a paper experiment and print its table (-fig fig4..fig13c, all)
   bench        run every experiment (alias for exp -fig all)
   quality      run the deterministic quality-regression matrix against golden thresholds

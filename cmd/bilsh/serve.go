@@ -3,10 +3,14 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -24,8 +28,16 @@ import (
 // the log so acked writes survive crashes (see docs/durability.md). The
 // -index file only seeds the directory on first boot; after that the
 // checkpoint is authoritative.
-func cmdServe(args []string) error {
-	fs := newFlagSet("serve")
+func cmdServe(args []string) error { return runServe("serve", args, false) }
+
+// cmdShardServe is cmdServe plus the cluster wiring: a shard id for the
+// router to verify, an id map translating shard-local row ids to
+// cluster-global ids, checkpoint/idmap export for replica bring-up, and
+// -replica-of to bootstrap this node from a running primary.
+func cmdShardServe(args []string) error { return runServe("shard-serve", args, true) }
+
+func runServe(name string, args []string, shard bool) error {
+	fs := newFlagSet(name)
 	indexPath := fs.String("index", "", "index file from 'bilsh build' (required unless -data-dir already holds a checkpoint)")
 	dataDir := fs.String("data-dir", "", "durable data directory (WAL + checkpoints); implies -mutable")
 	fsyncMode := fs.String("fsync", "always", "WAL durability: always (fsync before ack), interval, never")
@@ -38,15 +50,43 @@ func cmdServe(args []string) error {
 	metricsOn := fs.Bool("metrics", true, "expose GET /metrics (Prometheus text; ?format=json for JSON)")
 	pprofOn := fs.Bool("pprof", false, "expose the runtime profiler under /debug/pprof/")
 	statsEvery := fs.Duration("stats-interval", 0, "log a one-line stats summary at this interval (0 disables)")
+	var (
+		shardID   *int
+		idmapPath *string
+		replicaOf *string
+	)
+	if shard {
+		shardID = fs.Int("shard-id", -1, "this server's shard id (the router verifies it against its address list)")
+		idmapPath = fs.String("idmap", "", "local↔global id map file, e.g. shard0.ids from 'bilsh shard-split' (default <data-dir>/idmap.txt)")
+		replicaOf = fs.String("replica-of", "", "primary base URL; bootstrap -data-dir from its checkpoint and serve read-only")
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	replica := shard && *replicaOf != ""
 	if *indexPath == "" && *dataDir == "" {
-		return fmt.Errorf("serve: -index is required")
+		return fmt.Errorf("%s: -index is required", name)
+	}
+	if replica && *dataDir == "" {
+		return fmt.Errorf("%s: -replica-of needs -data-dir to hold the fetched checkpoint", name)
 	}
 	fsync, err := durable.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
-		return fmt.Errorf("serve: %v", err)
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	if shard && *idmapPath == "" && *dataDir != "" {
+		*idmapPath = filepath.Join(*dataDir, "idmap.txt")
+	}
+	if replica {
+		fetched, err := bootstrapReplica(*replicaOf, *dataDir, *idmapPath)
+		if err != nil {
+			return fmt.Errorf("%s: replica bootstrap from %s: %v", name, *replicaOf, err)
+		}
+		if fetched {
+			fmt.Printf("replica: fetched checkpoint and id map from %s\n", *replicaOf)
+		} else {
+			fmt.Printf("replica: %s already has a checkpoint, serving it (delete the directory to re-sync)\n", *dataDir)
+		}
 	}
 
 	// The server needs the concrete *core.Index for mutation; load either
@@ -106,7 +146,7 @@ func cmdServe(args []string) error {
 		}
 		defer d.Close()
 		ix = d.Index
-		*mutable = true
+		*mutable = !replica // replicas serve reads only
 		rec := d.Recovery
 		src := "seed"
 		if rec.FromCheckpoint {
@@ -121,8 +161,14 @@ func cmdServe(args []string) error {
 		}
 		fmt.Printf(" (fsync=%v)\n", fsync)
 		api = server.New(ix, *mutable)
-		api.SetMutator(d)
+		if *mutable {
+			api.SetMutator(d)
+		}
 		api.EnableSave(func() error { _, err := d.Checkpoint(); return err })
+		if shard {
+			api.EnableCheckpointFetch(*dataDir)
+			api.SetGeneration(d.Gen)
+		}
 	default:
 		ix.ConfigureDynamic(*memtable, *autoCompact)
 		api = server.New(ix, *mutable)
@@ -138,6 +184,20 @@ func cmdServe(args []string) error {
 					return err
 				})
 			})
+		}
+	}
+	if shard {
+		api.SetShardID(*shardID)
+		if *idmapPath != "" {
+			m, err := server.OpenIDMap(*idmapPath)
+			if err != nil {
+				return fmt.Errorf("%s: %v", name, err)
+			}
+			defer m.Close()
+			api.SetIDMap(m)
+			if n := m.Len(); n > 0 {
+				fmt.Printf("id map %s: %d rows mapped, max global id %d\n", *idmapPath, n, m.MaxGlobal())
+			}
 		}
 	}
 	api.EnableMetrics(*metricsOn)
@@ -166,4 +226,72 @@ func cmdServe(args []string) error {
 		fmt.Println("shutdown: in-flight requests drained")
 	}
 	return err
+}
+
+// bootstrapReplica seeds an empty replica data directory from a running
+// primary: trigger a checkpoint there (POST /save), then fetch
+// /checkpoint — the raw checkpoint file, header included — and /idmap
+// into the local directory. A directory that already holds a checkpoint
+// is left alone (fetched=false): the replica resumes from its own state,
+// and re-syncing is an explicit operator action (delete the directory).
+func bootstrapReplica(primary, dataDir, idmapPath string) (fetched bool, err error) {
+	primary = strings.TrimRight(primary, "/")
+	ckpt := filepath.Join(dataDir, durable.CheckpointFileName)
+	if _, err := os.Stat(ckpt); err == nil {
+		return false, nil
+	}
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return false, err
+	}
+	hc := &http.Client{Timeout: 2 * time.Minute}
+
+	// 1. A fresh checkpoint on the primary, so the fetch reflects every
+	// acknowledged write (the WAL itself is not shipped).
+	resp, err := hc.Post(primary+"/save", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		return false, err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return false, fmt.Errorf("POST /save: %d: %s (is the primary running with -data-dir?)",
+			resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+
+	// 2. The checkpoint bytes, dropped in place atomically.
+	if err := fetchToFile(hc, primary+"/checkpoint", ckpt, false); err != nil {
+		return false, fmt.Errorf("GET /checkpoint: %v", err)
+	}
+
+	// 3. The id map, when the primary has one (403 = it does not; the
+	// replica then serves local ids, matching its primary).
+	if idmapPath != "" {
+		if err := fetchToFile(hc, primary+"/idmap", idmapPath, true); err != nil {
+			os.Remove(ckpt) // stay consistent: retry bootstraps both or neither
+			return false, fmt.Errorf("GET /idmap: %v", err)
+		}
+	}
+	return true, nil
+}
+
+// fetchToFile streams url into path atomically. With optional=true a 403
+// (feature not configured on the server) is success without a file.
+func fetchToFile(hc *http.Client, url, path string, optional bool) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if optional && resp.StatusCode == http.StatusForbidden {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return durable.AtomicWrite(path, func(f *os.File) error {
+		_, err := io.Copy(f, resp.Body)
+		return err
+	})
 }

@@ -36,9 +36,11 @@ import (
 // older than the checkpoint's and discards it — its records are already
 // folded in. See docs/durability.md for the full lifecycle.
 
-// Data directory file names.
+// Data directory file names. The checkpoint name is owned by
+// internal/durable so the server's replica-shipping export and this
+// package cannot drift.
 const (
-	ckptFileName = "index.ckpt"
+	ckptFileName = durable.CheckpointFileName
 	walFileName  = "wal.log"
 )
 

@@ -306,6 +306,33 @@ func (ix *Index) NumGroups() int { return len(ix.loadSnap().groups) }
 // GroupOf routes a vector through level 1.
 func (ix *Index) GroupOf(v []float32) int { return ix.loadSnap().groupOf(v) }
 
+// Tree returns the level-1 random projection tree, or nil when the index
+// was not built with PartitionRPTree. The cluster router reuses it as the
+// shard map: the tree partitions the data, so the leaves a query probes
+// name the shards that can hold its neighbors (see internal/router and
+// docs/sharding.md). The returned tree is part of the published snapshot
+// and must not be mutated.
+func (ix *Index) Tree() *rptree.Tree { return ix.loadSnap().tree }
+
+// GroupMembers returns a copy of group g's base member ids (overlay
+// inserts are not included; Compact folds them in). Shard splitting uses
+// this to extract each leaf's rows.
+func (ix *Index) GroupMembers(g int) []int {
+	sn := ix.loadSnap()
+	return append([]int(nil), sn.groups[g].members...)
+}
+
+// Vector returns a copy of row id's vector, or nil when id is out of the
+// dense id space. Tombstoned rows still return their vector; pair with
+// Describe/Len for liveness if it matters.
+func (ix *Index) Vector(id int) []float32 {
+	sn := ix.loadSnap()
+	if id < 0 || id >= sn.total() {
+		return nil
+	}
+	return append([]float32(nil), sn.row(id)...)
+}
+
 // GroupW returns group g's effective bucket width (for reports).
 func (ix *Index) GroupW(g int) float64 { return ix.loadSnap().groups[g].w }
 

@@ -1,0 +1,244 @@
+// Package doccheck is a dependency-free markdown link checker for the
+// repository's documentation. It walks every .md file, extracts inline
+// links and images outside code blocks, and verifies that relative
+// links resolve to files that exist and that #fragment anchors match a
+// heading in the target document (GitHub heading-slug rules). External
+// links (http, https, mailto) are not fetched — CI must not depend on
+// the network — so they are skipped.
+//
+// The checker runs as a plain test (TestRepoDocLinks) so `go test
+// ./...` and `make linkcheck` both gate it; a broken cross-reference in
+// README.md or docs/ fails CI the same way a broken unit does.
+package doccheck
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Problem is one broken link.
+type Problem struct {
+	File   string // repo-relative path of the file holding the link
+	Line   int    // 1-based line number
+	Link   string // the link target as written
+	Reason string // what is wrong with it
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("%s:%d: link %q: %s", p.File, p.Line, p.Link, p.Reason)
+}
+
+// inlineLink matches [text](target) and ![alt](target "title"),
+// capturing the target. Targets never contain whitespace in this
+// repository's docs, which keeps the pattern honest about titles.
+var inlineLink = regexp.MustCompile(`!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+"[^"]*")?\s*\)`)
+
+// codeSpan matches inline code, stripped before link extraction so
+// documentation *about* markdown syntax does not produce false links.
+var codeSpan = regexp.MustCompile("`[^`]*`")
+
+// CheckRepo walks root for .md files (skipping dot-directories and
+// testdata) and checks every one. Problems come back sorted by file
+// and line; the error is reserved for I/O failures, not bad links.
+func CheckRepo(root string) ([]Problem, error) {
+	var files []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		name := info.Name()
+		if info.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(name), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Problem
+	for _, f := range files {
+		ps, err := CheckFile(root, f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}
+
+// CheckFile checks one markdown file. root anchors leading-slash links
+// and the repo-relative paths in Problems.
+func CheckFile(root, path string) ([]Problem, error) {
+	links, err := extractLinks(path)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		rel = path
+	}
+	var out []Problem
+	for _, l := range links {
+		if reason := checkLink(root, path, l.target); reason != "" {
+			out = append(out, Problem{File: rel, Line: l.line, Link: l.target, Reason: reason})
+		}
+	}
+	return out, nil
+}
+
+type link struct {
+	target string
+	line   int
+}
+
+// extractLinks returns the inline link targets of a markdown file,
+// ignoring fenced code blocks and inline code spans.
+func extractLinks(path string) ([]link, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []link
+	inFence := false
+	lineNo := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range inlineLink.FindAllStringSubmatch(codeSpan.ReplaceAllString(line, ""), -1) {
+			out = append(out, link{target: m[1], line: lineNo})
+		}
+	}
+	return out, sc.Err()
+}
+
+// checkLink validates one target relative to the file holding it.
+// It returns "" when the link is fine.
+func checkLink(root, from, target string) string {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external; not fetched
+	}
+	pathPart, frag, _ := strings.Cut(target, "#")
+	dest := from
+	if pathPart != "" {
+		if strings.HasPrefix(pathPart, "/") {
+			// GitHub resolves a leading slash against the repo root.
+			dest = filepath.Join(root, filepath.FromSlash(pathPart))
+		} else {
+			dest = filepath.Join(filepath.Dir(from), filepath.FromSlash(pathPart))
+		}
+		info, err := os.Stat(dest)
+		if err != nil {
+			return "target does not exist"
+		}
+		if info.IsDir() && frag != "" {
+			return "anchor on a directory link"
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.EqualFold(filepath.Ext(dest), ".md") {
+		return "" // anchors into non-markdown files are the viewer's business
+	}
+	anchors, err := headingAnchors(dest)
+	if err != nil {
+		return "cannot read anchor target: " + err.Error()
+	}
+	if !anchors[strings.ToLower(frag)] {
+		return fmt.Sprintf("no heading for anchor %q in %s", "#"+frag, filepath.Base(dest))
+	}
+	return ""
+}
+
+// headingAnchors returns the set of GitHub-style anchor slugs for every
+// heading in a markdown file, duplicate headings suffixed -1, -2, ...
+func headingAnchors(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	anchors := make(map[string]bool)
+	counts := make(map[string]int)
+	inFence := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		level := 0
+		for level < len(line) && line[level] == '#' {
+			level++
+		}
+		if level > 6 || level == len(line) || line[level] != ' ' {
+			continue
+		}
+		slug := slugify(line[level+1:])
+		if n := counts[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		counts[slug]++
+	}
+	return anchors, sc.Err()
+}
+
+// slugify applies GitHub's heading-anchor rules: markdown code markers
+// dropped, lowercased, punctuation removed except hyphens and
+// underscores, spaces turned into hyphens.
+func slugify(heading string) string {
+	h := strings.TrimSpace(heading)
+	h = strings.NewReplacer("`", "", "*", "", "[", "", "]", "").Replace(h)
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_':
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

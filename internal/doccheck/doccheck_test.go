@@ -1,0 +1,115 @@
+package doccheck
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoodLinksPass(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "README.md", `# Top
+
+See [the guide](docs/guide.md), [section two](docs/guide.md#twos-section),
+an [absolute link](/docs/guide.md), [self anchor](#top),
+an ![image](docs/img.png), and https://example.com/ in prose.
+External: [site](https://example.com/missing) and [mail](mailto:a@b.c).
+`)
+	write(t, root, "docs/guide.md", `# Guide
+
+## Two's section!
+
+Back to [README](../README.md).
+`)
+	write(t, root, "docs/img.png", "not really a png")
+	problems, err := CheckRepo(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("clean fixture reported problems: %v", problems)
+	}
+}
+
+func TestBrokenLinksCaught(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "a.md", `# A
+
+[gone](missing.md) and [bad anchor](b.md#nope) and [ok](b.md#b).
+`)
+	write(t, root, "b.md", "# B\n")
+	problems, err := CheckRepo(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("want 2 problems, got %v", problems)
+	}
+	if problems[0].Link != "missing.md" || problems[0].Line != 3 {
+		t.Fatalf("first problem %+v, want missing.md at line 3", problems[0])
+	}
+	if problems[1].Link != "b.md#nope" {
+		t.Fatalf("second problem %+v, want the bad anchor", problems[1])
+	}
+}
+
+func TestCodeBlocksIgnored(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "a.md", "# A\n\n```\n[not a link](nowhere.md)\n```\n\nInline `[also not](gone.md)` code.\n")
+	problems, err := CheckRepo(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("links inside code reported: %v", problems)
+	}
+}
+
+func TestDuplicateHeadingAnchors(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "a.md", `# Title
+
+[first](#notes) [second](#notes-1) [third](#notes-2)
+
+## Notes
+
+## Notes
+`)
+	problems, err := CheckRepo(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || problems[0].Link != "#notes-2" {
+		t.Fatalf("want exactly the #notes-2 overflow flagged, got %v", problems)
+	}
+}
+
+// TestRepoDocLinks is the real gate: every markdown file in this
+// repository must have resolvable relative links and anchors.
+func TestRepoDocLinks(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+	problems, err := CheckRepo(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Errorf("%s", p)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Checkpoint files wrap an opaque payload (the serialized index) with a
@@ -47,6 +48,35 @@ func WriteCheckpoint(path string, gen uint64, write func(io.Writer) error) error
 	}
 	metCheckpoints.Inc()
 	return nil
+}
+
+// CheckpointFileName is the checkpoint's name inside a data directory —
+// shared by the durable index (which writes it) and the shard server's
+// GET /checkpoint export (which ships it to replicas).
+const CheckpointFileName = "index.ckpt"
+
+// ExportCheckpoint opens the checkpoint inside data directory dir for
+// shipping to a replica: it validates the header, then returns the
+// generation plus a reader positioned at byte 0 — the caller streams the
+// complete file (header included), so the fetched copy drops into the
+// replica's data directory unchanged and OpenDurable recovers from it.
+// Missing files surface the os.Open error (check os.IsNotExist).
+func ExportCheckpoint(dir string) (gen uint64, rc io.ReadCloser, size int64, err error) {
+	path := filepath.Join(dir, CheckpointFileName)
+	gen, rc, err = OpenCheckpoint(path)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	f := rc.(*os.File)
+	st, err := f.Stat()
+	if err == nil {
+		_, err = f.Seek(0, io.SeekStart)
+	}
+	if err != nil {
+		f.Close()
+		return 0, nil, 0, err
+	}
+	return gen, f, st.Size(), nil
 }
 
 // OpenCheckpoint validates the checkpoint at path and returns its

@@ -1,0 +1,188 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"bilsh/internal/httpx"
+	"bilsh/internal/metrics"
+)
+
+// HTTP front end of the router. The endpoint shapes deliberately mirror
+// the shard server's (internal/server) so clients can point at either a
+// single node or a cluster without changing request bodies; the extras
+// are the cluster-only fields (spill, shards_contacted, partial) and the
+// /router/* introspection endpoints. docs/api.md documents every route.
+
+const maxBodyBytes = 64 << 20
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	routes := map[string]map[string]http.HandlerFunc{
+		"/healthz":       {http.MethodGet: rt.handleHealthz},
+		"/info":          {http.MethodGet: rt.handleInfo},
+		"/router/shards": {http.MethodGet: rt.handleShards},
+		"/query":         {http.MethodPost: rt.handleQuery},
+		"/batch":         {http.MethodPost: rt.handleBatch},
+		"/insert":        {http.MethodPost: rt.handleInsert},
+		"/delete":        {http.MethodPost: rt.handleDelete},
+		"/metrics":       {http.MethodGet: rt.handleMetrics},
+	}
+	for path, methods := range routes {
+		mux.Handle(path, rt.instrument(path, httpx.MethodDispatch(methods)))
+	}
+	return mux
+}
+
+// instrument mirrors the shard server's middleware: request count by
+// (path, code), latency by path, error count by path — same metric
+// names, so one dashboard reads both tiers.
+func (rt *Router) instrument(path string, next http.Handler) http.Handler {
+	latency := rt.reg.Histogram("bilsh_http_request_seconds",
+		"HTTP request latency, by path.", metrics.DefLatencyBuckets, metrics.L("path", path))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &httpx.StatusRecorder{ResponseWriter: w, Status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		latency.Observe(time.Since(start).Seconds())
+		rt.reg.Counter("bilsh_http_requests_total", "HTTP requests served, by path and status code.",
+			metrics.L("path", path), metrics.L("code", strconv.Itoa(rec.Status))).Inc()
+		if rec.Status >= 400 {
+			rt.reg.Counter("bilsh_http_errors_total", "HTTP responses with status >= 400, by path.",
+				metrics.L("path", path)).Inc()
+		}
+	})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (rt *Router) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	httpx.WriteJSON(w, http.StatusOK, map[string]interface{}{
+		"role":           "router",
+		"shards":         rt.m.NumShards(),
+		"leaves":         rt.m.NumLeaves(),
+		"leaf_aware":     rt.m.LeafAware(),
+		"dim":            rt.m.Dim(),
+		"spill":          rt.spill,
+		"uptime_seconds": int64(time.Since(rt.start).Seconds()),
+	})
+}
+
+func (rt *Router) handleShards(w http.ResponseWriter, _ *http.Request) {
+	httpx.WriteJSON(w, http.StatusOK, map[string]interface{}{"addrs": rt.Health()})
+}
+
+type queryRequest struct {
+	Vector []float32 `json:"vector"`
+	K      int       `json:"k"`
+	// Spill overrides the router's default leaf probe budget for this
+	// query (0 = use the default).
+	Spill int `json:"spill"`
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !httpx.DecodeBody(w, r, maxBodyBytes, &req) {
+		return
+	}
+	res, err := rt.Query(r.Context(), req.Vector, req.K, req.Spill)
+	if err != nil {
+		rt.writeError(w, err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, res)
+}
+
+type batchRequest struct {
+	Vectors [][]float32 `json:"vectors"`
+	K       int         `json:"k"`
+	Spill   int         `json:"spill"`
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !httpx.DecodeBody(w, r, maxBodyBytes, &req) {
+		return
+	}
+	if len(req.Vectors) == 0 {
+		httpx.Error(w, http.StatusBadRequest, "batch needs at least one vector")
+		return
+	}
+	results := make([]*Result, len(req.Vectors))
+	for i, v := range req.Vectors {
+		res, err := rt.Query(r.Context(), v, req.K, req.Spill)
+		if err != nil {
+			rt.writeError(w, fmt.Errorf("vector %d: %w", i, err))
+			return
+		}
+		results[i] = res
+	}
+	httpx.WriteJSON(w, http.StatusOK, map[string]interface{}{"results": results})
+}
+
+func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Vector []float32 `json:"vector"`
+	}
+	if !httpx.DecodeBody(w, r, maxBodyBytes, &req) {
+		return
+	}
+	gid, shard, err := rt.Insert(r.Context(), req.Vector)
+	if err != nil {
+		rt.writeError(w, err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, map[string]int{"id": gid, "shard": shard})
+}
+
+func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID *int `json:"id"`
+	}
+	if !httpx.DecodeBody(w, r, maxBodyBytes, &req) {
+		return
+	}
+	if req.ID == nil || *req.ID < 0 {
+		httpx.Error(w, http.StatusBadRequest, "delete needs a non-negative \"id\"")
+		return
+	}
+	res := rt.Delete(r.Context(), *req.ID)
+	status := http.StatusOK
+	if len(res.FailedShards) > 0 {
+		// The id may live on an unreachable shard — the delete is not
+		// known to have happened cluster-wide.
+		status = http.StatusBadGateway
+	}
+	httpx.WriteJSON(w, status, res)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	wantJSON := r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	if wantJSON {
+		w.Header().Set("Content-Type", "application/json")
+		rt.reg.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.reg.WritePrometheus(w)
+}
+
+// writeError maps router errors onto the structured JSON error shape:
+// client mistakes are 400, shard-side failures are 502 (the router is
+// fine; an upstream is not).
+func (rt *Router) writeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrBadQuery) {
+		httpx.Error(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	httpx.Error(w, http.StatusBadGateway, "%v", err)
+}

@@ -1,0 +1,128 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// healthProber periodically GETs /shard/info on every configured
+// address, flipping addrState.down as processes come and go and pinning
+// addrState.misconfigured when an address reports the wrong shard id
+// (a swapped address list would otherwise silently merge the wrong
+// shards' results).
+type healthProber struct {
+	rt       *Router
+	interval time.Duration
+}
+
+// Start launches background health probing; it runs until Stop or ctx
+// cancellation. Calling Start twice restarts the probe loop.
+func (rt *Router) Start(ctx context.Context) {
+	rt.Stop()
+	ctx, cancel := context.WithCancel(ctx)
+	rt.stopHealth = cancel
+	go rt.health.run(ctx)
+}
+
+// Stop halts background health probing (no-op when not started).
+func (rt *Router) Stop() {
+	if rt.stopHealth != nil {
+		rt.stopHealth()
+		rt.stopHealth = nil
+	}
+}
+
+func (p *healthProber) run(ctx context.Context) {
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	p.sweep(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.sweep(ctx)
+		}
+	}
+}
+
+// sweep probes every address of every shard once.
+func (p *healthProber) sweep(ctx context.Context) {
+	for _, c := range p.rt.clients {
+		for i := range c.addrs {
+			p.probe(ctx, c, i)
+		}
+	}
+}
+
+// probe checks one address: reachable and reporting the expected shard
+// id → up; reachable with the wrong id → misconfigured (never used until
+// the operator fixes it); unreachable → down.
+func (p *healthProber) probe(ctx context.Context, c *shardClient, addrIdx int) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.addrs[addrIdx]+"/shard/info", nil)
+	if err != nil {
+		c.markDown(addrIdx, err)
+		return
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.markDown(addrIdx, err)
+		return
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Shard int `json:"shard"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		c.markDown(addrIdx, fmt.Errorf("bad /shard/info reply: %w", err))
+		return
+	}
+	// Shard -1 means the server was started without a shard id (plain
+	// `bilsh serve`); accept it rather than refusing single-node setups.
+	if info.Shard >= 0 && info.Shard != c.id {
+		msg := fmt.Sprintf("address %s reports shard %d, configured as shard %d",
+			c.addrs[addrIdx], info.Shard, c.id)
+		c.state[addrIdx].misconfigured.Store(true)
+		c.state[addrIdx].lastErr.Store(&msg)
+		return
+	}
+	c.state[addrIdx].misconfigured.Store(false)
+	c.markUp(addrIdx)
+}
+
+// AddrHealth is the health view of one shard address.
+type AddrHealth struct {
+	Shard         int    `json:"shard"`
+	Addr          string `json:"addr"`
+	Primary       bool   `json:"primary"`
+	Down          bool   `json:"down"`
+	Misconfigured bool   `json:"misconfigured"`
+	LastError     string `json:"last_error,omitempty"`
+}
+
+// Health snapshots the per-address health state (as maintained by the
+// background prober plus passive marks from request failures).
+func (rt *Router) Health() []AddrHealth {
+	var out []AddrHealth
+	for _, c := range rt.clients {
+		for i, addr := range c.addrs {
+			h := AddrHealth{
+				Shard:         c.id,
+				Addr:          addr,
+				Primary:       i == 0,
+				Down:          c.state[i].down.Load(),
+				Misconfigured: c.state[i].misconfigured.Load(),
+			}
+			if p := c.state[i].lastErr.Load(); p != nil {
+				h.LastError = *p
+			}
+			out = append(out, h)
+		}
+	}
+	return out
+}

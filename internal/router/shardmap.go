@@ -1,0 +1,223 @@
+// Package router implements the cluster tier of bilsh: a scatter-gather
+// front end that fans a query out to the shards that can hold its
+// neighbors, merges the per-shard shortlists into one top-k, hedges slow
+// shard requests for tail-latency control, and fails partially instead
+// of completely when shards are down.
+//
+// The routing insight is the paper's own: level 1 of Bi-level LSH is a
+// data partitioner (the RP-tree of Section IV-A), so the tree that routes
+// a query to its level-1 cell on one machine routes it to the machines
+// owning those cells in a cluster. A ShardMap is exactly that tree plus a
+// leaf→shard assignment; a query contacts only the shards owning the
+// leaves its probe set touches (Tree.LeafProbes — the home leaf plus
+// optional low-margin spill leaves), and degenerates to full scatter when
+// the cluster was split without a tree (PartitionNone). docs/sharding.md
+// is the operator-facing description.
+package router
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"bilsh/internal/durable"
+	"bilsh/internal/rptree"
+	"bilsh/internal/wire"
+)
+
+const shardMapMagic = "bilsh.ShardMap/1"
+
+// ShardMap assigns every level-1 leaf to a shard. The zero leaf count
+// (tree == nil) is the scatter map: every query fans out to all shards.
+type ShardMap struct {
+	tree        *rptree.Tree
+	leafToShard []int
+	shards      int
+}
+
+// NewShardMap pairs a level-1 tree with a leaf→shard assignment.
+func NewShardMap(tree *rptree.Tree, leafToShard []int, shards int) (*ShardMap, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("router: shard map needs >= 1 shard, got %d", shards)
+	}
+	if tree == nil {
+		return nil, fmt.Errorf("router: shard map needs a tree (use ScatterMap for tree-less clusters)")
+	}
+	if len(leafToShard) != tree.NumLeaves() {
+		return nil, fmt.Errorf("router: assignment covers %d leaves, tree has %d",
+			len(leafToShard), tree.NumLeaves())
+	}
+	for leaf, s := range leafToShard {
+		if s < 0 || s >= shards {
+			return nil, fmt.Errorf("router: leaf %d assigned to shard %d, want [0,%d)", leaf, s, shards)
+		}
+	}
+	return &ShardMap{tree: tree, leafToShard: append([]int(nil), leafToShard...), shards: shards}, nil
+}
+
+// ScatterMap is the tree-less map: every query contacts every shard. It
+// is what a cluster split from a PartitionNone index uses.
+func ScatterMap(shards int) (*ShardMap, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("router: shard map needs >= 1 shard, got %d", shards)
+	}
+	return &ShardMap{shards: shards}, nil
+}
+
+// AssignLeaves balances leaves across shards greedily: leaves in
+// descending size order, each to the currently lightest shard — the
+// classic LPT bound keeps the heaviest shard within 4/3 of optimal, ample
+// for leaf counts a small multiple of the shard count.
+func AssignLeaves(sizes []int, shards int) []int {
+	order := make([]int, len(sizes))
+	for i := range order {
+		order[i] = i
+	}
+	// Descending by size; stable on ties via leaf id for determinism.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if sizes[a] > sizes[b] || (sizes[a] == sizes[b] && a < b) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+	load := make([]int, shards)
+	out := make([]int, len(sizes))
+	for _, leaf := range order {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		out[leaf] = best
+		load[best] += sizes[leaf]
+	}
+	return out
+}
+
+// NumShards returns the shard count.
+func (m *ShardMap) NumShards() int { return m.shards }
+
+// NumLeaves returns the leaf count, 0 for the scatter map.
+func (m *ShardMap) NumLeaves() int {
+	if m.tree == nil {
+		return 0
+	}
+	return m.tree.NumLeaves()
+}
+
+// Dim returns the expected query dimensionality, 0 for the scatter map
+// (which accepts any).
+func (m *ShardMap) Dim() int {
+	if m.tree == nil {
+		return 0
+	}
+	return m.tree.Dim()
+}
+
+// LeafAware reports whether queries route by leaf (false = full scatter).
+func (m *ShardMap) LeafAware() bool { return m.tree != nil }
+
+// ShardOf routes v to the shard owning its home leaf — where an insert
+// belongs. The scatter map has no opinion and returns -1.
+func (m *ShardMap) ShardOf(v []float32) int {
+	if m.tree == nil {
+		return -1
+	}
+	return m.leafToShard[m.tree.Leaf(v)]
+}
+
+// ShardsFor returns the distinct shards owning the (up to) spill leaves
+// v probes, in probe order — the home leaf's shard first. The scatter
+// map returns every shard.
+func (m *ShardMap) ShardsFor(v []float32, spill int) []int {
+	if m.tree == nil {
+		all := make([]int, m.shards)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	if spill < 1 {
+		spill = 1
+	}
+	leaves := m.tree.LeafProbes(v, spill)
+	out := make([]int, 0, len(leaves))
+	for _, leaf := range leaves {
+		s := m.leafToShard[leaf]
+		seen := false
+		for _, prev := range out {
+			if prev == s {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteTo serializes the map.
+func (m *ShardMap) WriteTo(w io.Writer) (int64, error) {
+	ww := wire.NewWriter(w)
+	ww.Magic(shardMapMagic)
+	ww.Int(m.shards)
+	ww.Ints(m.leafToShard)
+	ww.Bool(m.tree != nil)
+	if m.tree != nil {
+		m.tree.Encode(ww)
+	}
+	if err := ww.Flush(); err != nil {
+		return ww.BytesWritten(), err
+	}
+	return ww.BytesWritten(), ww.Err()
+}
+
+// ReadShardMap deserializes a map written by WriteTo.
+func ReadShardMap(r io.Reader) (*ShardMap, error) {
+	rr := wire.NewReader(r)
+	rr.ExpectMagic(shardMapMagic)
+	shards := rr.Int()
+	leafToShard := rr.Ints()
+	hasTree := rr.Bool()
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("router: reading shard map: %w", err)
+	}
+	if !hasTree {
+		if len(leafToShard) != 0 {
+			return nil, fmt.Errorf("router: scatter map carries %d leaf assignments", len(leafToShard))
+		}
+		return ScatterMap(shards)
+	}
+	tree, err := rptree.DecodeTree(rr)
+	if err != nil {
+		return nil, fmt.Errorf("router: reading shard map tree: %w", err)
+	}
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("router: reading shard map: %w", err)
+	}
+	return NewShardMap(tree, leafToShard, shards)
+}
+
+// SaveShardMap atomically writes the map to path.
+func SaveShardMap(path string, m *ShardMap) error {
+	return durable.AtomicWrite(path, func(f *os.File) error {
+		_, err := m.WriteTo(f)
+		return err
+	})
+}
+
+// LoadShardMap reads a map from path.
+func LoadShardMap(path string) (*ShardMap, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadShardMap(f)
+}

@@ -1,0 +1,78 @@
+package rptree
+
+import (
+	"testing"
+
+	"bilsh/internal/dataset"
+	"bilsh/internal/xrand"
+)
+
+func probeTree(t *testing.T, leaves int) (*Tree, *dataset.ClusteredSpec) {
+	t.Helper()
+	spec := dataset.ClusteredSpec{N: 400, D: 8, Clusters: 4, IntrinsicDim: 3,
+		Aspect: 3, NoiseSigma: 0.05, Spread: 8, PowerLaw: 0.3, ScaleSpread: 2}
+	data, _, err := dataset.Clustered(spec, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := Build(data, Options{Leaves: leaves}, xrand.New(12))
+	return tree, &spec
+}
+
+func TestLeafProbesFirstIsHomeLeaf(t *testing.T) {
+	tree, _ := probeTree(t, 8)
+	rng := xrand.New(13)
+	v := make([]float32, tree.Dim())
+	for trial := 0; trial < 100; trial++ {
+		for j := range v {
+			v[j] = float32(rng.NormFloat64() * 3)
+		}
+		for _, m := range []int{1, 2, tree.NumLeaves(), tree.NumLeaves() + 5} {
+			probes := tree.LeafProbes(v, m)
+			if len(probes) == 0 || probes[0] != tree.Leaf(v) {
+				t.Fatalf("trial %d m=%d: probes %v, first must be home leaf %d", trial, m, probes, tree.Leaf(v))
+			}
+			want := m
+			if want > tree.NumLeaves() {
+				want = tree.NumLeaves()
+			}
+			if len(probes) != want {
+				t.Fatalf("trial %d m=%d: %d probes, want %d", trial, m, len(probes), want)
+			}
+			seen := map[int]bool{}
+			for _, p := range probes {
+				if p < 0 || p >= tree.NumLeaves() {
+					t.Fatalf("trial %d: probe %d out of range [0,%d)", trial, p, tree.NumLeaves())
+				}
+				if seen[p] {
+					t.Fatalf("trial %d: duplicate probe %d in %v", trial, p, probes)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
+// TestLeafProbesCoversAllLeaves checks that asking for every leaf
+// enumerates every leaf — the best-first search must not lose subtrees.
+func TestLeafProbesCoversAllLeaves(t *testing.T) {
+	tree, _ := probeTree(t, 6)
+	v := make([]float32, tree.Dim())
+	probes := tree.LeafProbes(v, tree.NumLeaves())
+	if len(probes) != tree.NumLeaves() {
+		t.Fatalf("asked for all %d leaves, got %d: %v", tree.NumLeaves(), len(probes), probes)
+	}
+}
+
+// TestLeafProbesSingleLeafTree: a degenerate tree (one leaf) always
+// probes leaf 0.
+func TestLeafProbesSingleLeafTree(t *testing.T) {
+	tree, _ := probeTree(t, 1)
+	if tree.NumLeaves() != 1 {
+		t.Skipf("build produced %d leaves", tree.NumLeaves())
+	}
+	v := make([]float32, tree.Dim())
+	if got := tree.LeafProbes(v, 4); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("probes %v, want [0]", got)
+	}
+}

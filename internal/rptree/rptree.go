@@ -228,6 +228,71 @@ func (t *Tree) Leaf(v []float32) int {
 	}
 }
 
+// LeafProbes routes v to up to m distinct leaves, ordered by routing
+// confidence: the first entry is Leaf(v), and the rest are the alternate
+// leaves reached by flipping the descent's lowest-margin split decisions
+// first (best-first search over the accumulated flip penalty). A point
+// near a partition boundary has a tiny margin at the straddled split, so
+// its spill set is exactly the neighboring cells the boundary separates —
+// the standard mitigation for defeatist tree search, and what the cluster
+// router uses to widen a query's shard fan-out (docs/sharding.md).
+//
+// The penalty of a leaf is the sum of |projection − threshold| (or
+// |distance-to-mean − threshold| for distance splits) over the decisions
+// flipped to reach it; margins of the two split kinds share the data's
+// length scale but are not calibrated against each other, which is
+// acceptable for ordering a handful of spill candidates.
+func (t *Tree) LeafProbes(v []float32, m int) []int {
+	if len(v) != t.dim {
+		panic(fmt.Sprintf("rptree: LeafProbes got dim %d, want %d", len(v), t.dim))
+	}
+	if m < 1 {
+		m = 1
+	}
+	out := make([]int, 0, m)
+	// Frontier of (penalty, subtree root) pairs; the pop is a linear min
+	// scan — the frontier holds at most one entry per level of the paths
+	// walked, and m is small.
+	type cand struct {
+		pen  float64
+		node int
+	}
+	frontier := []cand{{0, 0}}
+	for len(frontier) > 0 && len(out) < m {
+		best := 0
+		for i := 1; i < len(frontier); i++ {
+			if frontier[i].pen < frontier[best].pen {
+				best = i
+			}
+		}
+		c := frontier[best]
+		frontier[best] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+
+		i := c.node
+		for {
+			n := &t.nodes[i]
+			if n.leaf >= 0 {
+				out = append(out, n.leaf)
+				break
+			}
+			var d float64
+			if n.proj != nil {
+				d = vec.Dot(v, n.proj) - n.thresh
+			} else {
+				d = vec.Dist(v, n.mean) - n.thresh
+			}
+			next, other := n.left, n.right
+			if d > 0 {
+				next, other = n.right, n.left
+			}
+			frontier = append(frontier, cand{c.pen + math.Abs(d), other})
+			i = next
+		}
+	}
+	return out
+}
+
 // split divides idx into two non-empty sides per the configured rule.
 func split(data *vec.Matrix, idx []int, opts Options, rng *xrand.RNG) (left, right []int, nd node, ok bool) {
 	if opts.Rule == RuleMean {

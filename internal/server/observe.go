@@ -3,45 +3,17 @@ package server
 import (
 	"net/http"
 	"net/http/pprof"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"bilsh/internal/httpx"
 	"bilsh/internal/metrics"
 )
 
-// methodDispatch routes by HTTP method and answers anything else with 405
-// plus an Allow header — the contract HTTP clients and load balancers
-// expect, instead of a fall-through 404 that hides the typo'd verb.
+// methodDispatch applies the shared 405+Allow convention (httpx).
 func methodDispatch(methods map[string]http.HandlerFunc) http.Handler {
-	allowed := make([]string, 0, len(methods))
-	for m := range methods {
-		allowed = append(allowed, m)
-	}
-	sort.Strings(allowed)
-	allow := strings.Join(allowed, ", ")
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		h, ok := methods[r.Method]
-		if !ok {
-			w.Header().Set("Allow", allow)
-			httpError(w, http.StatusMethodNotAllowed,
-				"method %s not allowed (allow: %s)", r.Method, allow)
-			return
-		}
-		h(w, r)
-	})
-}
-
-// statusRecorder captures the response status for the middleware.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-func (sr *statusRecorder) WriteHeader(code int) {
-	sr.status = code
-	sr.ResponseWriter.WriteHeader(code)
+	return httpx.MethodDispatch(methods)
 }
 
 // instrument wraps one endpoint with the middleware metrics: request
@@ -56,12 +28,12 @@ func (s *Server) instrument(path string, next http.Handler) http.Handler {
 		start := time.Now()
 		inflight.Inc()
 		defer inflight.Dec()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rec := &httpx.StatusRecorder{ResponseWriter: w, Status: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		latency.Observe(time.Since(start).Seconds())
 		s.reg.Counter("bilsh_http_requests_total", "HTTP requests served, by path and status code.",
-			metrics.L("path", path), metrics.L("code", strconv.Itoa(rec.status))).Inc()
-		if rec.status >= 400 {
+			metrics.L("path", path), metrics.L("code", strconv.Itoa(rec.Status))).Inc()
+		if rec.Status >= 400 {
 			s.reg.Counter("bilsh_http_errors_total", "HTTP responses with status >= 400, by path.",
 				metrics.L("path", path)).Inc()
 		}

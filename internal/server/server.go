@@ -17,6 +17,17 @@
 //	POST /compact          -> {}                                  -> {"live":...}
 //	POST /compact          -> {"async":true}                      -> 202 {"status":"started"}
 //	POST /save             -> {}                                  -> {"status":"saved"}
+//	GET  /shard/info       -> shard identity + index vitals (JSON)
+//	GET  /checkpoint       -> durable checkpoint bytes (replica bring-up)
+//	GET  /idmap            -> id map dump ("local global" lines)
+//
+// The shard endpoints back the sharded serving tier (docs/sharding.md):
+// /shard/info always answers (shard -1 when the server is standalone),
+// while /checkpoint requires EnableCheckpointFetch — `bilsh shard-serve
+// -data-dir` wires it — and /idmap requires SetIDMap; both answer 403
+// otherwise. With SetIDMap
+// installed, result ids, insert assignments and delete targets are
+// cluster-global ids rather than shard-local row ids (see IDMap).
 //
 // /save persists the index through the function installed with EnableSave
 // (a durable checkpoint under `bilsh serve -data-dir`, an atomic rewrite
@@ -36,13 +47,13 @@
 package server
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
 	"bilsh/internal/core"
+	"bilsh/internal/httpx"
 	"bilsh/internal/metrics"
 	"bilsh/internal/vec"
 )
@@ -83,6 +94,15 @@ type Server struct {
 	start time.Time
 	// drainTimeout bounds Serve's graceful shutdown (default 30s).
 	drainTimeout time.Duration
+
+	// Shard-serving state (see shard.go): the cluster shard id (-1 when
+	// standalone), the local↔global id translation, the durable data
+	// directory backing GET /checkpoint, and the checkpoint generation
+	// source for /shard/info.
+	shardID int
+	idmap   *IDMap
+	ckptDir string
+	gen     func() uint64
 }
 
 // New wraps ix. When mutable is false the insert/delete/compact endpoints
@@ -97,6 +117,7 @@ func New(ix *core.Index, mutable bool) *Server {
 		metricsOn:    true,
 		start:        time.Now(),
 		drainTimeout: 30 * time.Second,
+		shardID:      -1,
 	}
 }
 
@@ -137,14 +158,17 @@ func (s *Server) SetDrainTimeout(d time.Duration) { s.drainTimeout = d }
 // and so the middleware sees a bounded set of path labels.
 func (s *Server) Handler() http.Handler {
 	routes := map[string]map[string]http.HandlerFunc{
-		"/healthz": {http.MethodGet: s.handleHealthz},
-		"/info":    {http.MethodGet: s.handleInfo},
-		"/query":   {http.MethodPost: s.handleQuery},
-		"/batch":   {http.MethodPost: s.handleBatch},
-		"/insert":  {http.MethodPost: s.handleInsert},
-		"/delete":  {http.MethodPost: s.handleDelete},
-		"/compact": {http.MethodPost: s.handleCompact},
-		"/save":    {http.MethodPost: s.handleSave},
+		"/healthz":    {http.MethodGet: s.handleHealthz},
+		"/info":       {http.MethodGet: s.handleInfo},
+		"/query":      {http.MethodPost: s.handleQuery},
+		"/batch":      {http.MethodPost: s.handleBatch},
+		"/insert":     {http.MethodPost: s.handleInsert},
+		"/delete":     {http.MethodPost: s.handleDelete},
+		"/compact":    {http.MethodPost: s.handleCompact},
+		"/save":       {http.MethodPost: s.handleSave},
+		"/shard/info": {http.MethodGet: s.handleShardInfo},
+		"/checkpoint": {http.MethodGet: s.handleCheckpoint},
+		"/idmap":      {http.MethodGet: s.handleIDMap},
 	}
 	if s.metricsOn {
 		routes["/metrics"] = map[string]http.HandlerFunc{http.MethodGet: s.handleMetrics}
@@ -218,7 +242,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, st := s.ix.Query(req.Vector, req.K)
-	writeJSON(w, http.StatusOK, toResponse(res.IDs, res.Dists, st))
+	writeJSON(w, http.StatusOK, s.toResponse(res.IDs, res.Dists, st))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -244,7 +268,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	results, stats := s.ix.QueryBatchParallel(queries, req.K, req.Workers)
 	resp := batchResponse{Results: make([]queryResponse, len(results))}
 	for i := range results {
-		resp.Results[i] = toResponse(results[i].IDs, results[i].Dists, stats[i])
+		resp.Results[i] = s.toResponse(results[i].IDs, results[i].Dists, stats[i])
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -255,6 +279,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	var req struct {
 		Vector []float32 `json:"vector"`
+		// ID is the caller-assigned global id, only meaningful on a
+		// shard with an id map (the router supplies it); omitted, the
+		// shard assigns max+1.
+		ID *int `json:"id"`
 	}
 	if !decodeBody(w, r, &req) {
 		return
@@ -266,12 +294,38 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	id, err := s.mut.Insert(req.Vector)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+	if s.idmap == nil {
+		if req.ID != nil {
+			httpError(w, http.StatusBadRequest,
+				"id assignment requires a shard id map (serve the index with bilsh shard-serve -idmap)")
+			return
+		}
+		id, err := s.mut.Insert(req.Vector)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"id": id})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"id": id})
+	gid := -1
+	if req.ID != nil {
+		if *req.ID < 0 {
+			httpError(w, http.StatusBadRequest, "id must be non-negative, got %d", *req.ID)
+			return
+		}
+		gid = *req.ID
+	}
+	gid, err := s.idmap.InsertWith(gid, func() (int, error) { return s.mut.Insert(req.Vector) })
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrDuplicateGlobalID) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"id": gid})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -284,7 +338,19 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	ok := s.mut.Delete(req.ID)
+	id := req.ID
+	if s.idmap != nil {
+		// Delete targets arrive as global ids; a global id this shard
+		// does not hold is simply not deleted here (the router
+		// broadcasts deletes, so exactly one shard answers true).
+		local, ok := s.idmap.Local(id)
+		if !ok {
+			writeJSON(w, http.StatusOK, map[string]bool{"deleted": false})
+			return
+		}
+		id = local
+	}
+	ok := s.mut.Delete(id)
 	writeJSON(w, http.StatusOK, map[string]bool{"deleted": ok})
 }
 
@@ -302,6 +368,13 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Async {
+		if s.idmap != nil {
+			// Compaction renumbers local ids and CompactAsync discards the
+			// remap, which would silently desynchronize the id map.
+			httpError(w, http.StatusConflict,
+				"async compaction is unavailable with an id map installed (the id remap must be applied); use synchronous compact")
+			return
+		}
 		if err := s.mut.CompactAsync(); err != nil {
 			httpError(w, conflictOr500(err), "%v", err)
 			return
@@ -309,9 +382,18 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, map[string]string{"status": "started"})
 		return
 	}
-	if _, err := s.mut.Compact(); err != nil {
+	remap, err := s.mut.Compact()
+	if err != nil {
 		httpError(w, conflictOr500(err), "%v", err)
 		return
+	}
+	if s.idmap != nil {
+		// Keep global ids stable across the local renumbering. A failure
+		// here is fatal for the mapping, not the index — surface it loudly.
+		if err := s.idmap.Remap(remap); err != nil {
+			httpError(w, http.StatusInternalServerError, "compacted, but remapping the id map failed: %v", err)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"live": s.ix.Len()})
 }
@@ -350,39 +432,33 @@ func (s *Server) requireMutable(w http.ResponseWriter) bool {
 	return true
 }
 
-func toResponse(ids []int, dists []float64, st core.QueryStats) queryResponse {
+func (s *Server) toResponse(ids []int, dists []float64, st core.QueryStats) queryResponse {
 	resp := queryResponse{
 		Neighbors:  make([]neighbor, len(ids)),
 		Candidates: st.Candidates,
 		Group:      st.Group,
 	}
 	for i := range ids {
-		resp.Neighbors[i] = neighbor{ID: ids[i], Dist: dists[i]}
+		id := ids[i]
+		if s.idmap != nil {
+			id = s.idmap.Global(id)
+		}
+		resp.Neighbors[i] = neighbor{ID: id, Dist: dists[i]}
 	}
 	return resp
 }
 
-// decodeBody parses a JSON body with a size cap; it writes the error
-// response itself and reports success.
+// decodeBody, writeJSON and httpError delegate to the shared
+// internal/httpx conventions (size-capped strict JSON in, structured
+// JSON errors out) that the router speaks as well.
 func decodeBody(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
-		return false
-	}
-	return true
+	return httpx.DecodeBody(w, r, maxBodyBytes, dst)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are gone; nothing more to do than drop the connection.
-		return
-	}
+	httpx.WriteJSON(w, status, v)
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	httpx.Error(w, status, format, args...)
 }

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bilsh/internal/core"
+	"bilsh/internal/durable"
+	"bilsh/internal/metrics"
+)
+
+func TestShardInfoStandalone(t *testing.T) {
+	srv, _ := testServer(t, false)
+	var info shardInfo
+	if code := getJSON(t, srv.URL+"/shard/info", &info); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if info.Shard != -1 {
+		t.Fatalf("standalone server reports shard %d, want -1", info.Shard)
+	}
+	if info.Mutable {
+		t.Fatal("immutable server reports mutable")
+	}
+	if info.MaxGlobalID != info.Live-1 {
+		t.Fatalf("max_global_id %d, want %d (identity ids)", info.MaxGlobalID, info.Live-1)
+	}
+}
+
+func TestShardInfoWithIDMap(t *testing.T) {
+	ix, _ := testIndexData(t)
+	n := ix.Len()
+	locals := make([]int, n)
+	globals := make([]int, n)
+	for i := 0; i < n; i++ {
+		locals[i], globals[i] = i, 1000+i
+	}
+	m, err := NewIDMap(locals, globals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(ix, false)
+	s.SetShardID(3)
+	s.SetIDMap(m)
+	s.SetRegistry(metrics.NewRegistry())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var info shardInfo
+	getJSON(t, srv.URL+"/shard/info", &info)
+	if info.Shard != 3 {
+		t.Fatalf("shard %d, want 3", info.Shard)
+	}
+	if info.MaxGlobalID != 1000+n-1 {
+		t.Fatalf("max_global_id %d, want %d", info.MaxGlobalID, 1000+n-1)
+	}
+
+	// Query results must speak global ids.
+	var qr struct {
+		Neighbors []struct {
+			ID int `json:"id"`
+		} `json:"neighbors"`
+	}
+	q := make([]float32, ix.Dim())
+	postJSON(t, srv.URL+"/query", map[string]interface{}{"vector": q, "k": 3}, &qr)
+	for _, nb := range qr.Neighbors {
+		if nb.ID < 1000 {
+			t.Fatalf("result id %d is shard-local, want global (>= 1000)", nb.ID)
+		}
+	}
+
+	// /idmap dumps the mapping in file format.
+	resp, err := http.Get(srv.URL + "/idmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/idmap status %d", resp.StatusCode)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != n {
+		t.Fatalf("/idmap dumped %d lines, want %d", len(lines), n)
+	}
+	if lines[0] != "0 1000" {
+		t.Fatalf("first idmap line %q, want \"0 1000\"", lines[0])
+	}
+}
+
+func TestIDMapEndpointsUnconfigured(t *testing.T) {
+	srv, _ := testServer(t, false)
+	for _, path := range []string{"/idmap", "/checkpoint"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("GET %s on unconfigured server: status %d, want 403", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestInsertWithGlobalID(t *testing.T) {
+	ix, data := testIndexData(t)
+	m, err := NewIDMap(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(ix, true)
+	s.SetIDMap(m)
+	s.SetRegistry(metrics.NewRegistry())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	v := data.Row(0)
+
+	var ins struct {
+		ID int `json:"id"`
+	}
+	if code := postJSON(t, srv.URL+"/insert", map[string]interface{}{"vector": v, "id": 500}, &ins); code != http.StatusOK {
+		t.Fatalf("insert status %d", code)
+	}
+	if ins.ID != 500 {
+		t.Fatalf("assigned id %d, want 500", ins.ID)
+	}
+	// Duplicate global id: 409.
+	if code := postJSON(t, srv.URL+"/insert", map[string]interface{}{"vector": v, "id": 500}, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate gid status %d, want 409", code)
+	}
+	// Auto-assignment continues above the maximum.
+	if code := postJSON(t, srv.URL+"/insert", map[string]interface{}{"vector": v}, &ins); code != http.StatusOK {
+		t.Fatalf("auto insert status %d", code)
+	}
+	if ins.ID != 501 {
+		t.Fatalf("auto-assigned id %d, want 501", ins.ID)
+	}
+	// Delete by global id.
+	var del struct {
+		Deleted bool `json:"deleted"`
+	}
+	postJSON(t, srv.URL+"/delete", map[string]int{"id": 500}, &del)
+	if !del.Deleted {
+		t.Fatal("delete by global id failed")
+	}
+	postJSON(t, srv.URL+"/delete", map[string]int{"id": 500}, &del)
+	if del.Deleted {
+		t.Fatal("double delete reported success")
+	}
+}
+
+func TestInsertWithIDRequiresIDMap(t *testing.T) {
+	srv, data := testServer(t, true)
+	code := postJSON(t, srv.URL+"/insert", map[string]interface{}{"vector": data.Row(0), "id": 7}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("insert with id on map-less server: status %d, want 400", code)
+	}
+}
+
+// TestCompactRemapsIDMap drives insert → delete → compact and checks
+// global ids keep resolving afterwards, across the local renumbering.
+func TestCompactRemapsIDMap(t *testing.T) {
+	ix, _ := testIndexData(t)
+	n := ix.Len()
+	locals := make([]int, n)
+	globals := make([]int, n)
+	for i := 0; i < n; i++ {
+		locals[i], globals[i] = i, 2*i // spread ids so local != global
+	}
+	m, err := NewIDMap(locals, globals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(ix, true)
+	s.SetIDMap(m)
+	s.SetRegistry(metrics.NewRegistry())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Async compaction must refuse: it cannot apply the remap.
+	if code := postJSON(t, srv.URL+"/compact", map[string]bool{"async": true}, nil); code != http.StatusConflict {
+		t.Fatalf("async compact with idmap: status %d, want 409", code)
+	}
+
+	var del struct {
+		Deleted bool `json:"deleted"`
+	}
+	postJSON(t, srv.URL+"/delete", map[string]int{"id": 0}, &del) // kills local row 0
+	if !del.Deleted {
+		t.Fatal("seed delete failed")
+	}
+	if code := postJSON(t, srv.URL+"/compact", map[string]bool{}, nil); code != http.StatusOK {
+		t.Fatalf("compact status %d", code)
+	}
+	// After compaction local ids shifted down by one, but global ids must
+	// still resolve: delete the (formerly) last row by its global id.
+	postJSON(t, srv.URL+"/delete", map[string]int{"id": 2 * (n - 1)}, &del)
+	if !del.Deleted {
+		t.Fatalf("global id %d unresolvable after compaction", 2*(n-1))
+	}
+	if got := m.MaxGlobal(); got != 2*(n-1) {
+		t.Fatalf("max global %d changed, want %d (deleted ids stay burned)", got, 2*(n-1))
+	}
+}
+
+// TestCheckpointFetchBringsUpReplica is the replica bring-up path end to
+// end: durable primary → POST /save → GET /checkpoint → bytes dropped
+// into a fresh data dir → OpenDurable serves identical results.
+func TestCheckpointFetchBringsUpReplica(t *testing.T) {
+	ix, data := testIndexData(t)
+	primaryDir := t.TempDir()
+	d, err := core.OpenDurable(primaryDir, core.DurableOptions{Base: ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	s := New(d.Index, true)
+	s.SetMutator(d)
+	s.EnableSave(func() error { _, err := d.Checkpoint(); return err })
+	s.EnableCheckpointFetch(primaryDir)
+	s.SetGeneration(d.Gen)
+	s.SetRegistry(metrics.NewRegistry())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Before any checkpoint: 404 with a hint.
+	resp, err := http.Get(srv.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("checkpoint before save: status %d, want 404", resp.StatusCode)
+	}
+
+	// Mutate, then checkpoint through the API.
+	var ins struct {
+		ID int `json:"id"`
+	}
+	if code := postJSON(t, srv.URL+"/insert", map[string]interface{}{"vector": data.Row(0)}, &ins); code != http.StatusOK {
+		t.Fatalf("insert status %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/save", map[string]string{}, nil); code != http.StatusOK {
+		t.Fatalf("save status %d", code)
+	}
+
+	// Fetch the checkpoint like bootstrapReplica does.
+	resp, err = http.Get(srv.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status %d", resp.StatusCode)
+	}
+	if gen := resp.Header.Get("X-Bilsh-Generation"); gen != fmt.Sprint(d.Gen()) {
+		t.Fatalf("generation header %q, want %d", gen, d.Gen())
+	}
+
+	replicaDir := t.TempDir()
+	err = durable.AtomicWrite(filepath.Join(replicaDir, durable.CheckpointFileName), func(f *os.File) error {
+		_, err := f.Write(blob)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.OpenDurable(replicaDir, core.DurableOptions{})
+	if err != nil {
+		t.Fatalf("replica open: %v", err)
+	}
+	defer r.Close()
+	if !r.Recovery.FromCheckpoint {
+		t.Fatal("replica did not recover from the fetched checkpoint")
+	}
+	if r.Index.Len() != d.Index.Len() {
+		t.Fatalf("replica holds %d rows, primary %d", r.Index.Len(), d.Index.Len())
+	}
+	q := data.Row(1)
+	want, _ := d.Index.Query(q, 5)
+	got, _ := r.Index.Query(q, 5)
+	if len(want.IDs) != len(got.IDs) {
+		t.Fatalf("replica answered %d neighbors, primary %d", len(got.IDs), len(want.IDs))
+	}
+	for i := range want.IDs {
+		if want.IDs[i] != got.IDs[i] {
+			t.Fatalf("rank %d: replica id %d, primary id %d", i, got.IDs[i], want.IDs[i])
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
