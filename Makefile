@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fmt quality bench bench-concurrency durability shard linkcheck
+.PHONY: check vet build test race fmt quality quality-sq8 bench bench-concurrency durability shard linkcheck noasm
 
 check: vet build race
 
@@ -37,6 +37,19 @@ durability:
 quality:
 	$(GO) run ./cmd/bilsh quality -preset full -out BENCH_quality.json
 
+# Same matrix over the SQ8 quantized row store (scan int8 codes, exact
+# re-rank). Checked against the *same* golden thresholds as the float32
+# run: quantization must fit inside the existing recall/error slack.
+quality-sq8:
+	$(GO) run ./cmd/bilsh quality -preset full -quantize sq8 -q
+
+# Portable-kernel build: compiles out every assembly body (the same code
+# path noasm-tagged builds and unsupported architectures run) and reruns
+# the test suite against it.
+noasm:
+	$(GO) build -tags noasm ./...
+	$(GO) test -tags noasm ./internal/vec ./internal/core
+
 # Sharded-serving benchmark (see docs/sharding.md): builds an in-process
 # 4-shard cluster (leaf-aware shard map, id maps, HTTP shard servers +
 # router) and a single-node server over the same data, drives identical
@@ -53,6 +66,9 @@ linkcheck:
 
 # Hot-path microbenchmarks (see docs/performance.md). Writes the raw
 # `go test -json` stream to BENCH_query.json for before/after comparison.
+# The BenchmarkSqDistToRows/BenchmarkSqDistToRowsSQ8 sweeps run every
+# registered kernel (SIMD and portable) and both row stores (float32 and
+# SQ8), so one file holds the kernel-on/off and float-vs-quantized deltas.
 bench:
 	$(GO) test ./internal/core ./internal/vec -run '^$$' \
 		-bench 'BenchmarkQueryModes|BenchmarkGather|BenchmarkRank|BenchmarkCandidateList|BenchmarkQueryBatchParallel|BenchmarkDot|BenchmarkSqDist' \

@@ -17,13 +17,15 @@ import (
 
 // parseMethodFlags is shared by the build and search commands.
 type methodFlags struct {
-	bilevel *bool
-	lattice *string
-	probe   *string
-	groups  *int
-	m, l    *int
-	w       *float64
-	seed    *int64
+	bilevel  *bool
+	lattice  *string
+	probe    *string
+	groups   *int
+	m, l     *int
+	w        *float64
+	seed     *int64
+	quantize *string
+	rerank   *int
 }
 
 func (mf methodFlags) options() (core.Options, error) {
@@ -32,6 +34,16 @@ func (mf methodFlags) options() (core.Options, error) {
 		AutoTuneW:   true,
 		Groups:      *mf.groups,
 		Params:      lshfunc.Params{M: *mf.m, L: *mf.l, W: *mf.w},
+	}
+	if mf.quantize != nil {
+		q, err := core.ParseQuantizeKind(*mf.quantize)
+		if err != nil {
+			return opts, err
+		}
+		opts.Quantize = q
+	}
+	if mf.rerank != nil {
+		opts.RerankFactor = *mf.rerank
 	}
 	if *mf.bilevel {
 		opts.Partitioner = core.PartitionRPTree
@@ -77,6 +89,10 @@ func cmdBuild(args []string) error {
 		l:       fs.Int("l", 10, "hash tables L"),
 		w:       fs.Float64("w", 1.0, "bucket width multiplier"),
 		seed:    fs.Int64("seed", 1, "random seed"),
+		quantize: fs.String("quantize", "none",
+			"row store the short-list scan reads: none or sq8 (int8 codes + exact re-rank)"),
+		rerank: fs.Int("rerank", 0,
+			"exact re-rank shortlist factor for -quantize sq8 (top k*factor; 0 = default 4)"),
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -239,7 +255,7 @@ func openAnyIndex(path string) (indexReader, func(), error) {
 		return nil, nil, err
 	}
 	var head [16]byte
-	if _, err := f.Read(head[:]); err == nil && string(head[:12]) == "bilsh.Disk/1" {
+	if _, err := f.Read(head[:]); err == nil && string(head[:11]) == "bilsh.Disk/" {
 		f.Close()
 		di, err := core.OpenDisk(path)
 		if err != nil {

@@ -18,6 +18,7 @@ func cmdQuality(args []string) error {
 	preset := fs.String("preset", "full", "configuration preset: full or small")
 	out := fs.String("out", "", "write the JSON report to this file")
 	cache := fs.String("cache", "", "exact-oracle cache directory (default: a bilsh-quality dir under the OS temp dir)")
+	quantize := fs.String("quantize", "", "row store the cells scan: none (default) or sq8 (quantized scan + exact re-rank, checked against the same golden thresholds)")
 	update := fs.String("update-golden", "", "regenerate the golden threshold table from this run and write it to the given path instead of checking")
 	quiet := fs.Bool("q", false, "suppress the per-cell table, print only the verdict")
 	if err := fs.Parse(args); err != nil {
@@ -34,6 +35,7 @@ func cmdQuality(args []string) error {
 		return fmt.Errorf("unknown preset %q (want full or small)", *preset)
 	}
 	cfg.CacheDir = *cache
+	cfg.Quantize = *quantize
 
 	rep, err := quality.Run(cfg)
 	if err != nil {

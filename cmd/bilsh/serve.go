@@ -47,6 +47,8 @@ func runServe(name string, args []string, shard bool) error {
 	memtable := fs.Int("memtable", 0, "memtable seal threshold in rows (0 = default 1024)")
 	autoCompact := fs.Int("auto-compact", 0, "start a background compaction (a checkpoint under -data-dir) at this many frozen segments (0 disables)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+	quantize := fs.String("quantize", "", "override the row store scanned at query time: none or sq8 (default: as built/checkpointed)")
+	rerank := fs.Int("rerank", 0, "exact re-rank shortlist factor for sq8 (top k*factor; 0 = keep current)")
 	metricsOn := fs.Bool("metrics", true, "expose GET /metrics (Prometheus text; ?format=json for JSON)")
 	pprofOn := fs.Bool("pprof", false, "expose the runtime profiler under /debug/pprof/")
 	statsEvery := fs.Duration("stats-interval", 0, "log a one-line stats summary at this interval (0 disables)")
@@ -105,7 +107,7 @@ func runServe(name string, args []string, shard bool) error {
 			// checkpoint inside it is the index.
 		} else {
 			var head [16]byte
-			if _, err := f.Read(head[:]); err == nil && string(head[:12]) == "bilsh.Disk/1" {
+			if _, err := f.Read(head[:]); err == nil && string(head[:11]) == "bilsh.Disk/" {
 				f.Close()
 				di, err := core.OpenDisk(*indexPath)
 				if err != nil {
@@ -185,6 +187,18 @@ func runServe(name string, args []string, shard bool) error {
 				})
 			})
 		}
+	}
+	if *quantize != "" {
+		// Re-quantizing after load lets a float32 index (or checkpoint)
+		// serve from SQ8 codes — or strip them — without a rebuild.
+		kind, err := core.ParseQuantizeKind(*quantize)
+		if err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		if err := ix.SetQuantize(kind, *rerank); err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		fmt.Printf("row store: %s (rerank factor %d)\n", kind, ix.Options().RerankFactor)
 	}
 	if shard {
 		api.SetShardID(*shardID)

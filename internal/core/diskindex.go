@@ -24,14 +24,24 @@ import (
 //
 // File layout (offsets fixed so rows are directly addressable):
 //
-//	[ 0,16)  raw magic "bilsh.Disk/1" zero-padded
+//	[ 0,16)  raw magic "bilsh.Disk/2" zero-padded
 //	[16,24)  uint64 dataOffset, little endian
 //	[24, dataOffset)  wire-encoded metadata:
-//	         options, N, D, partitioner, groups (same sections as WriteTo)
+//	         options, N, D, quantized rows (v2), partitioner, groups
+//	         (same sections as WriteTo)
 //	[dataOffset, dataOffset+4·N·D)  float32 rows, little endian, stride 4·D
+//
+// Version 1 files ("bilsh.Disk/1", no quantization fields or section)
+// still open; they query byte-identically to how they did when written.
+// Under Quantize=sq8 the codes live in the metadata and are resident, so
+// the short-list scan touches no disk — only the exact re-rank of the
+// final shortlist fetches float32 rows.
 const diskMagicLen = 16
 
-var diskMagic = [diskMagicLen]byte{'b', 'i', 'l', 's', 'h', '.', 'D', 'i', 's', 'k', '/', '1'}
+var (
+	diskMagicV1 = [diskMagicLen]byte{'b', 'i', 'l', 's', 'h', '.', 'D', 'i', 's', 'k', '/', '1'}
+	diskMagic   = [diskMagicLen]byte{'b', 'i', 'l', 's', 'h', '.', 'D', 'i', 's', 'k', '/', '2'}
+)
 
 // WriteDiskTo serializes the index in the disk-backed layout. The writer
 // must support seeking (an *os.File does): the data offset is back-patched
@@ -54,6 +64,7 @@ func (ix *Index) WriteDiskTo(f io.WriteSeeker) (int64, error) {
 	writeOptions(meta, ix.opts)
 	meta.Int(sn.data.N)
 	meta.Int(sn.data.D)
+	writeQuant(meta, sn.quant)
 	writeStructure(meta, sn.tree, sn.km, sn.groups)
 	if err := meta.Flush(); err != nil {
 		return 0, err
@@ -132,7 +143,13 @@ func openDisk(f *os.File) (*DiskIndex, error) {
 	if _, err := io.ReadFull(f, header[:]); err != nil {
 		return nil, fmt.Errorf("core: reading disk index header: %w", err)
 	}
-	if !bytes.Equal(header[:diskMagicLen], diskMagic[:]) {
+	var version int
+	switch {
+	case bytes.Equal(header[:diskMagicLen], diskMagic[:]):
+		version = 2
+	case bytes.Equal(header[:diskMagicLen], diskMagicV1[:]):
+		version = 1
+	default:
 		return nil, fmt.Errorf("core: not a bilsh disk index")
 	}
 	dataOffset := int64(binary.LittleEndian.Uint64(header[diskMagicLen:]))
@@ -148,7 +165,7 @@ func openDisk(f *os.File) (*DiskIndex, error) {
 	}
 
 	meta := wire.NewReader(io.NewSectionReader(f, diskMagicLen+8, dataOffset-diskMagicLen-8))
-	o, err := readOptions(meta)
+	o, err := readOptions(meta, version)
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +181,12 @@ func openDisk(f *os.File) (*DiskIndex, error) {
 		return nil, fmt.Errorf("core: disk index truncated: %d bytes, want %d", st.Size(), want)
 	}
 
+	var quant *vec.QuantizedMatrix
+	if version >= 2 {
+		if quant, err = readQuant(meta, n, d); err != nil {
+			return nil, err
+		}
+	}
 	tree, km, groups, err := readStructure(meta, o, n)
 	if err != nil {
 		return nil, err
@@ -183,7 +206,7 @@ func openDisk(f *os.File) (*DiskIndex, error) {
 		}
 		return row
 	}
-	ix := newIndex(o, &vec.Matrix{N: n, D: d}, fetch, tree, km, groups)
+	ix := newIndex(o, &vec.Matrix{N: n, D: d}, fetch, quant, tree, km, groups)
 	return &DiskIndex{Index: ix, f: f}, nil
 }
 

@@ -314,6 +314,10 @@ func (ix *Index) compact() ([]int, error) {
 			return nil, err
 		}
 	}
+	// Requantize the surviving rows (still off-lock: one streaming pass
+	// over the fresh matrix). Overlay inserts that only ranked exactly
+	// before now join the quantized scan.
+	quant := buildQuant(ix.opts, fresh, nil)
 
 	// Phase 3 (under mu, bounded work): swap the fresh base in. Rows
 	// inserted or segments sealed during phase 2 carry ids >= srcTotal;
@@ -325,7 +329,7 @@ func (ix *Index) compact() ([]int, error) {
 	delta := live - srcTotal
 
 	next := &snapshot{
-		data: fresh, tree: src.tree, km: src.km, groups: groups,
+		data: fresh, quant: quant, tree: src.tree, km: src.km, groups: groups,
 	}
 	for _, seg := range cur.frozen[srcFrozen:] {
 		next.frozen = append(next.frozen, seg.shifted(delta))

@@ -74,13 +74,27 @@ type group struct {
 
 // newIndex wraps built structures into an Index with its first snapshot.
 func newIndex(opts Options, data *vec.Matrix, fetch func(id int) []float32,
-	tree *rptree.Tree, km *kmeans.Model, groups []*group) *Index {
+	quant *vec.QuantizedMatrix, tree *rptree.Tree, km *kmeans.Model, groups []*group) *Index {
 	ix := &Index{opts: opts}
 	ix.snap.Store(&snapshot{
 		epoch: 1, opts: opts,
-		data: data, fetch: fetch, tree: tree, km: km, groups: groups,
+		data: data, fetch: fetch, quant: quant, tree: tree, km: km, groups: groups,
 	})
 	return ix
+}
+
+// buildQuant materializes the quantized row store opts asks for (nil for
+// QuantizeNone). fetch supplies rows when the float32 matrix is
+// shape-only (disk-backed); otherwise rows come straight from data.
+func buildQuant(opts Options, data *vec.Matrix, fetch func(id int) []float32) *vec.QuantizedMatrix {
+	if opts.Quantize != QuantizeSQ8 || data.N == 0 {
+		return nil
+	}
+	row := data.Row
+	if fetch != nil {
+		row = fetch
+	}
+	return vec.QuantizeSQ8Rows(data.N, data.D, row)
 }
 
 // loadSnap returns the current read view.
@@ -145,7 +159,7 @@ func Build(data *vec.Matrix, opts Options, rng *xrand.RNG) (*Index, error) {
 		}
 		groups[gi] = g
 	}
-	return newIndex(opts, data, nil, tree, km, groups), nil
+	return newIndex(opts, data, nil, buildQuant(opts, data, nil), tree, km, groups), nil
 }
 
 func buildGroup(data *vec.Matrix, members []int, opts Options, rng *xrand.RNG) (*group, error) {
@@ -293,6 +307,33 @@ func (ix *Index) ConfigureDynamic(memtableThreshold, autoCompactSegments int) {
 	if autoCompactSegments > 0 {
 		ix.opts.AutoCompactSegments = autoCompactSegments
 	}
+}
+
+// SetQuantize switches the resident row-store representation the
+// short-list scan reads, rebuilding (or dropping) the quantized code
+// matrix and publishing a new snapshot. factor sizes the exact re-rank
+// shortlist (k×factor; non-positive keeps the current value). The
+// quantization pass reads every base row — on a disk-backed index that is
+// one streaming sweep over the row file — so call it at setup time, not on
+// the query path. Overlay rows are unaffected (they always rank exactly)
+// and the next Compact folds them into the rebuilt code matrix.
+func (ix *Index) SetQuantize(kind QuantizeKind, factor int) error {
+	switch kind {
+	case QuantizeNone, QuantizeSQ8:
+	default:
+		return fmt.Errorf("core: unknown quantize kind %d", int(kind))
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.opts.Quantize = kind
+	if factor > 0 {
+		ix.opts.RerankFactor = factor
+	}
+	src := ix.loadSnap()
+	next := src.clone()
+	next.quant = buildQuant(ix.opts, src.data, src.fetch)
+	ix.publish(next)
+	return nil
 }
 
 // Epoch returns the current snapshot epoch. It increases by one each time

@@ -113,6 +113,44 @@ func (p ProbeMode) String() string {
 	}
 }
 
+// QuantizeKind selects the resident row-store representation the
+// short-list scan reads.
+type QuantizeKind int
+
+const (
+	// QuantizeNone scans full-precision float32 rows (the default).
+	QuantizeNone QuantizeKind = iota
+	// QuantizeSQ8 scans per-dimension min/max scalar-quantized int8 rows
+	// (~4× less bandwidth and resident bytes) and re-ranks the top
+	// k×RerankFactor survivors against the exact float32 rows, so the
+	// returned distances are always exact.
+	QuantizeSQ8
+)
+
+// String implements fmt.Stringer.
+func (q QuantizeKind) String() string {
+	switch q {
+	case QuantizeNone:
+		return "none"
+	case QuantizeSQ8:
+		return "sq8"
+	default:
+		return fmt.Sprintf("QuantizeKind(%d)", int(q))
+	}
+}
+
+// ParseQuantizeKind parses the CLI spelling of a QuantizeKind.
+func ParseQuantizeKind(s string) (QuantizeKind, error) {
+	switch s {
+	case "", "none":
+		return QuantizeNone, nil
+	case "sq8":
+		return QuantizeSQ8, nil
+	default:
+		return 0, fmt.Errorf("core: unknown quantize kind %q (want none|sq8)", s)
+	}
+}
+
 // Options configures an Index.
 type Options struct {
 	// Lattice selects the level-2 quantizer (default LatticeZM).
@@ -151,6 +189,14 @@ type Options struct {
 	// MinGroupSize keeps level-1 partitions from becoming too small to
 	// tune (default 8).
 	MinGroupSize int
+	// Quantize selects the resident row store scanned by the short list
+	// (default QuantizeNone). With QuantizeSQ8 the scan reads int8 codes
+	// and the final shortlist is re-ranked against exact float32 rows.
+	Quantize QuantizeKind
+	// RerankFactor sizes the exact re-rank shortlist under quantization:
+	// the top k×RerankFactor approximate candidates get exact distances
+	// (default 4). Ignored when Quantize is QuantizeNone.
+	RerankFactor int
 	// MemtableThreshold is the number of inserts the active memtable
 	// accepts before it is sealed into a frozen overlay segment (default
 	// 1024). Runtime knob only: not part of the serialized index format.
@@ -166,6 +212,19 @@ type Options struct {
 // unset (including on indexes loaded from disk, where the knob is not part
 // of the wire format).
 const defaultMemtableThreshold = 1024
+
+// defaultRerankFactor is the exact-re-rank multiplier when the option is
+// unset (including on v1 index files, which predate the knob).
+const defaultRerankFactor = 4
+
+// rerankFactor is RerankFactor with the default applied, so a zero value
+// (e.g. an Options struct that bypassed fill) still re-ranks sensibly.
+func (o Options) rerankFactor() int {
+	if o.RerankFactor > 0 {
+		return o.RerankFactor
+	}
+	return defaultRerankFactor
+}
 
 func (o *Options) fill() error {
 	if o.Groups <= 0 {
@@ -200,6 +259,9 @@ func (o *Options) fill() error {
 	}
 	if o.MinGroupSize <= 0 {
 		o.MinGroupSize = 8
+	}
+	if o.RerankFactor <= 0 {
+		o.RerankFactor = defaultRerankFactor
 	}
 	if o.MemtableThreshold <= 0 {
 		o.MemtableThreshold = defaultMemtableThreshold
@@ -239,6 +301,14 @@ func (o Options) Validate() error {
 	case rptree.RuleMean, rptree.RuleMax:
 	default:
 		return fmt.Errorf("core: unknown rp-tree rule %d", int(o.RPRule))
+	}
+	switch o.Quantize {
+	case QuantizeNone, QuantizeSQ8:
+	default:
+		return fmt.Errorf("core: unknown quantize kind %d", int(o.Quantize))
+	}
+	if o.RerankFactor < 0 {
+		return fmt.Errorf("core: RerankFactor %d negative", o.RerankFactor)
 	}
 	switch {
 	case o.Groups < 1 || o.Groups > 1<<20:

@@ -48,6 +48,8 @@ func TestReadOptionsRejectsInvalid(t *testing.T) {
 		{"morton bits over 31", func(o *Options) { o.MortonBits = 40 }},
 		{"negative hier floor", func(o *Options) { o.HierMinCandidates = -1 }},
 		{"negative min group", func(o *Options) { o.MinGroupSize = -3 }},
+		{"unknown quantize", func(o *Options) { o.Quantize = QuantizeKind(5) }},
+		{"negative rerank factor", func(o *Options) { o.RerankFactor = -1 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -62,7 +64,7 @@ func TestReadOptionsRejectsInvalid(t *testing.T) {
 			if err := ww.Flush(); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := readOptions(wire.NewReader(&buf)); err == nil {
+			if _, err := readOptions(wire.NewReader(&buf), 2); err == nil {
 				t.Fatal("readOptions accepted an invalid decoded option block")
 			}
 		})
@@ -76,11 +78,12 @@ func TestReadOptionsRejectsInvalid(t *testing.T) {
 	if err := ww.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readOptions(wire.NewReader(&buf))
+	got, err := readOptions(wire.NewReader(&buf), 2)
 	if err != nil {
 		t.Fatalf("valid options rejected: %v", err)
 	}
-	if got.Lattice != o.Lattice || got.Groups != o.Groups || got.Params != o.Params {
+	if got.Lattice != o.Lattice || got.Groups != o.Groups || got.Params != o.Params ||
+		got.Quantize != o.Quantize || got.RerankFactor != o.RerankFactor {
 		t.Fatalf("options changed across encode/decode: %+v vs %+v", got, o)
 	}
 }

@@ -253,6 +253,49 @@ func BuildDisk(dataPath, outPath string, opts Options, cfg OutOfCoreConfig, rng 
 		}
 	}
 
+	// Quantized row store: two more streaming passes over the payload spill
+	// (min/max then encode), so the full float32 matrix is still never
+	// resident — only the codes are.
+	var quant *vec.QuantizedMatrix
+	if opts.Quantize == QuantizeSQ8 && n > 0 {
+		pf, err := os.Open(payloadPath)
+		if err != nil {
+			return 0, err
+		}
+		var (
+			qerr error
+			br   *bufio.Reader
+			next int
+		)
+		rowBytes := make([]byte, 4*dim)
+		row := make([]float32, dim)
+		quant = vec.QuantizeSQ8Rows(n, dim, func(i int) []float32 {
+			if qerr != nil {
+				return row
+			}
+			if br == nil || i != next {
+				if _, err := pf.Seek(int64(i)*int64(len(rowBytes)), io.SeekStart); err != nil {
+					qerr = err
+					return row
+				}
+				br = bufio.NewReaderSize(pf, 1<<20)
+			}
+			next = i + 1
+			if _, err := io.ReadFull(br, rowBytes); err != nil {
+				qerr = err
+				return row
+			}
+			for j := range row {
+				row[j] = math.Float32frombits(binary.LittleEndian.Uint32(rowBytes[4*j:]))
+			}
+			return row
+		})
+		pf.Close()
+		if qerr != nil {
+			return 0, fmt.Errorf("core: out-of-core quantize: %w", qerr)
+		}
+	}
+
 	// ---- Emit the disk index: header + metadata + payload copy. The
 	// output is built in outPath+".tmp" and renamed into place once fsynced
 	// (durable.AtomicWrite), so an interrupted build never leaves a
@@ -267,6 +310,7 @@ func BuildDisk(dataPath, outPath string, opts Options, cfg OutOfCoreConfig, rng 
 		writeOptions(meta, opts)
 		meta.Int(n)
 		meta.Int(dim)
+		writeQuant(meta, quant)
 		writeStructure(meta, tree, km, groups)
 		if err := meta.Flush(); err != nil {
 			return err

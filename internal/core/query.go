@@ -269,19 +269,27 @@ func (sn *snapshot) rank(q []float32, k int, s *scratch) knn.Result {
 		s.dists = make([]float64, len(s.cands))
 	}
 	s.dists = s.dists[:len(s.cands)]
-	if sn.fetch == nil {
-		vec.SqDistToRows(s.dists[:nBase], sn.data.Data, sn.data.D, s.cands[:nBase], q)
+	if sn.quant != nil {
+		sn.rankBaseQuantized(q, k, s, h, nBase)
 	} else {
+		if sn.fetch == nil {
+			vec.SqDistToRows(s.dists[:nBase], sn.data.Data, sn.data.D, s.cands[:nBase], q)
+		} else {
+			for i := 0; i < nBase; i++ {
+				s.dists[i] = vec.SqDist(sn.fetch(int(s.cands[i])), q)
+			}
+		}
 		for i := 0; i < nBase; i++ {
-			s.dists[i] = vec.SqDist(sn.fetch(int(s.cands[i])), q)
+			if d := s.dists[i]; h.Accepts(d) {
+				h.Push(int(s.cands[i]), d)
+			}
 		}
 	}
+	// Overlay rows live in memory as float32 regardless of quantization,
+	// so they always rank exactly.
 	for i := nBase; i < len(s.cands); i++ {
-		s.dists[i] = vec.SqDist(sn.row(int(s.cands[i])), q)
-	}
-	for i, id := range s.cands {
-		if d := s.dists[i]; h.Accepts(d) {
-			h.Push(int(id), d)
+		if d := vec.SqDist(sn.row(int(s.cands[i])), q); h.Accepts(d) {
+			h.Push(int(s.cands[i]), d)
 		}
 	}
 
@@ -292,6 +300,58 @@ func (sn *snapshot) rank(q []float32, k int, s *scratch) knn.Result {
 		r.Dists[i] = it.Dist
 	}
 	return r
+}
+
+// rankBaseQuantized is the quantized short-list scan: an approximate SQ8
+// pass over all base candidates (reading 1 byte/dimension instead of 4),
+// selection of the k×RerankFactor most promising ids, then an exact
+// float32 re-rank of just those survivors before they enter the result
+// heap. Returned distances are therefore always exact; quantization error
+// can only cost recall at the selection edge, which the re-rank margin
+// (and the golden quality gate) bounds. On a disk-backed index this is
+// also the residency win: the codes are the only resident row bytes, and
+// only the shortlist survivors touch disk.
+func (sn *snapshot) rankBaseQuantized(q []float32, k int, s *scratch, h *topk.Heap, nBase int) {
+	vec.SqDistToRowsSQ8(s.dists[:nBase], sn.quant, s.cands[:nBase], q)
+	r := k * sn.opts.rerankFactor()
+	if r < nBase {
+		rh := s.rerankTopK(r)
+		for i := 0; i < nBase; i++ {
+			if d := s.dists[i]; rh.Accepts(d) {
+				rh.Push(int(s.cands[i]), d)
+			}
+		}
+		s.ritems = rh.AppendSorted(s.ritems[:0])
+		if cap(s.rids) < len(s.ritems) {
+			s.rids = make([]int32, 0, len(s.ritems))
+		}
+		s.rids = s.rids[:0]
+		for _, it := range s.ritems {
+			s.rids = append(s.rids, int32(it.ID))
+		}
+		// Ascending ids keep the exact pass streaming memory forward, like
+		// the main scan.
+		slices.Sort(s.rids)
+	} else {
+		// Shortlist no bigger than the re-rank budget: exact-rank all of it.
+		s.rids = append(s.rids[:0], s.cands[:nBase]...)
+	}
+	if cap(s.rdists) < len(s.rids) {
+		s.rdists = make([]float64, len(s.rids))
+	}
+	s.rdists = s.rdists[:len(s.rids)]
+	if sn.fetch == nil {
+		vec.SqDistToRows(s.rdists, sn.data.Data, sn.data.D, s.rids, q)
+	} else {
+		for i, id := range s.rids {
+			s.rdists[i] = vec.SqDist(sn.fetch(int(id)), q)
+		}
+	}
+	for i, id := range s.rids {
+		if d := s.rdists[i]; h.Accepts(d) {
+			h.Push(int(id), d)
+		}
+	}
 }
 
 // QueryBatch answers a whole query set against one snapshot. For

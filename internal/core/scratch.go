@@ -34,6 +34,14 @@ type scratch struct {
 	heap  *topk.Heap
 	items []topk.Item // reusable sorted-heap output
 	dists []float64   // rank distance buffer
+
+	// Quantized-scan re-rank state (see rankBaseQuantized): a second
+	// bounded heap selects the top k×RerankFactor approximate candidates,
+	// whose ids and exact distances reuse these buffers.
+	rheap  *topk.Heap
+	ritems []topk.Item
+	rids   []int32
+	rdists []float64
 }
 
 // getScratch draws a scratch from the pool (the pool's zero value works:
@@ -80,6 +88,17 @@ func (s *scratch) topK(k int) *topk.Heap {
 		s.heap.Reset()
 	}
 	return s.heap
+}
+
+// rerankTopK returns the reusable re-rank shortlist heap, re-created only
+// when the shortlist size changes.
+func (s *scratch) rerankTopK(r int) *topk.Heap {
+	if s.rheap == nil || s.rheap.K() != r {
+		s.rheap = topk.New(r)
+	} else {
+		s.rheap.Reset()
+	}
+	return s.rheap
 }
 
 // addCandidates stamps and appends every live, not-yet-seen id, counting

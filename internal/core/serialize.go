@@ -17,9 +17,10 @@ import (
 
 // Index file layout (all sections tagged, see internal/wire):
 //
-//	bilsh.Index/1
-//	  options
+//	bilsh.Index/2
+//	  options (v2 appends Quantize and RerankFactor to the v1 block)
 //	  data matrix (the index is self-contained)
+//	  quantized row store (v2 only: presence flag + SQ8 code matrix)
 //	  partitioner (none | rptree | kmeans)
 //	  groups: members, width, family, L tables
 //
@@ -29,7 +30,14 @@ import (
 // keeps the vector rows in a separate fixed-stride section accessed with
 // ReadAt. Dynamic runtime knobs (memtable threshold, auto-compact) are
 // deliberately not part of the format; they are re-supplied at load time.
-const indexMagic = "bilsh.Index/1"
+//
+// Version 1 files (no quantization fields or section) still load: the
+// reader branches on the magic and defaults Quantize to none, so a v1
+// index queries byte-identically to how it did when written.
+const (
+	indexMagicV1 = "bilsh.Index/1"
+	indexMagic   = "bilsh.Index/2"
+)
 
 // WriteTo serializes the index (including its data) to w. It returns the
 // number of bytes written. The snapshot current at the time of the call is
@@ -44,6 +52,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	ww.Magic(indexMagic)
 	writeOptions(ww, ix.opts)
 	sn.data.Encode(ww)
+	writeQuant(ww, sn.quant)
 	writeStructure(ww, sn.tree, sn.km, sn.groups)
 	if err := ww.Flush(); err != nil {
 		return ww.BytesWritten(), fmt.Errorf("core: writing index: %w", err)
@@ -67,7 +76,8 @@ func (sn *snapshot) requireClean() error {
 	return nil
 }
 
-// writeOptions emits the option block.
+// writeOptions emits the v2 option block: the v1 flat fields followed by
+// the quantization knobs.
 func writeOptions(ww *wire.Writer, o Options) {
 	ww.Int(int(o.Lattice))
 	ww.Int(int(o.Partitioner))
@@ -84,6 +94,37 @@ func writeOptions(ww *wire.Writer, o Options) {
 	ww.Int(o.MortonBits)
 	ww.Int(o.HierMinCandidates)
 	ww.Int(o.MinGroupSize)
+	ww.Int(int(o.Quantize))
+	ww.Int(o.RerankFactor)
+}
+
+// writeQuant emits the optional quantized row store section (a presence
+// flag, so an SQ8 index whose code matrix is empty round-trips cleanly).
+func writeQuant(ww *wire.Writer, qm *vec.QuantizedMatrix) {
+	ww.Bool(qm != nil)
+	if qm != nil {
+		qm.Encode(ww)
+	}
+}
+
+// readQuant parses the quantized row store section written by writeQuant
+// and checks its shape against the data matrix.
+func readQuant(rr *wire.Reader, n, d int) (*vec.QuantizedMatrix, error) {
+	has := rr.Bool()
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading quant flag: %w", err)
+	}
+	if !has {
+		return nil, nil
+	}
+	qm, err := vec.DecodeQuantizedMatrix(rr)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading quantized rows: %w", err)
+	}
+	if qm.N != n || qm.D != d {
+		return nil, fmt.Errorf("core: quantized rows %dx%d do not match data %dx%d", qm.N, qm.D, n, d)
+	}
+	return qm, nil
 }
 
 // writeStructure emits the partitioner and the per-group machinery.
@@ -110,8 +151,11 @@ func writeStructure(ww *wire.Writer, tree *rptree.Tree, km *kmeans.Model, groups
 	}
 }
 
-// readOptions parses the option block.
-func readOptions(rr *wire.Reader) (Options, error) {
+// readOptions parses the option block. version is the container format
+// version (from the magic): v1 files predate the quantization knobs, which
+// default to none / defaultRerankFactor so old indexes query exactly as
+// they did when written.
+func readOptions(rr *wire.Reader, version int) (Options, error) {
 	var o Options
 	o.Lattice = LatticeKind(rr.Int())
 	o.Partitioner = PartitionerKind(rr.Int())
@@ -128,6 +172,13 @@ func readOptions(rr *wire.Reader) (Options, error) {
 	o.MortonBits = rr.Int()
 	o.HierMinCandidates = rr.Int()
 	o.MinGroupSize = rr.Int()
+	if version >= 2 {
+		o.Quantize = QuantizeKind(rr.Int())
+		o.RerankFactor = rr.Int()
+	} else {
+		o.Quantize = QuantizeNone
+		o.RerankFactor = defaultRerankFactor
+	}
 	if err := rr.Err(); err != nil {
 		return o, fmt.Errorf("core: reading options: %w", err)
 	}
@@ -250,12 +301,24 @@ func readStructure(rr *wire.Reader, o Options, n int) (*rptree.Tree, *kmeans.Mod
 	return tree, km, groups, nil
 }
 
-// ReadIndex deserializes an index written by WriteTo, rebuilding all
-// derived structures (cuckoo bucket indexes, hierarchies).
+// ReadIndex deserializes an index written by WriteTo (current or v1
+// format), rebuilding all derived structures (cuckoo bucket indexes,
+// hierarchies).
 func ReadIndex(r io.Reader) (*Index, error) {
 	rr := wire.NewReader(r)
-	rr.ExpectMagic(indexMagic)
-	o, err := readOptions(rr)
+	var version int
+	switch got := rr.String(); got {
+	case indexMagicV1:
+		version = 1
+	case indexMagic:
+		version = 2
+	default:
+		if err := rr.Err(); err != nil {
+			return nil, fmt.Errorf("core: reading index magic: %w", err)
+		}
+		return nil, fmt.Errorf("core: expected section %q, found %q", indexMagic, got)
+	}
+	o, err := readOptions(rr, version)
 	if err != nil {
 		return nil, err
 	}
@@ -263,9 +326,15 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: reading data: %w", err)
 	}
+	var quant *vec.QuantizedMatrix
+	if version >= 2 {
+		if quant, err = readQuant(rr, data.N, data.D); err != nil {
+			return nil, err
+		}
+	}
 	tree, km, groups, err := readStructure(rr, o, data.N)
 	if err != nil {
 		return nil, err
 	}
-	return newIndex(o, data, nil, tree, km, groups), nil
+	return newIndex(o, data, nil, quant, tree, km, groups), nil
 }

@@ -26,9 +26,15 @@ type snapshot struct {
 	epoch uint64
 	opts  Options
 
-	// Base plane: the built structures of index.go / serialize.go.
+	// Base plane: the built structures of index.go / serialize.go. The row
+	// store has three shapes: in-memory float32 (data populated), disk
+	// resident (data carries only the shape, fetch non-nil), and — under
+	// Options.Quantize — an SQ8 code matrix (quant non-nil) scanned in
+	// place of the float32 rows, with data/fetch retained for the exact
+	// re-rank of the final shortlist.
 	data   *vec.Matrix
 	fetch  func(id int) []float32 // non-nil for disk-backed rows
+	quant  *vec.QuantizedMatrix   // non-nil when the scan is quantized
 	tree   *rptree.Tree
 	km     *kmeans.Model
 	groups []*group

@@ -147,8 +147,11 @@ func TestCrashRecoveryUnderConcurrentWrites(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Quantize=sq8 so the crash/recovery cycle also exercises the v2
+	// checkpoint format's quantized row-store section end to end.
 	ix, err := core.Build(data, core.Options{Partitioner: core.PartitionNone,
-		Params: lshfunc.Params{M: 4, L: 4, W: 8}}, xrand.New(8))
+		Quantize: core.QuantizeSQ8,
+		Params:   lshfunc.Params{M: 4, L: 4, W: 8}}, xrand.New(8))
 	if err != nil {
 		t.Fatal(err)
 	}

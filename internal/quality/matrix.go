@@ -187,6 +187,10 @@ func runDataset(cfg Config, ds string) ([]CellResult, error) {
 		compactTruth[qi] = cr
 	}
 
+	quantize, err := core.ParseQuantizeKind(cfg.Quantize)
+	if err != nil {
+		return nil, err
+	}
 	buildSeed := mixSeed(cfg.Seed, ds)
 	var out []CellResult
 	for _, lat := range allLattices {
@@ -199,6 +203,7 @@ func runDataset(cfg Config, ds string) ([]CellResult, error) {
 					AutoTuneW:         true,
 					TuneK:             cfg.K,
 					MemtableThreshold: cfg.MemtableThreshold,
+					Quantize:          quantize,
 					Params:            lshfunc.Params{M: cfg.M, L: cfg.L, W: cfg.Widths.width(bi, probe)},
 				}
 				if bi {

@@ -36,7 +36,11 @@
 // Small preset, skipped under -short). See docs/testing.md.
 package quality
 
-import "fmt"
+import (
+	"fmt"
+
+	"bilsh/internal/core"
+)
 
 // ProbeWidths is one width-scale calibration: the Params.W multiplier
 // applied on top of the auto-tuned per-group width, per probe mode.
@@ -85,6 +89,11 @@ type Config struct {
 	// MemtableThreshold is kept small so the overlay cells exercise frozen
 	// segments, not just the active memtable.
 	MemtableThreshold int `json:"memtable_threshold"`
+	// Quantize selects the row store every cell scans ("" or "none" for
+	// float32, "sq8" for the quantized store with exact re-rank). The same
+	// golden thresholds apply either way: quantization must fit inside the
+	// existing slack, which is exactly the claim the re-rank design makes.
+	Quantize string `json:"quantize,omitempty"`
 	// Seed drives everything: data, projections, the dynamic workload.
 	Seed int64 `json:"seed"`
 	// Widths is the budget-matching calibration (committed with the
@@ -150,6 +159,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("quality: DeleteBase=%d must be < N=%d", c.DeleteBase, c.N)
 	case c.DeleteInserted > c.Inserts:
 		return fmt.Errorf("quality: DeleteInserted=%d must be <= Inserts=%d", c.DeleteInserted, c.Inserts)
+	}
+	if _, err := core.ParseQuantizeKind(c.Quantize); err != nil {
+		return err
 	}
 	for _, name := range c.Datasets {
 		if _, ok := Generators[name]; !ok {

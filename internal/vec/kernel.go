@@ -1,0 +1,210 @@
+package vec
+
+// Kernel dispatch. The distance kernels (Dot, SqDist, SqDistToRows and the
+// SQ8 asymmetric scan) have one portable implementation plus, per
+// architecture, a SIMD implementation selected once at package init:
+//
+//   - amd64: AVX2 (runtime CPUID/XGETBV detection; requires OS YMM state),
+//   - arm64: NEON (always present on arm64),
+//   - everything else, or any build with `-tags noasm`: portable only.
+//
+// Every kernel is BIT-IDENTICAL to the portable code by construction: the
+// SIMD bodies replicate the portable 4-lane float64 accumulation exactly
+// (lane j accumulates elements j, j+4, j+8, ...; the tail is added to lane
+// 0; the final reduction is (s0+s1)+(s2+s3) in that order), and the
+// portable code carries explicit float64()/float32() conversions at every
+// point where a compiler could otherwise contract a multiply-add into an
+// FMA. A query therefore returns byte-identical results whether it runs on
+// the SIMD or the portable path, which is what lets the equivalence suite
+// (kernel_equiv_test.go) demand exact agreement and lets serialized
+// indexes promise identical query results across builds.
+//
+// The selected kernel can be overridden with UseKernel (tests, benchmarks)
+// or the BILSH_KERNEL environment variable ("portable", "avx2", "neon") —
+// the operational escape hatch when SIMD is suspected, alongside the
+// `noasm` build tag which removes the SIMD paths entirely. See
+// docs/performance.md.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// kernel bundles one implementation set. The sqDistToRows and
+// sqDistSQ8Rows entries run after the public wrappers validated every
+// argument (lengths, dimensions, row ids in range), so implementations
+// skip per-row checks.
+type kernel struct {
+	name          string
+	dot           func(a, b []float32) float64
+	sqDist        func(a, b []float32) float64
+	sqDistToRows  func(out []float64, data []float32, d int, ids []int32, q []float32)
+	sqDistSQ8Rows func(out []float64, codes []uint8, d int, min, scale []float32, ids []int32, q []float32)
+}
+
+var portableKernel = kernel{
+	name:          "portable",
+	dot:           dotGeneric,
+	sqDist:        sqDistGeneric,
+	sqDistToRows:  sqDistToRowsGeneric,
+	sqDistSQ8Rows: sqDistSQ8RowsGeneric,
+}
+
+// kernels lists every implementation available in this binary on this CPU,
+// portable first, most preferred last.
+var kernels = []*kernel{&portableKernel}
+
+// active is the selected kernel. It is written only at init time and by
+// UseKernel; UseKernel must not race queries (call it during setup or in
+// tests, never while another goroutine computes distances).
+var active = &portableKernel
+
+func init() {
+	kernels = append(kernels, archKernels()...)
+	active = kernels[len(kernels)-1]
+	if name := os.Getenv("BILSH_KERNEL"); name != "" {
+		// Best effort: an unknown name keeps the automatic choice (the
+		// library cannot log, and failing init over an env var is worse).
+		_ = UseKernel(name)
+	}
+}
+
+// KernelName reports the active kernel ("portable", "avx2", "neon").
+func KernelName() string { return active.name }
+
+// KernelNames lists the kernels available in this binary on this CPU.
+func KernelNames() []string {
+	names := make([]string, len(kernels))
+	for i, k := range kernels {
+		names[i] = k.name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// UseKernel selects the kernel by name, overriding the automatic choice.
+// All kernels are bit-identical, so this only affects speed; it exists for
+// tests, benchmarks and operational escape. Not safe to call concurrently
+// with distance computations.
+func UseKernel(name string) error {
+	for _, k := range kernels {
+		if k.name == name {
+			active = k
+			return nil
+		}
+	}
+	return fmt.Errorf("vec: unknown kernel %q (available: %v)", name, KernelNames())
+}
+
+// Dot returns the inner product of a and b, accumulated in float64.
+// It panics if the lengths differ: mixing dimensionalities is a programming
+// error, not a runtime condition.
+//
+// The accumulation runs in four independent float64 lanes so the multiplies
+// pipeline instead of serializing on one addition chain; the final
+// reduction order is fixed, so results are deterministic run to run and
+// identical across kernels (though they may differ in the last ulp from a
+// single-accumulator sum).
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	return active.dot(a, b)
+}
+
+// SqDist returns the squared Euclidean distance between a and b, with the
+// same 4-lane accumulation as Dot.
+func SqDist(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: SqDist length mismatch %d != %d", len(a), len(b)))
+	}
+	return active.sqDist(a, b)
+}
+
+// SqDistToRows computes the squared distance from q to each listed row of
+// the row-major matrix data (row id occupies data[id*d : (id+1)*d]),
+// writing the results into out (len(out) must equal len(ids)). Walking an
+// id-sorted list streams the matrix in ascending address order, which is
+// what lets the short-list scan run at memory bandwidth. Each per-row
+// result is bit-identical to SqDist(row, q), so the two are
+// interchangeable.
+//
+// All validation (including every row id's bounds) happens here, once,
+// before the scan: the kernels run check-free inner loops.
+func SqDistToRows(out []float64, data []float32, d int, ids []int32, q []float32) {
+	if len(out) != len(ids) {
+		panic(fmt.Sprintf("vec: SqDistToRows out len %d, want %d", len(out), len(ids)))
+	}
+	if len(q) != d {
+		panic(fmt.Sprintf("vec: SqDistToRows query dim %d, want %d", len(q), d))
+	}
+	if d <= 0 {
+		panic(fmt.Sprintf("vec: SqDistToRows dim %d not positive", d))
+	}
+	maxRow := int32(len(data) / d)
+	for _, id := range ids {
+		if id < 0 || id >= maxRow {
+			panic(fmt.Sprintf("vec: SqDistToRows row %d outside matrix of %d rows", id, maxRow))
+		}
+	}
+	active.sqDistToRows(out, data, d, ids, q)
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float32) float64 { return math.Sqrt(SqDist(a, b)) }
+
+// dotGeneric is the portable Dot kernel: 4-way unrolled with independent
+// accumulators. float64(x)*float64(y) of two float32 values is exact (a
+// 24×24-bit product fits float64's 53-bit mantissa), so there is no
+// contraction hazard here — mul+add and FMA round identically.
+func dotGeneric(a, b []float32) float64 {
+	b = b[:len(a)] // hoist the bounds check out of the loop
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
+	}
+	for ; i < len(a); i++ {
+		s0 += float64(a[i]) * float64(b[i])
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// sqDistGeneric is the portable SqDist kernel. The float64(d*d)
+// conversions are semantically redundant but are explicit rounding
+// barriers: the Go spec lets a compiler contract `s += d*d` into an FMA
+// (and does on arm64), which would round differently from the SIMD
+// kernels' separate multiply and add. The conversion pins mul-then-add
+// rounding on every architecture.
+func sqDistGeneric(a, b []float32) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := float64(a[i]) - float64(b[i])
+		d1 := float64(a[i+1]) - float64(b[i+1])
+		d2 := float64(a[i+2]) - float64(b[i+2])
+		d3 := float64(a[i+3]) - float64(b[i+3])
+		s0 += float64(d0 * d0)
+		s1 += float64(d1 * d1)
+		s2 += float64(d2 * d2)
+		s3 += float64(d3 * d3)
+	}
+	for ; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		s0 += float64(d * d)
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+func sqDistToRowsGeneric(out []float64, data []float32, d int, ids []int32, q []float32) {
+	for i, id := range ids {
+		off := int(id) * d
+		out[i] = sqDistGeneric(data[off:off+d:off+d], q)
+	}
+}

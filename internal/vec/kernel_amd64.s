@@ -1,0 +1,201 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2 bodies for the distance kernels. Each body processes `blocks`
+// groups of 4 float32 elements and OVERWRITES the caller's accumulator
+// array; the Go wrappers in kernel_simd.go handle tails and reductions.
+//
+// Bit-exactness contract (see kernel.go): float32 lanes are widened to
+// float64 with VCVTPS2PD (exact), then multiplied/subtracted/added in
+// float64 — the same sequence of IEEE operations, in the same lane order,
+// as the portable kernel's four scalar accumulators. No FMA anywhere.
+//
+// Plan9 operand order is reversed from Intel: VSUBPD A, B, C means
+// C = B - A.
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func dotBodyAVX2(a, b *float32, blocks int, acc *[4]float64)
+TEXT ·dotBodyAVX2(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ blocks+16(FP), CX
+	MOVQ acc+24(FP), DX
+	VXORPD Y0, Y0, Y0
+
+dotloop:
+	VCVTPS2PD (SI), Y1 // 4 x float32 -> 4 x float64
+	VCVTPS2PD (DI), Y2
+	VMULPD Y2, Y1, Y1
+	VADDPD Y1, Y0, Y0
+	ADDQ $16, SI
+	ADDQ $16, DI
+	DECQ CX
+	JNZ  dotloop
+
+	VMOVUPD Y0, (DX)
+	VZEROUPPER
+	RET
+
+// func sqDistBodyAVX2(a, b *float32, blocks int, acc *[4]float64)
+TEXT ·sqDistBodyAVX2(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ blocks+16(FP), CX
+	MOVQ acc+24(FP), DX
+	VXORPD Y0, Y0, Y0
+
+sqloop:
+	VCVTPS2PD (SI), Y1
+	VCVTPS2PD (DI), Y2
+	VSUBPD Y2, Y1, Y1 // Y1 = a - b
+	VMULPD Y1, Y1, Y1
+	VADDPD Y1, Y0, Y0
+	ADDQ $16, SI
+	ADDQ $16, DI
+	DECQ CX
+	JNZ  sqloop
+
+	VMOVUPD Y0, (DX)
+	VZEROUPPER
+	RET
+
+// func sqDist2BodyAVX2(a0, a1, q *float32, blocks int, acc *[8]float64)
+//
+// Two rows against one query. The two accumulator chains (Y0, Y1) are
+// independent, so the adds pipeline instead of serializing on vaddpd
+// latency — this is where the bulk of the shortlist-scan speedup comes
+// from. The query conversion is shared between the rows.
+TEXT ·sqDist2BodyAVX2(SB), NOSPLIT, $0-40
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), DI
+	MOVQ q+16(FP), R8
+	MOVQ blocks+24(FP), CX
+	MOVQ acc+32(FP), DX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+
+sq2loop:
+	VCVTPS2PD (R8), Y2 // q
+	VCVTPS2PD (SI), Y3 // row 0
+	VCVTPS2PD (DI), Y4 // row 1
+	VSUBPD Y2, Y3, Y3
+	VSUBPD Y2, Y4, Y4
+	VMULPD Y3, Y3, Y3
+	VMULPD Y4, Y4, Y4
+	VADDPD Y3, Y0, Y0
+	VADDPD Y4, Y1, Y1
+	ADDQ $16, SI
+	ADDQ $16, DI
+	ADDQ $16, R8
+	DECQ CX
+	JNZ  sq2loop
+
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VZEROUPPER
+	RET
+
+// func sqDistSQ8BodyAVX2(c *uint8, q, min, scale *float32, blocks int, acc *[4]float64)
+//
+// Asymmetric SQ8 distance: dequantize v = min + scale*float32(code) in
+// float32 (matching the portable expression exactly), widen to float64,
+// then accumulate the squared difference against the float32-widened
+// query.
+TEXT ·sqDistSQ8BodyAVX2(SB), NOSPLIT, $0-48
+	MOVQ c+0(FP), SI
+	MOVQ q+8(FP), R8
+	MOVQ min+16(FP), R9
+	MOVQ scale+24(FP), R10
+	MOVQ blocks+32(FP), CX
+	MOVQ acc+40(FP), DX
+	VXORPD Y0, Y0, Y0
+
+sq8loop:
+	VPMOVZXBD (SI), X2  // 4 codes -> 4 x int32
+	VCVTDQ2PS X2, X2    // -> float32 (exact: codes are 0..255)
+	VMOVUPS   (R10), X4
+	VMULPS    X4, X2, X2 // scale * code
+	VMOVUPS   (R9), X5
+	VADDPS    X5, X2, X2 // + min
+	VCVTPS2PD X2, Y2     // dequantized row -> float64
+	VCVTPS2PD (R8), Y4   // q -> float64
+	VSUBPD    Y4, Y2, Y2
+	VMULPD    Y2, Y2, Y2
+	VADDPD    Y2, Y0, Y0
+	ADDQ $4, SI
+	ADDQ $16, R8
+	ADDQ $16, R9
+	ADDQ $16, R10
+	DECQ CX
+	JNZ  sq8loop
+
+	VMOVUPD Y0, (DX)
+	VZEROUPPER
+	RET
+
+// func sqDistSQ82BodyAVX2(c0, c1 *uint8, q, min, scale *float32, blocks int, acc *[8]float64)
+//
+// Two SQ8 rows against one query; min/scale/q loads and conversions are
+// shared, and the two float64 accumulator chains stay independent.
+TEXT ·sqDistSQ82BodyAVX2(SB), NOSPLIT, $0-56
+	MOVQ c0+0(FP), SI
+	MOVQ c1+8(FP), DI
+	MOVQ q+16(FP), R8
+	MOVQ min+24(FP), R9
+	MOVQ scale+32(FP), R10
+	MOVQ blocks+40(FP), CX
+	MOVQ acc+48(FP), DX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+
+sq82loop:
+	VPMOVZXBD (SI), X2
+	VPMOVZXBD (DI), X3
+	VCVTDQ2PS X2, X2
+	VCVTDQ2PS X3, X3
+	VMOVUPS   (R10), X4
+	VMULPS    X4, X2, X2
+	VMULPS    X4, X3, X3
+	VMOVUPS   (R9), X5
+	VADDPS    X5, X2, X2
+	VADDPS    X5, X3, X3
+	VCVTPS2PD X2, Y2
+	VCVTPS2PD X3, Y3
+	VCVTPS2PD (R8), Y4
+	VSUBPD    Y4, Y2, Y2
+	VSUBPD    Y4, Y3, Y3
+	VMULPD    Y2, Y2, Y2
+	VMULPD    Y3, Y3, Y3
+	VADDPD    Y2, Y0, Y0
+	VADDPD    Y3, Y1, Y1
+	ADDQ $4, SI
+	ADDQ $4, DI
+	ADDQ $16, R8
+	ADDQ $16, R9
+	ADDQ $16, R10
+	DECQ CX
+	JNZ  sq82loop
+
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VZEROUPPER
+	RET

@@ -1,0 +1,49 @@
+//go:build arm64 && !noasm
+
+package vec
+
+// NEON kernel selection. NEON (ASIMD) is architecturally mandatory on
+// AArch64, so there is no runtime feature probe — the kernel is always
+// available; `-tags noasm` or BILSH_KERNEL=portable disable it.
+//
+// The assembly (kernel_arm64.s) widens float32 lanes to float64 with
+// FCVTL/FCVTL2 before any arithmetic and never uses fused multiply-add,
+// so it rounds identically to the portable kernel (which carries explicit
+// conversions precisely because the Go compiler will otherwise fuse
+// mul+add into FMADD on arm64).
+
+//go:noescape
+func dotBodyNEON(a, b *float32, blocks int, acc *[4]float64)
+
+//go:noescape
+func sqDistBodyNEON(a, b *float32, blocks int, acc *[4]float64)
+
+//go:noescape
+func sqDist2BodyNEON(a0, a1, q *float32, blocks int, acc *[8]float64)
+
+//go:noescape
+func sqDistSQ8BodyNEON(c *uint8, q, min, scale *float32, blocks int, acc *[4]float64)
+
+//go:noescape
+func sqDistSQ82BodyNEON(c0, c1 *uint8, q, min, scale *float32, blocks int, acc *[8]float64)
+
+// The fixed-name body functions kernel_simd.go calls. They must stay thin
+// direct wrappers (inlined, statically resolved) so the //go:noescape on
+// the stubs above is visible at the shared wrappers' call sites — see the
+// indirection note in kernel_simd.go.
+
+func dotBody(a, b *float32, blocks int, acc *[4]float64)    { dotBodyNEON(a, b, blocks, acc) }
+func sqDistBody(a, b *float32, blocks int, acc *[4]float64) { sqDistBodyNEON(a, b, blocks, acc) }
+func sqDist2Body(a0, a1, q *float32, blocks int, acc *[8]float64) {
+	sqDist2BodyNEON(a0, a1, q, blocks, acc)
+}
+func sq8Body(c *uint8, q, min, scale *float32, blocks int, acc *[4]float64) {
+	sqDistSQ8BodyNEON(c, q, min, scale, blocks, acc)
+}
+func sq82Body(c0, c1 *uint8, q, min, scale *float32, blocks int, acc *[8]float64) {
+	sqDistSQ82BodyNEON(c0, c1, q, min, scale, blocks, acc)
+}
+
+func archKernels() []*kernel {
+	return []*kernel{newSIMDKernel("neon")}
+}

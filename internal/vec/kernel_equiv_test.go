@@ -1,0 +1,204 @@
+package vec
+
+import (
+	"math"
+	"testing"
+)
+
+// Kernel equivalence suite: every SIMD kernel available on this machine
+// must agree with the portable kernel. The design contract (kernel.go) is
+// bit-exactness — same lanes, same rounding, same reduction order — so
+// these tests demand 0 ulps, which trivially satisfies the ≤1 ulp
+// requirement and catches any lane-order or FMA regression immediately.
+//
+// On hardware without SIMD kernels (or under -tags noasm) the suite
+// degenerates to portable-vs-portable and passes vacuously; the CI matrix
+// runs both variants.
+
+// equivLengths crosses the unroll boundary (4), the pair boundary of the
+// row kernels (2 rows), and the paper's GIST dimensionality (960), plus
+// the odd lengths the issue calls out.
+var equivLengths = []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 33, 64, 127, 128, 960}
+
+// adversarialFill produces values that stress rounding: denormals, huge
+// (but overflow-free) magnitudes, exact powers of two, negatives, zeros.
+func adversarialFill(n int, seed uint32) []float32 {
+	xs := make([]float32, n)
+	state := seed
+	next := func() uint32 {
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		return state
+	}
+	for i := range xs {
+		switch next() % 8 {
+		case 0:
+			xs[i] = math.Float32frombits(next() % 8) // denormals near zero
+		case 1:
+			xs[i] = -math.Float32frombits(next() % 8)
+		case 2:
+			xs[i] = float32(int32(next())) * 1e12 // large magnitudes, square stays finite in float64
+		case 3:
+			xs[i] = 0
+		case 4:
+			xs[i] = float32(math.Ldexp(1, int(next()%64)-32)) // exact powers of two
+		default:
+			xs[i] = float32(int32(next())) / float32(1<<28)
+		}
+	}
+	return xs
+}
+
+func ulpDiff64(a, b float64) uint64 {
+	if a == b {
+		return 0
+	}
+	ab, bb := math.Float64bits(a), math.Float64bits(b)
+	if ab > bb {
+		return ab - bb
+	}
+	return bb - ab
+}
+
+// simdKernelNames lists the non-portable kernels compiled into this binary.
+func simdKernelNames() []string {
+	var names []string
+	for _, k := range kernels {
+		if k.name != "portable" {
+			names = append(names, k.name)
+		}
+	}
+	return names
+}
+
+// withKernel runs f with the named kernel active, restoring the previous
+// selection afterwards.
+func withKernel(t *testing.T, name string, f func()) {
+	t.Helper()
+	prev := KernelName()
+	if err := UseKernel(name); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := UseKernel(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	f()
+}
+
+func TestKernelEquivalenceDotSqDist(t *testing.T) {
+	for _, name := range simdKernelNames() {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range equivLengths {
+				// Unaligned offsets: slice into a shared backing array at
+				// offsets that misalign the data relative to 16/32-byte
+				// boundaries, since the assembly must not assume alignment.
+				backing := adversarialFill(n+8, 7777+uint32(n))
+				qback := adversarialFill(n+8, 13+uint32(n))
+				for off := 0; off <= 3; off++ {
+					a := backing[off : off+n]
+					b := qback[off : off+n]
+					wantDot := portableKernel.dot(a, b)
+					wantSq := portableKernel.sqDist(a, b)
+					var gotDot, gotSq float64
+					withKernel(t, name, func() {
+						gotDot = Dot(a, b)
+						gotSq = SqDist(a, b)
+					})
+					if d := ulpDiff64(gotDot, wantDot); d > 0 {
+						t.Fatalf("n=%d off=%d: Dot %s=%v portable=%v (%d ulps apart, want bit-exact)", n, off, name, gotDot, wantDot, d)
+					}
+					if d := ulpDiff64(gotSq, wantSq); d > 0 {
+						t.Fatalf("n=%d off=%d: SqDist %s=%v portable=%v (%d ulps apart, want bit-exact)", n, off, name, gotSq, wantSq, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestKernelEquivalenceSqDistToRows(t *testing.T) {
+	for _, name := range simdKernelNames() {
+		t.Run(name, func(t *testing.T) {
+			for _, d := range equivLengths {
+				if d == 0 {
+					continue // a matrix needs d > 0
+				}
+				const rows = 9
+				data := adversarialFill(rows*d, 31+uint32(d))
+				q := adversarialFill(d, 41+uint32(d))
+				// Odd id count exercises the single-row tail of the paired
+				// scan; duplicates and non-monotone order must also work.
+				ids := []int32{0, 8, 3, 3, 7, 1, 2}
+				want := make([]float64, len(ids))
+				portableKernel.sqDistToRows(want, data, d, ids, q)
+				got := make([]float64, len(ids))
+				withKernel(t, name, func() {
+					SqDistToRows(got, data, d, ids, q)
+				})
+				for i := range ids {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("d=%d id=%d: %s=%v portable=%v (want bit-exact)", d, ids[i], name, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestKernelEquivalenceSQ8Rows(t *testing.T) {
+	for _, name := range simdKernelNames() {
+		t.Run(name, func(t *testing.T) {
+			for _, d := range equivLengths {
+				if d == 0 {
+					continue
+				}
+				const rows = 9
+				m := NewMatrix(rows, d)
+				copy(m.Data, adversarialFill(rows*d, 97+uint32(d)))
+				qm := QuantizeSQ8(m)
+				q := adversarialFill(d, 101+uint32(d))
+				ids := []int32{4, 0, 8, 2, 2, 6, 5}
+				want := make([]float64, len(ids))
+				portableKernel.sqDistSQ8Rows(want, qm.Codes, qm.D, qm.Min, qm.Scale, ids, q)
+				got := make([]float64, len(ids))
+				withKernel(t, name, func() {
+					SqDistToRowsSQ8(got, qm, ids, q)
+				})
+				for i := range ids {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("d=%d id=%d: SQ8 %s=%v portable=%v (want bit-exact)", d, ids[i], name, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestUseKernel(t *testing.T) {
+	if err := UseKernel("no-such-kernel"); err == nil {
+		t.Fatal("UseKernel accepted an unknown kernel name")
+	}
+	if err := UseKernel("portable"); err != nil {
+		t.Fatalf("UseKernel(portable): %v", err)
+	}
+	if KernelName() != "portable" {
+		t.Fatalf("KernelName=%q after UseKernel(portable)", KernelName())
+	}
+	// Restore the automatic choice for the rest of the package's tests.
+	best := kernels[len(kernels)-1]
+	if err := UseKernel(best.name); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewMatrixOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix accepted an overflowing shape")
+		}
+	}()
+	NewMatrix(math.MaxInt/2, 3)
+}

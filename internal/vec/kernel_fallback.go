@@ -1,0 +1,8 @@
+//go:build noasm || (!amd64 && !arm64)
+
+package vec
+
+// archKernels reports no SIMD kernels: either the build excluded assembly
+// with `-tags noasm` or the architecture has no kernel implementation.
+// The portable kernel carries the load.
+func archKernels() []*kernel { return nil }

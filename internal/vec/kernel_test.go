@@ -120,19 +120,69 @@ func BenchmarkSqDist(b *testing.B) {
 	}
 }
 
+// BenchmarkSqDistToRows sweeps dimension (SIFT-ish 128 and the paper's
+// GIST 960) × row count (cache-resident 1k, memory-bound 64k) × kernel, so
+// future PRs can diff kernel throughput directly. MB/s counts the float32
+// row bytes streamed per scan.
 func BenchmarkSqDistToRows(b *testing.B) {
-	const d, rows = 64, 256
-	m := NewMatrix(rows, d)
-	copy(m.Data, fill(rows*d, 21))
-	q := fill(d, 23)
-	ids := make([]int32, rows)
-	for i := range ids {
-		ids[i] = int32((i * 7) % rows)
+	for _, d := range []int{128, 960} {
+		for _, rows := range []int{1 << 10, 1 << 16} {
+			m := NewMatrix(rows, d)
+			copy(m.Data, fill(rows*d, 21))
+			q := fill(d, 23)
+			ids := make([]int32, rows)
+			for i := range ids {
+				ids[i] = int32(i)
+			}
+			out := make([]float64, rows)
+			for _, kern := range KernelNames() {
+				b.Run("d"+itoa(d)+"/rows"+itoa(rows)+"/"+kern, func(b *testing.B) {
+					prev := KernelName()
+					if err := UseKernel(kern); err != nil {
+						b.Fatal(err)
+					}
+					defer UseKernel(prev)
+					b.SetBytes(int64(rows) * int64(d) * 4)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						SqDistToRows(out, m.Data, d, ids, q)
+					}
+				})
+			}
+		}
 	}
-	out := make([]float64, rows)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		SqDistToRows(out, m.Data, d, ids, q)
+}
+
+// BenchmarkSqDistToRowsSQ8 mirrors the float32 sweep over the quantized
+// store; bytes/op counts code bytes, so MB/s numbers are comparable as
+// "rows scanned" only after dividing by 4.
+func BenchmarkSqDistToRowsSQ8(b *testing.B) {
+	for _, d := range []int{128, 960} {
+		for _, rows := range []int{1 << 10, 1 << 16} {
+			m := NewMatrix(rows, d)
+			copy(m.Data, fill(rows*d, 21))
+			qm := QuantizeSQ8(m)
+			q := fill(d, 23)
+			ids := make([]int32, rows)
+			for i := range ids {
+				ids[i] = int32(i)
+			}
+			out := make([]float64, rows)
+			for _, kern := range KernelNames() {
+				b.Run("d"+itoa(d)+"/rows"+itoa(rows)+"/"+kern, func(b *testing.B) {
+					prev := KernelName()
+					if err := UseKernel(kern); err != nil {
+						b.Fatal(err)
+					}
+					defer UseKernel(prev)
+					b.SetBytes(int64(rows) * int64(d))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						SqDistToRowsSQ8(out, qm, ids, q)
+					}
+				})
+			}
+		}
 	}
 }
 

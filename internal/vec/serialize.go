@@ -40,3 +40,43 @@ func DecodeMatrix(r *wire.Reader) (*Matrix, error) {
 	}
 	return m, nil
 }
+
+const quantMagic = "vec.QuantMatrix/1"
+
+// Encode writes the SQ8 matrix to w: shape, per-dimension min/scale, then
+// the code rows as one raw byte payload.
+func (qm *QuantizedMatrix) Encode(w *wire.Writer) {
+	w.Magic(quantMagic)
+	w.Int(qm.N)
+	w.Int(qm.D)
+	w.F32s(qm.Min)
+	w.F32s(qm.Scale)
+	w.Bytes(qm.Codes)
+}
+
+// DecodeQuantizedMatrix reads an SQ8 matrix written by Encode.
+func DecodeQuantizedMatrix(r *wire.Reader) (*QuantizedMatrix, error) {
+	r.ExpectMagic(quantMagic)
+	n := r.Int()
+	d := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || d <= 0 || n > wire.MaxLen || d > wire.MaxLen || n > wire.MaxLen/d {
+		return nil, fmt.Errorf("vec: decoded quantized matrix shape %dx%d implausible", n, d)
+	}
+	qm := &QuantizedMatrix{
+		N:     n,
+		D:     d,
+		Min:   r.F32s(),
+		Scale: r.F32s(),
+		Codes: r.Bytes(),
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(qm.Min) != d || len(qm.Scale) != d || len(qm.Codes) != n*d {
+		return nil, fmt.Errorf("vec: decoded quantized matrix sections inconsistent with shape %dx%d", n, d)
+	}
+	return qm, nil
+}

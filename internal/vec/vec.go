@@ -11,87 +11,21 @@ import (
 	"math"
 )
 
-// Dot returns the inner product of a and b, accumulated in float64.
-// It panics if the lengths differ: mixing dimensionalities is a programming
-// error, not a runtime condition.
-//
-// The loop is unrolled 4-way with independent accumulators so the
-// multiplies pipeline instead of serializing on one addition chain; the
-// final reduction order is fixed, so results are deterministic run to run
-// (though they may differ in the last ulp from a single-accumulator sum).
-func Dot(a, b []float32) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("vec: Dot length mismatch %d != %d", len(a), len(b)))
-	}
-	b = b[:len(a)] // hoist the bounds check out of the loop
-	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		s0 += float64(a[i]) * float64(b[i])
-		s1 += float64(a[i+1]) * float64(b[i+1])
-		s2 += float64(a[i+2]) * float64(b[i+2])
-		s3 += float64(a[i+3]) * float64(b[i+3])
-	}
-	for ; i < len(a); i++ {
-		s0 += float64(a[i]) * float64(b[i])
-	}
-	return (s0 + s1) + (s2 + s3)
-}
-
-// SqDist returns the squared Euclidean distance between a and b, with the
-// same 4-way unrolled accumulation as Dot.
-func SqDist(a, b []float32) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("vec: SqDist length mismatch %d != %d", len(a), len(b)))
-	}
-	b = b[:len(a)]
-	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		d0 := float64(a[i]) - float64(b[i])
-		d1 := float64(a[i+1]) - float64(b[i+1])
-		d2 := float64(a[i+2]) - float64(b[i+2])
-		d3 := float64(a[i+3]) - float64(b[i+3])
-		s0 += d0 * d0
-		s1 += d1 * d1
-		s2 += d2 * d2
-		s3 += d3 * d3
-	}
-	for ; i < len(a); i++ {
-		d := float64(a[i]) - float64(b[i])
-		s0 += d * d
-	}
-	return (s0 + s1) + (s2 + s3)
-}
-
-// SqDistToRows computes the squared distance from q to each listed row of
-// the row-major matrix data (row id occupies data[id*d : (id+1)*d]),
-// writing the results into out (len(out) must equal len(ids)). Walking an
-// id-sorted list streams the matrix in ascending address order, which is
-// what lets the short-list scan run at memory bandwidth. Each per-row
-// accumulation matches SqDist exactly, so the two are interchangeable.
-func SqDistToRows(out []float64, data []float32, d int, ids []int32, q []float32) {
-	if len(out) != len(ids) {
-		panic(fmt.Sprintf("vec: SqDistToRows out len %d, want %d", len(out), len(ids)))
-	}
-	if len(q) != d {
-		panic(fmt.Sprintf("vec: SqDistToRows query dim %d, want %d", len(q), d))
-	}
-	for i, id := range ids {
-		out[i] = SqDist(data[int(id)*d:int(id)*d+d], q)
-	}
-}
-
-// Dist returns the Euclidean distance between a and b.
-func Dist(a, b []float32) float64 { return math.Sqrt(SqDist(a, b)) }
-
-// Norm returns the Euclidean norm of a.
+// Norm returns the Euclidean norm of a. Like Dot, the sum of squares runs
+// in four independent accumulator lanes with a fixed reduction order.
 func Norm(a []float32) float64 {
-	var s float64
-	for _, ai := range a {
-		s += float64(ai) * float64(ai)
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += float64(a[i]) * float64(a[i])
+		s1 += float64(a[i+1]) * float64(a[i+1])
+		s2 += float64(a[i+2]) * float64(a[i+2])
+		s3 += float64(a[i+3]) * float64(a[i+3])
 	}
-	return math.Sqrt(s)
+	for ; i < len(a); i++ {
+		s0 += float64(a[i]) * float64(a[i])
+	}
+	return math.Sqrt((s0 + s1) + (s2 + s3))
 }
 
 // Scale multiplies a by s in place.
@@ -112,23 +46,50 @@ func Normalize(a []float32) bool {
 	return true
 }
 
-// Add stores a+b into dst. dst may alias a or b.
+// Add stores a+b into dst. dst may alias a or b. Elementwise, so the 4-way
+// unroll changes throughput only, never results.
 func Add(dst, a, b []float32) {
-	for i := range dst {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = a[i] + b[i]
+		dst[i+1] = a[i+1] + b[i+1]
+		dst[i+2] = a[i+2] + b[i+2]
+		dst[i+3] = a[i+3] + b[i+3]
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = a[i] + b[i]
 	}
 }
 
 // Sub stores a-b into dst. dst may alias a or b.
 func Sub(dst, a, b []float32) {
-	for i := range dst {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = a[i] - b[i]
+		dst[i+1] = a[i+1] - b[i+1]
+		dst[i+2] = a[i+2] - b[i+2]
+		dst[i+3] = a[i+3] - b[i+3]
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = a[i] - b[i]
 	}
 }
 
 // AXPY adds s*x to y in place.
 func AXPY(y []float32, s float64, x []float32) {
-	for i := range y {
+	x = x[:len(y)]
+	i := 0
+	for ; i+4 <= len(y); i += 4 {
+		y[i] = float32(float64(y[i]) + s*float64(x[i]))
+		y[i+1] = float32(float64(y[i+1]) + s*float64(x[i+1]))
+		y[i+2] = float32(float64(y[i+2]) + s*float64(x[i+2]))
+		y[i+3] = float32(float64(y[i+3]) + s*float64(x[i+3]))
+	}
+	for ; i < len(y); i++ {
 		y[i] = float32(float64(y[i]) + s*float64(x[i]))
 	}
 }
@@ -149,10 +110,16 @@ type Matrix struct {
 	D    int
 }
 
-// NewMatrix allocates an n x d zero matrix.
+// NewMatrix allocates an n x d zero matrix. It rejects shapes whose
+// element count overflows int up front, instead of letting n*d wrap and
+// surface later as a confusing makeslice panic (or worse, a small
+// allocation that under-sizes the matrix).
 func NewMatrix(n, d int) *Matrix {
 	if n < 0 || d <= 0 {
 		panic(fmt.Sprintf("vec: NewMatrix invalid shape %dx%d", n, d))
+	}
+	if n > math.MaxInt/d {
+		panic(fmt.Sprintf("vec: NewMatrix shape %dx%d overflows int", n, d))
 	}
 	return &Matrix{Data: make([]float32, n*d), N: n, D: d}
 }

@@ -139,6 +139,13 @@ func (w *Writer) I32s(xs []int32) {
 	}
 }
 
+// Bytes writes a length-prefixed raw byte slice in one shot (no per-byte
+// framing — used for bulk payloads like quantized code rows).
+func (w *Writer) Bytes(p []byte) {
+	w.U64(uint64(len(p)))
+	w.write(p)
+}
+
 // Strings writes a length-prefixed []string.
 func (w *Writer) Strings(xs []string) {
 	w.U64(uint64(len(xs)))
@@ -292,6 +299,20 @@ func (r *Reader) I32s() []int32 {
 		xs[i] = int32(r.I64())
 	}
 	return xs
+}
+
+// Bytes reads a length-prefixed raw byte slice written by Writer.Bytes.
+func (r *Reader) Bytes() []byte {
+	n := r.lenPrefix()
+	if r.err != nil {
+		return nil
+	}
+	p := make([]byte, n)
+	r.readFull(p)
+	if r.err != nil {
+		return nil
+	}
+	return p
 }
 
 // Strings reads a length-prefixed []string.
