@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fmt quality quality-sq8 bench bench-concurrency durability shard linkcheck noasm
+.PHONY: check vet build test race fmt quality quality-sq8 quality-adaptive bench bench-adaptive bench-concurrency durability shard linkcheck noasm
 
 check: vet build race
 
@@ -43,6 +43,12 @@ quality:
 quality-sq8:
 	$(GO) run ./cmd/bilsh quality -preset full -quantize sq8 -q
 
+# Same matrix again, but every query runs under a TargetRecall=0.95
+# execution plan (docs/adaptive.md): SLO-resolved table budgets must
+# keep the committed golden thresholds green.
+quality-adaptive:
+	$(GO) run ./cmd/bilsh quality -preset full -target-recall 0.95 -q
+
 # Portable-kernel build: compiles out every assembly body (the same code
 # path noasm-tagged builds and unsupported architectures run) and reruns
 # the test suite against it.
@@ -74,6 +80,14 @@ bench:
 		-bench 'BenchmarkQueryModes|BenchmarkGather|BenchmarkRank|BenchmarkCandidateList|BenchmarkQueryBatchParallel|BenchmarkDot|BenchmarkSqDist' \
 		-benchmem -count=1 -json > BENCH_query.json
 	@echo "wrote BENCH_query.json"
+
+# Adaptive-plan benchmark (see docs/adaptive.md): fixed-budget vs
+# adaptive plan (recall SLO + plateau termination + tuner-style
+# max-candidates cap + deeper re-rank) over a heterogeneous SQ8
+# workload. Fails unless adaptive p99 is lower at equal-or-better
+# measured recall; writes both sides to BENCH_adaptive.json.
+bench-adaptive:
+	$(GO) run ./cmd/bilsh adaptive-bench -out BENCH_adaptive.json
 
 # Concurrency benchmarks: per-op latency under mixed read/write load on the
 # snapshot-based index, plus the global-RWMutex baseline it replaced (see

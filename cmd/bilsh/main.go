@@ -49,6 +49,8 @@ func main() {
 		err = cmdRouter(os.Args[2:])
 	case "shard-bench":
 		err = cmdShardBench(os.Args[2:])
+	case "adaptive-bench":
+		err = cmdAdaptiveBench(os.Args[2:])
 	case "exp":
 		err = cmdExp(os.Args[2:])
 	case "quality":
@@ -83,6 +85,7 @@ commands:
   shard-serve  serve one shard of a cluster (serve + shard id, id map, replica bring-up)
   router       scatter-gather front end over running shards (leaf-aware routing, hedging)
   shard-bench  in-process cluster vs single-node benchmark -> BENCH_shard.json
+  adaptive-bench  adaptive plan vs fixed-budget benchmark -> BENCH_adaptive.json
   exp          run a paper experiment and print its table (-fig fig4..fig13c, all)
   bench        run every experiment (alias for exp -fig all)
   quality      run the deterministic quality-regression matrix against golden thresholds

@@ -19,6 +19,7 @@ func cmdQuality(args []string) error {
 	out := fs.String("out", "", "write the JSON report to this file")
 	cache := fs.String("cache", "", "exact-oracle cache directory (default: a bilsh-quality dir under the OS temp dir)")
 	quantize := fs.String("quantize", "", "row store the cells scan: none (default) or sq8 (quantized scan + exact re-rank, checked against the same golden thresholds)")
+	targetRecall := fs.Float64("target-recall", 0, "run every cell through TargetRecall-driven query plans at this SLO in (0,1) instead of the fixed budget (same golden thresholds apply)")
 	update := fs.String("update-golden", "", "regenerate the golden threshold table from this run and write it to the given path instead of checking")
 	quiet := fs.Bool("q", false, "suppress the per-cell table, print only the verdict")
 	if err := fs.Parse(args); err != nil {
@@ -36,6 +37,7 @@ func cmdQuality(args []string) error {
 	}
 	cfg.CacheDir = *cache
 	cfg.Quantize = *quantize
+	cfg.TargetRecall = *targetRecall
 
 	rep, err := quality.Run(cfg)
 	if err != nil {

@@ -30,6 +30,9 @@ func cmdSearch(args []string) error {
 	maxQ := fs.Int("maxq", 1000, "cap on queries evaluated")
 	seed := fs.Int64("seed", 1, "random seed")
 	verbose := fs.Bool("v", false, "print each query's neighbors")
+	recall := fs.Float64("recall", 0, "per-query recall SLO in (0,1): resolve the table budget from the collision model (0 = probe all L tables)")
+	stableProbes := fs.Int("stable-probes", 0, "stop probing after this many consecutive probes without shortlist growth (0 = off)")
+	maxCands := fs.Int("max-candidates", 0, "stop probing once the shortlist reaches this size (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,14 +87,28 @@ func cmdSearch(args []string) error {
 	}
 	buildDur := time.Since(start)
 
+	plan := core.Plan{TargetRecall: *recall, StableProbes: *stableProbes, MaxCandidates: *maxCands}
+	planned := !plan.IsDefault()
 	start = time.Now()
-	results, stats := ix.QueryBatch(queries, *k)
+	var results []knn.Result
+	var stats []core.QueryStats
+	var planStats []core.PlanStats
+	if planned {
+		plan.K = *k
+		results, planStats = ix.QueryBatchPlan(queries, plan)
+		stats = make([]core.QueryStats, len(planStats))
+		for i := range planStats {
+			stats[i] = planStats[i].QueryStats
+		}
+	} else {
+		results, stats = ix.QueryBatch(queries, *k)
+	}
 	queryDur := time.Since(start)
 
 	truth := knn.ExactAll(data, queries, *k)
-	var recall, errRatio, sel float64
+	var gotRecall, errRatio, sel float64
 	for qi := range results {
-		recall += knn.Recall(truth[qi].IDs, results[qi].IDs)
+		gotRecall += knn.Recall(truth[qi].IDs, results[qi].IDs)
 		errRatio += knn.ErrorRatio(truth[qi].Dists, results[qi].Dists)
 		sel += knn.Selectivity(stats[qi].Scanned, data.N)
 		if *verbose {
@@ -104,7 +121,18 @@ func cmdSearch(args []string) error {
 		queryDur.Round(time.Millisecond), nq/queryDur.Seconds())
 	fmt.Printf("method: bilevel=%v lattice=%v probe=%v groups=%d M=%d L=%d Wx=%g\n",
 		*bilevel, opts.Lattice, opts.ProbeMode, ix.NumGroups(), *m, *l, *w)
+	if planned {
+		var tables, early float64
+		for i := range planStats {
+			tables += float64(planStats[i].TablesProbed)
+			if planStats[i].TerminatedEarly {
+				early++
+			}
+		}
+		fmt.Printf("plan: target-recall=%g stable-probes=%d max-candidates=%d  mean-tables-probed=%.2f/%d  early-terminated=%.1f%%\n",
+			*recall, *stableProbes, *maxCands, tables/nq, *l, 100*early/nq)
+	}
 	fmt.Printf("recall=%.4f  error-ratio=%.4f  selectivity=%.4f\n",
-		recall/nq, errRatio/nq, sel/nq)
+		gotRecall/nq, errRatio/nq, sel/nq)
 	return nil
 }

@@ -52,6 +52,9 @@ func runServe(name string, args []string, shard bool) error {
 	metricsOn := fs.Bool("metrics", true, "expose GET /metrics (Prometheus text; ?format=json for JSON)")
 	pprofOn := fs.Bool("pprof", false, "expose the runtime profiler under /debug/pprof/")
 	statsEvery := fs.Duration("stats-interval", 0, "log a one-line stats summary at this interval (0 disables)")
+	adaptive := fs.Bool("adaptive", false, "re-tune the default query plan online from live traffic (docs/adaptive.md)")
+	adaptiveRecall := fs.Float64("adaptive-recall", 0.9, "recall SLO the adaptive default plan targets, in (0,1)")
+	adaptiveEvery := fs.Duration("adaptive-interval", 10*time.Second, "re-tune cadence for -adaptive")
 	var (
 		shardID   *int
 		idmapPath *string
@@ -225,6 +228,14 @@ func runServe(name string, args []string, shard bool) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *adaptive {
+		api.StartAdaptive(ctx, server.AdaptiveConfig{
+			TargetRecall: *adaptiveRecall,
+			Interval:     *adaptiveEvery,
+			Log:          log.Default(),
+		})
+		fmt.Printf("adaptive: re-tuning default plan every %v toward recall %.2f\n", *adaptiveEvery, *adaptiveRecall)
+	}
 	// Bind before announcing so the printed address is the real one (:0
 	// resolves to the kernel-assigned port — the crash harness depends on
 	// this line).

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -180,6 +181,9 @@ func cmdRouter(args []string) error {
 	retries := fs.Int("retries", 1, "extra read attempts on other replicas after a failure")
 	healthEvery := fs.Duration("health-interval", 2*time.Second, "background shard health-probe cadence")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+	adaptive := fs.Bool("adaptive", false, "re-tune the forwarded default query plan online from shard replies (docs/adaptive.md)")
+	adaptiveRecall := fs.Float64("adaptive-recall", 0.9, "recall SLO the adaptive forwarded plan targets, in (0,1)")
+	adaptiveEvery := fs.Duration("adaptive-interval", 10*time.Second, "re-tune cadence for -adaptive")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -214,6 +218,14 @@ func cmdRouter(args []string) error {
 	defer stop()
 	rt.Start(ctx)
 	defer rt.Stop()
+	if *adaptive {
+		rt.StartAdaptive(ctx, router.AdaptiveConfig{
+			TargetRecall: *adaptiveRecall,
+			Interval:     *adaptiveEvery,
+			Log:          log.Default(),
+		})
+		fmt.Printf("adaptive: re-tuning forwarded plan every %v toward recall %.2f\n", *adaptiveEvery, *adaptiveRecall)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

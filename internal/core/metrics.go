@@ -65,6 +65,18 @@ var (
 		"bilsh_core_insert_seconds", "Insert latency.", metrics.DefLatencyBuckets)
 	metCompactSeconds = metrics.Default().Histogram(
 		"bilsh_core_compact_seconds", "Compact latency.", metrics.DefLatencyBuckets)
+
+	// Adaptive-plan instruments (see docs/adaptive.md). Every query runs
+	// under a plan — the default plan resolves to the built budgets — so
+	// the resolved-tables histogram shows the live budget mix, and the
+	// early-termination counter how often the plateau policy saved work.
+	metAdaptiveEarlyTerm = metrics.Default().Counter(
+		"bilsh_adaptive_early_terminations_total",
+		"Queries whose probe loop stopped before the resolved budget (StableProbes or MaxCandidates trigger).")
+	metAdaptiveResolvedTables = metrics.Default().Histogram(
+		"bilsh_adaptive_resolved_tables",
+		"Table budget each query's plan resolved to (defaults, overrides and TargetRecall SLOs combined).",
+		metrics.DefCountBuckets)
 )
 
 func stageHist(stage string) *metrics.Histogram {
@@ -79,6 +91,14 @@ func recordQuery(st *QueryStats, total time.Duration) {
 	metQueries.Inc()
 	metQuerySeconds.Observe(total.Seconds())
 	recordStages(st)
+}
+
+// recordPlan aggregates the plan-level record of one answered query.
+func recordPlan(ps *PlanStats) {
+	metAdaptiveResolvedTables.Observe(float64(ps.ResolvedTables))
+	if ps.TerminatedEarly {
+		metAdaptiveEarlyTerm.Inc()
+	}
 }
 
 // recordStages aggregates the stage timings and work counts of one

@@ -65,6 +65,59 @@ func (ix *Index) QueryBatchParallel(queries *vec.Matrix, k, workers int) ([]knn.
 	return results, stats
 }
 
+// QueryBatchParallelPlan is QueryBatchPlan fanned out over workers
+// goroutines (GOMAXPROCS when workers <= 0), with the same semantics:
+// default plan matches QueryBatchParallel byte-for-byte, an explicit
+// HierMinCandidates replaces the median rule, and the sizing pass never
+// terminates early.
+func (ix *Index) QueryBatchParallelPlan(queries *vec.Matrix, p Plan, workers int) ([]knn.Result, []PlanStats) {
+	metBatches.Inc()
+	sn := ix.loadSnap()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]knn.Result, queries.N)
+	stats := make([]PlanStats, queries.N)
+	if p.K < 1 {
+		return results, stats
+	}
+	rp := sn.resolve(p)
+
+	if sn.opts.ProbeMode != ProbeHierarchy || p.HierMinCandidates > 0 {
+		ix.parallelFor(queries.N, workers, func(qi int, s *scratch) {
+			results[qi], stats[qi] = sn.queryPlan(queries.Row(qi), &rp, s)
+		})
+		return results, stats
+	}
+
+	sizeRP := rp
+	sizeRP.stableProbes, sizeRP.maxCandidates = 0, 0
+	sizes := make([]int, queries.N)
+	ix.parallelFor(queries.N, workers, func(qi int, s *scratch) {
+		sizes[qi] = sn.gatherPlan(queries.Row(qi), &sizeRP, ProbeSingle, 0, s).Candidates
+	})
+	median := medianInt(sizes)
+	if median < 1 {
+		median = 1
+	}
+	ix.parallelFor(queries.N, workers, func(qi int, s *scratch) {
+		start := time.Now()
+		q := queries.Row(qi)
+		minCount := 1
+		if sizes[qi] < median {
+			minCount = median
+		}
+		ps := sn.gatherPlan(q, &rp, ProbeHierarchy, minCount, s)
+		rankStart := time.Now()
+		results[qi] = sn.rankWith(q, rp.k, rp.rerank, s)
+		ps.Timings.Rank = time.Since(rankStart)
+		recordQuery(&ps.QueryStats, time.Since(start)) // registry updates are atomic
+		recordPlan(&ps)
+		stats[qi] = ps
+	})
+	return results, stats
+}
+
 // parallelFor runs body(i, s) for i in [0,n) on up to workers goroutines,
 // handing each goroutine its own pooled scratch for the duration.
 func (ix *Index) parallelFor(n, workers int, body func(i int, s *scratch)) {

@@ -84,17 +84,46 @@ func (ix *Index) query(q []float32, k int, s *scratch) (knn.Result, QueryStats) 
 }
 
 func (sn *snapshot) query(q []float32, k int, s *scratch) (knn.Result, QueryStats) {
-	start := time.Now()
-	minCount := sn.opts.HierMinCandidates
-	if minCount <= 0 {
-		minCount = 2 * k
+	rp := sn.defaultResolved(k)
+	res, ps := sn.queryPlan(q, &rp, s)
+	return res, ps.QueryStats
+}
+
+// QueryPlan answers one query under an explicit execution plan and reports
+// the plan-level stats (budgets resolved, tables probed, early
+// termination). QueryPlan(q, Plan{K: k}) is exactly Query(q, k): the
+// default plan resolves to the index's built budgets with termination
+// disabled, a property the equivalence tests pin byte-for-byte.
+//
+// Like Query, out-of-range plans never error here — resolution clamps
+// them to the index's limits. Boundaries that owe callers an error run
+// Plan.Validate first.
+func (ix *Index) QueryPlan(q []float32, p Plan) (knn.Result, PlanStats) {
+	sn := ix.loadSnap()
+	if len(q) != sn.data.D || p.K < 1 {
+		return knn.Result{}, PlanStats{}
 	}
-	stats := sn.gather(q, minCount, s)
+	s := ix.getScratch()
+	defer ix.putScratch(s)
+	rp := sn.resolve(p)
+	return sn.queryPlan(q, &rp, s)
+}
+
+// queryPlan is the single execution core every public query entry point
+// funnels through: gather under the resolved plan, rank, record.
+func (sn *snapshot) queryPlan(q []float32, rp *resolvedPlan, s *scratch) (knn.Result, PlanStats) {
+	start := time.Now()
+	minCount := rp.hierMin
+	if minCount <= 0 {
+		minCount = 2 * rp.k
+	}
+	ps := sn.gatherPlan(q, rp, sn.opts.ProbeMode, minCount, s)
 	rankStart := time.Now()
-	res := sn.rank(q, k, s)
-	stats.Timings.Rank = time.Since(rankStart)
-	recordQuery(&stats, time.Since(start))
-	return res, stats
+	res := sn.rankWith(q, rp.k, rp.rerank, s)
+	ps.Timings.Rank = time.Since(rankStart)
+	recordQuery(&ps.QueryStats, time.Since(start))
+	recordPlan(&ps)
+	return res, ps
 }
 
 // gather collects the candidate id set for q into s.cands under the
@@ -108,18 +137,46 @@ func (sn *snapshot) gather(q []float32, hierMinCount int, s *scratch) QueryStats
 	return sn.gatherMode(q, hierMinCount, sn.opts.ProbeMode, s)
 }
 
-// gatherMode is the shared candidate-collection core behind gather and
-// plainShortListSize (which forces ProbeSingle regardless of the index's
-// configured mode, per the Section VI-B4c median rule).
+// gatherMode is the default-plan candidate-collection entry behind gather
+// and plainShortListSize (which forces ProbeSingle regardless of the
+// index's configured mode, per the Section VI-B4c median rule).
 func (sn *snapshot) gatherMode(q []float32, hierMinCount int, mode ProbeMode, s *scratch) QueryStats {
+	rp := sn.defaultResolved(0)
+	ps := sn.gatherPlan(q, &rp, mode, hierMinCount, s)
+	return ps.QueryStats
+}
+
+// gatherPlan is the shared probe loop behind every query path: it walks
+// rp.tables hash tables in build order, probing each under mode and
+// unioning candidates into s.cands. When the plan arms early termination
+// (rp.term()), the shortlist plateau is checked after every bucket probe —
+// per probe inside a ProbeMulti table, per table otherwise — and the loop
+// stops as soon as a trigger fires; the default plan arms nothing and the
+// loop is byte-identical to the fixed-budget one it replaced.
+//
+// The loop is resumable by construction: all cross-table state lives in
+// the scratch (dedup stamps, candidate list) and the plateau counter in
+// ts, so stopping after table t and continuing at t+1 would produce the
+// same union — which is exactly what early termination exploits by simply
+// not continuing.
+func (sn *snapshot) gatherPlan(q []float32, rp *resolvedPlan, mode ProbeMode, hierMinCount int, s *scratch) PlanStats {
 	routeStart := time.Now()
 	gi := sn.groupOf(q)
 	g := sn.groups[gi]
-	stats := QueryStats{Group: gi}
+	ps := PlanStats{
+		QueryStats:     QueryStats{Group: gi},
+		ResolvedTables: rp.tables,
+		ResolvedProbes: rp.probes,
+	}
+	stats := &ps.QueryStats
 	stats.Timings.Route = time.Since(routeStart)
 	s.begin(sn)
 
-	for t := 0; t < sn.opts.Params.L; t++ {
+	term := rp.term()
+	var ts termState
+	stop := false
+	for t := 0; t < rp.tables && !stop; t++ {
+		ps.TablesProbed = t + 1
 		probeStart := time.Now()
 		g.fam.Project(t, q, s.proj)
 		switch mode {
@@ -129,26 +186,31 @@ func (sn *snapshot) gatherMode(q []float32, hierMinCount int, mode ProbeMode, s 
 			stats.Timings.Probe += time.Since(probeStart)
 			scanStart := time.Now()
 			stats.Probes++
-			sn.addCandidates(s, &stats, g.tables[t].BucketBytes(s.key))
-			sn.addOverlayCandidates(s, &stats, gi, t)
+			sn.addCandidates(s, stats, g.tables[t].BucketBytes(s.key))
+			sn.addOverlayCandidates(s, stats, gi, t)
 			stats.Timings.Scan += time.Since(scanStart)
+			stop = term && rp.stop(&ts, len(s.cands))
 
 		case ProbeMulti:
 			switch lat := g.lat.(type) {
 			case *lattice.ZM:
-				multiprobe.ZMProbesInto(&s.mp, lat, s.proj, sn.opts.Probes)
+				multiprobe.ZMProbesInto(&s.mp, lat, s.proj, rp.probes)
 			case *lattice.E8:
-				multiprobe.E8ProbesInto(&s.mp, lat, s.proj, sn.opts.Probes)
+				multiprobe.E8ProbesInto(&s.mp, lat, s.proj, rp.probes)
 			case *lattice.Dn:
-				multiprobe.DnProbesInto(&s.mp, lat, s.proj, sn.opts.Probes)
+				multiprobe.DnProbesInto(&s.mp, lat, s.proj, rp.probes)
 			}
 			stats.Timings.Probe += time.Since(probeStart)
 			scanStart := time.Now()
 			for p := 0; p < s.mp.Probes(); p++ {
 				stats.Probes++
 				s.key = lattice.AppendKey(s.key[:0], s.mp.Probe(p))
-				sn.addCandidates(s, &stats, g.tables[t].BucketBytes(s.key))
-				sn.addOverlayCandidates(s, &stats, gi, t)
+				sn.addCandidates(s, stats, g.tables[t].BucketBytes(s.key))
+				sn.addOverlayCandidates(s, stats, gi, t)
+				if term && rp.stop(&ts, len(s.cands)) {
+					stop = true
+					break
+				}
 			}
 			stats.Timings.Scan += time.Since(scanStart)
 
@@ -171,15 +233,17 @@ func (sn *snapshot) gatherMode(q []float32, hierMinCount int, mode ProbeMode, s 
 			if level > stats.HierarchyLevel {
 				stats.HierarchyLevel = level
 			}
-			sn.addCandidates32(s, &stats, s.hierIDs)
+			sn.addCandidates32(s, stats, s.hierIDs)
 			// Overlay inserts are only reachable through their exact
 			// bucket code until Compact folds them into the hierarchy.
-			sn.addOverlayCandidates(s, &stats, gi, t)
+			sn.addOverlayCandidates(s, stats, gi, t)
 			stats.Timings.Scan += time.Since(scanStart)
+			stop = term && rp.stop(&ts, len(s.cands))
 		}
 	}
+	ps.TerminatedEarly = stop
 	stats.Candidates = len(s.cands)
-	return stats
+	return ps
 }
 
 // CandidateList returns the deduplicated, id-sorted candidate list for q
@@ -256,6 +320,12 @@ func (ix *Index) rank(q []float32, k int, s *scratch) knn.Result {
 }
 
 func (sn *snapshot) rank(q []float32, k int, s *scratch) knn.Result {
+	return sn.rankWith(q, k, 0, s)
+}
+
+// rankWith is rank with a per-plan re-rank factor override (0 keeps the
+// index default; only meaningful under SQ8 quantization).
+func (sn *snapshot) rankWith(q []float32, k, rerank int, s *scratch) knn.Result {
 	slices.Sort(s.cands)
 	h := s.topK(k)
 
@@ -270,7 +340,7 @@ func (sn *snapshot) rank(q []float32, k int, s *scratch) knn.Result {
 	}
 	s.dists = s.dists[:len(s.cands)]
 	if sn.quant != nil {
-		sn.rankBaseQuantized(q, k, s, h, nBase)
+		sn.rankBaseQuantized(q, k, rerank, s, h, nBase)
 	} else {
 		if sn.fetch == nil {
 			vec.SqDistToRows(s.dists[:nBase], sn.data.Data, sn.data.D, s.cands[:nBase], q)
@@ -311,9 +381,12 @@ func (sn *snapshot) rank(q []float32, k int, s *scratch) knn.Result {
 // (and the golden quality gate) bounds. On a disk-backed index this is
 // also the residency win: the codes are the only resident row bytes, and
 // only the shortlist survivors touch disk.
-func (sn *snapshot) rankBaseQuantized(q []float32, k int, s *scratch, h *topk.Heap, nBase int) {
+func (sn *snapshot) rankBaseQuantized(q []float32, k, rerank int, s *scratch, h *topk.Heap, nBase int) {
 	vec.SqDistToRowsSQ8(s.dists[:nBase], sn.quant, s.cands[:nBase], q)
-	r := k * sn.opts.rerankFactor()
+	if rerank <= 0 {
+		rerank = sn.opts.rerankFactor()
+	}
+	r := k * rerank
 	if r < nBase {
 		rh := s.rerankTopK(r)
 		for i := 0; i < nBase; i++ {
@@ -400,6 +473,63 @@ func (ix *Index) QueryBatch(queries *vec.Matrix, k int) ([]knn.Result, []QuerySt
 		st.Timings.Rank = time.Since(rankStart)
 		recordQuery(&st, time.Since(start))
 		stats[qi] = st
+	}
+	return results, stats
+}
+
+// QueryBatchPlan is QueryBatch under an explicit plan, returning per-query
+// PlanStats. QueryBatchPlan(queries, Plan{K: k}) matches QueryBatch
+// byte-for-byte. Under ProbeHierarchy the paper's median rule still
+// applies unless the plan sets HierMinCandidates, which replaces the rule
+// with a fixed floor for every query in the batch (the sizing pass is then
+// skipped entirely). The median sizing pass never terminates early: sizes
+// feed the batch-wide threshold, so they must be budget-complete.
+func (ix *Index) QueryBatchPlan(queries *vec.Matrix, p Plan) ([]knn.Result, []PlanStats) {
+	metBatches.Inc()
+	sn := ix.loadSnap()
+	results := make([]knn.Result, queries.N)
+	stats := make([]PlanStats, queries.N)
+	if p.K < 1 {
+		return results, stats
+	}
+	s := ix.getScratch()
+	defer ix.putScratch(s)
+	rp := sn.resolve(p)
+
+	// The plan's floor (not the index default) decides whether the median
+	// rule runs: QueryBatch applies the rule whenever the mode is
+	// hierarchy, so the default plan must too.
+	if sn.opts.ProbeMode != ProbeHierarchy || p.HierMinCandidates > 0 {
+		for qi := 0; qi < queries.N; qi++ {
+			results[qi], stats[qi] = sn.queryPlan(queries.Row(qi), &rp, s)
+		}
+		return results, stats
+	}
+
+	sizeRP := rp
+	sizeRP.stableProbes, sizeRP.maxCandidates = 0, 0
+	sizes := make([]int, queries.N)
+	for qi := 0; qi < queries.N; qi++ {
+		sizes[qi] = sn.gatherPlan(queries.Row(qi), &sizeRP, ProbeSingle, 0, s).Candidates
+	}
+	median := medianInt(sizes)
+	if median < 1 {
+		median = 1
+	}
+	for qi := 0; qi < queries.N; qi++ {
+		start := time.Now()
+		q := queries.Row(qi)
+		minCount := 1 // at least the home bucket group
+		if sizes[qi] < median {
+			minCount = median
+		}
+		ps := sn.gatherPlan(q, &rp, ProbeHierarchy, minCount, s)
+		rankStart := time.Now()
+		results[qi] = sn.rankWith(q, rp.k, rp.rerank, s)
+		ps.Timings.Rank = time.Since(rankStart)
+		recordQuery(&ps.QueryStats, time.Since(start))
+		recordPlan(&ps)
+		stats[qi] = ps
 	}
 	return results, stats
 }

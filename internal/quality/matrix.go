@@ -217,7 +217,7 @@ func runDataset(cfg Config, ds string) ([]CellResult, error) {
 
 				cell := Cell{Dataset: ds, Lattice: lat, Probe: probe, BiLevel: bi}
 				cell.Dynamics = DynStatic
-				out = append(out, measureCell(cell, ix, qs, staticTruth, cfg.K, cfg.N))
+				out = append(out, measureCell(cell, ix, qs, staticTruth, cfg, cfg.N))
 
 				// Apply the shared dynamic workload, measure the overlay,
 				// compact, measure again.
@@ -233,13 +233,13 @@ func runDataset(cfg Config, ds string) ([]CellResult, error) {
 					ix.Delete(cfg.N + j)
 				}
 				cell.Dynamics = DynOverlay
-				out = append(out, measureCell(cell, ix, qs, overlayTruth, cfg.K, liveRows.N))
+				out = append(out, measureCell(cell, ix, qs, overlayTruth, cfg, liveRows.N))
 
 				if _, err := ix.Compact(); err != nil {
 					return nil, fmt.Errorf("%s compact: %w", cell.Key(), err)
 				}
 				cell.Dynamics = DynCompacted
-				out = append(out, measureCell(cell, ix, qs, compactTruth, cfg.K, liveRows.N))
+				out = append(out, measureCell(cell, ix, qs, compactTruth, cfg, liveRows.N))
 			}
 		}
 	}
@@ -264,9 +264,23 @@ func (w Widths) width(biLevel bool, probe core.ProbeMode) float64 {
 
 // measureCell answers the query set and aggregates the quality metrics
 // against the stage's ground truth. n is the live item count (the
-// selectivity denominator |S| of Eq. 5).
-func measureCell(cell Cell, ix *core.Index, qs *vec.Matrix, truth []knn.Result, k, n int) CellResult {
-	results, stats := ix.QueryBatch(qs, k)
+// selectivity denominator |S| of Eq. 5). With cfg.TargetRecall set the
+// queries run through the adaptive plan path (QueryBatchPlan) instead of
+// the legacy fixed-budget one; the same thresholds apply either way.
+func measureCell(cell Cell, ix *core.Index, qs *vec.Matrix, truth []knn.Result, cfg Config, n int) CellResult {
+	k := cfg.K
+	var results []knn.Result
+	var stats []core.QueryStats
+	if cfg.TargetRecall > 0 {
+		res, ps := ix.QueryBatchPlan(qs, core.Plan{K: k, TargetRecall: cfg.TargetRecall})
+		results = res
+		stats = make([]core.QueryStats, len(ps))
+		for i := range ps {
+			stats[i] = ps[i].QueryStats
+		}
+	} else {
+		results, stats = ix.QueryBatch(qs, k)
+	}
 	ms := make([]knn.QueryMeasure, qs.N)
 	var cands float64
 	for qi := range ms {

@@ -94,6 +94,12 @@ type Config struct {
 	// golden thresholds apply either way: quantization must fit inside the
 	// existing slack, which is exactly the claim the re-rank design makes.
 	Quantize string `json:"quantize,omitempty"`
+	// TargetRecall, when in (0,1), runs every cell through TargetRecall-
+	// driven query plans (core.Plan{TargetRecall: ...}) instead of the
+	// legacy fixed-budget path. The same golden thresholds apply: the
+	// adaptive plan must not push any cell below its committed floor, which
+	// is exactly the claim docs/adaptive.md makes about the SLO resolver.
+	TargetRecall float64 `json:"target_recall,omitempty"`
 	// Seed drives everything: data, projections, the dynamic workload.
 	Seed int64 `json:"seed"`
 	// Widths is the budget-matching calibration (committed with the
@@ -159,6 +165,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("quality: DeleteBase=%d must be < N=%d", c.DeleteBase, c.N)
 	case c.DeleteInserted > c.Inserts:
 		return fmt.Errorf("quality: DeleteInserted=%d must be <= Inserts=%d", c.DeleteInserted, c.Inserts)
+	case c.TargetRecall < 0 || c.TargetRecall >= 1:
+		return fmt.Errorf("quality: TargetRecall=%g outside [0, 1)", c.TargetRecall)
 	}
 	if _, err := core.ParseQuantizeKind(c.Quantize); err != nil {
 		return err

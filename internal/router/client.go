@@ -10,20 +10,36 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bilsh/internal/httpx"
 	"bilsh/internal/metrics"
 )
 
 // shardQueryRequest / shardQueryResponse mirror the shard server's
-// /query wire format (internal/server).
+// /query wire format (internal/server). The embedded plan fields forward
+// the merged (router default + per-request) execution plan verbatim; each
+// shard re-resolves TargetRecall against its own built parameters.
 type shardQueryRequest struct {
 	Vector []float32 `json:"vector"`
 	K      int       `json:"k"`
+	httpx.QueryPlan
+}
+
+// shardPlanStats mirrors the shard server's per-query stats block
+// (answered under ?stats=1).
+type shardPlanStats struct {
+	Scanned         int  `json:"scanned"`
+	Probes          int  `json:"probes"`
+	TablesProbed    int  `json:"tables_probed"`
+	ResolvedTables  int  `json:"resolved_tables"`
+	ResolvedProbes  int  `json:"resolved_probes"`
+	TerminatedEarly bool `json:"terminated_early"`
 }
 
 type shardQueryResponse struct {
-	Neighbors  []Neighbor `json:"neighbors"`
-	Candidates int        `json:"candidates"`
-	Group      int        `json:"group"`
+	Neighbors  []Neighbor      `json:"neighbors"`
+	Candidates int             `json:"candidates"`
+	Group      int             `json:"group"`
+	Stats      *shardPlanStats `json:"stats"`
 }
 
 // shardInsertRequest mirrors the shard server's /insert body; ID is the

@@ -86,6 +86,11 @@ type queryRequest struct {
 	// Spill overrides the router's default leaf probe budget for this
 	// query (0 = use the default).
 	Spill int `json:"spill"`
+	// The embedded plan fields (recall, probes, tables, hier_min, rerank,
+	// stable_probes, max_candidates) are forwarded to shards; URL
+	// parameters of the same names override them, exactly like the shard
+	// server's own /query.
+	httpx.QueryPlan
 }
 
 func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -93,7 +98,11 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !httpx.DecodeBody(w, r, maxBodyBytes, &req) {
 		return
 	}
-	res, err := rt.Query(r.Context(), req.Vector, req.K, req.Spill)
+	k, ok := httpx.DecodePlanRequest(w, r, req.K, &req.QueryPlan)
+	if !ok {
+		return
+	}
+	res, err := rt.QueryPlan(r.Context(), req.Vector, k, req.Spill, req.QueryPlan, httpx.WantStats(r.URL.Query()))
 	if err != nil {
 		rt.writeError(w, err)
 		return
@@ -105,6 +114,7 @@ type batchRequest struct {
 	Vectors [][]float32 `json:"vectors"`
 	K       int         `json:"k"`
 	Spill   int         `json:"spill"`
+	httpx.QueryPlan
 }
 
 func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -112,13 +122,18 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !httpx.DecodeBody(w, r, maxBodyBytes, &req) {
 		return
 	}
+	k, ok := httpx.DecodePlanRequest(w, r, req.K, &req.QueryPlan)
+	if !ok {
+		return
+	}
 	if len(req.Vectors) == 0 {
 		httpx.Error(w, http.StatusBadRequest, "batch needs at least one vector")
 		return
 	}
+	wantStats := httpx.WantStats(r.URL.Query())
 	results := make([]*Result, len(req.Vectors))
 	for i, v := range req.Vectors {
-		res, err := rt.Query(r.Context(), v, req.K, req.Spill)
+		res, err := rt.QueryPlan(r.Context(), v, k, req.Spill, req.QueryPlan, wantStats)
 		if err != nil {
 			rt.writeError(w, fmt.Errorf("vector %d: %w", i, err))
 			return

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"bilsh/internal/httpx"
 	"bilsh/internal/metrics"
 	"bilsh/internal/topk"
 )
@@ -63,13 +65,19 @@ type Router struct {
 	gidInit bool
 	nextGID int
 
-	metQueries *metrics.Counter
-	metFanout  *metrics.Histogram
-	metPartial *metrics.Counter
-	metHedges  *metrics.Counter
+	metQueries    *metrics.Counter
+	metFanout     *metrics.Histogram
+	metPartial    *metrics.Counter
+	metHedges     *metrics.Counter
+	metCandidates *metrics.Histogram
 
 	health     *healthProber
 	stopHealth context.CancelFunc
+
+	// defaultPlan is the base execution plan forwarded to shards for
+	// requests that carry no overrides — nil means none. The adaptive
+	// loop (StartAdaptive) republishes it, racing queries.
+	defaultPlan atomic.Pointer[httpx.QueryPlan]
 }
 
 // fanoutBounds buckets the per-query shard fan-out width.
@@ -126,6 +134,9 @@ func New(o Options) (*Router, error) {
 			"Queries answered with at least one shard missing."),
 		metHedges: reg.Counter("bilsh_router_hedges_total",
 			"Hedged (duplicate) shard requests launched after the hedge delay."),
+		metCandidates: reg.Histogram("bilsh_router_candidates",
+			"Per-shard shortlist candidates per query reply (the online tuner's collision-mass signal).",
+			metrics.DefCountBuckets),
 	}
 	rt.clients = make([]*shardClient, len(o.Shards))
 	for i, ss := range o.Shards {
@@ -157,6 +168,29 @@ type Result struct {
 	// Partial mirrors len(FailedShards) > 0.
 	FailedShards []int `json:"failed_shards,omitempty"`
 	Partial      bool  `json:"partial"`
+	// Stats aggregates the per-shard PlanStats when the request asked for
+	// them (?stats=1); nil otherwise.
+	Stats *ResultStats `json:"stats,omitempty"`
+}
+
+// ResultStats is the FailedShards-aware aggregation of the per-shard
+// PlanStats: sums cover only the shards that answered (ReportingShards of
+// ShardsContacted), so a partial result's work counters honestly reflect
+// the work that actually happened rather than guessing at the dead
+// shard's share.
+type ResultStats struct {
+	// Scanned and Probes sum the per-shard work counters.
+	Scanned int `json:"scanned"`
+	Probes  int `json:"probes"`
+	// TablesProbed sums tables entered across shards; ResolvedTables sums
+	// the per-shard budgets, so the two compare like-for-like.
+	TablesProbed   int `json:"tables_probed"`
+	ResolvedTables int `json:"resolved_tables"`
+	// TerminatedEarly counts shards whose probe loop stopped early.
+	TerminatedEarly int `json:"terminated_early"`
+	// ReportingShards is how many shard replies carried stats (failed
+	// shards never do).
+	ReportingShards int `json:"reporting_shards"`
 }
 
 // ErrBadQuery marks client mistakes (dimension mismatch, bad k) so the
@@ -166,14 +200,29 @@ var ErrBadQuery = errors.New("router: bad query")
 // Query fans v out to the shards its probe set touches (spill <= 0 uses
 // the router default) and merges the per-shard shortlists into one
 // top-k. The error is non-nil only for invalid input; shard failures
-// surface as a partial Result.
+// surface as a partial Result. Query(ctx, v, k, spill) is
+// QueryPlan(ctx, v, k, spill, zero plan, no stats).
 func (rt *Router) Query(ctx context.Context, v []float32, k, spill int) (*Result, error) {
+	return rt.QueryPlan(ctx, v, k, spill, httpx.QueryPlan{}, false)
+}
+
+// QueryPlan is Query under an explicit per-query execution plan. The plan
+// (merged over the router's default plan; request fields win) is
+// forwarded verbatim to every contacted shard, which re-resolves any
+// TargetRecall SLO against its own built parameters. With wantStats, each
+// shard reports its PlanStats and the merge aggregates them
+// FailedShards-aware into Result.Stats.
+func (rt *Router) QueryPlan(ctx context.Context, v []float32, k, spill int, plan httpx.QueryPlan, wantStats bool) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("%w: k must be >= 1, got %d", ErrBadQuery, k)
 	}
 	if dim := rt.m.Dim(); dim != 0 && len(v) != dim {
 		return nil, fmt.Errorf("%w: vector has dim %d, shard map wants %d", ErrBadQuery, len(v), dim)
 	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	plan = rt.planFor(plan)
 	if spill <= 0 {
 		spill = rt.spill
 	}
@@ -181,6 +230,10 @@ func (rt *Router) Query(ctx context.Context, v []float32, k, spill int) (*Result
 	rt.metQueries.Inc()
 	rt.metFanout.Observe(float64(len(targets)))
 
+	path := "/query"
+	if wantStats {
+		path = "/query?stats=1"
+	}
 	type shardReply struct {
 		shard int
 		resp  shardQueryResponse
@@ -193,13 +246,16 @@ func (rt *Router) Query(ctx context.Context, v []float32, k, spill int) (*Result
 		go func(i, shard int) {
 			defer wg.Done()
 			var resp shardQueryResponse
-			err := rt.clients[shard].read(ctx, "/query", shardQueryRequest{Vector: v, K: k}, &resp)
+			err := rt.clients[shard].read(ctx, path, shardQueryRequest{Vector: v, K: k, QueryPlan: plan}, &resp)
 			replies[i] = shardReply{shard: shard, resp: resp, err: err}
 		}(i, shard)
 	}
 	wg.Wait()
 
 	res := &Result{ShardsContacted: len(targets)}
+	if wantStats {
+		res.Stats = &ResultStats{}
+	}
 	h := topk.New(k)
 	for _, r := range replies {
 		if r.err != nil {
@@ -207,6 +263,17 @@ func (rt *Router) Query(ctx context.Context, v []float32, k, spill int) (*Result
 			continue
 		}
 		res.Candidates += r.resp.Candidates
+		rt.metCandidates.Observe(float64(r.resp.Candidates))
+		if res.Stats != nil && r.resp.Stats != nil {
+			res.Stats.Scanned += r.resp.Stats.Scanned
+			res.Stats.Probes += r.resp.Stats.Probes
+			res.Stats.TablesProbed += r.resp.Stats.TablesProbed
+			res.Stats.ResolvedTables += r.resp.Stats.ResolvedTables
+			if r.resp.Stats.TerminatedEarly {
+				res.Stats.TerminatedEarly++
+			}
+			res.Stats.ReportingShards++
+		}
 		for _, n := range r.resp.Neighbors {
 			if h.Accepts(n.Dist) {
 				h.Push(n.ID, n.Dist)

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"bilsh/internal/core"
+)
+
+// TestQueryStatsOptIn pins the ?stats=1 contract: stats appear only when
+// asked for, and report the resolved budgets.
+func TestQueryStatsOptIn(t *testing.T) {
+	srv, data := testServer(t, false)
+
+	var plain queryResponse
+	if status := postJSON(t, srv.URL+"/query", queryRequest{Vector: data.Row(7), K: 3}, &plain); status != http.StatusOK {
+		t.Fatalf("query status = %d", status)
+	}
+	if plain.Stats != nil {
+		t.Fatalf("stats attached without ?stats=1: %+v", plain.Stats)
+	}
+
+	var out queryResponse
+	if status := postJSON(t, srv.URL+"/query?stats=1", queryRequest{Vector: data.Row(7), K: 3}, &out); status != http.StatusOK {
+		t.Fatalf("query?stats=1 status = %d", status)
+	}
+	if out.Stats == nil {
+		t.Fatal("?stats=1 returned no stats")
+	}
+	// The test index has L=4; the default plan probes everything.
+	if out.Stats.ResolvedTables != 4 || out.Stats.TablesProbed != 4 {
+		t.Fatalf("stats = %+v, want resolved_tables=4, tables_probed=4", out.Stats)
+	}
+	if out.Stats.TerminatedEarly {
+		t.Fatal("default plan terminated early")
+	}
+
+	var batch batchResponse
+	req := batchRequest{Vectors: [][]float32{data.Row(1), data.Row(2)}, K: 3}
+	if status := postJSON(t, srv.URL+"/batch?stats=1", req, &batch); status != http.StatusOK {
+		t.Fatalf("batch?stats=1 status = %d", status)
+	}
+	for i, r := range batch.Results {
+		if r.Stats == nil {
+			t.Fatalf("batch result %d missing stats", i)
+		}
+	}
+}
+
+// TestQueryPlanParams pins plan overrides riding the body and the URL,
+// with the URL winning.
+func TestQueryPlanParams(t *testing.T) {
+	srv, data := testServer(t, false)
+
+	// Body override: probe a single table.
+	body := map[string]interface{}{"vector": data.Row(7), "k": 3, "tables": 1}
+	var out queryResponse
+	if status := postJSON(t, srv.URL+"/query?stats=1", body, &out); status != http.StatusOK {
+		t.Fatalf("query status = %d", status)
+	}
+	if out.Stats.ResolvedTables != 1 {
+		t.Fatalf("body tables=1: resolved %d tables", out.Stats.ResolvedTables)
+	}
+
+	// URL beats body.
+	if status := postJSON(t, srv.URL+"/query?stats=1&tables=2", body, &out); status != http.StatusOK {
+		t.Fatalf("query status = %d", status)
+	}
+	if out.Stats.ResolvedTables != 2 {
+		t.Fatalf("url tables=2 over body tables=1: resolved %d tables", out.Stats.ResolvedTables)
+	}
+}
+
+// TestQueryPlanValidation pins the centralized 400s: garbage or
+// out-of-range k and plan parameters draw structured errors.
+func TestQueryPlanValidation(t *testing.T) {
+	srv, data := testServer(t, false)
+	cases := []struct {
+		name string
+		url  string
+		body interface{}
+		want string
+	}{
+		{"negative k", "/query", queryRequest{Vector: data.Row(0), K: -2}, "k -2"},
+		{"huge k", "/query", queryRequest{Vector: data.Row(0), K: 5000}, "exceeds maximum"},
+		{"recall out of range", "/query?recall=2", queryRequest{Vector: data.Row(0), K: 3}, "recall 2 outside"},
+		{"garbage probes", "/query?probes=abc", queryRequest{Vector: data.Row(0), K: 3}, "probes"},
+		{"negative tables body", "/query", map[string]interface{}{"vector": data.Row(0), "k": 3, "tables": -1}, "tables -1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw, err := json.Marshal(tc.body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(srv.URL+tc.url, "application/json", bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			var body struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("400 body not JSON: %v", err)
+			}
+			if !bytes.Contains([]byte(body.Error), []byte(tc.want)) {
+				t.Fatalf("error = %q, want mention of %q", body.Error, tc.want)
+			}
+		})
+	}
+}
+
+// TestDefaultPlanApplied pins the adaptive default: a plan published with
+// SetDefaultPlan governs requests without overrides, request fields beat
+// it, and the per-request k is never overridden by the plan.
+func TestDefaultPlanApplied(t *testing.T) {
+	ix, data := testIndexData(t)
+	api := New(ix, false)
+	srv := httptest.NewServer(api.Handler())
+	t.Cleanup(srv.Close)
+
+	api.SetDefaultPlan(core.Plan{K: 999, Tables: 1})
+	var out queryResponse
+	if status := postJSON(t, srv.URL+"/query?stats=1", queryRequest{Vector: data.Row(7), K: 3}, &out); status != http.StatusOK {
+		t.Fatalf("query status = %d", status)
+	}
+	if out.Stats.ResolvedTables != 1 {
+		t.Fatalf("default plan Tables=1: resolved %d tables", out.Stats.ResolvedTables)
+	}
+	if len(out.Neighbors) > 3 {
+		t.Fatalf("default plan K leaked into the request: %d neighbors", len(out.Neighbors))
+	}
+
+	// Request override wins over the default plan.
+	if status := postJSON(t, srv.URL+"/query?stats=1&tables=4", queryRequest{Vector: data.Row(7), K: 3}, &out); status != http.StatusOK {
+		t.Fatalf("query status = %d", status)
+	}
+	if out.Stats.ResolvedTables != 4 {
+		t.Fatalf("request tables=4 over default Tables=1: resolved %d", out.Stats.ResolvedTables)
+	}
+}
+
+// TestAdaptiveRetuneRace stress-tests online re-tuning racing live
+// queries: StartAdaptive republishes the default plan at a pathological
+// cadence while many goroutines query through it. Run under -race this
+// pins the atomic-plan publication; it also asserts the loop actually
+// converged on a recommendation.
+func TestAdaptiveRetuneRace(t *testing.T) {
+	ix, data := testIndexData(t)
+	api := New(ix, false)
+	srv := httptest.NewServer(api.Handler())
+	t.Cleanup(srv.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	api.StartAdaptive(ctx, AdaptiveConfig{
+		TargetRecall: 0.9,
+		Interval:     time.Millisecond,
+		MinSamples:   1,
+	})
+
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var out queryResponse
+				status := postJSON(t, srv.URL+"/query?stats=1", queryRequest{Vector: data.Row((w*perWorker + i) % data.N), K: 3}, &out)
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("worker %d query %d: status %d", w, i, status)
+					return
+				}
+				if out.Stats == nil {
+					errs <- fmt.Errorf("worker %d query %d: no stats", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// With MinSamples=1 and 400 queries over many 1ms windows, the loop
+	// must have published a recommendation by now; poll briefly for the
+	// last tick.
+	deadline := time.Now().Add(5 * time.Second)
+	for api.DefaultPlan().MaxCandidates == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	dp := api.DefaultPlan()
+	if dp.MaxCandidates == 0 {
+		t.Fatal("online tuner never published a recommendation")
+	}
+	if dp.TargetRecall != 0.9 {
+		t.Fatalf("published plan = %+v, want TargetRecall 0.9", dp)
+	}
+
+	// Queries keep answering under the re-tuned plan.
+	var out queryResponse
+	if status := postJSON(t, srv.URL+"/query?stats=1", queryRequest{Vector: data.Row(7), K: 3}, &out); status != http.StatusOK {
+		t.Fatalf("post-retune query status = %d", status)
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"bilsh/internal/core"
@@ -103,6 +104,12 @@ type Server struct {
 	idmap   *IDMap
 	ckptDir string
 	gen     func() uint64
+
+	// defaultPlan is the base execution plan applied to requests that
+	// carry no overrides of their own — nil means core.Plan{} (the index's
+	// built budgets). The adaptive loop (StartAdaptive) republishes it
+	// from live traffic, racing queries, hence the atomic pointer.
+	defaultPlan atomic.Pointer[core.Plan]
 }
 
 // New wraps ix. When mutable is false the insert/delete/compact endpoints
@@ -194,10 +201,36 @@ type neighbor struct {
 	Dist float64 `json:"dist"` // squared Euclidean distance
 }
 
-// queryRequest is the /query body.
+// queryRequest is the /query body. The embedded plan fields (recall,
+// probes, tables, hier_min, rerank, stable_probes, max_candidates) ride
+// inline in the same JSON object; URL query parameters of the same names
+// override them (see internal/httpx).
 type queryRequest struct {
 	Vector []float32 `json:"vector"`
 	K      int       `json:"k"`
+	httpx.QueryPlan
+}
+
+// planStats is the wire form of core.PlanStats, attached to responses
+// when the request asks for it with ?stats=1.
+type planStats struct {
+	Scanned         int  `json:"scanned"`
+	Probes          int  `json:"probes"`
+	TablesProbed    int  `json:"tables_probed"`
+	ResolvedTables  int  `json:"resolved_tables"`
+	ResolvedProbes  int  `json:"resolved_probes"`
+	TerminatedEarly bool `json:"terminated_early"`
+}
+
+func toPlanStats(ps core.PlanStats) *planStats {
+	return &planStats{
+		Scanned:         ps.Scanned,
+		Probes:          ps.Probes,
+		TablesProbed:    ps.TablesProbed,
+		ResolvedTables:  ps.ResolvedTables,
+		ResolvedProbes:  ps.ResolvedProbes,
+		TerminatedEarly: ps.TerminatedEarly,
+	}
 }
 
 // queryResponse is the /query reply.
@@ -205,13 +238,15 @@ type queryResponse struct {
 	Neighbors  []neighbor `json:"neighbors"`
 	Candidates int        `json:"candidates"`
 	Group      int        `json:"group"`
+	Stats      *planStats `json:"stats,omitempty"`
 }
 
-// batchRequest is the /batch body.
+// batchRequest is the /batch body; plan fields ride inline like /query.
 type batchRequest struct {
 	Vectors [][]float32 `json:"vectors"`
 	K       int         `json:"k"`
 	Workers int         `json:"workers,omitempty"`
+	httpx.QueryPlan
 }
 
 // batchResponse is the /batch reply.
@@ -234,15 +269,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if req.K <= 0 {
-		req.K = 10
+	k, ok := httpx.DecodePlanRequest(w, r, req.K, &req.QueryPlan)
+	if !ok {
+		return
 	}
 	if err := core.CheckVector(s.ix.Dim(), req.Vector); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, st := s.ix.Query(req.Vector, req.K)
-	writeJSON(w, http.StatusOK, s.toResponse(res.IDs, res.Dists, st))
+	res, ps := s.ix.QueryPlan(req.Vector, s.planFor(req.QueryPlan, k))
+	resp := s.toResponse(res.IDs, res.Dists, ps.QueryStats)
+	if httpx.WantStats(r.URL.Query()) {
+		resp.Stats = toPlanStats(ps)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -250,8 +290,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if req.K <= 0 {
-		req.K = 10
+	k, ok := httpx.DecodePlanRequest(w, r, req.K, &req.QueryPlan)
+	if !ok {
+		return
 	}
 	if len(req.Vectors) == 0 {
 		httpError(w, http.StatusBadRequest, "no vectors")
@@ -265,10 +306,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	queries := vec.FromRows(req.Vectors)
-	results, stats := s.ix.QueryBatchParallel(queries, req.K, req.Workers)
+	results, stats := s.ix.QueryBatchParallelPlan(queries, s.planFor(req.QueryPlan, k), req.Workers)
+	wantStats := httpx.WantStats(r.URL.Query())
 	resp := batchResponse{Results: make([]queryResponse, len(results))}
 	for i := range results {
-		resp.Results[i] = s.toResponse(results[i].IDs, results[i].Dists, stats[i])
+		resp.Results[i] = s.toResponse(results[i].IDs, results[i].Dists, stats[i].QueryStats)
+		if wantStats {
+			resp.Results[i].Stats = toPlanStats(stats[i])
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

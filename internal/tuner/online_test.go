@@ -1,0 +1,175 @@
+package tuner
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bilsh/internal/metrics"
+)
+
+func onlineHist(t *testing.T) *metrics.Histogram {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	return reg.Histogram("test_candidates", "per-query candidates", metrics.DefCountBuckets)
+}
+
+// feed records n queries of the given shortlist size.
+func feed(h *metrics.Histogram, n int, size float64) {
+	for i := 0; i < n; i++ {
+		h.Observe(size)
+	}
+}
+
+func TestOnlineStepNeedsMinSamples(t *testing.T) {
+	h := onlineHist(t)
+	on := NewOnline(OnlineConfig{Candidates: h, TargetRecall: 0.9, MinSamples: 10})
+	if _, ok := on.Step(); ok {
+		t.Fatal("Step with no traffic produced a recommendation")
+	}
+	feed(h, 9, 100)
+	if _, ok := on.Step(); ok {
+		t.Fatal("Step below MinSamples produced a recommendation")
+	}
+	// Sparse traffic accumulates: one more query tips the same window over
+	// the threshold instead of being discarded with it.
+	feed(h, 1, 100)
+	b, ok := on.Step()
+	if !ok {
+		t.Fatal("Step at MinSamples produced nothing")
+	}
+	if b.Samples != 10 || b.MeanCandidates != 100 {
+		t.Fatalf("budget = %+v, want 10 samples of mean 100", b)
+	}
+}
+
+func TestOnlineStepDerivesCap(t *testing.T) {
+	h := onlineHist(t)
+	on := NewOnline(OnlineConfig{
+		Candidates: h, TargetRecall: 0.9, MinSamples: 10,
+		Headroom: 2, BuiltRecall: 0.9, Tables: 16,
+	})
+	feed(h, 20, 500)
+	b, ok := on.Step()
+	if !ok {
+		t.Fatal("no recommendation")
+	}
+	if b.MaxCandidates != 1000 {
+		t.Fatalf("MaxCandidates = %d, want Headroom 2 x mean 500 = 1000", b.MaxCandidates)
+	}
+	if b.TargetRecall != 0.9 {
+		t.Fatalf("TargetRecall = %g, want the configured SLO echoed", b.TargetRecall)
+	}
+	if want := TablesForRecall(0.9, 0.9, 16); b.Tables != want {
+		t.Fatalf("Tables = %d, want %d", b.Tables, want)
+	}
+
+	// The window baseline advanced: the next window sees only new traffic.
+	feed(h, 10, 300)
+	b, ok = on.Step()
+	if !ok {
+		t.Fatal("no recommendation for second window")
+	}
+	if b.Samples != 10 || b.MeanCandidates != 300 {
+		t.Fatalf("second window = %+v, want 10 samples of mean 300", b)
+	}
+}
+
+func TestOnlineIgnoresPreexistingTraffic(t *testing.T) {
+	h := onlineHist(t)
+	feed(h, 1000, 9999)
+	on := NewOnline(OnlineConfig{Candidates: h, TargetRecall: 0.9, MinSamples: 10})
+	if _, ok := on.Step(); ok {
+		t.Fatal("Step counted traffic observed before NewOnline")
+	}
+	feed(h, 10, 100)
+	b, ok := on.Step()
+	if !ok || b.MeanCandidates != 100 {
+		t.Fatalf("budget = %+v ok=%v, want mean 100 from the fresh window only", b, ok)
+	}
+}
+
+func TestOnlineNilHistogram(t *testing.T) {
+	on := NewOnline(OnlineConfig{TargetRecall: 0.9})
+	if _, ok := on.Step(); ok {
+		t.Fatal("Step with nil histogram produced a recommendation")
+	}
+}
+
+func TestOnlineRunAppliesBudgets(t *testing.T) {
+	h := onlineHist(t)
+	on := NewOnline(OnlineConfig{
+		Candidates: h, TargetRecall: 0.9,
+		MinSamples: 1, Interval: time.Millisecond,
+	})
+	feed(h, 5, 200)
+	var applied atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		on.Run(ctx, func(b Budget) { applied.Add(1) })
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for applied.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+	if applied.Load() == 0 {
+		t.Fatal("Run never applied a recommendation")
+	}
+}
+
+func TestTablesForRecall(t *testing.T) {
+	cases := []struct {
+		target, built float64
+		L, want       int
+	}{
+		// target == built needs the full budget by construction.
+		{0.9, 0.9, 16, 16},
+		{0.9, 0.9, 8, 8},
+		// Lower targets need geometrically fewer tables.
+		{0.5, 0.9, 16, 5},
+		{0.1, 0.9, 16, 1},
+		// Degenerate inputs clamp instead of failing.
+		{0.999999, 0.9, 16, 16},
+		{0.9, 0, 16, 16}, // built falls back to 0.9
+		{0, 0.9, 16, 16}, // no target = full budget
+		{0.9, 0.9, 1, 1}, // single table
+		{0.5, 0.9, 0, 1}, // L <= 1 clamps to 1
+	}
+	for _, tc := range cases {
+		if got := TablesForRecall(tc.target, tc.built, tc.L); got != tc.want {
+			t.Errorf("TablesForRecall(%g, %g, %d) = %d, want %d", tc.target, tc.built, tc.L, got, tc.want)
+		}
+	}
+	// Monotone in the target.
+	prev := 0
+	for _, target := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		got := TablesForRecall(target, 0.9, 16)
+		if got < prev {
+			t.Fatalf("TablesForRecall(%g) = %d < previous %d: not monotone", target, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestEstimatedRecallInvertsTablesForRecall(t *testing.T) {
+	const built, L = 0.9, 16
+	for tables := 1; tables <= L; tables++ {
+		est := EstimatedRecall(tables, built, L)
+		if est <= 0 || est >= 1 {
+			t.Fatalf("EstimatedRecall(%d) = %g out of (0,1)", tables, est)
+		}
+		// Resolving the estimate back must not need more tables than we
+		// estimated for (ceil may round down to fewer).
+		if got := TablesForRecall(est-1e-9, built, L); got > tables {
+			t.Fatalf("TablesForRecall(EstimatedRecall(%d)) = %d > %d", tables, got, tables)
+		}
+	}
+	if EstimatedRecall(L, built, L) < built-1e-9 {
+		t.Fatalf("full budget estimates %g, want >= built %g", EstimatedRecall(L, built, L), built)
+	}
+}
