@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fmt quality quality-sq8 quality-adaptive bench bench-adaptive bench-concurrency durability shard linkcheck noasm
+.PHONY: check vet build test race fmt quality quality-sq8 quality-adaptive bench bench-adaptive bench-concurrency durability shard outofcore linkcheck noasm
 
 check: vet build race
 
@@ -63,6 +63,19 @@ noasm:
 # shard fan-out to BENCH_shard.json.
 shard:
 	$(GO) run ./cmd/bilsh shard-bench -out BENCH_shard.json
+
+# Out-of-core gate (see docs/outofcore.md): mapped-vs-heap byte
+# identity and the ≤2-alloc pin, CRC rejection of damaged files at
+# open, v2 backcompat, the -race snapshot-swap stress, a bounded fuzz
+# pass over the paged-layout reader, and the resident-set benchmark
+# (heap vs mapped at uncapped, 1/4 and 1/16 budgets) into
+# BENCH_outofcore.json — which fails unless every mapped side returns
+# results identical to the heap baseline.
+outofcore:
+	$(GO) test ./internal/core -run 'Mapped|DiskLayout|DiskV2|Residency|DurableMmap|DiskIndex' -count=1
+	$(GO) test -race ./internal/core -run 'TestMappedSwapUnderLoad|TestDurableMmap' -count=1
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzDiskLayout -fuzztime 30s
+	$(GO) run ./cmd/bilsh outofcore-bench -out BENCH_outofcore.json
 
 # Documentation link check: every relative link and #anchor in every
 # markdown file must resolve (internal/doccheck; external URLs are not

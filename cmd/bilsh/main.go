@@ -51,6 +51,8 @@ func main() {
 		err = cmdShardBench(os.Args[2:])
 	case "adaptive-bench":
 		err = cmdAdaptiveBench(os.Args[2:])
+	case "outofcore-bench":
+		err = cmdOutOfCoreBench(os.Args[2:])
 	case "exp":
 		err = cmdExp(os.Args[2:])
 	case "quality":
@@ -86,6 +88,7 @@ commands:
   router       scatter-gather front end over running shards (leaf-aware routing, hedging)
   shard-bench  in-process cluster vs single-node benchmark -> BENCH_shard.json
   adaptive-bench  adaptive plan vs fixed-budget benchmark -> BENCH_adaptive.json
+  outofcore-bench  mapped vs heap q/s at capped resident set -> BENCH_outofcore.json
   exp          run a paper experiment and print its table (-fig fig4..fig13c, all)
   bench        run every experiment (alias for exp -fig all)
   quality      run the deterministic quality-regression matrix against golden thresholds

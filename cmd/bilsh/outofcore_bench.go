@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"bilsh/internal/core"
+	"bilsh/internal/dataset"
+	"bilsh/internal/knn"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/xrand"
+)
+
+// cmdOutOfCoreBench measures what serving an index much larger than RAM
+// actually costs. It streams a dataset through the out-of-core builder
+// into one paged (v3) index file, then queries that same file four ways:
+// fully heap-resident (the baseline every in-memory benchmark reports),
+// mapped with no residency cap, and mapped with the exact-row resident
+// set capped at 1/4 and 1/16 of the index size. Results must be
+// byte-identical across all four — the capped runs pay page faults, not
+// recall — so the report reduces to one honest number per cap: the q/s
+// factor versus the heap baseline. BENCH_outofcore.json is the CI
+// artifact backing docs/outofcore.md.
+func cmdOutOfCoreBench(args []string) error {
+	fs := newFlagSet("outofcore-bench")
+	n := fs.Int("n", 60000, "dataset size")
+	d := fs.Int("d", 64, "dimensionality")
+	nq := fs.Int("queries", 300, "query count")
+	k := fs.Int("k", 10, "neighbors per query")
+	m := fs.Int("m", 8, "hash code length M")
+	l := fs.Int("l", 8, "hash tables L")
+	groups := fs.Int("groups", 8, "level-1 partitions")
+	quantize := fs.String("quantize", "sq8", "row store: sq8 (codes pinned, exact rows demand-paged) or none")
+	reps := fs.Int("reps", 2, "timed repetitions per side (after one warmup)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "BENCH_outofcore.json", "output JSON path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	qkind, err := core.ParseQuantizeKind(*quantize)
+	if err != nil {
+		return err
+	}
+
+	rng := xrand.New(*seed)
+	spec := dataset.DefaultClusteredSpec(*n+*nq, *d)
+	data, _, err := dataset.Clustered(spec, rng)
+	if err != nil {
+		return err
+	}
+	train, queries := dataset.Split(data, *nq, rng)
+	truth := knn.ExactAll(train, queries, *k)
+
+	// Build out-of-core: the full matrix is streamed to fvecs and back
+	// through BuildDisk, so this command exercises the same three-pass
+	// path a dataset too large for RAM would take.
+	tmp, err := os.MkdirTemp("", "bilsh-oocbench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	dataPath := filepath.Join(tmp, "train.fvecs")
+	df, err := os.Create(dataPath)
+	if err != nil {
+		return err
+	}
+	if err := dataset.WriteFvecs(df, train); err != nil {
+		df.Close()
+		return err
+	}
+	if err := df.Close(); err != nil {
+		return err
+	}
+	opts := core.Options{
+		Partitioner: core.PartitionRPTree,
+		Groups:      *groups,
+		ProbeMode:   core.ProbeMulti,
+		Probes:      16,
+		AutoTuneW:   true,
+		TuneK:       *k,
+		Quantize:    qkind,
+		Params:      lshfunc.Params{M: *m, L: *l, W: 1},
+	}
+	idxPath := filepath.Join(tmp, "ix.v3")
+	if _, err := core.BuildDisk(dataPath, idxPath, opts, core.OutOfCoreConfig{TempDir: tmp}, xrand.New(*seed+1)); err != nil {
+		return err
+	}
+	st, err := os.Stat(idxPath)
+	if err != nil {
+		return err
+	}
+	indexBytes := st.Size()
+	fmt.Printf("outofcore-bench: %d vectors, dim %d, %d queries, k=%d, store=%s, index file %d MiB\n",
+		train.N, *d, queries.N, *k, *quantize, indexBytes>>20)
+
+	type side struct {
+		Name          string  `json:"name"`
+		BudgetBytes   int64   `json:"budget_bytes"`
+		ResidentBytes int64   `json:"resident_bytes"`
+		QPS           float64 `json:"qps"`
+		Recall        float64 `json:"recall"`
+		SpeedFactor   float64 `json:"speed_factor_vs_heap"`
+		Identical     bool    `json:"results_identical_to_heap"`
+	}
+
+	runSide := func(name string, o core.DiskOpenOptions, baseline [][]int) (*side, [][]int, error) {
+		di, err := core.OpenDiskWith(idxPath, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer di.Close()
+		if !o.ForceHeap && !di.Mapped() {
+			fmt.Printf("  %s: mmap unavailable on this host, serving from heap\n", name)
+		}
+		s := &side{Name: name, BudgetBytes: o.Residency.RowsBudget, Identical: true}
+		results := make([][]int, queries.N)
+		run := func(record bool) float64 {
+			start := time.Now()
+			for qi := 0; qi < queries.N; qi++ {
+				r, _ := di.Query(queries.Row(qi), *k)
+				if record {
+					results[qi] = r.IDs
+				}
+				// Enforcement interleaves with traffic the way the serve
+				// ticker does, so the cap binds mid-run, not just between
+				// runs.
+				if o.Residency.RowsBudget > 0 && qi%64 == 63 {
+					di.EnforceResidency()
+				}
+			}
+			return time.Since(start).Seconds()
+		}
+		run(true) // warmup + result capture
+		var total float64
+		for rep := 0; rep < *reps; rep++ {
+			di.EnforceResidency()
+			total += run(false)
+		}
+		s.QPS = float64(queries.N**reps) / total
+		s.ResidentBytes = di.Residency().RowsResident
+		var recall float64
+		for qi, r := range results {
+			recall += knn.Recall(truth[qi].IDs, r)
+		}
+		s.Recall = recall / float64(len(results))
+		if baseline != nil {
+			s.Identical = reflect.DeepEqual(results, baseline)
+		}
+		return s, results, nil
+	}
+
+	heap, heapResults, err := runSide("heap", core.DiskOpenOptions{ForceHeap: true}, nil)
+	if err != nil {
+		return err
+	}
+	policy := func(budget int64) core.DiskOpenOptions {
+		return core.DiskOpenOptions{Residency: core.ResidencyPolicy{PinCodes: true, RowsBudget: budget}}
+	}
+	sides := []*side{heap}
+	for _, cap := range []struct {
+		name   string
+		budget int64
+	}{
+		{"mapped-uncapped", 0},
+		{"mapped-1/4", indexBytes / 4},
+		{"mapped-1/16", indexBytes / 16},
+	} {
+		s, _, err := runSide(cap.name, policy(cap.budget), heapResults)
+		if err != nil {
+			return err
+		}
+		sides = append(sides, s)
+	}
+	for _, s := range sides {
+		s.SpeedFactor = s.QPS / heap.QPS
+	}
+
+	// Acceptance: the 1/4-capped mapped index serves an index ≥4× its
+	// resident budget with results identical to (so recall equal to) the
+	// heap baseline.
+	pass := true
+	for _, s := range sides[1:] {
+		if !s.Identical {
+			pass = false
+		}
+		if s.BudgetBytes > 0 && indexBytes < 4*s.BudgetBytes {
+			pass = false
+		}
+	}
+
+	report := map[string]interface{}{
+		"config": map[string]interface{}{
+			"n": *n, "d": *d, "queries": *nq, "k": *k,
+			"m": *m, "l": *l, "groups": *groups,
+			"quantize": *quantize, "reps": *reps, "seed": *seed,
+		},
+		"index_bytes": indexBytes,
+		"sides":       sides,
+		"pass":        pass,
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-16s %12s %12s %10s %8s %8s %10s\n",
+		"side", "budget", "resident", "q/s", "recall", "factor", "identical")
+	for _, s := range sides {
+		fmt.Printf("%-16s %12s %12d %10.0f %8.3f %8.2f %10v\n",
+			s.Name, fmtBudget(s.BudgetBytes), s.ResidentBytes, s.QPS, s.Recall, s.SpeedFactor, s.Identical)
+	}
+	fmt.Printf("index %d bytes; pass=%v\nwrote %s\n", indexBytes, pass, *out)
+	if !pass {
+		return fmt.Errorf("outofcore-bench: acceptance failed (results diverged or index < 4x budget)")
+	}
+	return nil
+}

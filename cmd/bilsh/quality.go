@@ -15,7 +15,7 @@ import (
 // cell falls below its standard-LSH baseline.
 func cmdQuality(args []string) error {
 	fs := newFlagSet("quality")
-	preset := fs.String("preset", "full", "configuration preset: full or small")
+	preset := fs.String("preset", "full", "configuration preset: full, small or planted (planted needs no oracle cache; truth is known by construction)")
 	out := fs.String("out", "", "write the JSON report to this file")
 	cache := fs.String("cache", "", "exact-oracle cache directory (default: a bilsh-quality dir under the OS temp dir)")
 	quantize := fs.String("quantize", "", "row store the cells scan: none (default) or sq8 (quantized scan + exact re-rank, checked against the same golden thresholds)")
@@ -32,8 +32,10 @@ func cmdQuality(args []string) error {
 		cfg = quality.Full()
 	case "small":
 		cfg = quality.Small()
+	case "planted":
+		cfg = quality.Planted()
 	default:
-		return fmt.Errorf("unknown preset %q (want full or small)", *preset)
+		return fmt.Errorf("unknown preset %q (want full, small or planted)", *preset)
 	}
 	cfg.CacheDir = *cache
 	cfg.Quantize = *quantize

@@ -47,6 +47,9 @@ func runServe(name string, args []string, shard bool) error {
 	memtable := fs.Int("memtable", 0, "memtable seal threshold in rows (0 = default 1024)")
 	autoCompact := fs.Int("auto-compact", 0, "start a background compaction (a checkpoint under -data-dir) at this many frozen segments (0 disables)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+	useMmap := fs.Bool("mmap", false, "serve durable checkpoints off a read-only mapping (paged bilsh.Disk/3 payloads; docs/outofcore.md)")
+	rowsBudget := fs.Int64("rows-budget", 0, "resident-set budget in bytes for the mapped exact-row section (0 = kernel-managed)")
+	residencyEvery := fs.Duration("residency-interval", 10*time.Second, "cadence for sampling/enforcing the mapped residency policy")
 	quantize := fs.String("quantize", "", "override the row store scanned at query time: none or sq8 (default: as built/checkpointed)")
 	rerank := fs.Int("rerank", 0, "exact re-rank shortlist factor for sq8 (top k*factor; 0 = keep current)")
 	metricsOn := fs.Bool("metrics", true, "expose GET /metrics (Prometheus text; ?format=json for JSON)")
@@ -94,11 +97,18 @@ func runServe(name string, args []string, shard bool) error {
 		}
 	}
 
+	policy := core.ResidencyPolicy{PinCodes: true, RowsBudget: *rowsBudget}
+
 	// The server needs the concrete *core.Index for mutation; load either
 	// layout and unwrap.
 	var (
-		ix     *core.Index
-		isDisk bool
+		ix       *core.Index
+		isDisk   bool
+		diskV3   bool
+		enforcer interface {
+			EnforceResidency() core.ResidencyStats
+			Mapped() bool
+		}
 	)
 	if *indexPath != "" {
 		f, err := os.Open(*indexPath)
@@ -112,12 +122,20 @@ func runServe(name string, args []string, shard bool) error {
 			var head [16]byte
 			if _, err := f.Read(head[:]); err == nil && string(head[:11]) == "bilsh.Disk/" {
 				f.Close()
-				di, err := core.OpenDisk(*indexPath)
+				// Paged (v3) files address their rows in place, so they can
+				// re-serialize — checkpoints and /save work; legacy v1/v2
+				// cannot.
+				diskV3 = head[11] == '3'
+				di, err := core.OpenDiskWith(*indexPath, core.DiskOpenOptions{Residency: policy})
 				if err != nil {
 					return err
 				}
 				defer di.Close()
 				ix, isDisk = di.Index, true
+				enforcer = di
+				if di.Mapped() {
+					fmt.Printf("index %s: serving off mmap (rows budget %s)\n", *indexPath, fmtBudget(*rowsBudget))
+				}
 			} else {
 				if _, err := f.Seek(0, 0); err != nil {
 					f.Close()
@@ -136,8 +154,8 @@ func runServe(name string, args []string, shard bool) error {
 	var d *core.DurableIndex
 	switch {
 	case *dataDir != "":
-		if isDisk {
-			return fmt.Errorf("serve: -data-dir needs a self-contained index; %s is the disk-backed layout (checkpoints serialize the full index)", *indexPath)
+		if isDisk && !diskV3 {
+			return fmt.Errorf("serve: -data-dir needs a self-serializable index; %s is the legacy disk-backed layout (rebuild it to get the paged v3 layout)", *indexPath)
 		}
 		d, err = core.OpenDurable(*dataDir, core.DurableOptions{
 			Base:                   ix, // nil is fine once a checkpoint exists
@@ -145,12 +163,22 @@ func runServe(name string, args []string, shard bool) error {
 			FsyncInterval:          *fsyncEvery,
 			MemtableThreshold:      *memtable,
 			AutoCheckpointSegments: *autoCompact,
+			Mmap:                   *useMmap,
+			Residency:              policy,
 		})
 		if err != nil {
 			return err
 		}
 		defer d.Close()
 		ix = d.Index
+		if *useMmap {
+			enforcer = d
+			if d.Mapped() {
+				fmt.Printf("checkpoint: serving off mmap (rows budget %s)\n", fmtBudget(*rowsBudget))
+			} else {
+				fmt.Printf("checkpoint: mmap requested; maps at the next checkpoint (legacy payload or fresh seed)\n")
+			}
+		}
 		*mutable = !replica // replicas serve reads only
 		rec := d.Recovery
 		src := "seed"
@@ -177,7 +205,13 @@ func runServe(name string, args []string, shard bool) error {
 	default:
 		ix.ConfigureDynamic(*memtable, *autoCompact)
 		api = server.New(ix, *mutable)
-		if *mutable && !isDisk {
+		switch {
+		case *mutable && diskV3:
+			// A paged index re-saves in its own layout; the atomic rename
+			// leaves the currently mapped inode untouched.
+			out := *indexPath
+			api.EnableSave(func() error { return ix.SaveDisk(out) })
+		case *mutable && !isDisk:
 			// Best-effort persistence for the non-durable server: /save
 			// rewrites the index file atomically. It refuses (409) while
 			// overlay state is pending — compact first — because WriteTo
@@ -228,6 +262,23 @@ func runServe(name string, args []string, shard bool) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if enforcer != nil && *residencyEvery > 0 {
+		// Background residency loop: refresh the gauges every tick and
+		// evict exact-row pages past the budget. Harmless when nothing is
+		// mapped (a durable index maps at its first paged checkpoint).
+		go func() {
+			tick := time.NewTicker(*residencyEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					enforcer.EnforceResidency()
+				}
+			}
+		}()
+	}
 	if *adaptive {
 		api.StartAdaptive(ctx, server.AdaptiveConfig{
 			TargetRecall: *adaptiveRecall,
@@ -251,6 +302,14 @@ func runServe(name string, args []string, shard bool) error {
 		fmt.Println("shutdown: in-flight requests drained")
 	}
 	return err
+}
+
+// fmtBudget renders a byte budget for log lines (0 = unlimited).
+func fmtBudget(b int64) string {
+	if b <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d bytes", b)
 }
 
 // bootstrapReplica seeds an empty replica data directory from a running

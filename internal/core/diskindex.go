@@ -9,33 +9,26 @@ import (
 	"os"
 
 	"bilsh/internal/durable"
+	"bilsh/internal/mmap"
 	"bilsh/internal/vec"
 	"bilsh/internal/wire"
 )
 
 // Disk-backed index — the out-of-core mode the paper names as future work
 // ("we also need to design efficient out-of-core algorithms to handle very
-// large datasets"). The index metadata (partitioner, hash families, bucket
-// tables, hierarchies) loads into memory, but the vector rows stay on disk
-// in a fixed-stride section fetched with ReadAt only when the short-list
-// search needs them. Memory is therefore proportional to the bucket
-// structure (ids), not to the N×D vector payload — for GIST-512 descriptors
-// the payload is ~100x the id volume.
+// large datasets").
 //
-// File layout (offsets fixed so rows are directly addressable):
+// Writers emit the paged v3 layout (see disklayout.go): page-aligned
+// CRC-protected sections that the reader maps into the address space, so
+// a serving index holds memory proportional to what queries actually
+// touch, not to the N×D payload. Two legacy layouts still open and query
+// byte-identically to how they did when written:
 //
-//	[ 0,16)  raw magic "bilsh.Disk/2" zero-padded
-//	[16,24)  uint64 dataOffset, little endian
-//	[24, dataOffset)  wire-encoded metadata:
-//	         options, N, D, quantized rows (v2), partitioner, groups
-//	         (same sections as WriteTo)
-//	[dataOffset, dataOffset+4·N·D)  float32 rows, little endian, stride 4·D
+//	v1/v2 "bilsh.Disk/1|2": wire metadata decoded to heap, float32 rows
+//	in a fixed-stride section fetched with ReadAt per shortlist row.
 //
-// Version 1 files ("bilsh.Disk/1", no quantization fields or section)
-// still open; they query byte-identically to how they did when written.
-// Under Quantize=sq8 the codes live in the metadata and are resident, so
-// the short-list scan touches no disk — only the exact re-rank of the
-// final shortlist fetches float32 rows.
+// Version sniffing happens on the first 16 bytes, so OpenDisk handles any
+// generation of file transparently.
 const diskMagicLen = 16
 
 var (
@@ -43,10 +36,51 @@ var (
 	diskMagic   = [diskMagicLen]byte{'b', 'i', 'l', 's', 'h', '.', 'D', 'i', 's', 'k', '/', '2'}
 )
 
-// WriteDiskTo serializes the index in the disk-backed layout. The writer
-// must support seeking (an *os.File does): the data offset is back-patched
-// once the metadata size is known. It returns the total bytes written.
+// diskSource captures the clean snapshot fields the v3 writer needs.
+func (sn *snapshot) diskSource(opts Options) *diskV3Source {
+	return &diskV3Source{
+		opts:   opts,
+		n:      sn.data.N,
+		d:      sn.data.D,
+		quant:  sn.quant,
+		tree:   sn.tree,
+		km:     sn.km,
+		groups: sn.groups,
+		rows: func(w io.Writer) error {
+			payload := make([]byte, 4*sn.data.D)
+			for i := 0; i < sn.data.N; i++ {
+				row := sn.data.Row(i)
+				for j, v := range row {
+					binary.LittleEndian.PutUint32(payload[4*j:], math.Float32bits(v))
+				}
+				if _, err := w.Write(payload); err != nil {
+					return fmt.Errorf("core: writing row %d: %w", i, err)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// WriteDiskTo serializes the index in the paged disk layout (v3). The
+// writer must support seeking (an *os.File does): section offsets and
+// CRCs are back-patched into the header once the sections are streamed.
+// It returns the total bytes written.
 func (ix *Index) WriteDiskTo(f io.WriteSeeker) (int64, error) {
+	sn := ix.loadSnap()
+	if err := sn.requireClean(); err != nil {
+		return 0, err
+	}
+	if sn.fetch != nil {
+		return 0, fmt.Errorf("core: cannot re-serialize a disk-backed index; Compact materializes it first")
+	}
+	return writeDiskV3(f, sn.diskSource(ix.opts))
+}
+
+// writeDiskV2To emits the legacy v2 fixed-stride layout. Kept (unexported)
+// so the backward-compatibility tests can mint real v2 files and pin that
+// they keep opening and querying byte-identically.
+func (ix *Index) writeDiskV2To(f io.WriteSeeker) (int64, error) {
 	sn := ix.loadSnap()
 	if err := sn.requireClean(); err != nil {
 		return 0, err
@@ -105,7 +139,9 @@ func (ix *Index) WriteDiskTo(f io.WriteSeeker) (int64, error) {
 // SaveDisk writes the disk-backed layout to path atomically: the bytes
 // stream to path+".tmp", which is fsynced and renamed over path, so a
 // crash mid-save never leaves a truncated index behind and any previous
-// file at path stays intact until the new one is complete.
+// file at path stays intact until the new one is complete. The rename
+// also means an index currently serving from the old file keeps its
+// mapping — the old inode lives until the last open handle drops.
 func (ix *Index) SaveDisk(path string) error {
 	return durable.AtomicWrite(path, func(f *os.File) error {
 		_, err := ix.WriteDiskTo(f)
@@ -115,22 +151,31 @@ func (ix *Index) SaveDisk(path string) error {
 
 // DiskIndex is a queryable index whose vector rows live on disk. It
 // supports the full reader API (Query, QueryBatch, QueryBatchParallel,
-// ExactKNN — the latter streams the whole row section); dynamic inserts
-// work (new rows live in memory) and Compact materializes the whole index
-// back into memory.
+// ExactKNN); dynamic inserts work (new rows live in memory) and Compact
+// materializes the whole index back into memory. For v3 files the index
+// is served straight off the mapping — see docs/outofcore.md.
 type DiskIndex struct {
 	*Index
-	f *os.File
+	f       *os.File
+	mapping *mmap.Mapping // non-nil for mapped v3 files
+	res     *residency    // non-nil when mapping is
 }
 
-// OpenDisk loads the metadata of a disk-backed index and keeps the file
-// handle open for row fetches.
+// OpenDisk opens a disk index with default options (v3 files map with
+// the default residency policy; v1/v2 files use the ReadAt fetch path).
 func OpenDisk(path string) (*DiskIndex, error) {
+	return OpenDiskWith(path, DiskOpenOptions{Residency: ResidencyPolicy{PinCodes: true}})
+}
+
+// OpenDiskWith opens a disk index with explicit open options. The
+// options only affect v3 paged files; legacy v1/v2 files always use the
+// per-row ReadAt path.
+func OpenDiskWith(path string, o DiskOpenOptions) (*DiskIndex, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	di, err := openDisk(f)
+	di, err := openDisk(f, o)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -138,21 +183,38 @@ func OpenDisk(path string) (*DiskIndex, error) {
 	return di, nil
 }
 
-func openDisk(f *os.File) (*DiskIndex, error) {
-	var header [diskMagicLen + 8]byte
-	if _, err := io.ReadFull(f, header[:]); err != nil {
+func openDisk(f *os.File, opts DiskOpenOptions) (*DiskIndex, error) {
+	var magic [diskMagicLen]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
 		return nil, fmt.Errorf("core: reading disk index header: %w", err)
 	}
+	if bytes.Equal(magic[:], diskMagicV3[:]) {
+		ix, m, res, err := openDiskV3(f, 0, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &DiskIndex{Index: ix, f: f, mapping: m, res: res}, nil
+	}
+	return openDiskLegacy(f, magic)
+}
+
+// openDiskLegacy handles v1/v2 fixed-stride files via the ReadAt fetch
+// closure.
+func openDiskLegacy(f *os.File, magic [diskMagicLen]byte) (*DiskIndex, error) {
 	var version int
 	switch {
-	case bytes.Equal(header[:diskMagicLen], diskMagic[:]):
+	case bytes.Equal(magic[:], diskMagic[:]):
 		version = 2
-	case bytes.Equal(header[:diskMagicLen], diskMagicV1[:]):
+	case bytes.Equal(magic[:], diskMagicV1[:]):
 		version = 1
 	default:
 		return nil, fmt.Errorf("core: not a bilsh disk index")
 	}
-	dataOffset := int64(binary.LittleEndian.Uint64(header[diskMagicLen:]))
+	var offB [8]byte
+	if _, err := f.ReadAt(offB[:], diskMagicLen); err != nil {
+		return nil, fmt.Errorf("core: reading disk index header: %w", err)
+	}
+	dataOffset := int64(binary.LittleEndian.Uint64(offB[:]))
 	if dataOffset < diskMagicLen+8 {
 		return nil, fmt.Errorf("core: disk index data offset %d implausible", dataOffset)
 	}
@@ -210,5 +272,42 @@ func openDisk(f *os.File) (*DiskIndex, error) {
 	return &DiskIndex{Index: ix, f: f}, nil
 }
 
-// Close releases the file handle. The index must not be queried after.
-func (di *DiskIndex) Close() error { return di.f.Close() }
+// Mapped reports whether the index serves from an mmap'd file (true only
+// for v3 files on hosts with working mmap).
+func (di *DiskIndex) Mapped() bool { return di.mapping != nil && di.mapping.Mapped() }
+
+// Residency samples the resident-set stats of a mapped index (zero value
+// when not mapped).
+func (di *DiskIndex) Residency() ResidencyStats {
+	if di.res == nil {
+		return ResidencyStats{}
+	}
+	return di.res.sample()
+}
+
+// EnforceResidency applies the residency policy now: sample, and evict
+// exact-row pages when over budget. Safe to call concurrently with
+// queries; typically driven by a serving-tier ticker.
+func (di *DiskIndex) EnforceResidency() ResidencyStats {
+	if di.res == nil {
+		return ResidencyStats{}
+	}
+	return di.res.enforce()
+}
+
+// SetRowsBudget replaces the exact-row resident budget (bytes; 0 means
+// unlimited) for subsequent EnforceResidency calls.
+func (di *DiskIndex) SetRowsBudget(b int64) {
+	if di.res != nil {
+		di.res.setBudget(b)
+	}
+}
+
+// Close releases the file handle and, for mapped files, the mapping.
+// The index must not be queried after Close: mapped reads would fault.
+func (di *DiskIndex) Close() error {
+	if di.mapping != nil {
+		di.mapping.Close()
+	}
+	return di.f.Close()
+}

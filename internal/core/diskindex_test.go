@@ -109,19 +109,55 @@ func TestDiskIndexInsertAndCompact(t *testing.T) {
 	}
 }
 
-func TestDiskIndexNoResaveWithoutCompact(t *testing.T) {
+func TestDiskIndexResaveSemantics(t *testing.T) {
 	data := testData(t, 100, 8, 78)
 	ix, err := Build(data, Options{Partitioner: PartitionNone,
 		Params: lshfunc.Params{M: 4, L: 1, W: 2}}, xrand.New(79))
 	if err != nil {
 		t.Fatal(err)
 	}
+	dir := t.TempDir()
+
+	// A legacy (v2) disk index fetches rows one at a time via ReadAt; it
+	// cannot be re-serialized directly — WriteDiskTo must refuse rather
+	// than write an empty payload.
+	v2Path := filepath.Join(dir, "ix.v2")
+	f, err := os.Create(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.writeDiskV2To(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := OpenDisk(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	if err := legacy.SaveDisk(filepath.Join(dir, "copy.disk")); err == nil {
+		t.Fatal("legacy disk-backed index must refuse direct re-serialization")
+	}
+
+	// A paged (v3) index addresses its rows through the mapping, so a
+	// clean one CAN re-save; the copy must open and query identically.
 	di := diskRoundTrip(t, ix)
-	// A clean disk index still cannot be re-serialized directly: the rows
-	// live on disk and WriteDiskTo must refuse rather than write an empty
-	// payload.
-	if err := di.SaveDisk(filepath.Join(t.TempDir(), "copy.disk")); err == nil {
-		t.Fatal("disk-backed index must refuse direct re-serialization")
+	copyPath := filepath.Join(dir, "copy.v3")
+	if err := di.SaveDisk(copyPath); err != nil {
+		t.Fatalf("paged disk index re-save: %v", err)
+	}
+	di2, err := OpenDisk(copyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer di2.Close()
+	q := data.Row(3)
+	r1, _ := di.Query(q, 5)
+	r2, _ := di2.Query(q, 5)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("re-saved paged index queries differently")
 	}
 }
 

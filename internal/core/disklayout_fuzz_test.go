@@ -1,0 +1,79 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// FuzzDiskLayout throws arbitrary bytes at the paged-layout open path.
+// The contract under fuzzing: OpenDisk either succeeds on a valid image
+// or returns a structured error — it must never panic, over-read, or
+// hand back an index whose arrays point outside the file. The seed
+// corpus is real writer output (plain, quantized, hierarchy) plus
+// truncations and section-order damage, so the fuzzer starts at the
+// interesting boundaries instead of random noise.
+func FuzzDiskLayout(f *testing.F) {
+	rng := xrand.New(970)
+	data := vec.NewMatrix(120, 8)
+	for i := 0; i < data.N; i++ {
+		copy(data.Row(i), rng.GaussianVec(8))
+	}
+	for _, opts := range []Options{
+		{Partitioner: PartitionRPTree, Groups: 2, Params: lshfunc.Params{M: 4, L: 2, W: 2}},
+		{Partitioner: PartitionNone, Quantize: QuantizeSQ8, Params: lshfunc.Params{M: 4, L: 1, W: 2}},
+		{Partitioner: PartitionRPTree, Groups: 2, Lattice: LatticeE8,
+			ProbeMode: ProbeHierarchy, Params: lshfunc.Params{M: 8, L: 1, W: 2}},
+	} {
+		ix, err := Build(data, opts, xrand.New(971))
+		if err != nil {
+			f.Fatal(err)
+		}
+		path := filepath.Join(f.TempDir(), "seed.v3")
+		if err := ix.SaveDisk(path); err != nil {
+			f.Fatal(err)
+		}
+		img, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(img)
+		f.Add(img[:len(img)/2])
+		f.Add(img[:diskPage+32])
+		// Swap the first two section entries in the header (kinds stay
+		// unique, offsets now lie about content).
+		if len(img) > 96 {
+			swapped := append([]byte{}, img...)
+			copy(swapped[32:64], img[64:96])
+			copy(swapped[64:96], img[32:64])
+			f.Add(swapped)
+		}
+		// Flip one payload bit so only a section CRC can catch it.
+		flipped := append([]byte{}, img...)
+		flipped[len(flipped)-diskPage] ^= 0x10
+		f.Add(flipped)
+	}
+	f.Add([]byte("bilsh.Disk/3"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.v3")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Skip()
+		}
+		di, err := OpenDisk(path)
+		if err != nil {
+			return // rejected with an error: the only acceptable failure
+		}
+		// Accepted: the index must be fully usable without faulting.
+		if di.N() > 0 {
+			q := make([]float32, di.Dim())
+			di.Query(q, 3)
+		}
+		di.Close()
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"bilsh/internal/durable"
+	"bilsh/internal/mmap"
 )
 
 // Durable dynamic index: the snapshot+overlay index of dynamic.go plus a
@@ -65,6 +67,19 @@ type DurableOptions struct {
 	// forces off: a bare compaction would remap ids out from under the
 	// log.
 	AutoCheckpointSegments int
+	// Mmap switches the checkpoint payload to the paged disk layout
+	// (bilsh.Disk/3) and serves the base plane straight off a read-only
+	// mapping of index.ckpt instead of heap copies: memory stays
+	// proportional to what queries touch, not to the N×D payload. Every
+	// Checkpoint writes a paged payload and atomically remaps onto the
+	// new generation; the previous mapping is retired to the GC once the
+	// last in-flight query drops its snapshot. Checkpoint payloads are
+	// self-describing, so either mode opens directories written by the
+	// other (a legacy wire payload loads to heap; the next checkpoint
+	// converts it).
+	Mmap bool
+	// Residency is the paging policy for mapped checkpoints (Mmap only).
+	Residency ResidencyPolicy
 }
 
 // RecoveryInfo reports what OpenDurable found in the data directory.
@@ -116,6 +131,14 @@ type DurableIndex struct {
 	autoCkpt int
 	// ckptMu admits one checkpoint at a time (TryLock → ErrCompactBusy).
 	ckptMu sync.Mutex
+
+	// Mmap-mode state (nil/zero when DurableOptions.Mmap is off). mapping
+	// and res track the generation currently mapped; both are replaced
+	// under walMu by the post-checkpoint remap.
+	useMmap bool
+	resPol  ResidencyPolicy
+	mapping *mmap.Mapping
+	res     *residency
 }
 
 // OpenDurable opens (or seeds) the durable index in dir: it loads the
@@ -132,13 +155,26 @@ func OpenDurable(dir string, o DurableOptions) (*DurableIndex, error) {
 	cfg := durable.WALConfig{Fsync: o.Fsync, Interval: o.FsyncInterval}
 
 	var (
-		ix   *Index
-		info RecoveryInfo
+		ix      *Index
+		info    RecoveryInfo
+		mapping *mmap.Mapping
+		res     *residency
 	)
 	gen, r, err := durable.OpenCheckpoint(ckptPath)
 	switch {
 	case err == nil:
-		ix, err = ReadIndex(r)
+		// The payload is self-describing: a paged (v3) image opens in
+		// place — mapped under o.Mmap, heap-loaded otherwise — while a
+		// legacy wire payload decodes through ReadIndex.
+		f := r.(*os.File)
+		var magic [diskMagicLen]byte
+		if _, err := f.ReadAt(magic[:], durable.CheckpointHeaderLen); err == nil &&
+			bytes.Equal(magic[:], diskMagicV3[:]) {
+			ix, mapping, res, err = openDiskV3(f, durable.CheckpointHeaderLen,
+				DiskOpenOptions{ForceHeap: !o.Mmap, Residency: o.Residency})
+		} else {
+			ix, err = ReadIndex(r)
+		}
 		r.Close()
 		if err != nil {
 			return nil, fmt.Errorf("core: loading checkpoint %s: %w", ckptPath, err)
@@ -167,7 +203,8 @@ func OpenDurable(dir string, o DurableOptions) (*DurableIndex, error) {
 	ix.opts.AutoCompactSegments = 0
 	ix.mu.Unlock()
 
-	d := &DurableIndex{Index: ix, dir: dir, gen: gen, autoCkpt: o.AutoCheckpointSegments}
+	d := &DurableIndex{Index: ix, dir: dir, gen: gen, autoCkpt: o.AutoCheckpointSegments,
+		useMmap: o.Mmap, resPol: o.Residency, mapping: mapping, res: res}
 	hdr := durable.Header{Gen: gen, BaseN: uint64(ix.N()), Dim: ix.Dim()}
 
 	h, err := durable.ReadWALHeader(walPath)
@@ -344,7 +381,19 @@ func (d *DurableIndex) checkpoint() ([]int, error) {
 		return nil, err
 	}
 	newGen := d.gen + 1
-	err = durable.WriteCheckpoint(filepath.Join(d.dir, ckptFileName), newGen, func(w io.Writer) error {
+	ckptPath := filepath.Join(d.dir, ckptFileName)
+	err = durable.WriteCheckpoint(ckptPath, newGen, func(w io.Writer) error {
+		if d.useMmap {
+			// Paged payload: the AtomicWrite callback hands us the real
+			// temp *os.File, which seeks — required for the section
+			// header back-patch.
+			ws, ok := w.(io.WriteSeeker)
+			if !ok {
+				return fmt.Errorf("core: paged checkpoint requires a seekable writer, got %T", w)
+			}
+			_, werr := writeDiskV3(ws, d.Index.loadSnap().diskSource(d.Index.opts))
+			return werr
+		}
 		_, werr := d.Index.WriteTo(w)
 		return werr
 	})
@@ -363,7 +412,86 @@ func (d *DurableIndex) checkpoint() ([]int, error) {
 		return nil, d.failed
 	}
 	d.gen = newGen
+	if d.useMmap {
+		// Swap the base plane onto a mapping of the generation just
+		// written. Failure is not fatal: the heap base produced by Compact
+		// is correct, only not mapped; the next checkpoint retries.
+		if err := d.adoptMappedBase(ckptPath); err != nil {
+			metRemapErrors.Inc()
+		}
+	}
 	return mapping, nil
+}
+
+// adoptMappedBase maps the paged checkpoint at path and publishes a
+// snapshot whose base plane aliases the mapping, releasing the heap (or
+// previous-generation mapped) base. Caller holds walMu, so no mutation
+// can interleave between the Compact that produced this checkpoint and
+// the swap — the current snapshot's base plane and the file are
+// byte-equivalent, and the overlay is empty. In-flight queries keep
+// running on the old snapshot; its backing (heap or old mapping) is
+// retired by the GC once they drain — the old mapping is never unmapped
+// in place.
+func (d *DurableIndex) adoptMappedBase(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	mapIx, m, res, err := openDiskV3(f, durable.CheckpointHeaderLen,
+		DiskOpenOptions{Residency: d.resPol})
+	if err != nil {
+		return err
+	}
+	msn := mapIx.loadSnap()
+	ix := d.Index
+	ix.mu.Lock()
+	cur := ix.loadSnap()
+	next := cur.clone()
+	next.data = msn.data
+	next.fetch = nil
+	next.quant = msn.quant
+	next.tree = msn.tree
+	next.km = msn.km
+	next.groups = msn.groups
+	next.mapped = m
+	ix.publish(next)
+	ix.mu.Unlock()
+	d.mapping = m
+	d.res = res
+	return nil
+}
+
+// Mapped reports whether the index is currently serving off an mmap'd
+// checkpoint.
+func (d *DurableIndex) Mapped() bool {
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	return d.mapping != nil && d.mapping.Mapped()
+}
+
+// Residency samples resident-set stats for the mapped checkpoint (zero
+// value when not mapped).
+func (d *DurableIndex) Residency() ResidencyStats {
+	d.walMu.Lock()
+	res := d.res
+	d.walMu.Unlock()
+	if res == nil {
+		return ResidencyStats{}
+	}
+	return res.sample()
+}
+
+// EnforceResidency applies the residency policy now (see
+// DiskIndex.EnforceResidency).
+func (d *DurableIndex) EnforceResidency() ResidencyStats {
+	d.walMu.Lock()
+	res := d.res
+	d.walMu.Unlock()
+	if res == nil {
+		return ResidencyStats{}
+	}
+	return res.enforce()
 }
 
 // Gen returns the current checkpoint generation.

@@ -18,7 +18,6 @@ import (
 	"bilsh/internal/rptree"
 	"bilsh/internal/tuner"
 	"bilsh/internal/vec"
-	"bilsh/internal/wire"
 	"bilsh/internal/xrand"
 )
 
@@ -296,39 +295,26 @@ func BuildDisk(dataPath, outPath string, opts Options, cfg OutOfCoreConfig, rng 
 		}
 	}
 
-	// ---- Emit the disk index: header + metadata + payload copy. The
-	// output is built in outPath+".tmp" and renamed into place once fsynced
-	// (durable.AtomicWrite), so an interrupted build never leaves a
-	// truncated index at outPath.
+	// ---- Emit the paged disk index (v3): sections stream through the
+	// layout writer, with the row payload copied straight from the spill.
+	// The output is built in outPath+".tmp" and renamed into place once
+	// fsynced (durable.AtomicWrite), so an interrupted build never leaves
+	// a truncated index at outPath.
 	err = durable.AtomicWrite(outPath, func(out *os.File) error {
-		var header [diskMagicLen + 8]byte
-		copy(header[:], diskMagic[:])
-		if _, err := out.Write(header[:]); err != nil {
-			return err
+		src := &diskV3Source{
+			opts: opts, n: n, d: dim,
+			quant: quant, tree: tree, km: km, groups: groups,
+			rows: func(w io.Writer) error {
+				pf, err := os.Open(payloadPath)
+				if err != nil {
+					return err
+				}
+				defer pf.Close()
+				_, err = io.Copy(w, pf)
+				return err
+			},
 		}
-		meta := wire.NewWriter(out)
-		writeOptions(meta, opts)
-		meta.Int(n)
-		meta.Int(dim)
-		writeQuant(meta, quant)
-		writeStructure(meta, tree, km, groups)
-		if err := meta.Flush(); err != nil {
-			return err
-		}
-		dataOffset, err := out.Seek(0, io.SeekCurrent)
-		if err != nil {
-			return err
-		}
-		src, err := os.Open(payloadPath)
-		if err != nil {
-			return err
-		}
-		defer src.Close()
-		if _, err := io.Copy(out, src); err != nil {
-			return err
-		}
-		binary.LittleEndian.PutUint64(header[diskMagicLen:], uint64(dataOffset))
-		_, err = out.WriteAt(header[diskMagicLen:], diskMagicLen)
+		_, err := writeDiskV3(out, src)
 		return err
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"slices"
 	"time"
 
@@ -243,6 +244,10 @@ func (sn *snapshot) gatherPlan(q []float32, rp *resolvedPlan, mode ProbeMode, hi
 	}
 	ps.TerminatedEarly = stop
 	stats.Candidates = len(s.cands)
+	// BucketBytes returns slices into pages owned by sn.mapped on mapped
+	// snapshots; candidate ids are copied into scratch by now, but the
+	// probe loop itself must not outlive the mapping.
+	runtime.KeepAlive(sn)
 	return ps
 }
 
@@ -307,6 +312,9 @@ func (ix *Index) ExactKNN(q []float32, k int) knn.Result {
 		r.IDs[i] = it.ID
 		r.Dists[i] = it.Dist
 	}
+	// For mapped snapshots the scan above reads pages owned by sn.mapped;
+	// keep the snapshot (and so the mapping) alive past the last read.
+	runtime.KeepAlive(sn)
 	return r
 }
 
@@ -369,6 +377,9 @@ func (sn *snapshot) rankWith(q []float32, k, rerank int, s *scratch) knn.Result 
 		r.IDs[i] = it.ID
 		r.Dists[i] = it.Dist
 	}
+	// Mapped snapshots: the distance kernels above read pages owned by
+	// sn.mapped, which nothing else roots once the result is heap-copied.
+	runtime.KeepAlive(sn)
 	return r
 }
 

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync"
+
+	"bilsh/internal/metrics"
+	"bilsh/internal/mmap"
+)
+
+// Residency policy for mapped indexes. The paged layout splits an index
+// into sections with very different access patterns: the SQ8 code matrix
+// is scanned for every candidate (hot, small — D bytes/row), the bucket
+// arrays are probed on every query (hot, small), and the exact float32
+// rows are touched only for re-rank (cold, 4·D bytes/row — the dominant
+// section). The default policy therefore pins codes and arrays and lets
+// rows demand-page, with an optional budget that evicts row pages when
+// the sampled resident set exceeds it. That is what lets a serving index
+// hold steady recall with an RSS a fraction of the file size.
+type ResidencyPolicy struct {
+	// PinCodes mlocks the SQ8 code and bucket-array sections (best
+	// effort; RLIMIT_MEMLOCK may cap it, in which case the kernel LRU
+	// keeps them warm anyway because every query touches them).
+	PinCodes bool
+	// RowsBudget caps the resident bytes of the exact-row section; 0
+	// means unlimited (kernel-managed). Enforcement happens on
+	// EnforceResidency calls, not inline on the query path.
+	RowsBudget int64
+}
+
+var (
+	metMappedBytes = metrics.Default().Gauge(
+		"bilsh_core_mmap_mapped_bytes", "Bytes of index file mapped into the address space.")
+	metRowsResident = metrics.Default().Gauge(
+		"bilsh_core_mmap_rows_resident_bytes", "Sampled resident bytes of the exact-row section.")
+	metCodesResident = metrics.Default().Gauge(
+		"bilsh_core_mmap_codes_resident_bytes", "Sampled resident bytes of the SQ8 code and bucket-array sections.")
+	metRowsBudget = metrics.Default().Gauge(
+		"bilsh_core_mmap_rows_budget_bytes", "Configured resident budget for the exact-row section (0 = unlimited).")
+	metEvictions = metrics.Default().Counter(
+		"bilsh_core_mmap_evictions_total", "Times EnforceResidency dropped the exact-row section to honor the budget.")
+	metRemapErrors = metrics.Default().Counter(
+		"bilsh_core_mmap_remap_errors_total", "Post-checkpoint remaps that failed (index kept serving the heap base).")
+)
+
+// residency tracks and enforces the paging policy for one mapped index.
+type residency struct {
+	mu     sync.Mutex
+	m      *mmap.Mapping
+	policy ResidencyPolicy
+	rows   diskSection
+	hot    []diskSection // codes + arrays: scanned or probed every query
+}
+
+// newResidency applies the initial policy to a fresh mapping: rows are
+// advised MADV_RANDOM (re-rank touches scattered rows; readahead would
+// drag in neighbors and inflate RSS) and the hot sections optionally
+// pinned.
+func newResidency(m *mmap.Mapping, lay *diskLayout, p ResidencyPolicy) *residency {
+	r := &residency{m: m, policy: p}
+	for _, s := range lay.secs {
+		switch s.kind {
+		case diskSecRows:
+			r.rows = s
+			m.AdviseRandom(int64(s.off), int64(s.size)) //nolint:errcheck
+		case diskSecCodes, diskSecArrays:
+			r.hot = append(r.hot, s)
+			if p.PinCodes {
+				m.Pin(int64(s.off), int64(s.size)) //nolint:errcheck
+			}
+		}
+	}
+	metMappedBytes.Set(int64(m.Len()))
+	metRowsBudget.Set(p.RowsBudget)
+	return r
+}
+
+// ResidencyStats is a point-in-time mincore sample of the mapping.
+type ResidencyStats struct {
+	MappedBytes   int64 // total bytes mapped
+	RowsBytes     int64 // size of the exact-row section
+	RowsResident  int64 // resident bytes of the exact-row section
+	CodesResident int64 // resident bytes of the code + bucket-array sections
+	RowsBudget    int64 // configured budget (0 = unlimited)
+}
+
+// sample reads residency via mincore and refreshes the gauges.
+func (r *residency) sample() ResidencyStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := ResidencyStats{
+		MappedBytes: int64(r.m.Len()),
+		RowsBytes:   int64(r.rows.size),
+		RowsBudget:  r.policy.RowsBudget,
+	}
+	if n, err := r.m.Resident(int64(r.rows.off), int64(r.rows.size)); err == nil {
+		st.RowsResident = n
+	}
+	for _, s := range r.hot {
+		if n, err := r.m.Resident(int64(s.off), int64(s.size)); err == nil {
+			st.CodesResident += n
+		}
+	}
+	metRowsResident.Set(st.RowsResident)
+	metCodesResident.Set(st.CodesResident)
+	return st
+}
+
+// enforce samples residency and, when the exact-row section exceeds the
+// budget, drops its clean pages (MADV_DONTNEED on a read-only file
+// mapping; subsequent re-ranks refault from the page cache or disk).
+// Returns the post-check stats. Queries keep running throughout — the
+// mapping stays valid, only page residency changes.
+func (r *residency) enforce() ResidencyStats {
+	st := r.sample()
+	if r.policy.RowsBudget > 0 && st.RowsResident > r.policy.RowsBudget {
+		r.mu.Lock()
+		r.m.Evict(int64(r.rows.off), int64(r.rows.size)) //nolint:errcheck
+		r.mu.Unlock()
+		metEvictions.Inc()
+		st = r.sample()
+	}
+	return st
+}
+
+// setBudget replaces the rows budget at runtime.
+func (r *residency) setBudget(b int64) {
+	r.mu.Lock()
+	r.policy.RowsBudget = b
+	r.mu.Unlock()
+	metRowsBudget.Set(b)
+}

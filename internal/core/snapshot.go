@@ -2,6 +2,7 @@ package core
 
 import (
 	"bilsh/internal/kmeans"
+	"bilsh/internal/mmap"
 	"bilsh/internal/rptree"
 	"bilsh/internal/vec"
 )
@@ -38,6 +39,17 @@ type snapshot struct {
 	tree   *rptree.Tree
 	km     *kmeans.Model
 	groups []*group
+
+	// mapped roots the mmap backing data/quant/groups when the snapshot
+	// was opened from a paged disk file (v3). The base-plane slices alias
+	// mapped pages rather than heap memory, so the mapping must outlive
+	// every reader of this snapshot: queries run entirely against one
+	// loaded snapshot and end with runtime.KeepAlive(sn), which keeps this
+	// field — and therefore the mapping's finalizer — at bay until the
+	// last dereference. Swaps (Compact, durable remap) publish a
+	// replacement snapshot and leave the old mapping to the GC or the
+	// owning handle's Close; they never munmap in place.
+	mapped *mmap.Mapping
 
 	// Overlay plane: sealed segments (immutable), the active memtable
 	// (concurrently readable), and the shared tombstone set.

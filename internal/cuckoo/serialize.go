@@ -1,0 +1,127 @@
+package cuckoo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+
+	"bilsh/internal/mmap"
+)
+
+// In-place binary image of a table, designed so the paged disk layout can
+// map it instead of rebuilding it: on a 64-bit little-endian host the
+// slot and stash arrays are reinterpreted directly from the mapped bytes
+// (an entry is exactly its on-disk record), so opening an index costs
+// O(1) per table rather than O(buckets) re-insertion. Elsewhere the
+// records are decoded into heap entries with identical behavior.
+//
+// Layout (all little endian):
+//
+//	[ 0, 8)  seed1
+//	[ 8,16)  seed2
+//	[16,24)  rounds
+//	[24,32)  n (stored keys)
+//	[32,40)  slotCount (power of two)
+//	[40,48)  stashCount
+//	then slotCount entries, then stashCount entries; an entry is
+//	{key uint64, val int64}, 16 bytes.
+const binaryHeaderLen = 48
+
+const entrySize = 16
+
+// entriesViewable reports whether []entry can alias the on-disk records
+// on this host (layout match is asserted, not assumed).
+func entriesViewable() bool {
+	return mmap.ZeroCopy() &&
+		unsafe.Sizeof(entry{}) == entrySize &&
+		unsafe.Offsetof(entry{}.key) == 0 &&
+		unsafe.Offsetof(entry{}.val) == 8
+}
+
+// BinarySize returns the encoded size of AppendBinary's output.
+func (t *Table) BinarySize() int {
+	return binaryHeaderLen + entrySize*(len(t.slots)+len(t.stash))
+}
+
+// AppendBinary appends the table's in-place image to dst.
+func (t *Table) AppendBinary(dst []byte) []byte {
+	var h [binaryHeaderLen]byte
+	binary.LittleEndian.PutUint64(h[0:], t.seed1)
+	binary.LittleEndian.PutUint64(h[8:], t.seed2)
+	binary.LittleEndian.PutUint64(h[16:], uint64(t.rounds))
+	binary.LittleEndian.PutUint64(h[24:], uint64(t.n))
+	binary.LittleEndian.PutUint64(h[32:], uint64(len(t.slots)))
+	binary.LittleEndian.PutUint64(h[40:], uint64(len(t.stash)))
+	dst = append(dst, h[:]...)
+	var rec [entrySize]byte
+	for _, e := range t.slots {
+		binary.LittleEndian.PutUint64(rec[0:], e.key)
+		binary.LittleEndian.PutUint64(rec[8:], uint64(int64(e.val)))
+		dst = append(dst, rec[:]...)
+	}
+	for _, e := range t.stash {
+		binary.LittleEndian.PutUint64(rec[0:], e.key)
+		binary.LittleEndian.PutUint64(rec[8:], uint64(int64(e.val)))
+		dst = append(dst, rec[:]...)
+	}
+	return dst
+}
+
+// ViewBinary opens a table over b (an AppendBinary image). When the host
+// allows it the slot arrays alias b — the caller must keep b immutable
+// and alive for the table's lifetime, and must not call Put. maxVal
+// bounds every stored value (vals are bucket ordinals; a corrupt image
+// must not index out of the caller's bucket arrays). Structural
+// corruption returns an error; ViewBinary never panics on hostile input.
+func ViewBinary(b []byte, maxVal int) (*Table, error) {
+	if len(b) < binaryHeaderLen {
+		return nil, fmt.Errorf("cuckoo: image %d bytes, want >= %d", len(b), binaryHeaderLen)
+	}
+	slotCount := binary.LittleEndian.Uint64(b[32:])
+	stashCount := binary.LittleEndian.Uint64(b[40:])
+	if slotCount < minTableSize || slotCount > 1<<40 || slotCount&(slotCount-1) != 0 {
+		return nil, fmt.Errorf("cuckoo: slot count %d not a plausible power of two", slotCount)
+	}
+	if stashCount > 1<<20 {
+		return nil, fmt.Errorf("cuckoo: stash count %d implausible", stashCount)
+	}
+	want := binaryHeaderLen + entrySize*(slotCount+stashCount)
+	if uint64(len(b)) != want {
+		return nil, fmt.Errorf("cuckoo: image %d bytes, want %d", len(b), want)
+	}
+	n := binary.LittleEndian.Uint64(b[24:])
+	if n > slotCount+stashCount {
+		return nil, fmt.Errorf("cuckoo: stored count %d exceeds capacity %d", n, slotCount+stashCount)
+	}
+	t := &Table{
+		seed1:  binary.LittleEndian.Uint64(b[0:]),
+		seed2:  binary.LittleEndian.Uint64(b[8:]),
+		rounds: int(binary.LittleEndian.Uint64(b[16:])),
+		n:      int(n),
+	}
+	recs := b[binaryHeaderLen:]
+	if entriesViewable() {
+		all := unsafe.Slice((*entry)(unsafe.Pointer(&recs[0])), slotCount+stashCount)
+		t.slots = all[:slotCount:slotCount]
+		t.stash = all[slotCount:]
+	} else {
+		all := make([]entry, slotCount+stashCount)
+		for i := range all {
+			all[i].key = binary.LittleEndian.Uint64(recs[entrySize*i:])
+			all[i].val = int(int64(binary.LittleEndian.Uint64(recs[entrySize*i+8:])))
+		}
+		t.slots = all[:slotCount:slotCount]
+		t.stash = all[slotCount:]
+	}
+	for _, e := range t.slots {
+		if e.key != empty && (e.val < 0 || e.val >= maxVal) {
+			return nil, fmt.Errorf("cuckoo: slot value %d out of [0,%d)", e.val, maxVal)
+		}
+	}
+	for _, e := range t.stash {
+		if e.key != empty && (e.val < 0 || e.val >= maxVal) {
+			return nil, fmt.Errorf("cuckoo: stash value %d out of [0,%d)", e.val, maxVal)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,91 @@
+package cuckoo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := New(1000)
+	want := make(map[uint64]int, 1000)
+	for i := 0; i < 1000; i++ {
+		k := rng.Uint64()
+		if k == ^uint64(0) {
+			k--
+		}
+		want[k] = i
+		if err := tab.Put(k, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	img := tab.AppendBinary(nil)
+	if len(img) != tab.BinarySize() {
+		t.Fatalf("image %d bytes, BinarySize says %d", len(img), tab.BinarySize())
+	}
+	view, err := ViewBinary(img, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != tab.Len() {
+		t.Fatalf("Len: got %d want %d", view.Len(), tab.Len())
+	}
+	for k, v := range want {
+		got, ok := view.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%#x) = %d,%v want %d,true", k, got, ok, v)
+		}
+	}
+	if _, ok := view.Get(0xdeadbeefdeadbeef); ok && want[0xdeadbeefdeadbeef] == 0 {
+		// Absent keys stay absent (probabilistically guaranteed distinct).
+		if _, present := want[0xdeadbeefdeadbeef]; !present {
+			t.Fatal("view returned a value for an absent key")
+		}
+	}
+}
+
+func TestViewBinaryRejectsCorrupt(t *testing.T) {
+	tab := New(64)
+	for i := 0; i < 64; i++ {
+		tab.Put(uint64(i)*2654435761+1, i) //nolint:errcheck
+	}
+	img := tab.AppendBinary(nil)
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     img[:binaryHeaderLen-1],
+		"truncated": img[:len(img)-8],
+		"extended":  append(append([]byte{}, img...), 0, 0, 0, 0),
+	}
+	for name, b := range cases {
+		if _, err := ViewBinary(b, 64); err == nil {
+			t.Errorf("%s: corrupt image accepted", name)
+		}
+	}
+
+	// Out-of-range value: flip a stored val beyond maxVal.
+	bad := append([]byte{}, img...)
+	// find first non-empty slot record and corrupt its val
+	for off := binaryHeaderLen; off+entrySize <= len(bad); off += entrySize {
+		key := le64(bad[off:])
+		if key != ^uint64(0) {
+			bad[off+8] = 0xff
+			bad[off+9] = 0xff
+			bad[off+10] = 0xff
+			bad[off+11] = 0x7f
+			break
+		}
+	}
+	if _, err := ViewBinary(bad, 64); err == nil {
+		t.Error("out-of-range val accepted")
+	}
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

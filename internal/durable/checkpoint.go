@@ -23,6 +23,11 @@ import (
 //	[28, …)  payload
 const ckptHeaderLen = 28
 
+// CheckpointHeaderLen is the byte offset where the payload starts —
+// exported so payload formats that embed absolute offsets (the paged
+// index layout) know their base within the checkpoint file.
+const CheckpointHeaderLen = ckptHeaderLen
+
 var ckptMagic = [16]byte{'b', 'i', 'l', 's', 'h', '.', 'C', 'K', 'P', 'T', '/', '1'}
 
 // ErrBadCheckpoint reports a checkpoint whose header is torn or corrupt.

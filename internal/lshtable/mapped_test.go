@@ -1,0 +1,103 @@
+package lshtable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func buildRandom(t *testing.T, n, buckets int, seed int64) *Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	codes := make([]string, n)
+	ids := make([]int, n)
+	for i := range codes {
+		codes[i] = fmt.Sprintf("k%04d", rng.Intn(buckets))
+		ids[i] = i
+	}
+	tab, err := Build(codes, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestMappedRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ n, buckets int }{
+		{0, 1}, {1, 1}, {500, 40}, {2000, 311},
+	} {
+		tab := buildRandom(t, tc.n, tc.buckets, int64(tc.n)+7)
+		img := tab.AppendMapped(nil)
+		if len(img) != tab.MappedSize() {
+			t.Fatalf("n=%d: image %d bytes, MappedSize says %d", tc.n, len(img), tab.MappedSize())
+		}
+		view, err := ViewMapped(img, tc.n+1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		if view.NumBuckets() != tab.NumBuckets() || view.NumItems() != tab.NumItems() {
+			t.Fatalf("n=%d: shape %d/%d want %d/%d", tc.n,
+				view.NumBuckets(), view.NumItems(), tab.NumBuckets(), tab.NumItems())
+		}
+		for b := 0; b < tab.NumBuckets(); b++ {
+			key, ids := tab.BucketByOrdinal(b)
+			vids := view.Bucket(key)
+			if len(vids) != len(ids) {
+				t.Fatalf("bucket %q: %d ids, want %d", key, len(vids), len(ids))
+			}
+			for i := range ids {
+				if vids[i] != ids[i] {
+					t.Fatalf("bucket %q id[%d]: %d want %d", key, i, vids[i], ids[i])
+				}
+			}
+			if got := view.BucketBytes([]byte(key)); len(got) != len(ids) {
+				t.Fatalf("BucketBytes(%q): %d ids, want %d", key, len(got), len(ids))
+			}
+		}
+		if ids := view.Bucket("no-such-key"); ids != nil {
+			t.Fatal("absent key returned a bucket")
+		}
+		s1, s2 := tab.Summary(), view.Summary()
+		if s1 != s2 {
+			t.Fatalf("summary drift: %+v vs %+v", s1, s2)
+		}
+	}
+}
+
+func TestMappedRejectsCorrupt(t *testing.T) {
+	tab := buildRandom(t, 300, 37, 3)
+	img := tab.AppendMapped(nil)
+
+	if _, err := ViewMapped(nil, 300); err == nil {
+		t.Error("nil image accepted")
+	}
+	if _, err := ViewMapped(img[:len(img)-8], 300); err == nil {
+		t.Error("truncated image accepted")
+	}
+	bad := append([]byte{}, img...)
+	bad[0] = 'X'
+	if _, err := ViewMapped(bad, 300); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// id out of range: maxID below the real id space must be rejected.
+	if _, err := ViewMapped(img, 5); err == nil {
+		t.Error("out-of-range ids accepted")
+	}
+}
+
+func TestMappedOverflowCollision(t *testing.T) {
+	// Force the overflow path by building a table, then checking a mapped
+	// round trip preserves overflow behavior if any collisions exist. Real
+	// 64-bit collisions are astronomically rare, so synthesize one by
+	// round-tripping a table that already has an overflow map (none in
+	// practice) — this test then only asserts the nil-overflow round trip.
+	tab := buildRandom(t, 100, 10, 11)
+	img := tab.AppendMapped(nil)
+	view, err := ViewMapped(img, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (tab.overflow == nil) != (view.overflow == nil) {
+		t.Fatal("overflow presence drifted across round trip")
+	}
+}

@@ -1,0 +1,112 @@
+package mmap
+
+import (
+	"encoding/binary"
+	"strconv"
+	"unsafe"
+)
+
+// Zero-copy reinterpret casts from a mapped (or heap) byte section to the
+// typed slices the query hot path consumes. The on-disk layout is fixed
+// little-endian with 64-bit integers, so the casts are only legal on a
+// little-endian host with 64-bit ints and an aligned base — exactly the
+// platforms the serving tier targets. Every helper reports ok=false when
+// the reinterpretation would be wrong (endianness, int width, alignment,
+// ragged length), and callers fall back to a decoded heap copy, so
+// behavior is identical everywhere and only residency differs.
+
+// hostLittleEndian is true on little-endian hardware.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// ZeroCopy reports whether reinterpret casts of the little-endian 64-bit
+// disk layout are legal on this host.
+func ZeroCopy() bool { return hostLittleEndian && strconv.IntSize == 64 }
+
+func aligned(b []byte, align int) bool {
+	if len(b) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&b[0]))%uintptr(align) == 0
+}
+
+// sliceOffset returns b's byte offset inside whole (b must alias whole).
+func sliceOffset(whole, b []byte) int {
+	if len(b) == 0 {
+		return 0
+	}
+	return int(uintptr(unsafe.Pointer(&b[0])) - uintptr(unsafe.Pointer(&whole[0])))
+}
+
+// Float32s reinterprets b as a []float32 without copying.
+func Float32s(b []byte) ([]float32, bool) {
+	if !ZeroCopy() || len(b)%4 != 0 || !aligned(b, 4) {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return nil, true
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4), true
+}
+
+// DecodeFloat32s is the copying fallback for Float32s (little-endian
+// fixed-width f32 records).
+func DecodeFloat32s(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func float32frombits(u uint32) float32 { return *(*float32)(unsafe.Pointer(&u)) }
+
+// Ints reinterprets b (int64 little-endian records) as a []int without
+// copying.
+func Ints(b []byte) ([]int, bool) {
+	if !ZeroCopy() || len(b)%8 != 0 || !aligned(b, 8) {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return nil, true
+	}
+	return unsafe.Slice((*int)(unsafe.Pointer(&b[0])), len(b)/8), true
+}
+
+// DecodeInts is the copying fallback for Ints.
+func DecodeInts(b []byte) []int {
+	out := make([]int, len(b)/8)
+	for i := range out {
+		out[i] = int(int64(binary.LittleEndian.Uint64(b[8*i:])))
+	}
+	return out
+}
+
+// ViewInts returns b's int64 records as a []int, zero-copy when legal.
+func ViewInts(b []byte) []int {
+	if v, ok := Ints(b); ok {
+		return v
+	}
+	return DecodeInts(b)
+}
+
+// ViewFloat32s returns b's f32 records as a []float32, zero-copy when
+// legal.
+func ViewFloat32s(b []byte) []float32 {
+	if v, ok := Float32s(b); ok {
+		return v
+	}
+	return DecodeFloat32s(b)
+}
+
+// String returns b as a string without copying. The result aliases the
+// mapping: it is only valid while the mapping is, and only for read-only
+// use — which is what bucket keys are.
+func String(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}

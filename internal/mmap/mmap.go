@@ -1,0 +1,169 @@
+// Package mmap provides read-only memory-mapped views of files, plus the
+// zero-copy reinterpret casts the paged disk-index layout relies on. On
+// Linux the view is a real mmap(2) mapping: pages fault in on demand, the
+// kernel evicts them under pressure, and the residency helpers (Resident,
+// Evict, Pin) expose mincore/madvise/mlock so callers can implement a
+// resident-set policy. Everywhere else (and whenever the syscall fails)
+// the package degrades to a heap copy of the file with the same API —
+// correctness is identical, only the out-of-core property is lost.
+//
+// All mappings are read-only (PROT_READ): writing through a returned
+// slice faults. Close unmaps deterministically; a finalizer backstops
+// mappings that are dropped without Close so renamed-over index
+// generations do not pin disk space for the life of the process.
+package mmap
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+)
+
+// Mapping is one read-only view of a file's contents.
+type Mapping struct {
+	data   []byte
+	mapped bool // real mmap vs heap copy
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Open maps the file at path. The file descriptor used for mapping is not
+// retained; the mapping (or heap copy) survives independently.
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return OpenFile(f)
+}
+
+// OpenFile maps f's current contents. The caller keeps ownership of f:
+// closing it later does not invalidate the mapping.
+func OpenFile(f *os.File) (*Mapping, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("mmap: file size %d out of range", size)
+	}
+	m := &Mapping{}
+	if size > 0 {
+		data, mapped, err := sysMap(f, size)
+		if err != nil {
+			return nil, err
+		}
+		m.data, m.mapped = data, mapped
+	}
+	if m.mapped {
+		// Backstop: a mapping that loses its last reference without Close
+		// (e.g. a retired checkpoint generation) is unmapped by the GC, so
+		// the renamed-over inode it pins can be reclaimed.
+		runtime.SetFinalizer(m, (*Mapping).finalize)
+	}
+	return m, nil
+}
+
+func (m *Mapping) finalize() { m.Close() } //nolint:errcheck
+
+// Bytes returns the mapped contents. The slice is read-only: writing
+// through it faults on a real mapping. It remains valid until Close.
+func (m *Mapping) Bytes() []byte { return m.data }
+
+// Len returns the mapped length in bytes.
+func (m *Mapping) Len() int { return len(m.data) }
+
+// Mapped reports whether this is a real kernel mapping (false: heap copy
+// fallback, on which the residency calls are no-ops).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Close releases the mapping. It is idempotent. The caller must guarantee
+// no reader still holds slices into Bytes(); the index layer does so by
+// keeping the Mapping referenced from every snapshot that aliases it.
+func (m *Mapping) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	var err error
+	if m.mapped {
+		runtime.SetFinalizer(m, nil)
+		err = sysUnmap(m.data)
+	}
+	m.data, m.mapped = nil, false
+	return err
+}
+
+// clamp bounds [off, off+n) to the mapping and returns the subslice
+// (nil when empty or out of range).
+func (m *Mapping) clamp(off, n int64) []byte {
+	if off < 0 || n <= 0 || off >= int64(len(m.data)) {
+		return nil
+	}
+	end := off + n
+	if end > int64(len(m.data)) {
+		end = int64(len(m.data))
+	}
+	return m.data[off:end]
+}
+
+// AdviseRandom declares random access for [off, off+n) (rows re-ranked by
+// id out of shortlist order), disabling kernel readahead there.
+func (m *Mapping) AdviseRandom(off, n int64) error {
+	if b := m.clamp(off, n); b != nil && m.mapped {
+		return sysMadvise(alignRange(m.data, b), madvRandom)
+	}
+	return nil
+}
+
+// Evict drops the resident pages of [off, off+n) (MADV_DONTNEED on a
+// read-only shared mapping: pages are clean, so this cannot lose data —
+// they refault from the file). No-op on the heap fallback.
+func (m *Mapping) Evict(off, n int64) error {
+	if b := m.clamp(off, n); b != nil && m.mapped {
+		return sysMadvise(alignRange(m.data, b), madvDontNeed)
+	}
+	return nil
+}
+
+// Pin best-effort locks [off, off+n) into RAM (mlock). RLIMIT_MEMLOCK
+// failures are returned but callers typically treat them as advisory.
+func (m *Mapping) Pin(off, n int64) error {
+	if b := m.clamp(off, n); b != nil && m.mapped {
+		return sysMlock(alignRange(m.data, b))
+	}
+	return nil
+}
+
+// Resident reports how many bytes of [off, off+n) are currently resident
+// in RAM (mincore). The heap fallback reports the full range resident.
+func (m *Mapping) Resident(off, n int64) (int64, error) {
+	b := m.clamp(off, n)
+	if b == nil {
+		return 0, nil
+	}
+	if !m.mapped {
+		return int64(len(b)), nil
+	}
+	return sysResident(alignRange(m.data, b))
+}
+
+// alignRange widens b to page boundaries within the mapping (madvise and
+// mincore require page-aligned starts).
+func alignRange(whole, b []byte) []byte {
+	page := int64(os.Getpagesize())
+	off := int64(sliceOffset(whole, b))
+	end := off + int64(len(b))
+	aoff := off &^ (page - 1)
+	aend := (end + page - 1) &^ (page - 1)
+	if aend > int64(len(whole)) {
+		aend = int64(len(whole))
+	}
+	return whole[aoff:aend]
+}

@@ -1,0 +1,22 @@
+//go:build !linux
+
+package mmap
+
+import "os"
+
+const (
+	madvRandom   = 0
+	madvDontNeed = 0
+)
+
+// sysMap on non-Linux platforms is the heap fallback: the file is read
+// into memory once. Same API, same bytes; no demand paging.
+func sysMap(f *os.File, size int64) ([]byte, bool, error) { return readAll(f, size) }
+
+func sysUnmap(b []byte) error { return nil }
+
+func sysMadvise(b []byte, advice int) error { return nil }
+
+func sysMlock(b []byte) error { return nil }
+
+func sysResident(b []byte) (int64, error) { return int64(len(b)), nil }

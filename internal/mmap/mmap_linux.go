@@ -1,0 +1,68 @@
+//go:build linux
+
+package mmap
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+const (
+	madvRandom   = syscall.MADV_RANDOM
+	madvDontNeed = syscall.MADV_DONTNEED
+)
+
+// sysMap maps size bytes of f read-only. A failed mmap (e.g. an exotic
+// filesystem) degrades to the heap fallback rather than erroring: the
+// caller keeps working, just not out-of-core.
+func sysMap(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err == nil {
+		return b, true, nil
+	}
+	return readAll(f, size)
+}
+
+func sysUnmap(b []byte) error { return syscall.Munmap(b) }
+
+func sysMadvise(b []byte, advice int) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Madvise(b, advice)
+}
+
+func sysMlock(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Mlock(b)
+}
+
+// sysResident counts resident bytes via mincore.
+func sysResident(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	page := os.Getpagesize()
+	vec := make([]byte, (len(b)+page-1)/page)
+	// No syscall.Mincore wrapper in the stdlib; issue it raw.
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return 0, errno
+	}
+	var resident int64
+	for i, v := range vec {
+		if v&1 == 0 {
+			continue
+		}
+		n := page
+		if last := len(b) - i*page; n > last {
+			n = last
+		}
+		resident += int64(n)
+	}
+	return resident, nil
+}

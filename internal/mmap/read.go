@@ -1,0 +1,18 @@
+package mmap
+
+import (
+	"io"
+	"os"
+)
+
+// readAll loads size bytes of f into a heap buffer (the non-mmap
+// degradation shared by the fallback build and mmap-failure paths). The
+// buffer base is allocator-aligned, so the zero-copy casts usually still
+// apply — the view is just heap-resident.
+func readAll(f *os.File, size int64) ([]byte, bool, error) {
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, false, err
+	}
+	return buf, false, nil
+}

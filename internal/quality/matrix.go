@@ -126,11 +126,32 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+// workload is one dataset's fully resolved measurement input: the
+// matrices, the dynamic edit sets, and the ground truth per lifecycle
+// stage. The oracle path (runDataset) fills it from a generator plus the
+// cached brute-force oracle; the planted path (plantedWorkload) fills it
+// by construction, with no oracle involved.
+type workload struct {
+	train, qs, ins                          *vec.Matrix
+	delBase, delIns                         []int
+	staticTruth, overlayTruth, compactTruth []knn.Result
+	// liveN is the live item count after the edits — the selectivity
+	// denominator |S| of Eq. 5 for the overlay and compacted stages.
+	liveN int
+}
+
 // runDataset evaluates every configuration cell over one workload. Each
 // (lattice, probe, partition) index is built once and measured at all
 // three lifecycle stages: static, after the seeded insert/delete workload
 // (overlay), and after Compact.
 func runDataset(cfg Config, ds string) ([]CellResult, error) {
+	if cfg.Planted {
+		w, err := plantedWorkload(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return runCells(cfg, ds, w)
+	}
 	train, qs, ins, err := Generators[ds](cfg.N, cfg.Queries, cfg.Inserts, cfg.D, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -187,6 +208,16 @@ func runDataset(cfg Config, ds string) ([]CellResult, error) {
 		compactTruth[qi] = cr
 	}
 
+	return runCells(cfg, ds, workload{
+		train: train, qs: qs, ins: ins,
+		delBase: delBase, delIns: delIns,
+		staticTruth: staticTruth, overlayTruth: overlayTruth, compactTruth: compactTruth,
+		liveN: liveRows.N,
+	})
+}
+
+// runCells sweeps the configuration matrix over one resolved workload.
+func runCells(cfg Config, ds string, w workload) ([]CellResult, error) {
 	quantize, err := core.ParseQuantizeKind(cfg.Quantize)
 	if err != nil {
 		return nil, err
@@ -210,36 +241,36 @@ func runDataset(cfg Config, ds string) ([]CellResult, error) {
 					opts.Partitioner = core.PartitionRPTree
 					opts.Groups = cfg.Groups
 				}
-				ix, err := core.Build(train, opts, xrand.New(buildSeed))
+				ix, err := core.Build(w.train, opts, xrand.New(buildSeed))
 				if err != nil {
 					return nil, fmt.Errorf("%v/%v/%s build: %w", lat, probe, Cell{BiLevel: bi}.Partition(), err)
 				}
 
 				cell := Cell{Dataset: ds, Lattice: lat, Probe: probe, BiLevel: bi}
 				cell.Dynamics = DynStatic
-				out = append(out, measureCell(cell, ix, qs, staticTruth, cfg, cfg.N))
+				out = append(out, measureCell(cell, ix, w.qs, w.staticTruth, cfg, cfg.N))
 
 				// Apply the shared dynamic workload, measure the overlay,
 				// compact, measure again.
-				for i := 0; i < ins.N; i++ {
-					if _, err := ix.Insert(ins.Row(i)); err != nil {
+				for i := 0; i < w.ins.N; i++ {
+					if _, err := ix.Insert(w.ins.Row(i)); err != nil {
 						return nil, fmt.Errorf("%s insert %d: %w", cell.Key(), i, err)
 					}
 				}
-				for _, id := range delBase {
+				for _, id := range w.delBase {
 					ix.Delete(id)
 				}
-				for _, j := range delIns {
+				for _, j := range w.delIns {
 					ix.Delete(cfg.N + j)
 				}
 				cell.Dynamics = DynOverlay
-				out = append(out, measureCell(cell, ix, qs, overlayTruth, cfg, liveRows.N))
+				out = append(out, measureCell(cell, ix, w.qs, w.overlayTruth, cfg, w.liveN))
 
 				if _, err := ix.Compact(); err != nil {
 					return nil, fmt.Errorf("%s compact: %w", cell.Key(), err)
 				}
 				cell.Dynamics = DynCompacted
-				out = append(out, measureCell(cell, ix, qs, compactTruth, cfg, liveRows.N))
+				out = append(out, measureCell(cell, ix, w.qs, w.compactTruth, cfg, w.liveN))
 			}
 		}
 	}

@@ -1,0 +1,185 @@
+package quality
+
+import (
+	"fmt"
+	"sort"
+
+	"bilsh/internal/dataset"
+	"bilsh/internal/knn"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// Planted-query evaluation mode: ground truth by construction instead of
+// by brute-force scan. The workload is built so that each query's exact
+// k nearest neighbors are knowable from the geometry alone —
+//
+//   - background rows (realistic clustered data) are scaled uniformly
+//     into the unit ball, so no background row is farther than 1 from
+//     the origin;
+//   - each query sits on a shell of radius 3, with pairwise query
+//     separation of at least 1 enforced by seeded rejection sampling;
+//   - the query's k planted neighbors sit at strictly increasing radii
+//     up to 0.3 around it.
+//
+// Every planted neighbor is therefore closer to its query (<= 0.3) than
+// any background row (>= 2), any other query's planted rows (>= 0.7) or
+// any other query (>= 1) can be, with margins thousands of ulps wide —
+// the truth needs no O(n*q*d) oracle scan and no cache directory. This
+// is the fast ground-truth path for recall checks over indexes too large
+// to brute-force, and an independent cross-check on the oracle itself
+// (TestPlantedTruthMatchesOracle asserts the two agree bit-for-bit).
+const (
+	plantedShell     = 3.0 // query distance from the origin
+	plantedSep       = 1.0 // minimum distance between two queries
+	plantedMaxRadius = 0.3 // largest planted-neighbor radius
+)
+
+// Planted returns the `bilsh quality -preset planted` configuration. The
+// matrix is the same lattice x probe x partition sweep as the oracle
+// presets; only the workload and the truth path differ. The preset has
+// no dynamic edit workload: inserts or deletes would change the true
+// neighbor sets, which are fixed by construction.
+func Planted() Config {
+	return Config{
+		Preset:   "planted",
+		Datasets: []string{"planted"},
+		N:        3000, Queries: 150, D: 24, K: 10,
+		M: 8, L: 6, Probes: 12, Groups: 8,
+		MemtableThreshold: 32,
+		Seed:              7,
+		Widths:            calibratedWidths,
+		Planted:           true,
+	}
+}
+
+// plantedWorkload resolves a planted config into the shared measurement
+// input. All three lifecycle stages carry the same constructed truth:
+// with an empty edit workload the overlay and compacted indexes hold
+// exactly the static rows under the same dense ids.
+func plantedWorkload(cfg Config) (workload, error) {
+	train, qs, truth, err := plantData(cfg.N, cfg.Queries, cfg.D, cfg.K, cfg.Seed)
+	if err != nil {
+		return workload{}, err
+	}
+	return workload{
+		train: train, qs: qs, ins: vec.NewMatrix(0, cfg.D),
+		staticTruth:  truth,
+		overlayTruth: truth,
+		compactTruth: truth,
+		liveN:        cfg.N,
+	}, nil
+}
+
+// plantData builds the planted workload: n indexed rows of which the
+// last queries*k are the planted neighbors, the query matrix, and the
+// constructed exact truth (ids sorted by the realized float32 distance,
+// so it matches knn.Exact on the same rows bit-for-bit).
+func plantData(n, queries, d, k int, seed int64) (*vec.Matrix, *vec.Matrix, []knn.Result, error) {
+	planted := queries * k
+	nb := n - planted
+	if nb <= 0 {
+		return nil, nil, nil, fmt.Errorf("quality: planted needs N > Queries*K (have N=%d, Queries*K=%d)", n, planted)
+	}
+
+	rng := xrand.New(seed)
+
+	// Background: the manifold workload, scaled uniformly into the unit
+	// ball. Uniform scaling preserves the cluster geometry the width
+	// auto-tuner has to cope with; the bound is what makes the
+	// construction's distance guarantee unconditional.
+	spec := dataset.DefaultClusteredSpec(nb, d)
+	bg, _, err := dataset.Clustered(spec, rng.Split(1))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var maxNorm float64
+	for i := 0; i < bg.N; i++ {
+		if nrm := vec.Norm(bg.Row(i)); nrm > maxNorm {
+			maxNorm = nrm
+		}
+	}
+	if maxNorm > 0 {
+		// Scale slightly inside the ball so float32 rounding of the
+		// largest row cannot poke back over the bound.
+		vec.Scale(bg.Data, 0.999/maxNorm)
+	}
+
+	// Queries: shell of radius plantedShell, pairwise separation at
+	// least plantedSep via rejection against the already-placed queries.
+	// Random unit directions in d >= 8 are nearly orthogonal, so on a
+	// radius-3 shell a violation of a distance-1 separation is rare and
+	// the seeded retry loop terminates almost immediately.
+	qrng := rng.Split(2)
+	qs := vec.NewMatrix(queries, d)
+	for j := 0; j < queries; j++ {
+		const maxTries = 10000
+		tries := 0
+		for ; tries < maxTries; tries++ {
+			q := qs.Row(j)
+			copy(q, qrng.UnitVec(d))
+			vec.Scale(q, plantedShell)
+			ok := true
+			for p := 0; p < j; p++ {
+				if vec.SqDist(q, qs.Row(p)) < plantedSep*plantedSep {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		if tries == maxTries {
+			return nil, nil, nil, fmt.Errorf("quality: planted could not separate %d queries on the shell (d=%d too small?)", queries, d)
+		}
+	}
+
+	// Planted neighbors: strictly increasing radii around each query, in
+	// random directions. Distinct radii (spacing plantedMaxRadius/k)
+	// keep the true neighbor order unambiguous under float32 rounding.
+	train := vec.NewMatrix(n, d)
+	copy(train.Data, bg.Data)
+	prng := rng.Split(3)
+	truth := make([]knn.Result, queries)
+	for j := 0; j < queries; j++ {
+		q := qs.Row(j)
+		for i := 0; i < k; i++ {
+			radius := plantedMaxRadius * float64(i+1) / float64(k)
+			dir := prng.UnitVec(d)
+			row := train.Row(nb + j*k + i)
+			for t := 0; t < d; t++ {
+				row[t] = q[t] + float32(radius*float64(dir[t]))
+			}
+		}
+		// Truth ids sorted by the realized float32 distance — the same
+		// vec.SqDist the oracle scan uses — so constructed truth and
+		// brute force are interchangeable.
+		r := knn.Result{IDs: make([]int, k), Dists: make([]float64, k)}
+		for i := 0; i < k; i++ {
+			id := nb + j*k + i
+			r.IDs[i] = id
+			r.Dists[i] = vec.SqDist(train.Row(id), q)
+		}
+		sort.Sort(byDist{&r})
+		truth[j] = r
+	}
+	return train, qs, truth, nil
+}
+
+// byDist sorts a knn.Result in place by ascending distance (ties by id,
+// matching the brute-force heap's ordering; the construction's distinct
+// radii make ties unreachable anyway).
+type byDist struct{ r *knn.Result }
+
+func (s byDist) Len() int { return len(s.r.IDs) }
+func (s byDist) Less(i, j int) bool {
+	if s.r.Dists[i] != s.r.Dists[j] {
+		return s.r.Dists[i] < s.r.Dists[j]
+	}
+	return s.r.IDs[i] < s.r.IDs[j]
+}
+func (s byDist) Swap(i, j int) {
+	s.r.IDs[i], s.r.IDs[j] = s.r.IDs[j], s.r.IDs[i]
+	s.r.Dists[i], s.r.Dists[j] = s.r.Dists[j], s.r.Dists[i]
+}

@@ -1,0 +1,184 @@
+package quality
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"bilsh/internal/core"
+	"bilsh/internal/knn"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/xrand"
+)
+
+// TestPlantedTruthMatchesOracle is the load-bearing check behind the
+// planted mode: the constructed ground truth must equal the brute-force
+// oracle's answer bit-for-bit (same ids, same squared distances). If the
+// construction's distance guarantee ever broke — background leaking into
+// a query's neighborhood, two queries drifting too close — this is where
+// it surfaces.
+func TestPlantedTruthMatchesOracle(t *testing.T) {
+	const n, queries, d, k = 800, 40, 16, 8
+	train, qs, truth, err := plantData(n, queries, d, k, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.N != n || train.D != d || qs.N != queries || qs.D != d || len(truth) != queries {
+		t.Fatalf("wrong shapes: train %dx%d queries %dx%d truth %d", train.N, train.D, qs.N, qs.D, len(truth))
+	}
+	exact := knn.ExactAll(train, qs, k)
+	for qi := range truth {
+		if !reflect.DeepEqual(truth[qi].IDs, exact[qi].IDs) {
+			t.Fatalf("query %d: constructed ids %v != oracle ids %v", qi, truth[qi].IDs, exact[qi].IDs)
+		}
+		if !reflect.DeepEqual(truth[qi].Dists, exact[qi].Dists) {
+			t.Fatalf("query %d: constructed dists diverge from oracle", qi)
+		}
+	}
+
+	// Every true neighbor is a planted row (id >= background count) and
+	// strictly nearer than the construction's background floor.
+	nb := n - queries*k
+	for qi, r := range truth {
+		for i, id := range r.IDs {
+			if id < nb {
+				t.Fatalf("query %d: background row %d in the true neighbor set", qi, id)
+			}
+			if r.Dists[i] > plantedMaxRadius*plantedMaxRadius*1.01 {
+				t.Fatalf("query %d: planted neighbor at distance^2 %.4f, beyond the construction radius", qi, r.Dists[i])
+			}
+		}
+	}
+}
+
+// TestPlantedDeterministic pins seed behavior: same seed, same bytes;
+// different seed, different bytes.
+func TestPlantedDeterministic(t *testing.T) {
+	t1, q1, tr1, err := plantData(500, 20, 12, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, q2, tr2, err := plantData(500, 20, 12, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t1.Data, t2.Data) || !reflect.DeepEqual(q1.Data, q2.Data) || !reflect.DeepEqual(tr1, tr2) {
+		t.Fatal("same seed produced a different planted workload")
+	}
+	t3, _, _, err := plantData(500, 20, 12, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(t1.Data, t3.Data) {
+		t.Fatal("different seeds produced identical planted data")
+	}
+}
+
+// TestPlantedOracleCellParity asserts golden-threshold parity between the
+// two truth paths on one shared cell: the same index measured against the
+// constructed truth and against the cached-oracle truth must yield the
+// same Measure, and therefore the same derived golden Threshold. This is
+// what licenses checking planted runs against -update-golden tables and
+// vice versa.
+func TestPlantedOracleCellParity(t *testing.T) {
+	cfg := Planted()
+	cfg.N, cfg.Queries, cfg.D, cfg.K = 900, 30, 16, 8
+	cfg.CacheDir = t.TempDir()
+	train, qs, constructed, err := plantData(cfg.N, cfg.Queries, cfg.D, cfg.K, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, cached, err := groundTruth(cfg.CacheDir, train, qs, nil, cfg.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("oracle reported a cache hit in a fresh directory")
+	}
+
+	cell := Cell{Dataset: "planted", Lattice: core.LatticeZM, Probe: core.ProbeMulti, BiLevel: true, Dynamics: DynStatic}
+	opts := core.Options{
+		Partitioner: core.PartitionRPTree,
+		Groups:      cfg.Groups,
+		ProbeMode:   cell.Probe,
+		Probes:      cfg.Probes,
+		AutoTuneW:   true,
+		TuneK:       cfg.K,
+		Params:      lshfunc.Params{M: cfg.M, L: cfg.L, W: cfg.Widths.width(true, cell.Probe)},
+	}
+	ix, err := core.Build(train, opts, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaConstruction := measureCell(cell, ix, qs, constructed, cfg, cfg.N)
+	viaOracle := measureCell(cell, ix, qs, oracle, cfg, cfg.N)
+	if viaConstruction.Measure != viaOracle.Measure {
+		t.Fatalf("measures diverge across truth paths:\n constructed %+v\n oracle      %+v",
+			viaConstruction.Measure, viaOracle.Measure)
+	}
+	repA := &Report{Config: cfg, Cells: []CellResult{viaConstruction}}
+	repB := &Report{Config: cfg, Cells: []CellResult{viaOracle}}
+	if !reflect.DeepEqual(NewGolden(repA).Cells, NewGolden(repB).Cells) {
+		t.Fatal("derived golden thresholds diverge across truth paths")
+	}
+}
+
+// TestGatePlanted runs the planted preset against its committed golden
+// table — the oracle-free twin of TestGateSmall. Nothing here may touch
+// an oracle cache: CacheDir points at a directory that must stay empty.
+func TestGatePlanted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality matrix skipped in -short mode")
+	}
+	cfg := Planted()
+	cacheDir := t.TempDir()
+	cfg.CacheDir = cacheDir
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ents, err := os.ReadDir(cacheDir); err != nil || len(ents) != 0 {
+		t.Fatalf("planted run touched the oracle cache: %d entries (err %v)", len(ents), err)
+	}
+	g, err := LoadGolden(cfg.Preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check(rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		if !c.Pass {
+			t.Errorf("cell %s: recall %.4f (min %.3f) error %.4f (min %.3f) selectivity %.4f (max %.4f)",
+				c.Key, c.Recall, c.Threshold.MinRecall, c.ErrorRatio, c.Threshold.MinErrorRatio,
+				c.Selectivity, c.Threshold.MaxSelectivity)
+		}
+	}
+	for _, v := range rep.OrderingViolations {
+		t.Errorf("ordering violation: %s", v)
+	}
+	if !rep.Pass {
+		t.Fatal("planted quality gate failed")
+	}
+}
+
+// TestPlantedValidate covers the planted-specific Validate arms.
+func TestPlantedValidate(t *testing.T) {
+	if err := Planted().Validate(); err != nil {
+		t.Fatalf("Planted preset invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Datasets = []string{"manifold"} },
+		func(c *Config) { c.Datasets = []string{"planted", "manifold"} },
+		func(c *Config) { c.Inserts = 10 },
+		func(c *Config) { c.DeleteBase = 1 },
+		func(c *Config) { c.N = c.Queries * c.K },
+	}
+	for i, mutate := range bad {
+		c := Planted()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid planted config passed validation", i)
+		}
+	}
+}

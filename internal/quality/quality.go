@@ -11,7 +11,9 @@
 //     bit-identically from a Config seed (datasets.go);
 //   - an exact k-NN oracle — the parallel brute force of internal/knn —
 //     cached to a golden file keyed by seed and shape, so repeated runs
-//     skip the O(n·q·d) ground-truth scan (oracle.go);
+//     skip the O(n·q·d) ground-truth scan (oracle.go); the planted preset
+//     sidesteps the oracle entirely with queries whose exact neighbors
+//     are known by construction (planted.go);
 //   - a matrix runner sweeping the real index configurations — Z^M vs E8
 //     lattice × single/multi/hierarchy probing × standard vs Bi-level
 //     partitioning × static vs dynamic-overlay (post-insert/delete, both
@@ -100,6 +102,11 @@ type Config struct {
 	// adaptive plan must not push any cell below its committed floor, which
 	// is exactly the claim docs/adaptive.md makes about the SLO resolver.
 	TargetRecall float64 `json:"target_recall,omitempty"`
+	// Planted switches the workload and truth path to the planted-query
+	// mode (see planted.go): ground truth is known by construction, no
+	// oracle scan runs and no cache directory is touched. Requires
+	// Datasets == ["planted"] and an empty dynamic edit workload.
+	Planted bool `json:"planted,omitempty"`
 	// Seed drives everything: data, projections, the dynamic workload.
 	Seed int64 `json:"seed"`
 	// Widths is the budget-matching calibration (committed with the
@@ -170,6 +177,17 @@ func (c Config) Validate() error {
 	}
 	if _, err := core.ParseQuantizeKind(c.Quantize); err != nil {
 		return err
+	}
+	if c.Planted {
+		switch {
+		case len(c.Datasets) != 1 || c.Datasets[0] != "planted":
+			return fmt.Errorf("quality: planted mode requires Datasets=[planted], have %v", c.Datasets)
+		case c.Inserts != 0 || c.DeleteBase != 0 || c.DeleteInserted != 0:
+			return fmt.Errorf("quality: planted mode has no dynamic edit workload (the constructed truth would go stale)")
+		case c.N <= c.Queries*c.K:
+			return fmt.Errorf("quality: planted mode needs N > Queries*K (N=%d, Queries*K=%d)", c.N, c.Queries*c.K)
+		}
+		return nil
 	}
 	for _, name := range c.Datasets {
 		if _, ok := Generators[name]; !ok {

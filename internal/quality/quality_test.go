@@ -180,7 +180,7 @@ func TestGenerators(t *testing.T) {
 // golden tables must key exactly the cells each preset's matrix produces,
 // so drift is caught even in -short mode where the matrix does not run.
 func TestGoldenCoversMatrix(t *testing.T) {
-	for _, cfg := range []Config{Full(), Small()} {
+	for _, cfg := range []Config{Full(), Small(), Planted()} {
 		g, err := LoadGolden(cfg.Preset)
 		if err != nil {
 			t.Fatal(err)
