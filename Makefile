@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fmt quality quality-sq8 quality-adaptive bench bench-adaptive bench-concurrency durability shard outofcore linkcheck noasm
+.PHONY: check vet build test race fmt quality quality-sq8 quality-adaptive bench bench-adaptive bench-concurrency durability shard outofcore linkcheck noasm dataset
 
 check: vet build race
 
@@ -48,6 +48,26 @@ quality-sq8:
 # keep the committed golden thresholds green.
 quality-adaptive:
 	$(GO) run ./cmd/bilsh quality -preset full -target-recall 0.95 -q
+
+# Real-dataset pipeline gate (see docs/datasets.md): exercises the
+# *vecs file path end to end on the committed sift-micro fixture, fully
+# offline — file inspection, a convert subset cut, a persisted Hamming
+# build queried back with exact-truth recall, and the file-backed
+# quality preset run twice with cmp proving byte-identical reports.
+FIXTURE := internal/quality/testdata/sift-micro
+dataset:
+	$(GO) run ./cmd/bilsh dataset info -in $(FIXTURE)/base.fvecs
+	$(GO) run ./cmd/bilsh dataset info -in $(FIXTURE)/truth.ivecs
+	tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/bilsh dataset convert -in $(FIXTURE)/base.fvecs -out $$tmp/sub.fvecs -n 256 && \
+	$(GO) run ./cmd/bilsh dataset info -in $$tmp/sub.fvecs && \
+	$(GO) run ./cmd/bilsh build -data $(FIXTURE)/base.fvecs -out $$tmp/ham.bilsh \
+		-metric hamming -bits 128 -probe multi -groups 4 && \
+	$(GO) run ./cmd/bilsh query -index $$tmp/ham.bilsh -queries $(FIXTURE)/query.fvecs -k 10 -truth && \
+	$(GO) run ./cmd/bilsh quality -preset fvecs -q -out $$tmp/q1.json && \
+	$(GO) run ./cmd/bilsh quality -preset fvecs -q -out $$tmp/q2.json && \
+	cmp $$tmp/q1.json $$tmp/q2.json && \
+	rm -rf $$tmp
 
 # Portable-kernel build: compiles out every assembly body (the same code
 # path noasm-tagged builds and unsupported architectures run) and reruns

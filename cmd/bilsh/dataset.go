@@ -1,0 +1,223 @@
+package main
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bilsh/internal/dataset"
+	"bilsh/internal/durable"
+	"bilsh/internal/vec"
+)
+
+// cmdDataset groups the real-dataset plumbing: fetching the TexMex
+// benchmark archives, converting between the *vecs formats, and
+// inspecting files. docs/datasets.md is the end-to-end runbook.
+func cmdDataset(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("dataset: want a subcommand: fetch, convert or info")
+	}
+	switch args[0] {
+	case "fetch":
+		return cmdDatasetFetch(args[1:])
+	case "convert":
+		return cmdDatasetConvert(args[1:])
+	case "info":
+		return cmdDatasetInfo(args[1:])
+	default:
+		return fmt.Errorf("dataset: unknown subcommand %q (want fetch, convert or info)", args[0])
+	}
+}
+
+// texmexCorpora maps the short dataset names to their archives on the
+// TexMex corpus server (the source of SIFT1M/GIST1M and their small
+// learning subsets).
+var texmexCorpora = map[string]string{
+	"siftsmall": "http://ftp.irisa.fr/local/texmex/corpus/siftsmall.tar.gz",
+	"sift":      "http://ftp.irisa.fr/local/texmex/corpus/sift.tar.gz",
+	"gist":      "http://ftp.irisa.fr/local/texmex/corpus/gist.tar.gz",
+}
+
+// cmdDatasetFetch downloads a TexMex archive and unpacks its *vecs
+// members into a directory. siftsmall (~5 MiB) is the right size for the
+// docs/datasets.md quickstart; sift and gist are the paper-scale sets.
+func cmdDatasetFetch(args []string) error {
+	fs := newFlagSet("dataset fetch")
+	name := fs.String("name", "siftsmall", "dataset: siftsmall, sift or gist")
+	dir := fs.String("dir", "data", "directory to unpack into")
+	url := fs.String("url", "", "override the archive URL (e.g. a mirror)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src := *url
+	if src == "" {
+		var ok bool
+		if src, ok = texmexCorpora[*name]; !ok {
+			return fmt.Errorf("dataset fetch: unknown dataset %q (want siftsmall, sift or gist, or pass -url)", *name)
+		}
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	resp, err := http.Get(src)
+	if err != nil {
+		return fmt.Errorf("dataset fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dataset fetch: %s returned %s", src, resp.Status)
+	}
+	n, files, err := untarVecs(resp.Body, *dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fetched %s: %d files (%.1f MiB) into %s in %v\n",
+		src, files, float64(n)/(1<<20), *dir, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// untarVecs extracts the *vecs members of a gzipped tar stream into dir,
+// flattening paths (the TexMex archives nest under a top-level folder).
+// Only regular files with a *vecs extension are written, each under its
+// base name, so a hostile archive cannot escape dir.
+func untarVecs(r io.Reader, dir string) (bytes int64, files int, err error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return 0, 0, fmt.Errorf("dataset fetch: not a gzip archive: %w", err)
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return bytes, files, fmt.Errorf("dataset fetch: reading archive: %w", err)
+		}
+		if hdr.Typeflag != tar.TypeReg {
+			continue
+		}
+		base := filepath.Base(hdr.Name)
+		switch filepath.Ext(base) {
+		case ".fvecs", ".bvecs", ".ivecs":
+		default:
+			continue
+		}
+		dst := filepath.Join(dir, base)
+		err = durable.AtomicWrite(dst, func(f *os.File) error {
+			_, cerr := io.Copy(f, tr)
+			return cerr
+		})
+		if err != nil {
+			return bytes, files, fmt.Errorf("dataset fetch: writing %s: %w", dst, err)
+		}
+		bytes += hdr.Size
+		files++
+		fmt.Printf("  %s (%.1f MiB)\n", dst, float64(hdr.Size)/(1<<20))
+	}
+	if files == 0 {
+		return 0, 0, fmt.Errorf("dataset fetch: archive contained no *vecs files")
+	}
+	return bytes, files, nil
+}
+
+// cmdDatasetConvert rewrites between the *vecs formats: bvecs (byte
+// components, e.g. SIFT1B) to fvecs, or fvecs to fvecs with -n to cut a
+// subset. The output write is atomic.
+func cmdDatasetConvert(args []string) error {
+	fs := newFlagSet("dataset convert")
+	in := fs.String("in", "", ".fvecs or .bvecs input file (required)")
+	out := fs.String("out", "", ".fvecs output file (required)")
+	maxN := fs.Int("n", 0, "cap on vectors converted (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("dataset convert: -in and -out are required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var m *vec.Matrix
+	switch filepath.Ext(*in) {
+	case ".bvecs":
+		m, err = dataset.ReadBvecs(f, *maxN)
+	case ".fvecs":
+		m, err = dataset.ReadFvecs(f, *maxN)
+	default:
+		return fmt.Errorf("dataset convert: %s: want a .fvecs or .bvecs input", *in)
+	}
+	if err != nil {
+		return err
+	}
+	if !strings.HasSuffix(*out, ".fvecs") {
+		return fmt.Errorf("dataset convert: output %s must be .fvecs", *out)
+	}
+	if err := dataset.SaveFvecsFile(*out, m); err != nil {
+		return err
+	}
+	fmt.Printf("converted %d vectors (dim %d) from %s to %s\n", m.N, m.D, *in, *out)
+	return nil
+}
+
+// cmdDatasetInfo prints a *vecs file's shape without loading it fully.
+func cmdDatasetInfo(args []string) error {
+	fs := newFlagSet("dataset info")
+	in := fs.String("in", "", "*vecs file to describe (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("dataset info: -in is required")
+	}
+	st, err := os.Stat(*in)
+	if err != nil {
+		return err
+	}
+	switch ext := filepath.Ext(*in); ext {
+	case ".fvecs":
+		n, dim, err := dataset.ScanFvecs(*in, func(int, []float32) error { return nil })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: fvecs, %d vectors, dim %d, %.1f KiB\n", *in, n, dim, float64(st.Size())/1024)
+	case ".bvecs", ".ivecs":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if ext == ".bvecs" {
+			m, err := dataset.ReadBvecs(f, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: bvecs, %d vectors, dim %d, %.1f KiB\n", *in, m.N, m.D, float64(st.Size())/1024)
+		} else {
+			rows, err := dataset.ReadIvecs(f, 0)
+			if err != nil {
+				return err
+			}
+			dim := 0
+			if len(rows) > 0 {
+				dim = len(rows[0])
+			}
+			fmt.Printf("%s: ivecs, %d rows, first row length %d, %.1f KiB\n", *in, len(rows), dim, float64(st.Size())/1024)
+		}
+	default:
+		return fmt.Errorf("dataset info: %s: want a .fvecs, .bvecs or .ivecs file", *in)
+	}
+	return nil
+}

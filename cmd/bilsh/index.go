@@ -26,6 +26,8 @@ type methodFlags struct {
 	seed     *int64
 	quantize *string
 	rerank   *int
+	metric   *string
+	bits     *int
 }
 
 func (mf methodFlags) options() (core.Options, error) {
@@ -34,6 +36,16 @@ func (mf methodFlags) options() (core.Options, error) {
 		AutoTuneW:   true,
 		Groups:      *mf.groups,
 		Params:      lshfunc.Params{M: *mf.m, L: *mf.l, W: *mf.w},
+	}
+	if mf.metric != nil {
+		metric, err := core.ParseMetricKind(*mf.metric)
+		if err != nil {
+			return opts, err
+		}
+		opts.Metric = metric
+		if mf.bits != nil {
+			opts.Bits = *mf.bits
+		}
 	}
 	if mf.quantize != nil {
 		q, err := core.ParseQuantizeKind(*mf.quantize)
@@ -93,6 +105,9 @@ func cmdBuild(args []string) error {
 			"row store the short-list scan reads: none or sq8 (int8 codes + exact re-rank)"),
 		rerank: fs.Int("rerank", 0,
 			"exact re-rank shortlist factor for -quantize sq8 (top k*factor; 0 = default 4)"),
+		metric: fs.String("metric", "euclidean",
+			"distance metric: euclidean (l2) or hamming (hyperplane-sign sketches + bit-sampling LSH)"),
+		bits: fs.Int("bits", 0, "hamming: sketch width in bits (0 = default 256)"),
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +118,9 @@ func cmdBuild(args []string) error {
 	opts, err := mf.options()
 	if err != nil {
 		return err
+	}
+	if opts.Metric == core.MetricHamming && (*disk || *stream) {
+		return fmt.Errorf("build: -metric hamming indexes are in-memory only (no -disk/-stream); use the self-contained layout")
 	}
 	if *stream {
 		start := time.Now()
@@ -187,8 +205,13 @@ func cmdQuery(args []string) error {
 			fmt.Printf("query %d: %v\n", qi, results[qi].IDs)
 		}
 	}
-	fmt.Printf("index: %d vectors, %d groups, lattice %v, probe %v\n",
-		ix.N(), ix.NumGroups(), ix.Options().Lattice, ix.Options().ProbeMode)
+	if o := ix.Options(); o.Metric == core.MetricHamming {
+		fmt.Printf("index: %d vectors, %d groups, metric hamming (%d-bit sketches), probe %v\n",
+			ix.N(), ix.NumGroups(), o.Bits, o.ProbeMode)
+	} else {
+		fmt.Printf("index: %d vectors, %d groups, lattice %v, probe %v\n",
+			ix.N(), ix.NumGroups(), o.Lattice, o.ProbeMode)
+	}
 	fmt.Printf("%d queries in %v (%.1f q/s), mean selectivity %.4f\n",
 		queries.N, dur.Round(time.Millisecond),
 		float64(queries.N)/dur.Seconds(), sel/float64(queries.N))

@@ -29,6 +29,8 @@ func main() {
 	switch os.Args[1] {
 	case "gen":
 		err = cmdGen(os.Args[2:])
+	case "dataset":
+		err = cmdDataset(os.Args[2:])
 	case "build":
 		err = cmdBuild(os.Args[2:])
 	case "query":
@@ -77,6 +79,7 @@ func usage() {
 
 commands:
   gen          generate a synthetic clustered-manifold dataset (fvecs)
+  dataset      fetch TexMex benchmark sets, convert between *vecs formats, inspect files
   build        build an index over an fvecs file and persist it
   query        load a persisted index and answer queries (parallel)
   search       one-shot build + query + quality report

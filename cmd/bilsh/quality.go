@@ -15,13 +15,16 @@ import (
 // cell falls below its standard-LSH baseline.
 func cmdQuality(args []string) error {
 	fs := newFlagSet("quality")
-	preset := fs.String("preset", "full", "configuration preset: full, small or planted (planted needs no oracle cache; truth is known by construction)")
+	preset := fs.String("preset", "full", "configuration preset: full, small, planted (truth known by construction, no oracle cache) or fvecs (real dataset files + Hamming cells; see docs/datasets.md)")
 	out := fs.String("out", "", "write the JSON report to this file")
 	cache := fs.String("cache", "", "exact-oracle cache directory (default: a bilsh-quality dir under the OS temp dir)")
 	quantize := fs.String("quantize", "", "row store the cells scan: none (default) or sq8 (quantized scan + exact re-rank, checked against the same golden thresholds)")
 	targetRecall := fs.Float64("target-recall", 0, "run every cell through TargetRecall-driven query plans at this SLO in (0,1) instead of the fixed budget (same golden thresholds apply)")
 	update := fs.String("update-golden", "", "regenerate the golden threshold table from this run and write it to the given path instead of checking")
 	quiet := fs.Bool("q", false, "suppress the per-cell table, print only the verdict")
+	base := fs.String("base", "", "fvecs preset: override the base-vector .fvecs path")
+	queries := fs.String("queries", "", "fvecs preset: override the query .fvecs path")
+	truth := fs.String("truth", "", "fvecs preset: override the ground-truth .ivecs path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -34,8 +37,19 @@ func cmdQuality(args []string) error {
 		cfg = quality.Small()
 	case "planted":
 		cfg = quality.Planted()
+	case "fvecs":
+		cfg = quality.Fvecs()
+		if *base != "" {
+			cfg.FvecsBase = *base
+		}
+		if *queries != "" {
+			cfg.FvecsQueries = *queries
+		}
+		if *truth != "" {
+			cfg.FvecsTruth = *truth
+		}
 	default:
-		return fmt.Errorf("unknown preset %q (want full, small or planted)", *preset)
+		return fmt.Errorf("unknown preset %q (want full, small, planted or fvecs)", *preset)
 	}
 	cfg.CacheDir = *cache
 	cfg.Quantize = *quantize

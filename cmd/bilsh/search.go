@@ -29,6 +29,8 @@ func cmdSearch(args []string) error {
 	maxN := fs.Int("maxn", 0, "cap on vectors read (0 = all)")
 	maxQ := fs.Int("maxq", 1000, "cap on queries evaluated")
 	seed := fs.Int64("seed", 1, "random seed")
+	metricName := fs.String("metric", "euclidean", "distance metric: euclidean (l2) or hamming (sketch + bit-sampling LSH; truth is the exact Hamming scan)")
+	bits := fs.Int("bits", 0, "hamming: sketch width in bits (0 = default 256)")
 	verbose := fs.Bool("v", false, "print each query's neighbors")
 	recall := fs.Float64("recall", 0, "per-query recall SLO in (0,1): resolve the table budget from the collision model (0 = probe all L tables)")
 	stableProbes := fs.Int("stable-probes", 0, "stop probing after this many consecutive probes without shortlist growth (0 = off)")
@@ -52,7 +54,13 @@ func cmdSearch(args []string) error {
 		return fmt.Errorf("dimension mismatch: data %d vs queries %d", data.D, queries.D)
 	}
 
+	metric, err := core.ParseMetricKind(*metricName)
+	if err != nil {
+		return err
+	}
 	opts := core.Options{
+		Metric:      metric,
+		Bits:        *bits,
 		Partitioner: core.PartitionNone,
 		AutoTuneW:   true,
 		Groups:      *groups,
@@ -105,7 +113,17 @@ func cmdSearch(args []string) error {
 	}
 	queryDur := time.Since(start)
 
-	truth := knn.ExactAll(data, queries, *k)
+	// Ground truth in the index's own metric: brute-force Euclidean over
+	// the raw rows, or the exact Hamming scan over the index's sketches.
+	var truth []knn.Result
+	if metric == core.MetricHamming {
+		truth = make([]knn.Result, queries.N)
+		for qi := range truth {
+			truth[qi] = ix.ExactKNN(queries.Row(qi), *k)
+		}
+	} else {
+		truth = knn.ExactAll(data, queries, *k)
+	}
 	var gotRecall, errRatio, sel float64
 	for qi := range results {
 		gotRecall += knn.Recall(truth[qi].IDs, results[qi].IDs)

@@ -67,6 +67,12 @@ func (sn *snapshot) diskSource(opts Options) *diskV3Source {
 // CRCs are back-patched into the header once the sections are streamed.
 // It returns the total bytes written.
 func (ix *Index) WriteDiskTo(f io.WriteSeeker) (int64, error) {
+	if ix.opts.Metric == MetricHamming {
+		// The paged layout keeps float rows on disk and scans them through
+		// the pager; the Hamming plane ranks resident packed sketches
+		// instead. Use WriteTo/ReadIndex (wire v4) for Hamming indexes.
+		return 0, fmt.Errorf("core: Hamming indexes do not support the paged disk layout; use WriteTo")
+	}
 	sn := ix.loadSnap()
 	if err := sn.requireClean(); err != nil {
 		return 0, err

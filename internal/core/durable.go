@@ -191,6 +191,11 @@ func OpenDurable(dir string, o DurableOptions) (*DurableIndex, error) {
 	default:
 		return nil, err
 	}
+	if ix.opts.Metric == MetricHamming {
+		// Checkpoints write the paged layout and the WAL replays Inserts,
+		// neither of which the static Hamming plane supports.
+		return nil, fmt.Errorf("core: Hamming indexes do not support the durable tier; serve them read-only")
+	}
 	info.Gen = gen
 	// A leftover .tmp is a checkpoint that never made it to the rename;
 	// it is garbage by construction.

@@ -37,6 +37,12 @@ import (
 // is still running; the in-flight compaction is unaffected.
 var ErrCompactBusy = errors.New("core: compaction already in progress")
 
+// ErrHammingStatic is returned by Insert and Compact on a MetricHamming
+// index: the overlay and rebuild paths project through the per-group
+// Euclidean hash family, which Hamming groups do not carry. Delete (a pure
+// tombstone) still works; rebuild the index to fold deletes or add rows.
+var ErrHammingStatic = errors.New("core: Hamming indexes are static; rebuild to add rows or fold deletes")
+
 // buildTable is lshtable.Build, indirected so tests can inject a build
 // failure into the compaction rebuild and verify the old index state
 // survives intact.
@@ -82,6 +88,9 @@ func (ix *Index) sealLocked(sn *snapshot, autoCompact bool) *snapshot {
 // the next Compact, which returns the id remapping. Insert is safe to call
 // concurrently with queries and other mutators.
 func (ix *Index) Insert(v []float32) (int, error) {
+	if ix.opts.Metric == MetricHamming {
+		return 0, ErrHammingStatic
+	}
 	if err := CheckVector(ix.Dim(), v); err != nil {
 		return 0, err
 	}
@@ -197,6 +206,9 @@ func (ix *Index) overlayBucket(gi, table int, key string) []int {
 // compaction runs at a time; concurrent calls fail fast with
 // ErrCompactBusy.
 func (ix *Index) Compact() ([]int, error) {
+	if ix.opts.Metric == MetricHamming {
+		return nil, ErrHammingStatic
+	}
 	if !ix.compactMu.TryLock() {
 		return nil, ErrCompactBusy
 	}
@@ -211,6 +223,9 @@ func (ix *Index) Compact() ([]int, error) {
 // callers that treat ids as unstable across compactions (see
 // docs/concurrency.md).
 func (ix *Index) CompactAsync() error {
+	if ix.opts.Metric == MetricHamming {
+		return ErrHammingStatic
+	}
 	if !ix.compactMu.TryLock() {
 		return ErrCompactBusy
 	}

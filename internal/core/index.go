@@ -70,6 +70,10 @@ type group struct {
 	// Hierarchies (one per table), present when ProbeMode==ProbeHierarchy.
 	mortonH []*hierarchy.Morton
 	e8H     []*hierarchy.E8Tree
+	// bsamp replaces fam/lat under MetricHamming: per-table bit positions
+	// sampled from the snapshot's global sketch. fam, lat and the
+	// hierarchies are nil in that mode.
+	bsamp *lshfunc.BitSampler
 }
 
 // newIndex wraps built structures into an Index with its first snapshot.
@@ -81,6 +85,15 @@ func newIndex(opts Options, data *vec.Matrix, fetch func(id int) []float32,
 		data: data, fetch: fetch, quant: quant, tree: tree, km: km, groups: groups,
 	})
 	return ix
+}
+
+// attachHamming sets the Hamming plane on a freshly constructed index's
+// first snapshot. Call before the index is shared (Build/ReadIndex only);
+// snapshot clones carry the fields forward from then on.
+func (ix *Index) attachHamming(sk *lshfunc.Sketcher, sketches *vec.BinaryMatrix) {
+	sn := ix.snap.Load()
+	sn.sketcher = sk
+	sn.sketches = sketches
 }
 
 // buildQuant materializes the quantized row store opts asks for (nil for
@@ -149,21 +162,43 @@ func Build(data *vec.Matrix, opts Options, rng *xrand.RNG) (*Index, error) {
 		return nil, fmt.Errorf("core: unknown partitioner %v", opts.Partitioner)
 	}
 
+	// Hamming plane: one global sketcher, every row sketched once. The
+	// split label 3 is fresh, so Euclidean builds draw exactly the streams
+	// they always did.
+	var (
+		sk       *lshfunc.Sketcher
+		sketches *vec.BinaryMatrix
+	)
+	if opts.Metric == MetricHamming {
+		var err error
+		sk, err = lshfunc.NewSketcher(data.D, opts.Bits, rng.Split(3))
+		if err != nil {
+			return nil, err
+		}
+		sketches = sk.SketchAll(data)
+	}
+
 	// Level 2: per-group LSH tables.
 	grng := rng.Split(2)
 	groups := make([]*group, len(members))
 	for gi, m := range members {
-		g, err := buildGroup(data, m, opts, grng.Split(int64(gi)))
+		g, err := buildGroup(data, sketches, m, opts, grng.Split(int64(gi)))
 		if err != nil {
 			return nil, fmt.Errorf("core: group %d: %w", gi, err)
 		}
 		groups[gi] = g
 	}
-	return newIndex(opts, data, nil, buildQuant(opts, data, nil), tree, km, groups), nil
+	ix := newIndex(opts, data, nil, buildQuant(opts, data, nil), tree, km, groups)
+	ix.attachHamming(sk, sketches)
+	return ix, nil
 }
 
-func buildGroup(data *vec.Matrix, members []int, opts Options, rng *xrand.RNG) (*group, error) {
+func buildGroup(data *vec.Matrix, sketches *vec.BinaryMatrix, members []int, opts Options, rng *xrand.RNG) (*group, error) {
 	g := &group{members: members}
+
+	if opts.Metric == MetricHamming {
+		return buildHammingGroup(g, sketches, opts, rng)
+	}
 
 	// Per-group bucket width: either the global W, or tuned from the
 	// group's own distance distribution and scaled by W (Section IV-A3:
@@ -226,6 +261,36 @@ func buildGroup(data *vec.Matrix, members []int, opts Options, rng *xrand.RNG) (
 		if err := buildGroupHierarchies(g, opts); err != nil {
 			return nil, err
 		}
+	}
+	return g, nil
+}
+
+// buildHammingGroup builds one group's bit-sampling tables over the global
+// sketch matrix. The split label 102 matches the Euclidean path's spacing
+// (100 tuner, 101 family), so group streams stay disjoint.
+func buildHammingGroup(g *group, sketches *vec.BinaryMatrix, opts Options, rng *xrand.RNG) (*group, error) {
+	g.w = opts.Params.W // no bucket width in Hamming space; kept for reports
+	bs, err := lshfunc.NewBitSampler(opts.Bits, opts.Params.M, opts.Params.L, rng.Split(102))
+	if err != nil {
+		return nil, err
+	}
+	g.bsamp = bs
+
+	key := make([]byte, 0, bs.KeyLen())
+	g.tables = make([]*lshtable.Table, opts.Params.L)
+	for t := 0; t < opts.Params.L; t++ {
+		codes := make([]string, len(g.members))
+		ids := make([]int, len(g.members))
+		for i, id := range g.members {
+			key = bs.AppendKey(key[:0], t, sketches.Row(id))
+			codes[i] = string(key)
+			ids[i] = id
+		}
+		tab, err := lshtable.Build(codes, ids)
+		if err != nil {
+			return nil, err
+		}
+		g.tables[t] = tab
 	}
 	return g, nil
 }
@@ -322,6 +387,9 @@ func (ix *Index) SetQuantize(kind QuantizeKind, factor int) error {
 	case QuantizeNone, QuantizeSQ8:
 	default:
 		return fmt.Errorf("core: unknown quantize kind %d", int(kind))
+	}
+	if ix.opts.Metric == MetricHamming && kind != QuantizeNone {
+		return fmt.Errorf("core: quantization applies to float rows; Hamming sketches are already 1 bit/plane")
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()

@@ -151,8 +151,57 @@ func ParseQuantizeKind(s string) (QuantizeKind, error) {
 	}
 }
 
+// MetricKind selects the distance family the index is built over.
+type MetricKind int
+
+const (
+	// MetricEuclidean is the paper's l2 setting: p-stable projections,
+	// lattice quantizers, squared-Euclidean ranking (the default).
+	MetricEuclidean MetricKind = iota
+	// MetricHamming sketches every vector into Options.Bits hyperplane-sign
+	// bits and runs bit-sampling LSH over the packed sketches; candidates
+	// rank by exact Hamming distance between sketches. Hamming indexes are
+	// static: Insert and Compact are unsupported (Delete still works), and
+	// level 2 requires ProbeSingle or ProbeMulti. See docs/datasets.md and
+	// the DESIGN.md metric-family row.
+	MetricHamming
+)
+
+// String implements fmt.Stringer.
+func (m MetricKind) String() string {
+	switch m {
+	case MetricEuclidean:
+		return "euclidean"
+	case MetricHamming:
+		return "hamming"
+	default:
+		return fmt.Sprintf("MetricKind(%d)", int(m))
+	}
+}
+
+// ParseMetricKind parses the CLI spelling of a MetricKind.
+func ParseMetricKind(s string) (MetricKind, error) {
+	switch s {
+	case "", "euclidean", "l2":
+		return MetricEuclidean, nil
+	case "hamming":
+		return MetricHamming, nil
+	default:
+		return 0, fmt.Errorf("core: unknown metric kind %q (want euclidean|hamming)", s)
+	}
+}
+
 // Options configures an Index.
 type Options struct {
+	// Metric selects the distance family (default MetricEuclidean). With
+	// MetricHamming, Lattice and the W/AutoTuneW knobs are ignored: level 2
+	// runs bit-sampling tables over packed hyperplane sketches, Params.M is
+	// the sampled key width in bits (must not exceed Bits) and candidates
+	// rank by Hamming distance.
+	Metric MetricKind
+	// Bits is the binary sketch width for MetricHamming (default 256).
+	// Ignored for MetricEuclidean.
+	Bits int
 	// Lattice selects the level-2 quantizer (default LatticeZM).
 	Lattice LatticeKind
 	// Partitioner selects level 1 (default PartitionNone = standard LSH).
@@ -227,6 +276,20 @@ func (o Options) rerankFactor() int {
 }
 
 func (o *Options) fill() error {
+	if o.Metric == MetricHamming {
+		if o.Bits <= 0 {
+			o.Bits = 256
+		}
+		if o.Params.M == 0 {
+			// Bit-sampling keys want more bits than the lattice default
+			// (8 lattice coordinates spread candidates far better than 8
+			// sampled bits would).
+			o.Params.M = 16
+		}
+		// The width tuner models Euclidean collision probabilities; bucket
+		// width has no meaning for bit-sampled keys.
+		o.AutoTuneW = false
+	}
 	if o.Groups <= 0 {
 		o.Groups = 16
 	}
@@ -281,6 +344,22 @@ func (o *Options) fill() error {
 func (o Options) Validate() error {
 	if err := o.Params.Validate(); err != nil {
 		return err
+	}
+	switch o.Metric {
+	case MetricEuclidean:
+	case MetricHamming:
+		switch {
+		case o.Bits < 1 || o.Bits > 1<<20:
+			return fmt.Errorf("core: Bits %d out of range [1, 2^20]", o.Bits)
+		case o.Params.M > o.Bits:
+			return fmt.Errorf("core: M = %d exceeds the %d-bit sketch", o.Params.M, o.Bits)
+		case o.ProbeMode == ProbeHierarchy:
+			return fmt.Errorf("core: ProbeHierarchy is lattice-specific; Hamming supports single/multiprobe")
+		case o.Quantize != QuantizeNone:
+			return fmt.Errorf("core: quantization applies to float rows; Hamming sketches are already 1 bit/plane")
+		}
+	default:
+		return fmt.Errorf("core: unknown metric kind %d", int(o.Metric))
 	}
 	switch o.Lattice {
 	case LatticeZM, LatticeE8, LatticeDn:

@@ -62,6 +62,9 @@ func BuildDisk(dataPath, outPath string, opts Options, cfg OutOfCoreConfig, rng 
 	if err := opts.fill(); err != nil {
 		return 0, err
 	}
+	if opts.Metric == MetricHamming {
+		return 0, fmt.Errorf("core: Hamming indexes do not support out-of-core construction; use Build + WriteTo")
+	}
 	cfg.fill()
 
 	// ---- Pass 1: reservoir sample.

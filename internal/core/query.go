@@ -161,6 +161,9 @@ func (sn *snapshot) gatherMode(q []float32, hierMinCount int, mode ProbeMode, s 
 // same union — which is exactly what early termination exploits by simply
 // not continuing.
 func (sn *snapshot) gatherPlan(q []float32, rp *resolvedPlan, mode ProbeMode, hierMinCount int, s *scratch) PlanStats {
+	if sn.sketches != nil {
+		return sn.gatherHamming(q, rp, mode, s)
+	}
 	routeStart := time.Now()
 	gi := sn.groupOf(q)
 	g := sn.groups[gi]
@@ -295,6 +298,9 @@ func (ix *Index) ExactKNN(q []float32, k int) knn.Result {
 		return knn.Result{}
 	}
 	sn := ix.loadSnap()
+	if sn.sketches != nil {
+		return sn.exactHamming(q, k)
+	}
 	total := sn.total()
 	h := topk.New(k)
 	for id := 0; id < total; id++ {
@@ -334,6 +340,9 @@ func (sn *snapshot) rank(q []float32, k int, s *scratch) knn.Result {
 // rankWith is rank with a per-plan re-rank factor override (0 keeps the
 // index default; only meaningful under SQ8 quantization).
 func (sn *snapshot) rankWith(q []float32, k, rerank int, s *scratch) knn.Result {
+	if sn.sketches != nil {
+		return sn.rankHamming(k, s)
+	}
 	slices.Sort(s.cands)
 	h := s.topK(k)
 

@@ -35,6 +35,14 @@ type scratch struct {
 	items []topk.Item // reusable sorted-heap output
 	dists []float64   // rank distance buffer
 
+	// Hamming query state (see gatherHamming): the packed query sketch,
+	// per-plane margins, the per-table key-bit flip order (sorted by
+	// ascending |margin|) and the probe key currently being flipped.
+	qbits    []uint64
+	qmarg    []float64
+	bitOrder []int
+	flipKey  []byte
+
 	// Quantized-scan re-rank state (see rankBaseQuantized): a second
 	// bounded heap selects the top k×RerankFactor approximate candidates,
 	// whose ids and exact distances reuse these buffers.
@@ -67,6 +75,18 @@ func (s *scratch) begin(sn *snapshot) {
 		s.proj = make([]float64, m)
 	} else {
 		s.proj = s.proj[:m]
+	}
+	if sn.sketcher != nil {
+		if w := sn.sketcher.Words(); cap(s.qbits) < w {
+			s.qbits = make([]uint64, w)
+		} else {
+			s.qbits = s.qbits[:w]
+		}
+		if b := sn.sketcher.Bits(); cap(s.qmarg) < b {
+			s.qmarg = make([]float64, b)
+		} else {
+			s.qmarg = s.qmarg[:b]
+		}
 	}
 	if total := sn.idCapacity(); len(s.visited) < total {
 		s.visited = make([]uint32, total)

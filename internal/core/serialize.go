@@ -34,9 +34,18 @@ import (
 // Version 1 files (no quantization fields or section) still load: the
 // reader branches on the magic and defaults Quantize to none, so a v1
 // index queries byte-identically to how it did when written.
+//
+// Version 4 ("bilsh.Index/4"; /3 belongs to the paged disk layout, see
+// disklayout.go) carries the Hamming metric family: the option block gains
+// Metric and Bits, a Hamming section (hyperplane sketcher + packed sketch
+// matrix) follows the quantized-rows section, and each group stores a bit
+// sampler in place of the p-stable family. WriteTo only emits v4 when the
+// metric is non-Euclidean, so every Euclidean index keeps writing v2
+// byte-identically and old readers keep working.
 const (
 	indexMagicV1 = "bilsh.Index/1"
 	indexMagic   = "bilsh.Index/2"
+	indexMagicV4 = "bilsh.Index/4"
 )
 
 // WriteTo serializes the index (including its data) to w. It returns the
@@ -49,10 +58,23 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		return 0, err
 	}
 	ww := wire.NewWriter(w)
-	ww.Magic(indexMagic)
+	if ix.opts.Metric == MetricEuclidean {
+		ww.Magic(indexMagic)
+	} else {
+		ww.Magic(indexMagicV4)
+	}
 	writeOptions(ww, ix.opts)
+	if ix.opts.Metric != MetricEuclidean {
+		// v4 extends the v2 option block in place.
+		ww.Int(int(ix.opts.Metric))
+		ww.Int(ix.opts.Bits)
+	}
 	sn.data.Encode(ww)
 	writeQuant(ww, sn.quant)
+	if ix.opts.Metric == MetricHamming {
+		sn.sketcher.Encode(ww)
+		sn.sketches.Encode(ww)
+	}
 	writeStructure(ww, sn.tree, sn.km, sn.groups)
 	if err := ww.Flush(); err != nil {
 		return ww.BytesWritten(), fmt.Errorf("core: writing index: %w", err)
@@ -143,7 +165,13 @@ func writeStructure(ww *wire.Writer, tree *rptree.Tree, km *kmeans.Model, groups
 	for _, g := range groups {
 		ww.Ints(g.members)
 		ww.F64(g.w)
-		g.fam.Encode(ww)
+		// The hash-function section is self-tagged (family vs bit sampler),
+		// so readers recover the right decoder from the group itself.
+		if g.bsamp != nil {
+			g.bsamp.Encode(ww)
+		} else {
+			g.fam.Encode(ww)
+		}
 		ww.Int(len(g.tables))
 		for _, tab := range g.tables {
 			tab.Encode(ww)
@@ -178,6 +206,10 @@ func readOptions(rr *wire.Reader, version int) (Options, error) {
 	} else {
 		o.Quantize = QuantizeNone
 		o.RerankFactor = defaultRerankFactor
+	}
+	if version >= 4 {
+		o.Metric = MetricKind(rr.Int())
+		o.Bits = rr.Int()
 	}
 	if err := rr.Err(); err != nil {
 		return o, fmt.Errorf("core: reading options: %w", err)
@@ -233,20 +265,32 @@ func readStructure(rr *wire.Reader, o Options, n int) (*rptree.Tree, *kmeans.Mod
 			members: rr.Ints(),
 			w:       rr.F64(),
 		}
-		fam, err := lshfunc.DecodeFamily(rr)
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("core: group %d family: %w", gi, err)
-		}
-		g.fam = fam
-		switch o.Lattice {
-		case LatticeZM:
-			g.lat = lattice.NewZM(o.Params.M)
-		case LatticeE8:
-			g.lat = lattice.NewE8(o.Params.M)
-		case LatticeDn:
-			g.lat = lattice.NewDn(o.Params.M)
-		default:
-			return nil, nil, nil, fmt.Errorf("core: decoded lattice kind %d unknown", int(o.Lattice))
+		if o.Metric == MetricHamming {
+			bs, err := lshfunc.DecodeBitSampler(rr)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("core: group %d bit sampler: %w", gi, err)
+			}
+			if bs.Bits() != o.Bits || bs.M() != o.Params.M || bs.L() != o.Params.L {
+				return nil, nil, nil, fmt.Errorf("core: group %d sampler shape (bits=%d M=%d L=%d) does not match options (bits=%d M=%d L=%d)",
+					gi, bs.Bits(), bs.M(), bs.L(), o.Bits, o.Params.M, o.Params.L)
+			}
+			g.bsamp = bs
+		} else {
+			fam, err := lshfunc.DecodeFamily(rr)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("core: group %d family: %w", gi, err)
+			}
+			g.fam = fam
+			switch o.Lattice {
+			case LatticeZM:
+				g.lat = lattice.NewZM(o.Params.M)
+			case LatticeE8:
+				g.lat = lattice.NewE8(o.Params.M)
+			case LatticeDn:
+				g.lat = lattice.NewDn(o.Params.M)
+			default:
+				return nil, nil, nil, fmt.Errorf("core: decoded lattice kind %d unknown", int(o.Lattice))
+			}
 		}
 		nTables := rr.Int()
 		if err := rr.Err(); err != nil {
@@ -312,6 +356,8 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		version = 1
 	case indexMagic:
 		version = 2
+	case indexMagicV4:
+		version = 4
 	default:
 		if err := rr.Err(); err != nil {
 			return nil, fmt.Errorf("core: reading index magic: %w", err)
@@ -332,9 +378,31 @@ func ReadIndex(r io.Reader) (*Index, error) {
 			return nil, err
 		}
 	}
+	var (
+		sk       *lshfunc.Sketcher
+		sketches *vec.BinaryMatrix
+	)
+	if o.Metric == MetricHamming {
+		if sk, err = lshfunc.DecodeSketcher(rr); err != nil {
+			return nil, fmt.Errorf("core: reading sketcher: %w", err)
+		}
+		if sketches, err = vec.DecodeBinaryMatrix(rr); err != nil {
+			return nil, fmt.Errorf("core: reading sketches: %w", err)
+		}
+		if sk.D() != data.D || sk.Bits() != o.Bits {
+			return nil, fmt.Errorf("core: sketcher (d=%d bits=%d) does not match data d=%d / options bits=%d",
+				sk.D(), sk.Bits(), data.D, o.Bits)
+		}
+		if sketches.N != data.N || sketches.Bits != o.Bits {
+			return nil, fmt.Errorf("core: sketches %dx%d do not match data rows %d / options bits %d",
+				sketches.N, sketches.Bits, data.N, o.Bits)
+		}
+	}
 	tree, km, groups, err := readStructure(rr, o, data.N)
 	if err != nil {
 		return nil, err
 	}
-	return newIndex(o, data, nil, quant, tree, km, groups), nil
+	ix := newIndex(o, data, nil, quant, tree, km, groups)
+	ix.attachHamming(sk, sketches)
+	return ix, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bilsh/internal/kmeans"
+	"bilsh/internal/lshfunc"
 	"bilsh/internal/mmap"
 	"bilsh/internal/rptree"
 	"bilsh/internal/vec"
@@ -39,6 +40,14 @@ type snapshot struct {
 	tree   *rptree.Tree
 	km     *kmeans.Model
 	groups []*group
+
+	// Hamming plane (Options.Metric == MetricHamming, nil otherwise): the
+	// global hyperplane sketcher and the packed sketch of every base row.
+	// Level-1 routing still runs on the float rows; level 2 and ranking run
+	// entirely on the sketches. sketches non-nil is the query path's
+	// metric discriminator.
+	sketcher *lshfunc.Sketcher
+	sketches *vec.BinaryMatrix
 
 	// mapped roots the mmap backing data/quant/groups when the snapshot
 	// was opened from a paged disk file (v3). The base-plane slices alias

@@ -2,6 +2,8 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 )
 
@@ -16,9 +18,18 @@ func FuzzReadFvecs(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{4, 0, 0, 0, 1, 2, 3})
+	// Truncation seeds: header cut short, body cut short, clean vector
+	// followed by a half header.
+	f.Add([]byte{4, 0})
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 128, 63, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 128, 63, 1, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := ReadFvecs(bytes.NewReader(data), 100)
 		if err != nil {
+			var te *TruncatedError
+			if errors.As(err, &te) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("TruncatedError %v does not unwrap to io.ErrUnexpectedEOF", err)
+			}
 			return
 		}
 		var buf bytes.Buffer
@@ -43,6 +54,8 @@ func FuzzReadIvecs(f *testing.F) {
 	}
 	f.Add(seed.Bytes())
 	f.Add([]byte{1, 0, 0})
+	f.Add([]byte{2, 0, 0, 0, 1, 0, 0, 0})       // body cut after one of two ids
+	f.Add([]byte{1, 0, 0, 0, 9, 0, 0, 0, 3, 0}) // clean vector + half header
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rows, err := ReadIvecs(bytes.NewReader(data), 100)
 		if err != nil {

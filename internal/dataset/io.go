@@ -5,7 +5,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"slices"
 
 	"bilsh/internal/durable"
 	"bilsh/internal/vec"
@@ -19,40 +21,193 @@ import (
 // Format: each vector is stored as a little-endian int32 dimension d
 // followed by d components (float32 for fvecs, uint8 for bvecs, int32 for
 // ivecs).
+//
+// The readers stream each vector directly into a single flat buffer (the
+// matrix that is ultimately returned), growing it in place. They never
+// build an intermediate [][]float32, so peak memory is one copy of the
+// data, not two. When the source's remaining length is cheaply knowable
+// (bytes.Reader, *os.File, any io.Seeker) the buffer is pre-grown to the
+// exact row count and the read performs a single allocation.
 
 // maxSaneDim bounds the per-vector dimension so a corrupt header cannot
 // drive a multi-gigabyte allocation.
 const maxSaneDim = 1 << 20
 
-// ReadFvecs parses an fvecs stream. maxN > 0 limits the number of vectors
-// read; maxN <= 0 reads to EOF.
-func ReadFvecs(r io.Reader, maxN int) (*vec.Matrix, error) {
-	br := bufio.NewReader(r)
-	var rows [][]float32
-	for maxN <= 0 || len(rows) < maxN {
-		var d int32
-		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return nil, fmt.Errorf("dataset: fvecs header: %w", err)
-		}
-		if d <= 0 || d > maxSaneDim {
-			return nil, fmt.Errorf("dataset: fvecs vector %d has bad dimension %d", len(rows), d)
-		}
-		if len(rows) > 0 && int(d) != len(rows[0]) {
-			return nil, fmt.Errorf("dataset: fvecs vector %d dimension %d != %d", len(rows), d, len(rows[0]))
-		}
-		row := make([]float32, d)
-		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
-			return nil, fmt.Errorf("dataset: fvecs vector %d body: %w", len(rows), err)
-		}
-		rows = append(rows, row)
+// TruncatedError reports a stream that ended in the middle of a vector:
+// either inside a dimension header or before the advertised number of
+// components arrived. Vector is the index of the vector being read and
+// Offset the byte position at which the stream stopped. It unwraps to
+// io.ErrUnexpectedEOF so callers can errors.Is-match truncation generically.
+type TruncatedError struct {
+	Format string // "fvecs", "bvecs", or "ivecs"
+	Vector int    // index of the vector that was being read
+	Offset int64  // byte offset at which the stream ended
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("dataset: %s file truncated at vector %d, byte offset %d", e.Format, e.Vector, e.Offset)
+}
+
+func (e *TruncatedError) Unwrap() error { return io.ErrUnexpectedEOF }
+
+// vecReader tracks position through a *vecs stream so truncation errors
+// can name the exact vector and byte offset.
+type vecReader struct {
+	br     *bufio.Reader
+	format string
+	off    int64 // bytes consumed so far
+	n      int   // vectors fully read so far
+	hdr    [4]byte
+}
+
+func newVecReader(r io.Reader, format string) *vecReader {
+	return &vecReader{br: bufio.NewReaderSize(r, 1<<16), format: format}
+}
+
+// header reads the next int32 dimension header. io.EOF means a clean
+// end-of-stream at a vector boundary; truncation mid-header surfaces as a
+// *TruncatedError.
+func (vr *vecReader) header() (int32, error) {
+	n, err := io.ReadFull(vr.br, vr.hdr[:])
+	vr.off += int64(n)
+	if err == io.EOF {
+		return 0, io.EOF
 	}
-	if len(rows) == 0 {
+	if err == io.ErrUnexpectedEOF {
+		return 0, &TruncatedError{Format: vr.format, Vector: vr.n, Offset: vr.off}
+	}
+	if err != nil {
+		return 0, fmt.Errorf("dataset: %s header at vector %d: %w", vr.format, vr.n, err)
+	}
+	return int32(binary.LittleEndian.Uint32(vr.hdr[:])), nil
+}
+
+// body fills dst with the current vector's raw component bytes.
+func (vr *vecReader) body(dst []byte) error {
+	n, err := io.ReadFull(vr.br, dst)
+	vr.off += int64(n)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return &TruncatedError{Format: vr.format, Vector: vr.n, Offset: vr.off}
+	}
+	if err != nil {
+		return fmt.Errorf("dataset: %s body at vector %d: %w", vr.format, vr.n, err)
+	}
+	vr.n++
+	return nil
+}
+
+// checkDim validates one dimension header against the stream's first.
+func (vr *vecReader) checkDim(d int32, dim int) (int, error) {
+	if d <= 0 || d > maxSaneDim {
+		return 0, fmt.Errorf("dataset: %s vector %d has bad dimension %d", vr.format, vr.n, d)
+	}
+	if dim != 0 && int(d) != dim {
+		return 0, fmt.Errorf("dataset: %s vector %d dimension %d != %d", vr.format, vr.n, d, dim)
+	}
+	return int(d), nil
+}
+
+// checkNext enforces the maxN contract: stopping early is only valid if
+// the unread remainder continues with the same dimension. A full header
+// is peeked without consuming it; a mismatch means the file is corrupt
+// (or concatenated from different datasets) and the prefix read so far
+// cannot be trusted. Fewer than four remaining bytes are ignored —
+// distinguishing trailing padding from a truncated next vector is the
+// caller's concern only when it reads that far.
+func (vr *vecReader) checkNext(dim int) error {
+	p, err := vr.br.Peek(4)
+	if err != nil {
+		return nil // clean EOF or short tail; the limit made it unreachable
+	}
+	if d := int32(binary.LittleEndian.Uint32(p)); int(d) != dim {
+		return fmt.Errorf("dataset: %s vector %d (past read limit) has dimension %d != %d; refusing to return a silently mismatched prefix", vr.format, vr.n, d, dim)
+	}
+	return nil
+}
+
+// sizeHint returns the number of bytes remaining in r when that is
+// cheaply knowable, else -1. It must be called before the first read.
+func sizeHint(r io.Reader) int64 {
+	switch s := r.(type) {
+	case interface{ Len() int }: // bytes.Reader, bytes.Buffer, strings.Reader
+		return int64(s.Len())
+	case io.Seeker:
+		cur, err := s.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return -1
+		}
+		end, err := s.Seek(0, io.SeekEnd)
+		if err != nil {
+			return -1
+		}
+		if _, err := s.Seek(cur, io.SeekStart); err != nil {
+			return -1
+		}
+		return end - cur
+	}
+	return -1
+}
+
+// growRows pre-grows flat for the expected remaining rows the first time
+// the dimension is known, then extends it by one row. slices.Grow keeps
+// growth amortized when no size hint was available.
+func growRows(flat []float32, dim int, hint int64, bytesPerRow int, maxN int) []float32 {
+	if cap(flat) == 0 && hint > 0 {
+		rows := int(hint) / bytesPerRow
+		if maxN > 0 && rows > maxN {
+			rows = maxN
+		}
+		if rows > 0 && rows <= math.MaxInt/dim {
+			flat = make([]float32, 0, rows*dim)
+		}
+	}
+	return slices.Grow(flat, dim)[:len(flat)+dim]
+}
+
+// ReadFvecs parses an fvecs stream. maxN > 0 limits the number of vectors
+// read; maxN <= 0 reads to EOF. When maxN stops the read early the next
+// header (if any) is still validated, so a stream whose tail switches
+// dimension is rejected instead of silently returning a prefix.
+func ReadFvecs(r io.Reader, maxN int) (*vec.Matrix, error) {
+	hint := sizeHint(r)
+	vr := newVecReader(r, "fvecs")
+	var (
+		flat []float32
+		dim  int
+		body []byte
+	)
+	for maxN <= 0 || vr.n < maxN {
+		d, err := vr.header()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if dim, err = vr.checkDim(d, dim); err != nil {
+			return nil, err
+		}
+		if body == nil {
+			body = make([]byte, 4*dim)
+		}
+		if err := vr.body(body); err != nil {
+			return nil, err
+		}
+		flat = growRows(flat, dim, hint, 4+4*dim, maxN)
+		row := flat[len(flat)-dim:]
+		for j := range row {
+			row[j] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*j:]))
+		}
+	}
+	if vr.n == 0 {
 		return nil, fmt.Errorf("dataset: fvecs stream contained no vectors")
 	}
-	return vec.FromRows(rows), nil
+	if maxN > 0 && vr.n == maxN {
+		if err := vr.checkNext(dim); err != nil {
+			return nil, err
+		}
+	}
+	return &vec.Matrix{Data: flat, N: vr.n, D: dim}, nil
 }
 
 // WriteFvecs serializes m in fvecs format.
@@ -70,59 +225,92 @@ func WriteFvecs(w io.Writer, m *vec.Matrix) error {
 }
 
 // ReadBvecs parses a bvecs (uint8 components) stream into float32 vectors.
+// The maxN contract matches ReadFvecs.
 func ReadBvecs(r io.Reader, maxN int) (*vec.Matrix, error) {
-	br := bufio.NewReader(r)
-	var rows [][]float32
-	for maxN <= 0 || len(rows) < maxN {
-		var d int32
-		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return nil, fmt.Errorf("dataset: bvecs header: %w", err)
+	hint := sizeHint(r)
+	vr := newVecReader(r, "bvecs")
+	var (
+		flat []float32
+		dim  int
+		body []byte
+	)
+	for maxN <= 0 || vr.n < maxN {
+		d, err := vr.header()
+		if err == io.EOF {
+			break
 		}
-		if d <= 0 || d > maxSaneDim {
-			return nil, fmt.Errorf("dataset: bvecs vector %d has bad dimension %d", len(rows), d)
+		if err != nil {
+			return nil, err
 		}
-		if len(rows) > 0 && int(d) != len(rows[0]) {
-			return nil, fmt.Errorf("dataset: bvecs vector %d dimension %d != %d", len(rows), d, len(rows[0]))
+		if dim, err = vr.checkDim(d, dim); err != nil {
+			return nil, err
 		}
-		raw := make([]uint8, d)
-		if _, err := io.ReadFull(br, raw); err != nil {
-			return nil, fmt.Errorf("dataset: bvecs vector %d body: %w", len(rows), err)
+		if body == nil {
+			body = make([]byte, dim)
 		}
-		row := make([]float32, d)
-		for j, b := range raw {
+		if err := vr.body(body); err != nil {
+			return nil, err
+		}
+		flat = growRows(flat, dim, hint, 4+dim, maxN)
+		row := flat[len(flat)-dim:]
+		for j, b := range body {
 			row[j] = float32(b)
 		}
-		rows = append(rows, row)
 	}
-	if len(rows) == 0 {
+	if vr.n == 0 {
 		return nil, fmt.Errorf("dataset: bvecs stream contained no vectors")
 	}
-	return vec.FromRows(rows), nil
+	if maxN > 0 && vr.n == maxN {
+		if err := vr.checkNext(dim); err != nil {
+			return nil, err
+		}
+	}
+	return &vec.Matrix{Data: flat, N: vr.n, D: dim}, nil
 }
 
 // ReadIvecs parses an ivecs stream (e.g. ground-truth neighbor id lists).
+// Rows may have different lengths (the format allows it), so the maxN
+// next-header peek does not apply; the returned rows are views into one
+// flat backing array.
 func ReadIvecs(r io.Reader, maxN int) ([][]int32, error) {
-	br := bufio.NewReader(r)
-	var rows [][]int32
-	for maxN <= 0 || len(rows) < maxN {
-		var d int32
-		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return nil, fmt.Errorf("dataset: ivecs header: %w", err)
+	vr := newVecReader(r, "ivecs")
+	var (
+		flat []int32
+		dims []int32
+		body []byte
+	)
+	for maxN <= 0 || vr.n < maxN {
+		d, err := vr.header()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
 		}
 		if d <= 0 || d > maxSaneDim {
-			return nil, fmt.Errorf("dataset: ivecs vector %d has bad dimension %d", len(rows), d)
+			return nil, fmt.Errorf("dataset: ivecs vector %d has bad dimension %d", vr.n, d)
 		}
-		row := make([]int32, d)
-		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
-			return nil, fmt.Errorf("dataset: ivecs vector %d body: %w", len(rows), err)
+		if 4*int(d) > cap(body) {
+			body = make([]byte, 4*d)
 		}
-		rows = append(rows, row)
+		if err := vr.body(body[:4*d]); err != nil {
+			return nil, err
+		}
+		flat = slices.Grow(flat, int(d))[:len(flat)+int(d)]
+		row := flat[len(flat)-int(d):]
+		for j := range row {
+			row[j] = int32(binary.LittleEndian.Uint32(body[4*j:]))
+		}
+		dims = append(dims, d)
+	}
+	if len(dims) == 0 {
+		return nil, nil
+	}
+	rows := make([][]int32, len(dims))
+	off := 0
+	for i, d := range dims {
+		rows[i] = flat[off : off+int(d) : off+int(d)]
+		off += int(d)
 	}
 	return rows, nil
 }
@@ -151,32 +339,34 @@ func ScanFvecs(path string, fn func(i int, row []float32) error) (n, dim int, er
 		return 0, 0, err
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<20)
+	vr := newVecReader(f, "fvecs")
+	vr.br = bufio.NewReaderSize(f, 1<<20)
 	var row []float32
+	var body []byte
 	for {
-		var d int32
-		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
-			if err == io.EOF {
-				return n, dim, nil
-			}
-			return n, dim, fmt.Errorf("dataset: fvecs header at row %d: %w", n, err)
+		d, err := vr.header()
+		if err == io.EOF {
+			return vr.n, dim, nil
 		}
-		if d <= 0 || d > maxSaneDim {
-			return n, dim, fmt.Errorf("dataset: fvecs row %d has bad dimension %d", n, d)
+		if err != nil {
+			return vr.n, dim, err
 		}
-		if dim == 0 {
-			dim = int(d)
+		if dim, err = vr.checkDim(d, dim); err != nil {
+			return vr.n, dim, err
+		}
+		if row == nil {
 			row = make([]float32, dim)
-		} else if int(d) != dim {
-			return n, dim, fmt.Errorf("dataset: fvecs row %d dimension %d != %d", n, d, dim)
+			body = make([]byte, 4*dim)
 		}
-		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
-			return n, dim, fmt.Errorf("dataset: fvecs row %d body: %w", n, err)
+		if err := vr.body(body); err != nil {
+			return vr.n, dim, err
 		}
-		if err := fn(n, row); err != nil {
-			return n, dim, err
+		for j := range row {
+			row[j] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*j:]))
 		}
-		n++
+		if err := fn(vr.n-1, row); err != nil {
+			return vr.n, dim, err
+		}
 	}
 }
 

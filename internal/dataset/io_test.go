@@ -1,0 +1,211 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"unsafe"
+
+	"bilsh/internal/xrand"
+)
+
+// fvecsBytes hand-assembles an fvecs stream of n vectors of dimension d
+// with distinguishable payloads.
+func fvecsBytes(n, d int) []byte {
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		binary.Write(&buf, binary.LittleEndian, int32(d))
+		for j := 0; j < d; j++ {
+			binary.Write(&buf, binary.LittleEndian, float32(i*d+j))
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestTruncatedErrors pins the structured truncation error across all
+// three readers, for both mid-header and mid-body cuts.
+func TestTruncatedErrors(t *testing.T) {
+	full := fvecsBytes(3, 4) // 3 vectors x (4 + 16) bytes
+	var bv bytes.Buffer
+	bv.Write([]byte{3, 0, 0, 0, 1, 2, 3}) // one complete bvecs vector
+	bv.Write([]byte{3, 0, 0, 0, 1})       // second vector cut mid-body
+	var iv bytes.Buffer
+	WriteIvecs(&iv, [][]int32{{7, 8}})
+	iv.Write([]byte{2, 0}) // second header cut after 2 bytes
+
+	cases := []struct {
+		name   string
+		read   func(r io.Reader) error
+		data   []byte
+		vector int
+		offset int64
+		format string
+	}{
+		{"fvecs/body", func(r io.Reader) error { _, err := ReadFvecs(r, 0); return err },
+			full[:25], 1, 25, "fvecs"},
+		{"fvecs/header", func(r io.Reader) error { _, err := ReadFvecs(r, 0); return err },
+			full[:22], 1, 22, "fvecs"},
+		{"bvecs/body", func(r io.Reader) error { _, err := ReadBvecs(r, 0); return err },
+			bv.Bytes(), 1, 12, "bvecs"},
+		{"ivecs/header", func(r io.Reader) error { _, err := ReadIvecs(r, 0); return err },
+			iv.Bytes(), 1, 14, "ivecs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.read(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("truncated stream accepted")
+			}
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("error %v does not unwrap to io.ErrUnexpectedEOF", err)
+			}
+			var te *TruncatedError
+			if !errors.As(err, &te) {
+				t.Fatalf("error %v is not a *TruncatedError", err)
+			}
+			if te.Format != tc.format || te.Vector != tc.vector || te.Offset != tc.offset {
+				t.Fatalf("got %+v, want {%s %d %d}", te, tc.format, tc.vector, tc.offset)
+			}
+			want := "truncated at vector"
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("message %q lacks %q", err.Error(), want)
+			}
+		})
+	}
+}
+
+// TestReadFvecsMaxNPeeksNextHeader pins the maxN contract: an early stop
+// is only valid when the unread tail continues with the same dimension.
+func TestReadFvecsMaxNPeeksNextHeader(t *testing.T) {
+	clean := fvecsBytes(5, 4)
+	if m, err := ReadFvecs(bytes.NewReader(clean), 3); err != nil || m.N != 3 {
+		t.Fatalf("uniform tail: got %v rows, err %v", m, err)
+	}
+
+	// Same 3-vector prefix, but the 4th vector switches dimension.
+	mixed := append(append([]byte{}, fvecsBytes(3, 4)...), fvecsBytes(1, 5)...)
+	if _, err := ReadFvecs(bytes.NewReader(mixed), 3); err == nil {
+		t.Fatal("dimension switch past maxN went undetected")
+	} else if !strings.Contains(err.Error(), "past read limit") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Reading the same stream without a limit hits the ordinary ragged-dim error.
+	if _, err := ReadFvecs(bytes.NewReader(mixed), 0); err == nil {
+		t.Fatal("ragged stream accepted")
+	}
+
+	// A short tail (< one header) after the limit is tolerated: the limit
+	// made it unreachable and it may be padding.
+	short := append(append([]byte{}, fvecsBytes(3, 4)...), 0x4)
+	if m, err := ReadFvecs(bytes.NewReader(short), 3); err != nil || m.N != 3 {
+		t.Fatalf("short tail: rows %v err %v", m, err)
+	}
+
+	// Same contract for bvecs.
+	var bv bytes.Buffer
+	bv.Write([]byte{2, 0, 0, 0, 1, 2})
+	bv.Write([]byte{3, 0, 0, 0, 1, 2, 3})
+	if _, err := ReadBvecs(bytes.NewReader(bv.Bytes()), 1); err == nil {
+		t.Fatal("bvecs dimension switch past maxN went undetected")
+	}
+}
+
+// TestReadFvecsFlatBuffer asserts the reader holds one flat buffer: with
+// a size-hinting source the whole parse allocates little more than the
+// returned matrix itself (the old reader's [][]float32 staging plus
+// binary.Read scratch cost ~3x the payload).
+func TestReadFvecsFlatBuffer(t *testing.T) {
+	const n, d = 1024, 64
+	payload := int64(n * d * 4) // 256 KiB of float32s
+	data := fvecsBytes(n, d)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	m, err := ReadFvecs(bytes.NewReader(data), 0)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != n || m.D != d {
+		t.Fatalf("shape %dx%d", m.N, m.D)
+	}
+	for i := range m.Data {
+		if m.Data[i] != float32(i) {
+			t.Fatalf("element %d = %g", i, m.Data[i])
+		}
+	}
+	alloc := int64(after.TotalAlloc - before.TotalAlloc)
+	// Budget: the matrix itself, the 64 KiB bufio window, the row scratch,
+	// and slack. Anything near 2x payload means a second copy came back.
+	if budget := payload + 96*1024; alloc > budget {
+		t.Fatalf("ReadFvecs allocated %d bytes for a %d-byte payload (budget %d); reader is staging a second copy", alloc, payload, budget)
+	}
+}
+
+// TestReadIvecsFlatViews asserts ivecs rows are views into one backing
+// array, in order, with correct contents.
+func TestReadIvecsFlatViews(t *testing.T) {
+	rows := [][]int32{{1, 2, 3}, {4}, {5, 6}}
+	var buf bytes.Buffer
+	if err := WriteIvecs(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIvecs(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("%d rows", len(got))
+	}
+	for i := range rows {
+		if len(got[i]) != len(rows[i]) {
+			t.Fatalf("row %d length %d", i, len(got[i]))
+		}
+		for j := range rows[i] {
+			if got[i][j] != rows[i][j] {
+				t.Fatalf("row %d differs", i)
+			}
+		}
+	}
+	// Consecutive rows share one backing array: row 1 starts exactly
+	// len(row 0) elements after row 0.
+	base := uintptr(unsafe.Pointer(&got[0][0]))
+	next := uintptr(unsafe.Pointer(&got[1][0]))
+	if next != base+uintptr(len(got[0]))*unsafe.Sizeof(int32(0)) {
+		t.Fatal("rows are not views into a single flat buffer")
+	}
+}
+
+// TestScanFvecsTruncated checks the streaming scanner reports structured
+// truncation too (it used to surface a bare binary.Read error).
+func TestScanFvecsTruncated(t *testing.T) {
+	path := t.TempDir() + "/trunc.fvecs"
+	m := Uniform(4, 6, xrand.New(2))
+	if err := SaveFvecsFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, _, err := ScanFvecs(path, func(int, []float32) error { return nil })
+	if err == nil {
+		t.Fatal("truncated file scanned cleanly")
+	}
+	var te *TruncatedError
+	if !errors.As(err, &te) || te.Vector != 3 {
+		t.Fatalf("err %v, want TruncatedError at vector 3", err)
+	}
+	if n != 3 {
+		t.Fatalf("delivered %d complete rows before the cut, want 3", n)
+	}
+}

@@ -1,0 +1,221 @@
+package lshfunc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"bilsh/internal/vec"
+	"bilsh/internal/wire"
+	"bilsh/internal/xrand"
+)
+
+func TestSketcherSignsAndMargins(t *testing.T) {
+	sk, err := NewSketcher(8, 70, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Words() != 2 {
+		t.Fatalf("Words = %d, want 2", sk.Words())
+	}
+	v := xrand.New(2).GaussianVec(8)
+	out := make([]uint64, sk.Words())
+	marg := make([]float64, sk.Bits())
+	sk.SketchWithMargins(v, out, marg)
+	for i := 0; i < sk.Bits(); i++ {
+		dot := vec.Dot(sk.planes.Row(i), v)
+		if dot != marg[i] {
+			t.Fatalf("bit %d margin %g, want %g", i, marg[i], dot)
+		}
+		bit := out[i>>6]&(1<<(uint(i)&63)) != 0
+		if bit != (dot >= 0) {
+			t.Fatalf("bit %d = %v, margin %g", i, bit, dot)
+		}
+	}
+	// Pad bits beyond Bits stay zero.
+	if out[1]>>(70-64) != 0 {
+		t.Fatalf("pad bits set: %#x", out[1])
+	}
+
+	// Negating the vector flips every bit with a nonzero margin.
+	neg := make([]float32, len(v))
+	for i := range v {
+		neg[i] = -v[i]
+	}
+	out2 := make([]uint64, sk.Words())
+	sk.Sketch(neg, out2)
+	for i := 0; i < sk.Bits(); i++ {
+		if marg[i] == 0 {
+			continue
+		}
+		a := out[i>>6]&(1<<(uint(i)&63)) != 0
+		b := out2[i>>6]&(1<<(uint(i)&63)) != 0
+		if a == b {
+			t.Fatalf("bit %d did not flip under negation (margin %g)", i, marg[i])
+		}
+	}
+}
+
+// TestSketcherLocality checks the SimHash property on aggregate: closer
+// vectors get closer sketches.
+func TestSketcherLocality(t *testing.T) {
+	rng := xrand.New(5)
+	sk, err := NewSketcher(16, 256, rng.Split(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nearSum, farSum int
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		base := rng.GaussianVec(16)
+		near := make([]float32, 16)
+		far := rng.GaussianVec(16)
+		for j := range base {
+			near[j] = base[j] + 0.05*float32(rng.NormFloat64())
+		}
+		sb := make([]uint64, sk.Words())
+		snr := make([]uint64, sk.Words())
+		sf := make([]uint64, sk.Words())
+		sk.Sketch(base, sb)
+		sk.Sketch(near, snr)
+		sk.Sketch(far, sf)
+		nearSum += vec.Hamming(sb, snr)
+		farSum += vec.Hamming(sb, sf)
+	}
+	if nearSum >= farSum {
+		t.Fatalf("near perturbations averaged Hamming %d, unrelated vectors %d; sketch is not locality sensitive", nearSum/trials, farSum/trials)
+	}
+}
+
+func TestBitSamplerKeys(t *testing.T) {
+	bs, err := NewBitSampler(128, 10, 4, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.KeyLen() != 2 {
+		t.Fatalf("KeyLen = %d, want 2", bs.KeyLen())
+	}
+	sketch := []uint64{0xdeadbeefcafef00d, 0x0123456789abcdef}
+	for tab := 0; tab < bs.L(); tab++ {
+		pos := bs.Positions(tab)
+		if len(pos) != bs.M() {
+			t.Fatalf("table %d has %d positions, want %d", tab, len(pos), bs.M())
+		}
+		seen := map[int]bool{}
+		for _, p := range pos {
+			if p < 0 || p >= bs.Bits() || seen[p] {
+				t.Fatalf("table %d position %d out of range or duplicated", tab, p)
+			}
+			seen[p] = true
+		}
+		key := bs.AppendKey(nil, tab, sketch)
+		if len(key) != bs.KeyLen() {
+			t.Fatalf("key length %d, want %d", len(key), bs.KeyLen())
+		}
+		for j, p := range pos {
+			want := sketch[p>>6]&(1<<(uint(p)&63)) != 0
+			got := key[j>>3]&(1<<(uint(j)&7)) != 0
+			if got != want {
+				t.Fatalf("table %d key bit %d = %v, want sketch bit %d = %v", tab, j, got, p, want)
+			}
+		}
+	}
+	// Determinism: the same seed redraws the same positions.
+	bs2, _ := NewBitSampler(128, 10, 4, xrand.New(3))
+	for tab := 0; tab < bs.L(); tab++ {
+		p1, p2 := bs.Positions(tab), bs2.Positions(tab)
+		for j := range p1 {
+			if p1[j] != p2[j] {
+				t.Fatalf("table %d not deterministic", tab)
+			}
+		}
+	}
+}
+
+func TestBitSamplerValidation(t *testing.T) {
+	if _, err := NewBitSampler(8, 9, 1, xrand.New(1)); err == nil {
+		t.Fatal("accepted M > Bits")
+	}
+	if _, err := NewBitSampler(0, 1, 1, xrand.New(1)); err == nil {
+		t.Fatal("accepted zero Bits")
+	}
+}
+
+func TestSketcherRoundTrip(t *testing.T) {
+	sk, err := NewSketcher(12, 96, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ww := wire.NewWriter(&buf)
+	sk.Encode(ww)
+	if err := ww.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSketcher(wire.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.D() != sk.D() || got.Bits() != sk.Bits() {
+		t.Fatalf("shape d=%d bits=%d, want d=%d bits=%d", got.D(), got.Bits(), sk.D(), sk.Bits())
+	}
+	v := xrand.New(9).GaussianVec(12)
+	a, b := make([]uint64, sk.Words()), make([]uint64, got.Words())
+	ma, mb := make([]float64, sk.Bits()), make([]float64, got.Bits())
+	sk.SketchWithMargins(v, a, ma)
+	got.SketchWithMargins(v, b, mb)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decoded sketcher produces different sketch word %d", i)
+		}
+	}
+	for i := range ma {
+		if math.Float64bits(ma[i]) != math.Float64bits(mb[i]) {
+			t.Fatalf("decoded sketcher margin %d differs", i)
+		}
+	}
+}
+
+func TestBitSamplerRoundTrip(t *testing.T) {
+	bs, err := NewBitSampler(256, 16, 6, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ww := wire.NewWriter(&buf)
+	bs.Encode(ww)
+	if err := ww.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBitSampler(wire.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bits() != bs.Bits() || got.M() != bs.M() || got.L() != bs.L() {
+		t.Fatal("decoded sampler shape differs")
+	}
+	sketch := []uint64{42, ^uint64(0), 7, 0}
+	for tab := 0; tab < bs.L(); tab++ {
+		a := bs.AppendKey(nil, tab, sketch)
+		b := got.AppendKey(nil, tab, sketch)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("table %d keys differ after round trip", tab)
+		}
+	}
+}
+
+func TestDecodeBitSamplerRejectsOutOfRangePosition(t *testing.T) {
+	var buf bytes.Buffer
+	ww := wire.NewWriter(&buf)
+	ww.Magic(samplerMagic)
+	ww.Int(64) // bits
+	ww.Int(2)  // m
+	ww.Int(1)  // l
+	ww.Ints([]int{3, 64})
+	if err := ww.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBitSampler(wire.NewReader(&buf)); err == nil {
+		t.Fatal("decoder accepted a position outside the sketch width")
+	}
+}

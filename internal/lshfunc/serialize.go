@@ -7,7 +7,80 @@ import (
 	"bilsh/internal/wire"
 )
 
-const familyMagic = "lshfunc.Family/1"
+const (
+	familyMagic   = "lshfunc.Family/1"
+	sketcherMagic = "lshfunc.Sketcher/1"
+	samplerMagic  = "lshfunc.BitSampler/1"
+)
+
+// Encode writes the sketcher (hyperplane normals) to w.
+func (s *Sketcher) Encode(w *wire.Writer) {
+	w.Magic(sketcherMagic)
+	w.Int(s.d)
+	w.Int(s.bits)
+	s.planes.Encode(w)
+}
+
+// DecodeSketcher reads a sketcher written by Encode.
+func DecodeSketcher(r *wire.Reader) (*Sketcher, error) {
+	r.ExpectMagic(sketcherMagic)
+	s := &Sketcher{d: r.Int(), bits: r.Int()}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if s.d <= 0 || s.bits <= 0 || s.bits > 1<<20 {
+		return nil, fmt.Errorf("lshfunc: decoded sketcher shape d=%d bits=%d implausible", s.d, s.bits)
+	}
+	p, err := vec.DecodeMatrix(r)
+	if err != nil {
+		return nil, fmt.Errorf("lshfunc: sketcher planes: %w", err)
+	}
+	if p.N != s.bits || p.D != s.d {
+		return nil, fmt.Errorf("lshfunc: sketcher planes shaped %dx%d, want %dx%d", p.N, p.D, s.bits, s.d)
+	}
+	s.planes = p
+	return s, nil
+}
+
+// Encode writes the bit sampler (per-table positions) to w.
+func (bs *BitSampler) Encode(w *wire.Writer) {
+	w.Magic(samplerMagic)
+	w.Int(bs.bits)
+	w.Int(bs.m)
+	w.Int(bs.l)
+	for t := 0; t < bs.l; t++ {
+		w.Ints(bs.pos[t])
+	}
+}
+
+// DecodeBitSampler reads a bit sampler written by Encode.
+func DecodeBitSampler(r *wire.Reader) (*BitSampler, error) {
+	r.ExpectMagic(samplerMagic)
+	bs := &BitSampler{bits: r.Int(), m: r.Int(), l: r.Int()}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if bs.bits <= 0 || bs.m <= 0 || bs.l <= 0 || bs.m > bs.bits || bs.l > 1<<20 {
+		return nil, fmt.Errorf("lshfunc: decoded sampler shape bits=%d m=%d l=%d implausible", bs.bits, bs.m, bs.l)
+	}
+	bs.pos = make([][]int, bs.l)
+	for t := 0; t < bs.l; t++ {
+		pt := r.Ints()
+		if len(pt) != bs.m {
+			return nil, fmt.Errorf("lshfunc: sampler table %d has %d positions, want %d", t, len(pt), bs.m)
+		}
+		for _, p := range pt {
+			if p < 0 || p >= bs.bits {
+				return nil, fmt.Errorf("lshfunc: sampler table %d position %d outside %d-bit sketch", t, p, bs.bits)
+			}
+		}
+		bs.pos[t] = pt
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return bs, nil
+}
 
 // Encode writes the family (directions, offsets, current width) to w.
 func (f *Family) Encode(w *wire.Writer) {

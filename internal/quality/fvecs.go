@@ -1,0 +1,183 @@
+package quality
+
+import (
+	"fmt"
+	"os"
+	"slices"
+	"strings"
+
+	"bilsh/internal/core"
+	"bilsh/internal/dataset"
+	"bilsh/internal/knn"
+	"bilsh/internal/lshfunc"
+	"bilsh/internal/vec"
+	"bilsh/internal/xrand"
+)
+
+// Real-dataset evaluation mode: vectors, queries and exact Euclidean
+// ground truth come from files in the TexMex formats (.fvecs/.ivecs)
+// instead of a seeded generator. The same protocol drives a committed
+// few-KiB fixture in CI (`make dataset`, golden/fvecs.json) and real
+// SIFT/GIST subsets fetched with `bilsh dataset fetch` — docs/datasets.md
+// is the runbook.
+//
+// The matrix differs from the synthetic presets in two ways:
+//
+//   - static cells only: the truth file is computed once for the exact
+//     row set, so there is no dynamic edit workload;
+//   - a Hamming wing: the same files also drive Metric=Hamming indexes
+//     (hyperplane-sign sketches over the float rows), whose ground truth
+//     is the index's own exact Hamming scan — the committed golden cells
+//     for the binary metric family.
+
+// Fvecs returns the `bilsh quality -preset fvecs` configuration, sized
+// for the committed fixture under internal/quality/testdata/sift-micro.
+// The loader verifies the files match the configured shape, so golden
+// thresholds and fixture can only drift together.
+func Fvecs() Config {
+	return Config{
+		Preset:   "fvecs",
+		Datasets: []string{"fvecs"},
+		N:        512, Queries: 40, D: 16, K: 10,
+		M: 8, L: 8, Probes: 16, Groups: 4,
+		MemtableThreshold: 32,
+		Seed:              7,
+		Widths:            calibratedWidths,
+		Fvecs:             true,
+		Bits:              128,
+		FvecsBase:         "internal/quality/testdata/sift-micro/base.fvecs",
+		FvecsQueries:      "internal/quality/testdata/sift-micro/query.fvecs",
+		FvecsTruth:        "internal/quality/testdata/sift-micro/truth.ivecs",
+	}
+}
+
+// fvecsWorkload loads the three dataset files and rebuilds the truth
+// distances from the base rows (ivecs carries ids only).
+func fvecsWorkload(cfg Config) (train, qs *vec.Matrix, truth []knn.Result, err error) {
+	train, err = dataset.LoadFvecsFile(cfg.FvecsBase, 0)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("quality: base vectors: %w", err)
+	}
+	qs, err = dataset.LoadFvecsFile(cfg.FvecsQueries, 0)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("quality: query vectors: %w", err)
+	}
+	tf, err := os.Open(cfg.FvecsTruth)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("quality: ground truth: %w", err)
+	}
+	rows, err := dataset.ReadIvecs(tf, 0)
+	tf.Close()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("quality: ground truth: %w", err)
+	}
+	if train.N != cfg.N || train.D != cfg.D {
+		return nil, nil, nil, fmt.Errorf("quality: base file is %dx%d, preset expects %dx%d (fixture drift? regenerate truth and golden together)", train.N, train.D, cfg.N, cfg.D)
+	}
+	if qs.N != cfg.Queries || qs.D != cfg.D {
+		return nil, nil, nil, fmt.Errorf("quality: query file is %dx%d, preset expects %dx%d", qs.N, qs.D, cfg.Queries, cfg.D)
+	}
+	if len(rows) != qs.N {
+		return nil, nil, nil, fmt.Errorf("quality: truth file has %d rows for %d queries", len(rows), qs.N)
+	}
+	truth = make([]knn.Result, qs.N)
+	for qi, row := range rows {
+		if len(row) < cfg.K {
+			return nil, nil, nil, fmt.Errorf("quality: truth row %d has %d ids, need k=%d", qi, len(row), cfg.K)
+		}
+		r := knn.Result{IDs: make([]int, cfg.K), Dists: make([]float64, cfg.K)}
+		for i := 0; i < cfg.K; i++ {
+			id := int(row[i])
+			if id < 0 || id >= train.N {
+				return nil, nil, nil, fmt.Errorf("quality: truth row %d references id %d outside the base set", qi, id)
+			}
+			r.IDs[i] = id
+			r.Dists[i] = vec.SqDist(train.Row(id), qs.Row(qi))
+		}
+		truth[qi] = r
+	}
+	return train, qs, truth, nil
+}
+
+// runFvecs evaluates the file-backed matrix: the Euclidean wing (lattice
+// x probe x partition, static, against the ivecs truth) and the Hamming
+// wing (probe x partition against each index's exact Hamming scan).
+func runFvecs(cfg Config) (*Report, error) {
+	train, qs, truth, err := fvecsWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	quantize, err := core.ParseQuantizeKind(cfg.Quantize)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Config: cfg}
+	buildSeed := mixSeed(cfg.Seed, "fvecs")
+
+	for _, lat := range allLattices {
+		for _, probe := range allProbes {
+			for _, bi := range []bool{false, true} {
+				opts := core.Options{
+					Lattice:           lat,
+					ProbeMode:         probe,
+					Probes:            cfg.Probes,
+					AutoTuneW:         true,
+					TuneK:             cfg.K,
+					MemtableThreshold: cfg.MemtableThreshold,
+					Quantize:          quantize,
+					Params:            lshfunc.Params{M: cfg.M, L: cfg.L, W: cfg.Widths.width(bi, probe)},
+				}
+				if bi {
+					opts.Partitioner = core.PartitionRPTree
+					opts.Groups = cfg.Groups
+				}
+				ix, err := core.Build(train, opts, xrand.New(buildSeed))
+				if err != nil {
+					return nil, fmt.Errorf("quality: fvecs %v/%v build: %w", lat, probe, err)
+				}
+				cell := Cell{Dataset: "fvecs", Lattice: lat, Probe: probe, BiLevel: bi, Dynamics: DynStatic}
+				rep.Cells = append(rep.Cells, measureCell(cell, ix, qs, truth, cfg, train.N))
+			}
+		}
+	}
+
+	// Hamming wing: bit-sampling over hyperplane-sign sketches, checked
+	// against the exact Hamming scan under the same sketcher (each index
+	// draws its own planes, so the truth is computed per index).
+	for _, probe := range []core.ProbeMode{core.ProbeSingle, core.ProbeMulti} {
+		for _, bi := range []bool{false, true} {
+			opts := core.Options{
+				Metric:            core.MetricHamming,
+				Bits:              cfg.Bits,
+				ProbeMode:         probe,
+				Probes:            cfg.Probes,
+				MemtableThreshold: cfg.MemtableThreshold,
+				Params:            lshfunc.Params{M: 2 * cfg.M, L: cfg.L},
+			}
+			partition := "standard"
+			if bi {
+				opts.Partitioner = core.PartitionRPTree
+				opts.Groups = cfg.Groups
+				partition = "bilevel"
+			}
+			ix, err := core.Build(train, opts, xrand.New(buildSeed))
+			if err != nil {
+				return nil, fmt.Errorf("quality: fvecs hamming/%v/%s build: %w", probe, partition, err)
+			}
+			hTruth := make([]knn.Result, qs.N)
+			for qi := range hTruth {
+				hTruth[qi] = ix.ExactKNN(qs.Row(qi), cfg.K)
+			}
+			cell := Cell{Dataset: "fvecs", Probe: probe, BiLevel: bi, Dynamics: DynStatic}
+			res := measureCell(cell, ix, qs, hTruth, cfg, train.N)
+			// Cell.Key renders Lattice, which Hamming indexes do not have;
+			// rewrite the metric position so the golden key is honest.
+			res.Lattice = "hamming"
+			res.Key = strings.Join([]string{"fvecs", "hamming", probe.String(), partition, DynStatic}, "/")
+			rep.Cells = append(rep.Cells, res)
+		}
+	}
+
+	slices.SortFunc(rep.Cells, func(a, b CellResult) int { return strings.Compare(a.Key, b.Key) })
+	return rep, nil
+}

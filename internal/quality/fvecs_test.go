@@ -1,0 +1,114 @@
+package quality
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fvecsTestConfig points the preset at the fixture relative to this
+// package (the preset's committed paths are repo-root-relative for the
+// CLI and Makefile).
+func fvecsTestConfig() Config {
+	cfg := Fvecs()
+	cfg.FvecsBase = "testdata/sift-micro/base.fvecs"
+	cfg.FvecsQueries = "testdata/sift-micro/query.fvecs"
+	cfg.FvecsTruth = "testdata/sift-micro/truth.ivecs"
+	return cfg
+}
+
+// TestGateFvecs runs the file-backed preset — including the Hamming
+// golden cells — against the committed thresholds.
+func TestGateFvecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality matrix skipped in -short mode")
+	}
+	cfg := fvecsTestConfig()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGolden(cfg.Preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.SkipOrdering {
+		t.Fatal("fvecs golden table must skip the ordering assertion (fixture too small)")
+	}
+	if err := g.Check(rep); err != nil {
+		t.Fatal(err)
+	}
+	var hamming int
+	for _, c := range rep.Cells {
+		if strings.Contains(c.Key, "/hamming/") {
+			hamming++
+			if c.Lattice != "hamming" {
+				t.Errorf("cell %s reports lattice %q, want the metric name", c.Key, c.Lattice)
+			}
+		}
+		if !c.Pass {
+			t.Errorf("cell %s: recall %.4f (min %.3f) error %.4f (min %.3f) selectivity %.4f (max %.4f)",
+				c.Key, c.Recall, c.Threshold.MinRecall, c.ErrorRatio, c.Threshold.MinErrorRatio,
+				c.Selectivity, c.Threshold.MaxSelectivity)
+		}
+	}
+	if hamming != 4 {
+		t.Fatalf("matrix has %d Hamming cells, want 4 (single/multi x standard/bilevel)", hamming)
+	}
+	if !rep.Pass {
+		t.Fatal("fvecs quality gate failed")
+	}
+}
+
+// TestFvecsDeterministic pins the acceptance property: two runs over the
+// same files produce byte-identical reports.
+func TestFvecsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality matrix skipped in -short mode")
+	}
+	cfg := fvecsTestConfig()
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := JSON(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := JSON(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two fvecs runs produced different report bytes")
+	}
+}
+
+// TestFvecsValidation covers the mode's configuration constraints.
+func TestFvecsValidation(t *testing.T) {
+	bad := fvecsTestConfig()
+	bad.Inserts = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted a dynamic edit workload in fvecs mode")
+	}
+	bad = fvecsTestConfig()
+	bad.FvecsTruth = ""
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted a missing truth path")
+	}
+	bad = fvecsTestConfig()
+	bad.Bits = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted zero sketch bits")
+	}
+	// Shape drift between fixture and preset must be caught at load.
+	drift := fvecsTestConfig()
+	drift.N = 99
+	if _, err := Run(drift); err == nil || !strings.Contains(err.Error(), "fixture drift") {
+		t.Fatalf("fixture shape drift not caught: %v", err)
+	}
+}

@@ -114,6 +114,9 @@ func Run(cfg Config) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Fvecs {
+		return runFvecs(cfg)
+	}
 	rep := &Report{Config: cfg}
 	for _, ds := range cfg.Datasets {
 		results, err := runDataset(cfg, ds)

@@ -107,6 +107,22 @@ type Config struct {
 	// oracle scan runs and no cache directory is touched. Requires
 	// Datasets == ["planted"] and an empty dynamic edit workload.
 	Planted bool `json:"planted,omitempty"`
+	// Fvecs switches the workload to real dataset files (see fvecs.go):
+	// base and query vectors from .fvecs files, exact Euclidean ground
+	// truth from a precomputed .ivecs file (the TexMex convention), plus
+	// Hamming-metric cells checked against the index's own exact Hamming
+	// scan. Requires Datasets == ["fvecs"] and an empty dynamic edit
+	// workload (the committed truth would go stale). N and Queries are
+	// filled from the files at run time.
+	Fvecs bool `json:"fvecs,omitempty"`
+	// Bits sizes the Hamming cells' sketches in fvecs mode.
+	Bits int `json:"bits,omitempty"`
+	// FvecsBase, FvecsQueries and FvecsTruth locate the dataset files for
+	// fvecs mode. Like CacheDir they are not part of the report: the file
+	// contents, not their paths, determine the measured numbers.
+	FvecsBase    string `json:"-"`
+	FvecsQueries string `json:"-"`
+	FvecsTruth   string `json:"-"`
 	// Seed drives everything: data, projections, the dynamic workload.
 	Seed int64 `json:"seed"`
 	// Widths is the budget-matching calibration (committed with the
@@ -177,6 +193,21 @@ func (c Config) Validate() error {
 	}
 	if _, err := core.ParseQuantizeKind(c.Quantize); err != nil {
 		return err
+	}
+	if c.Fvecs {
+		switch {
+		case len(c.Datasets) != 1 || c.Datasets[0] != "fvecs":
+			return fmt.Errorf("quality: fvecs mode requires Datasets=[fvecs], have %v", c.Datasets)
+		case c.Inserts != 0 || c.DeleteBase != 0 || c.DeleteInserted != 0:
+			return fmt.Errorf("quality: fvecs mode has no dynamic edit workload (the committed truth would go stale)")
+		case c.FvecsBase == "" || c.FvecsQueries == "" || c.FvecsTruth == "":
+			return fmt.Errorf("quality: fvecs mode needs base, query and truth file paths")
+		case c.Bits <= 0:
+			return fmt.Errorf("quality: fvecs mode needs Bits > 0 for the Hamming cells")
+		case c.Planted:
+			return fmt.Errorf("quality: fvecs and planted modes are mutually exclusive")
+		}
+		return nil
 	}
 	if c.Planted {
 		switch {

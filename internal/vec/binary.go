@@ -1,0 +1,132 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Packed binary vectors for the Hamming metric family: each vector is a
+// fixed number of bits stored in uint64 words, and distance is the
+// popcount of the XOR. The layout mirrors Matrix — one flat allocation,
+// row-major — so the short-list scan streams words in ascending address
+// order exactly like the float32 scan does.
+//
+// Dispatch note: the Hamming kernels ride the same kernel-selection
+// machinery as the float kernels (see kernel.go), but unlike the float
+// paths they need no assembly bodies — math/bits.OnesCount64 is a
+// compiler intrinsic that lowers to the POPCNT instruction on amd64
+// (guarded by the runtime's CPUID check) and to CNT on arm64, so the
+// portable Go loop already runs at hardware popcount speed on every
+// supported architecture. An arch kernel may still override
+// hammingToRows; a nil entry inherits the portable implementation at
+// init. Distances are exact integers, so every implementation is
+// bit-identical by definition.
+
+// BinaryMatrix is a dense row-major collection of N packed binary vectors
+// of Bits bits each. Every row occupies WordsPerRow() uint64 words; bits
+// past Bits in the last word of a row are zero.
+type BinaryMatrix struct {
+	Words []uint64
+	N     int
+	Bits  int
+}
+
+// wordsFor returns the number of uint64 words that hold bits bits.
+func wordsFor(bits int) int { return (bits + 63) / 64 }
+
+// NewBinaryMatrix allocates an n-row packed binary matrix of the given
+// per-row bit width. Like NewMatrix it rejects shapes whose word count
+// overflows int.
+func NewBinaryMatrix(n, bitCount int) *BinaryMatrix {
+	if n < 0 || bitCount <= 0 {
+		panic(fmt.Sprintf("vec: NewBinaryMatrix invalid shape %d rows x %d bits", n, bitCount))
+	}
+	wpr := wordsFor(bitCount)
+	if n > math.MaxInt/wpr {
+		panic(fmt.Sprintf("vec: NewBinaryMatrix shape %dx%d overflows int", n, bitCount))
+	}
+	return &BinaryMatrix{Words: make([]uint64, n*wpr), N: n, Bits: bitCount}
+}
+
+// WordsPerRow returns the per-row word stride.
+func (m *BinaryMatrix) WordsPerRow() int { return wordsFor(m.Bits) }
+
+// Row returns the i-th packed row as a slice sharing the matrix storage.
+func (m *BinaryMatrix) Row(i int) []uint64 {
+	wpr := m.WordsPerRow()
+	return m.Words[i*wpr : (i+1)*wpr]
+}
+
+// SetBit sets bit j of row i.
+func (m *BinaryMatrix) SetBit(i, j int) {
+	if j < 0 || j >= m.Bits {
+		panic(fmt.Sprintf("vec: SetBit %d outside %d-bit rows", j, m.Bits))
+	}
+	m.Row(i)[j>>6] |= 1 << (uint(j) & 63)
+}
+
+// Bit reports bit j of row i.
+func (m *BinaryMatrix) Bit(i, j int) bool {
+	if j < 0 || j >= m.Bits {
+		panic(fmt.Sprintf("vec: Bit %d outside %d-bit rows", j, m.Bits))
+	}
+	return m.Row(i)[j>>6]&(1<<(uint(j)&63)) != 0
+}
+
+// Hamming returns the Hamming distance between two packed vectors of
+// equal word length. It panics on a length mismatch, like Dot.
+func Hamming(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Hamming length mismatch %d != %d", len(a), len(b)))
+	}
+	return hammingGeneric(a, b)
+}
+
+// HammingToRows computes the Hamming distance from the packed query q to
+// each listed row of m, writing results into out as float64 (the type the
+// shared top-k heap ranks). Like SqDistToRows, all validation happens
+// here once; the kernel runs a check-free inner loop over an id-sorted
+// list so the scan streams the word array forward.
+func HammingToRows(out []float64, m *BinaryMatrix, ids []int32, q []uint64) {
+	if len(out) != len(ids) {
+		panic(fmt.Sprintf("vec: HammingToRows out len %d, want %d", len(out), len(ids)))
+	}
+	wpr := m.WordsPerRow()
+	if len(q) != wpr {
+		panic(fmt.Sprintf("vec: HammingToRows query words %d, want %d", len(q), wpr))
+	}
+	maxRow := int32(m.N)
+	for _, id := range ids {
+		if id < 0 || id >= maxRow {
+			panic(fmt.Sprintf("vec: HammingToRows row %d outside matrix of %d rows", id, maxRow))
+		}
+	}
+	active.hammingToRows(out, m.Words, wpr, ids, q)
+}
+
+// hammingGeneric is the portable Hamming kernel: XOR + popcount in four
+// independent counters, the same unroll shape as the float kernels.
+// OnesCount64 lowers to a single hardware instruction where one exists.
+func hammingGeneric(a, b []uint64) int {
+	b = b[:len(a)] // hoist the bounds check out of the loop
+	var s0, s1, s2, s3 int
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += bits.OnesCount64(a[i] ^ b[i])
+		s1 += bits.OnesCount64(a[i+1] ^ b[i+1])
+		s2 += bits.OnesCount64(a[i+2] ^ b[i+2])
+		s3 += bits.OnesCount64(a[i+3] ^ b[i+3])
+	}
+	for ; i < len(a); i++ {
+		s0 += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+func hammingToRowsGeneric(out []float64, words []uint64, wpr int, ids []int32, q []uint64) {
+	for i, id := range ids {
+		off := int(id) * wpr
+		out[i] = float64(hammingGeneric(words[off:off+wpr:off+wpr], q))
+	}
+}

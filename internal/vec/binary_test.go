@@ -1,0 +1,153 @@
+package vec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"bilsh/internal/wire"
+)
+
+// naiveHamming is the bit-by-bit reference the packed kernels must match.
+func naiveHamming(a, b []uint64) int {
+	n := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for j := 0; j < 64; j++ {
+			if x&(1<<uint(j)) != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func randWords(rng *rand.Rand, n int) []uint64 {
+	xs := make([]uint64, n)
+	for i := range xs {
+		xs[i] = rng.Uint64()
+	}
+	return xs
+}
+
+func TestBinaryMatrixBits(t *testing.T) {
+	m := NewBinaryMatrix(3, 70) // 2 words per row, 58 pad bits
+	if got := m.WordsPerRow(); got != 2 {
+		t.Fatalf("WordsPerRow = %d, want 2", got)
+	}
+	m.SetBit(1, 0)
+	m.SetBit(1, 63)
+	m.SetBit(1, 64)
+	m.SetBit(1, 69)
+	for j := 0; j < 70; j++ {
+		want := j == 0 || j == 63 || j == 64 || j == 69
+		if m.Bit(1, j) != want {
+			t.Fatalf("Bit(1, %d) = %v, want %v", j, m.Bit(1, j), want)
+		}
+		if m.Bit(0, j) || m.Bit(2, j) {
+			t.Fatalf("bit %d leaked into a neighboring row", j)
+		}
+	}
+	if got := Hamming(m.Row(1), m.Row(0)); got != 4 {
+		t.Fatalf("Hamming = %d, want 4", got)
+	}
+}
+
+// TestHammingMatchesNaive crosses the 4-word unroll boundary with random
+// payloads.
+func TestHammingMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, words := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 16, 33} {
+		for trial := 0; trial < 20; trial++ {
+			a, b := randWords(rng, words), randWords(rng, words)
+			if got, want := Hamming(a, b), naiveHamming(a, b); got != want {
+				t.Fatalf("words=%d: Hamming = %d, want %d", words, got, want)
+			}
+		}
+	}
+}
+
+// TestHammingToRowsKernels pins bit-identity of the batch scan across
+// every kernel available in this binary (the Hamming analogue of the
+// float kernel equivalence suite; distances are integers, so identity is
+// exact equality).
+func TestHammingToRowsKernels(t *testing.T) {
+	orig := KernelName()
+	defer UseKernel(orig) //nolint:errcheck
+
+	rng := rand.New(rand.NewSource(11))
+	m := NewBinaryMatrix(64, 200)
+	for i := range m.Words {
+		m.Words[i] = rng.Uint64()
+	}
+	// Clear pad bits so rows are well-formed sketches.
+	wpr := m.WordsPerRow()
+	pad := uint64(1)<<(uint(m.Bits)&63) - 1
+	for i := 0; i < m.N; i++ {
+		m.Row(i)[wpr-1] &= pad
+	}
+	q := randWords(rng, wpr)
+	q[wpr-1] &= pad
+	ids := []int32{0, 63, 7, 7, 31, 1}
+
+	want := make([]float64, len(ids))
+	hammingToRowsGeneric(want, m.Words, wpr, ids, q)
+	for i, id := range ids {
+		if int(want[i]) != naiveHamming(m.Row(int(id)), q) {
+			t.Fatalf("portable row %d disagrees with naive popcount", id)
+		}
+	}
+	for _, name := range KernelNames() {
+		if err := UseKernel(name); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, len(ids))
+		HammingToRows(got, m, ids, q)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("kernel %s: row %d distance %g, want %g", name, ids[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBinaryMatrixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewBinaryMatrix(5, 130)
+	for i := range m.Words {
+		m.Words[i] = rng.Uint64()
+	}
+	var buf bytes.Buffer
+	ww := wire.NewWriter(&buf)
+	m.Encode(ww)
+	if err := ww.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinaryMatrix(wire.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != m.N || got.Bits != m.Bits {
+		t.Fatalf("shape %dx%d, want %dx%d", got.N, got.Bits, m.N, m.Bits)
+	}
+	for i := range m.Words {
+		if got.Words[i] != m.Words[i] {
+			t.Fatalf("word %d = %#x, want %#x", i, got.Words[i], m.Words[i])
+		}
+	}
+}
+
+func TestDecodeBinaryMatrixRejectsMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	ww := wire.NewWriter(&buf)
+	ww.Magic("vec.BinaryMatrix/1")
+	ww.Int(4)
+	ww.Int(64)
+	ww.Words([]uint64{1, 2, 3}) // 4 rows x 1 word needs 4 words
+	if err := ww.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBinaryMatrix(wire.NewReader(&buf)); err == nil {
+		t.Fatal("decoder accepted a word count inconsistent with the shape")
+	}
+}

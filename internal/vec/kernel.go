@@ -42,6 +42,10 @@ type kernel struct {
 	sqDist        func(a, b []float32) float64
 	sqDistToRows  func(out []float64, data []float32, d int, ids []int32, q []float32)
 	sqDistSQ8Rows func(out []float64, codes []uint8, d int, min, scale []float32, ids []int32, q []float32)
+	// hammingToRows is the packed-binary batch scan (see binary.go). Arch
+	// kernels may leave it nil to inherit the portable implementation,
+	// whose OnesCount64 loop already lowers to hardware popcount.
+	hammingToRows func(out []float64, words []uint64, wpr int, ids []int32, q []uint64)
 }
 
 var portableKernel = kernel{
@@ -50,6 +54,7 @@ var portableKernel = kernel{
 	sqDist:        sqDistGeneric,
 	sqDistToRows:  sqDistToRowsGeneric,
 	sqDistSQ8Rows: sqDistSQ8RowsGeneric,
+	hammingToRows: hammingToRowsGeneric,
 }
 
 // kernels lists every implementation available in this binary on this CPU,
@@ -63,6 +68,13 @@ var active = &portableKernel
 
 func init() {
 	kernels = append(kernels, archKernels()...)
+	for _, k := range kernels {
+		// Entries an arch kernel does not specialize inherit the portable
+		// implementation, so dispatch never hits a nil function.
+		if k.hammingToRows == nil {
+			k.hammingToRows = hammingToRowsGeneric
+		}
+	}
 	active = kernels[len(kernels)-1]
 	if name := os.Getenv("BILSH_KERNEL"); name != "" {
 		// Best effort: an unknown name keeps the automatic choice (the

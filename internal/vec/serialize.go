@@ -41,6 +41,40 @@ func DecodeMatrix(r *wire.Reader) (*Matrix, error) {
 	return m, nil
 }
 
+const binaryMagic = "vec.BinaryMatrix/1"
+
+// Encode writes the packed binary matrix to w: shape, then the word array
+// as one fixed-width payload (see wire.Writer.Words for why not varint).
+func (m *BinaryMatrix) Encode(w *wire.Writer) {
+	w.Magic(binaryMagic)
+	w.Int(m.N)
+	w.Int(m.Bits)
+	w.Words(m.Words)
+}
+
+// DecodeBinaryMatrix reads a packed binary matrix written by Encode.
+func DecodeBinaryMatrix(r *wire.Reader) (*BinaryMatrix, error) {
+	r.ExpectMagic(binaryMagic)
+	n := r.Int()
+	bitCount := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || bitCount <= 0 || bitCount > wire.MaxLen ||
+		n > wire.MaxLen/8/wordsFor(bitCount) {
+		return nil, fmt.Errorf("vec: decoded binary matrix shape %dx%d implausible", n, bitCount)
+	}
+	words := r.Words()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(words) != n*wordsFor(bitCount) {
+		return nil, fmt.Errorf("vec: decoded binary matrix words %d inconsistent with shape %dx%d",
+			len(words), n, bitCount)
+	}
+	return &BinaryMatrix{Words: words, N: n, Bits: bitCount}, nil
+}
+
 const quantMagic = "vec.QuantMatrix/1"
 
 // Encode writes the SQ8 matrix to w: shape, per-dimension min/scale, then

@@ -146,6 +146,19 @@ func (w *Writer) Bytes(p []byte) {
 	w.write(p)
 }
 
+// Words writes a length-prefixed []uint64 as fixed-width little-endian
+// words. Packed bit payloads (binary sketches) have uniformly random high
+// bits, so varint framing would cost 10 bytes per word; fixed width keeps
+// them at 8.
+func (w *Writer) Words(xs []uint64) {
+	w.U64(uint64(len(xs)))
+	var b [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(b[:], x)
+		w.write(b[:])
+	}
+}
+
 // Strings writes a length-prefixed []string.
 func (w *Writer) Strings(xs []string) {
 	w.U64(uint64(len(xs)))
@@ -313,6 +326,25 @@ func (r *Reader) Bytes() []byte {
 		return nil
 	}
 	return p
+}
+
+// Words reads a length-prefixed fixed-width []uint64 written by
+// Writer.Words.
+func (r *Reader) Words() []uint64 {
+	n := r.lenPrefix()
+	if r.err != nil {
+		return nil
+	}
+	xs := make([]uint64, n)
+	var b [8]byte
+	for i := range xs {
+		r.readFull(b[:])
+		xs[i] = binary.LittleEndian.Uint64(b[:])
+	}
+	if r.err != nil {
+		return nil
+	}
+	return xs
 }
 
 // Strings reads a length-prefixed []string.
